@@ -1,0 +1,52 @@
+// Ablation — sensor noise rate vs denoising strategy (Section II-A).
+//
+// Sweeps the background-activity rate and compares EBBIOT quality with
+// the median filter enabled (paper pipeline) against a median-less
+// variant (p = 1), plus the event-domain NN-filt + EBMS chain on the same
+// streams.  Shows the salt-and-pepper robustness the EBBI + median design
+// buys, and where everything degrades.
+#include <cstdio>
+
+#include "src/core/runner.hpp"
+#include "src/sim/recording.hpp"
+
+namespace {
+
+ebbiot::RunResult runAt(double noiseHz, int medianPatch, bool withEbms) {
+  using namespace ebbiot;
+  RecordingSpec spec = makeSyntheticEng();
+  spec.durationS = 40.0;
+  spec.synth.backgroundActivityHz = noiseHz;
+  Recording rec = openRecording(spec);
+  RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+  config.runKalman = false;
+  config.runEbms = withEbms;
+  config.ebbiot.medianPatch = medianPatch;
+  return runRecording(*rec.source, *rec.scenario,
+                      secondsToUs(spec.durationS), config);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ebbiot;
+  std::printf("Noise ablation — SyntheticENG traffic, 40 s per setting, "
+              "F1 at IoU 0.3\n\n");
+  std::printf("%-14s %14s %14s %14s\n", "noise [Hz/px]", "EBBIOT p=3",
+              "EBBIOT p=1", "NN-filt+EBMS");
+  std::printf("%.*s\n", 60,
+              "------------------------------------------------------------");
+
+  for (const double noise : {0.0, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0}) {
+    const RunResult withMedian = runAt(noise, 3, true);
+    const RunResult noMedian = runAt(noise, 1, false);
+    std::printf("%-14.1f %14.3f %14.3f %14.3f\n", noise,
+                withMedian.ebbiot->counts[2].f1(),
+                noMedian.ebbiot->counts[2].f1(),
+                withMedian.ebms->counts[2].f1());
+  }
+  std::printf("\n(The p = 3 median keeps the RPN clean well past typical "
+              "DAVIS noise rates;\nwithout it, noise pixels seed ghost "
+              "regions and precision collapses first.)\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation — two-timescale EBBI (the paper's future-work extension for
+// slow, small objects).
+//
+// A pedestrian at sub-pixel-per-frame speed leaves only a handful of
+// events per 66 ms window — often too few to survive the median filter.
+// The slow frame (OR of the last k windows) integrates k x tF of
+// exposure.  This bench sweeps k and reports pedestrian recall when the
+// EBBIOT pipeline consumes the slow frame, versus the fast frame.
+#include <cstdio>
+#include <memory>
+
+#include "src/core/pipeline.hpp"
+#include "src/ebbi/two_timescale.hpp"
+#include "src/eval/metrics.hpp"
+#include "src/sim/davis.hpp"
+#include "src/sim/event_synth.hpp"
+#include "src/sim/ground_truth.hpp"
+#include "src/sim/scene.hpp"
+
+namespace {
+
+using namespace ebbiot;
+
+/// A pedestrian-only scene (plus noise): the hard case of Section IV.
+struct PedestrianWorld {
+  PedestrianWorld() : scene(240, 180) {
+    // Three pedestrians at ~4 px/s (~0.25 px/frame), staggered in time.
+    scene.addLinear(ObjectClass::kHuman, BBox{-8, 100, 8, 20}, Vec2f{4, 0},
+                    0, secondsToUs(40.0));
+    scene.addLinear(ObjectClass::kHuman, BBox{240, 120, 8, 20},
+                    Vec2f{-3.5F, 0}, secondsToUs(2.0), secondsToUs(40.0));
+    scene.addLinear(ObjectClass::kHuman, BBox{-8, 80, 9, 22}, Vec2f{3, 0},
+                    secondsToUs(5.0), secondsToUs(40.0));
+    EventSynthConfig config;
+    config.backgroundActivityHz = 0.15;
+    config.seed = 17;
+    synth = std::make_unique<FastEventSynth>(scene, config);
+  }
+  ScriptedScene scene;
+  std::unique_ptr<FastEventSynth> synth;
+};
+
+double pedestrianRecall(int slowFactor, double seconds) {
+  PedestrianWorld world;
+  TwoTimescaleBuilder frames(240, 180, slowFactor);
+  MedianFilter median(3);
+  HistogramRpn rpn{HistogramRpnConfig{}};
+  OverlapTrackerConfig trackerConfig;
+  trackerConfig.minSeedArea = 6.0F;
+  OverlapTracker tracker(trackerConfig);
+  PrSweepAccumulator acc({0.2F});
+
+  BinaryImage filtered(240, 180);
+  const auto frameCount =
+      static_cast<std::size_t>(secondsToUs(seconds) / kDefaultFramePeriodUs);
+  for (std::size_t f = 0; f < frameCount; ++f) {
+    const EventPacket packet =
+        latchReadout(world.synth->nextWindow(kDefaultFramePeriodUs), 240,
+                     180);
+    frames.addWindow(packet);
+    median.applyInto(frames.slowFrame(), filtered);
+    const Tracks tracks = tracker.update(rpn.propose(filtered));
+    const GtFrame gt = annotateScene(world.scene, packet.tEnd());
+    acc.addFrame(tracks, gt.boxes);
+  }
+  return acc.counts()[0].recall();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Two-timescale ablation — pedestrians at ~0.25 px/frame, "
+              "35 s, recall at IoU 0.2\n\n");
+  std::printf("%-18s %12s %14s\n", "slow factor k", "exposure", "recall");
+  std::printf("%.*s\n", 46, "----------------------------------------------");
+  for (const int k : {1, 2, 4, 6, 8, 12}) {
+    std::printf("%-18d %9.0f ms %14.3f\n", k, 66.0 * k,
+                pedestrianRecall(k, 35.0));
+  }
+  std::printf("\n(k = 1 is the plain fast frame of the paper, which "
+              "'… [has] not tracked slow and\nsmall objects like "
+              "humans'; the slow frame recovers them at the cost of "
+              "k-frame\nlatency in the silhouette.)\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Figure 5 — total computes per frame and total memory of the EBMS chain
+// and EBBI+KF, relative to EBBIOT.
+//
+// Two independent columns:
+//   * "model": the paper's own accounting, Eqs. (1)-(8) (bench_costmodels
+//     breaks these down block by block);
+//   * "measured": operation counts metered inside the running pipelines
+//     on SyntheticENG traffic (exact counts of compares / adds /
+//     multiplies / memory writes the implementations actually performed).
+//
+// The paper's claims: EBMS chain ~3x computes and ~7x memory of EBBIOT;
+// EBBI+KF is compute-comparable (front-end dominated).
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/runner.hpp"
+#include "src/resource/cost_model.hpp"
+#include "src/sim/recording.hpp"
+
+namespace {
+
+double benchSeconds() {
+  if (const char* env = std::getenv("EBBIOT_BENCH_SECONDS")) {
+    const double v = std::atof(env);
+    if (v > 0.0) {
+      return v;
+    }
+  }
+  return 60.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ebbiot;
+  const double seconds = benchSeconds();
+
+  // --- Measured side: run all three pipelines over SyntheticENG.
+  RecordingSpec spec = makeSyntheticEng();
+  spec.durationS = seconds;
+  Recording rec = openRecording(spec);
+  RunnerConfig config = makeDefaultRunnerConfig(spec.traffic.width,
+                                                spec.traffic.height);
+  const RunResult run = runRecording(*rec.source, *rec.scenario,
+                                     secondsToUs(spec.durationS), config);
+
+  const double measuredOurs = run.ebbiot->meanOpsPerFrame();
+  const double measuredKf = run.kalman->meanOpsPerFrame();
+  const double measuredEbms = run.ebms->meanOpsPerFrame();
+
+  // --- Model side, at the operating point measured from this very run
+  // (alpha, beta, NF feed Eqs. (1), (2), (8)).
+  PipelineCostParams params;
+  params.ebbi.alpha = run.meanAlpha;
+  params.nnFilt.alpha = run.meanAlpha;
+  params.nnFilt.beta = run.meanBeta;
+  params.ebms.nF = run.meanFilteredEventsPerFrame;
+  const CostEstimate modelOurs = ebbiotPipelineCost(params);
+  const CostEstimate modelKf = ebbiKfPipelineCost(params);
+  const CostEstimate modelEbms = ebmsPipelineCost(params);
+
+  std::printf("Figure 5 — resource comparison (SyntheticENG, %.0f s, "
+              "%zu frames)\n",
+              seconds, run.frames);
+  std::printf("operating point: alpha = %.4f, beta = %.2f, NF = %.0f "
+              "events/frame after NN-filt\n\n",
+              run.meanAlpha, run.meanBeta,
+              run.meanFilteredEventsPerFrame);
+
+  std::printf("%-16s %18s %18s %15s\n", "pipeline", "model ops/frame",
+              "measured ops/frame", "model mem [kB]");
+  std::printf("%.*s\n", 72,
+              "----------------------------------------------------------"
+              "--------------");
+  std::printf("%-16s %18.0f %18.0f %15.2f\n", "EBBIOT",
+              modelOurs.computesPerFrame, measuredOurs,
+              modelOurs.memoryBits / 8.0 / 1024.0);
+  std::printf("%-16s %18.0f %18.0f %15.2f\n", "EBBI+KF",
+              modelKf.computesPerFrame, measuredKf,
+              modelKf.memoryBits / 8.0 / 1024.0);
+  std::printf("%-16s %18.0f %18.0f %15.2f\n", "NN-filt+EBMS",
+              modelEbms.computesPerFrame, measuredEbms,
+              modelEbms.memoryBits / 8.0 / 1024.0);
+
+  std::printf("\nRelative to EBBIOT (the Fig. 5 bars):\n");
+  std::printf("%-16s %14s %14s %14s\n", "pipeline", "model ops",
+              "measured ops", "model memory");
+  std::printf("%-16s %14.2fx %14.2fx %14.2fx\n", "EBBI+KF",
+              modelKf.computesPerFrame / modelOurs.computesPerFrame,
+              measuredKf / measuredOurs,
+              modelKf.memoryBits / modelOurs.memoryBits);
+  std::printf("%-16s %14.2fx %14.2fx %14.2fx\n", "NN-filt+EBMS",
+              modelEbms.computesPerFrame / modelOurs.computesPerFrame,
+              measuredEbms / measuredOurs,
+              modelEbms.memoryBits / modelOurs.memoryBits);
+  std::printf("\n(paper: EBMS chain ~3x computes, ~7x memory of EBBIOT)\n");
+
+  std::printf(
+      "\nNote on measured EBMS ops: Eq. (8) charges ~%.0f ops per filtered\n"
+      "event (9*CL^2 + (169 + 16*g)*CL + 11 at CL = 2), the cost of the\n"
+      "jAER-style cluster tracker the paper assumed.  Our lean\n"
+      "reimplementation measures ~%.0f ops/event, so the *measured* EBMS\n"
+      "bar sits below the model's.  The memory comparison and the\n"
+      "frame-domain measurements are implementation-faithful; see\n"
+      "EXPERIMENTS.md for the discussion.\n",
+      9.0 * 4.0 + (169.0 + 1.6) * 2.0 + 11.0,
+      run.meanFilteredEventsPerFrame > 0.0
+          ? (measuredEbms -
+             run.meanEventsPerFrame * 32.0) /  // NN-filt share (Eq. 2)
+                run.meanFilteredEventsPerFrame
+          : 0.0);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// IoVT node budget — the paper's motivating numbers, made concrete.
+//
+// For each processing + transmission policy, reports duty cycle, energy
+// per frame, mean node power, uplink bandwidth and battery life on a
+// Cortex-M-class node (see src/core/node_model.hpp):
+//
+//   * EBBIOT, transmit tracks            (the paper's design point)
+//   * EBBIOT, transmit EBBI frames       (edge detection, raw-ish frames)
+//   * NN-filt + EBMS, transmit tracks    (event-domain baseline)
+//   * no processing, transmit raw events (stream everything)
+//   * frame camera + CNN, transmit boxes (the ">1000X" strawman)
+//
+// Workloads are measured from SyntheticENG traffic, not assumed.
+#include <cstdio>
+
+#include "src/core/node_model.hpp"
+#include "src/core/runner.hpp"
+#include "src/resource/cost_model.hpp"
+#include "src/sim/recording.hpp"
+
+namespace {
+
+void printRow(const char* name, const ebbiot::NodeBudget& b) {
+  std::printf("%-26s %9.2f%% %12.1f %10.2f %12.0f %12.0f%s\n", name,
+              b.dutyCycle * 100.0,
+              b.processorEnergyUjPerFrame + b.radioEnergyUjPerFrame +
+                  b.sensorEnergyUjPerFrame,
+              b.meanPowerMw, b.bandwidthBps, b.batteryLifeHours,
+              b.feasible ? "" : "  [INFEASIBLE]");
+}
+
+}  // namespace
+
+int main() {
+  using namespace ebbiot;
+
+  // Measure the workloads on 30 s of ENG traffic.
+  RecordingSpec spec = makeSyntheticEng();
+  spec.durationS = 30.0;
+  Recording rec = openRecording(spec);
+  RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+  const RunResult run = runRecording(*rec.source, *rec.scenario,
+                                     secondsToUs(spec.durationS), config);
+
+  const NodePlatform node;
+  const double meanTracks = 2.0;  // the paper's NT operating point
+
+  std::printf("IoVT node budget — measured on SyntheticENG (%zu frames, "
+              "%.0f raw events/frame)\n",
+              run.frames, run.meanEventsPerFrame);
+  std::printf("platform: %.0f MHz MCU, %.0f mW active / %.0f uW sleep, "
+              "%.0f nJ/bit radio, %.0f mW sensor\n\n",
+              node.clockHz / 1e6, node.activePowerMw, node.sleepPowerUw,
+              node.radioEnergyPerBitNj, node.sensorPowerMw);
+  std::printf("%-26s %10s %12s %10s %12s %12s\n", "policy", "duty",
+              "uJ/frame", "mean mW", "uplink bps", "battery h");
+  std::printf("%.*s\n", 88,
+              "----------------------------------------------------------"
+              "------------------------------");
+
+  {
+    NodeWorkload w;
+    w.opsPerFrame = run.ebbiot->meanOpsPerFrame();
+    w.txBitsPerFrame = trackPayloadBits(meanTracks);
+    printRow("EBBIOT -> tracks", estimateNodeBudget(node, w));
+  }
+  {
+    NodeWorkload w;
+    w.opsPerFrame = run.ebbiot->meanOpsPerFrame();
+    w.txBitsPerFrame = ebbiPayloadBits(240, 180);
+    printRow("EBBIOT -> EBBI frames", estimateNodeBudget(node, w));
+  }
+  {
+    NodeWorkload w;
+    w.opsPerFrame = run.ebms->meanOpsPerFrame();
+    w.txBitsPerFrame = trackPayloadBits(meanTracks);
+    printRow("NN-filt+EBMS -> tracks", estimateNodeBudget(node, w));
+  }
+  {
+    NodeWorkload w;
+    w.opsPerFrame = 0.0;
+    w.txBitsPerFrame = rawEventPayloadBits(run.meanEventsPerFrame);
+    printRow("no processing -> events", estimateNodeBudget(node, w));
+  }
+  {
+    NodeWorkload w;
+    w.opsPerFrame = frameBasedDetectorReference().computesPerFrame;
+    w.txBitsPerFrame = trackPayloadBits(meanTracks);
+    printRow("frame CNN -> boxes", estimateNodeBudget(node, w));
+  }
+
+  std::printf("\nEBBIOT keeps the processor asleep most of each 66 ms "
+              "window and the radio\npayload to a few hundred bits — the "
+              "paper's IoVT argument in one table.\n(The sensor's own "
+              "power dominates once processing is this cheap.)\n");
+  return 0;
+}

@@ -1,0 +1,207 @@
+// Wall-clock microbenchmarks of every pipeline stage (google-benchmark).
+//
+// The paper's resource argument is in abstract ops; this binary grounds
+// it in time on the host CPU: EBBI build, median filter, downsample +
+// histograms, RPN, CCA, the three trackers and the NN-filter, all on a
+// realistic ENG-like frame.
+#include <benchmark/benchmark.h>
+
+#include "src/core/pipeline.hpp"
+#include "src/sim/davis.hpp"
+#include "src/sim/event_synth.hpp"
+#include "src/sim/recording.hpp"
+
+namespace {
+
+using namespace ebbiot;
+
+/// Pre-generated packets of ENG-like traffic shared by all benchmarks.
+class FrameBank {
+ public:
+  static FrameBank& instance() {
+    static FrameBank bank;
+    return bank;
+  }
+
+  const EventPacket& stream(std::size_t i) const {
+    return stream_[i % stream_.size()];
+  }
+  const EventPacket& latched(std::size_t i) const {
+    return latched_[i % latched_.size()];
+  }
+  const BinaryImage& ebbi(std::size_t i) const {
+    return ebbi_[i % ebbi_.size()];
+  }
+  const BinaryImage& filtered(std::size_t i) const {
+    return filtered_[i % filtered_.size()];
+  }
+  const RegionProposals& proposals(std::size_t i) const {
+    return proposals_[i % proposals_.size()];
+  }
+
+ private:
+  FrameBank() {
+    RecordingSpec spec = makeSyntheticEng();
+    spec.durationS = 20.0;
+    Recording rec = openRecording(spec);
+    EbbiBuilder builder(240, 180);
+    MedianFilter median(3);
+    HistogramRpn rpn{HistogramRpnConfig{}};
+    for (int i = 0; i < 64; ++i) {
+      EventPacket stream = rec.source->nextWindow(kDefaultFramePeriodUs);
+      EventPacket latched = latchReadout(stream, 240, 180);
+      BinaryImage ebbi = builder.build(latched);
+      BinaryImage filtered = median.apply(ebbi);
+      proposals_.push_back(rpn.propose(filtered));
+      stream_.push_back(std::move(stream));
+      latched_.push_back(std::move(latched));
+      ebbi_.push_back(std::move(ebbi));
+      filtered_.push_back(std::move(filtered));
+    }
+  }
+
+  std::vector<EventPacket> stream_;
+  std::vector<EventPacket> latched_;
+  std::vector<BinaryImage> ebbi_;
+  std::vector<BinaryImage> filtered_;
+  std::vector<RegionProposals> proposals_;
+};
+
+void BM_EbbiBuild(benchmark::State& state) {
+  FrameBank& bank = FrameBank::instance();
+  EbbiBuilder builder(240, 180);
+  BinaryImage img(240, 180);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    builder.buildInto(bank.latched(i++), img);
+    benchmark::DoNotOptimize(img);
+  }
+}
+BENCHMARK(BM_EbbiBuild);
+
+void BM_MedianFilter(benchmark::State& state) {
+  FrameBank& bank = FrameBank::instance();
+  MedianFilter median(3);
+  BinaryImage out(240, 180);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    median.applyInto(bank.ebbi(i++), out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_MedianFilter);
+
+void BM_DownsampleAndHistogram(benchmark::State& state) {
+  FrameBank& bank = FrameBank::instance();
+  Downsampler down(6, 3);
+  HistogramBuilder hist;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const CountImage c = down.downsample(bank.filtered(i++));
+    const HistogramPair h = hist.build(c);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_DownsampleAndHistogram);
+
+void BM_HistogramRpn(benchmark::State& state) {
+  FrameBank& bank = FrameBank::instance();
+  HistogramRpn rpn{HistogramRpnConfig{}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const RegionProposals p = rpn.propose(bank.filtered(i++));
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_HistogramRpn);
+
+void BM_CcaRpn(benchmark::State& state) {
+  FrameBank& bank = FrameBank::instance();
+  CcaLabeler cca{CcaConfig{}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const RegionProposals p = cca.propose(bank.filtered(i++));
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_CcaRpn);
+
+void BM_OverlapTracker(benchmark::State& state) {
+  FrameBank& bank = FrameBank::instance();
+  OverlapTracker tracker{OverlapTrackerConfig{}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Tracks t = tracker.update(bank.proposals(i++));
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_OverlapTracker);
+
+void BM_KalmanTracker(benchmark::State& state) {
+  FrameBank& bank = FrameBank::instance();
+  KalmanTracker tracker{KalmanTrackerConfig{}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Tracks t = tracker.update(bank.proposals(i++));
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_KalmanTracker);
+
+void BM_NnFilter(benchmark::State& state) {
+  FrameBank& bank = FrameBank::instance();
+  NnFilter filter{NnFilterConfig{}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const EventPacket p = filter.filter(bank.stream(i++));
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_NnFilter);
+
+void BM_EbmsTracker(benchmark::State& state) {
+  FrameBank& bank = FrameBank::instance();
+  EbmsTracker tracker{EbmsConfig{}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    tracker.processPacket(bank.stream(i++));
+    benchmark::DoNotOptimize(tracker.activeCount());
+  }
+}
+BENCHMARK(BM_EbmsTracker);
+
+void BM_FullEbbiotPipeline(benchmark::State& state) {
+  FrameBank& bank = FrameBank::instance();
+  EbbiotPipeline pipeline{EbbiotPipelineConfig{}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Tracks t = pipeline.processWindow(bank.latched(i++));
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_FullEbbiotPipeline);
+
+void BM_FullEbmsPipeline(benchmark::State& state) {
+  FrameBank& bank = FrameBank::instance();
+  EbmsPipeline pipeline{EbmsPipelineConfig{}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Tracks t = pipeline.processWindow(bank.stream(i++));
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_FullEbmsPipeline);
+
+void BM_LatchReadout(benchmark::State& state) {
+  FrameBank& bank = FrameBank::instance();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const EventPacket p = latchReadout(bank.stream(i++), 240, 180);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_LatchReadout);
+
+}  // namespace
+
+BENCHMARK_MAIN();

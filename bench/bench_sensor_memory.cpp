@@ -1,0 +1,50 @@
+// Figure 2 concept — the "sensor as memory" duty-cycled readout.
+//
+// Quantifies what the latch scheme of Section II-A costs and saves:
+// for a sweep of frame periods tF, compares the raw stream event count
+// (what an always-on event-driven processor must touch) against the
+// latched count (at most one event per pixel per window, which is all
+// the EBBI needs), plus the implied processor duty factor.
+#include <cstdio>
+
+#include "src/sim/davis.hpp"
+#include "src/sim/recording.hpp"
+
+int main() {
+  using namespace ebbiot;
+  std::printf("Sensor-as-memory readout (Fig. 2 concept) — SyntheticENG "
+              "traffic, 30 s per setting\n\n");
+  std::printf("%-10s %16s %16s %12s %18s\n", "tF [ms]", "stream ev/s",
+              "latched ev/s", "saved", "latched/pixel/fr");
+  std::printf("%.*s\n", 76,
+              "----------------------------------------------------------"
+              "------------------");
+
+  for (const double tFms : {16.5, 33.0, 66.0, 132.0, 264.0}) {
+    RecordingSpec spec = makeSyntheticEng();
+    spec.durationS = 30.0;
+    Recording rec = openRecording(spec);
+    const TimeUs tF = millisToUs(tFms);
+    const auto frames =
+        static_cast<std::size_t>(secondsToUs(spec.durationS) / tF);
+    std::uint64_t stream = 0;
+    std::uint64_t latched = 0;
+    for (std::size_t i = 0; i < frames; ++i) {
+      const EventPacket packet = rec.source->nextWindow(tF);
+      stream += packet.size();
+      latched += latchReadout(packet, 240, 180).size();
+    }
+    const double durS = usToSeconds(static_cast<TimeUs>(frames) * tF);
+    std::printf("%-10.1f %16.0f %16.0f %11.1f%% %18.4f\n", tFms,
+                static_cast<double>(stream) / durS,
+                static_cast<double>(latched) / durS,
+                100.0 * (1.0 - static_cast<double>(latched) /
+                                   static_cast<double>(stream)),
+                static_cast<double>(latched) /
+                    (static_cast<double>(frames) * 240.0 * 180.0));
+  }
+  std::printf("\nLonger exposures save more re-fires (beta grows with tF) "
+              "but blur fast objects;\nthe paper picks tF = 66 ms as "
+              "sufficient for traffic.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Occlusion lab — watch the overlap tracker's occlusion logic work.
+//
+// Two vehicles cross in opposite directions (the paper's dynamic
+// occlusion case, Section II-C step 5).  The demo prints the tracker's
+// state frame by frame through the approach, merge and separation, and
+// verifies both identities survive — then repeats the run with the
+// occlusion look-ahead disabled (n = 0 is approximated by merging
+// whenever proposals collide) to show why the prediction step matters.
+#include <cstdio>
+
+#include "src/core/pipeline.hpp"
+#include "src/sim/davis.hpp"
+#include "src/sim/event_synth.hpp"
+#include "src/sim/scene.hpp"
+
+namespace {
+
+using namespace ebbiot;
+
+struct CrossingWorld {
+  CrossingWorld() : scene(240, 180) {
+    scene.addLinear(ObjectClass::kCar, BBox{-48, 70, 48, 22}, Vec2f{60, 0},
+                    0, secondsToUs(8.0));
+    scene.addLinear(ObjectClass::kVan, BBox{240, 74, 60, 26},
+                    Vec2f{-55, 0}, 0, secondsToUs(8.0));
+    EventSynthConfig config;
+    config.backgroundActivityHz = 0.2;
+    config.seed = 5;
+    synth = std::make_unique<FastEventSynth>(scene, config);
+  }
+  ScriptedScene scene;
+  std::unique_ptr<FastEventSynth> synth;
+};
+
+int runCrossing(int occlusionLookahead, bool verbose) {
+  CrossingWorld world;
+  EbbiotPipelineConfig config;
+  config.tracker.occlusionLookahead = occlusionLookahead;
+  EbbiotPipeline pipeline(config);
+
+  std::uint32_t idA = 0;
+  std::uint32_t idB = 0;
+  int survivedBoth = 0;
+  for (int f = 0; f < 110; ++f) {
+    const EventPacket window = latchReadout(
+        world.synth->nextWindow(kDefaultFramePeriodUs), 240, 180);
+    const Tracks tracks = pipeline.processWindow(window);
+    if (f == 25 && tracks.size() == 2) {  // before the crossing
+      idA = tracks[0].id;
+      idB = tracks[1].id;
+    }
+    if (verbose && f % 10 == 5) {
+      std::printf("  frame %3d: ", f);
+      for (const Track& t : tracks) {
+        std::printf("[id=%u x=%5.1f v=%+4.1f%s] ", t.id, t.box.x,
+                    t.velocity.x, t.occluded ? " OCC" : "");
+      }
+      std::printf("\n");
+    }
+    // Verify identities shortly after separation, while both vehicles
+    // are still inside the frame (they exit around frames 73 and 83).
+    if (f == 62) {
+      bool sawA = false;
+      bool sawB = false;
+      for (const Track& t : tracks) {
+        sawA = sawA || t.id == idA;
+        sawB = sawB || t.id == idB;
+      }
+      survivedBoth = (idA != 0 && sawA && sawB) ? 1 : 0;
+    }
+  }
+  return survivedBoth;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Occlusion lab — two vehicles crossing at ~7.5 px/frame "
+              "closing speed\n\n");
+
+  std::printf("With the paper's n = 2 look-ahead:\n");
+  const int withLookahead = runCrossing(2, true);
+  std::printf("  -> both identities survived the crossing: %s\n\n",
+              withLookahead ? "YES" : "NO");
+
+  std::printf("With a myopic n = 1 look-ahead (for contrast):\n");
+  const int myopic = runCrossing(1, false);
+  std::printf("  -> both identities survived the crossing: %s\n\n",
+              myopic ? "YES" : "NO");
+
+  std::printf("The look-ahead classifies a shared proposal as *occlusion* "
+              "(coast both\ntrackers on their own velocity) rather than "
+              "*fragmentation* (merge the\ntrackers), so crossings do not "
+              "destroy identities.\n");
+  return withLookahead ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// Pedestrian tracking with the two-timescale EBBI (future-work feature).
+//
+// Section IV: the base pipeline does not track "slow and small objects
+// like humans" because a 66 ms window catches only a sliver of events
+// from a sub-pixel-per-frame walker.  The proposed fix — "a second frame
+// ... with longer exposure times" — is implemented by
+// TwoTimescaleBuilder.  This demo runs both frames through identical
+// RPN+tracker stages and prints the recall gap.
+#include <cstdio>
+#include <memory>
+
+#include "src/core/pipeline.hpp"
+#include "src/ebbi/two_timescale.hpp"
+#include "src/eval/metrics.hpp"
+#include "src/sim/davis.hpp"
+#include "src/sim/event_synth.hpp"
+#include "src/sim/ground_truth.hpp"
+#include "src/sim/scene.hpp"
+
+namespace {
+
+using namespace ebbiot;
+
+struct SidewalkWorld {
+  SidewalkWorld() : scene(240, 180) {
+    scene.addLinear(ObjectClass::kHuman, BBox{-8, 100, 8, 20}, Vec2f{4, 0},
+                    0, secondsToUs(40.0));
+    scene.addLinear(ObjectClass::kHuman, BBox{240, 125, 8, 21},
+                    Vec2f{-3.5F, 0}, secondsToUs(3.0), secondsToUs(40.0));
+    // A car passes too: the fast frame must keep working for it.
+    scene.addLinear(ObjectClass::kCar, BBox{-48, 40, 48, 22}, Vec2f{65, 0},
+                    secondsToUs(8.0), secondsToUs(40.0));
+    EventSynthConfig config;
+    config.backgroundActivityHz = 0.15;
+    config.seed = 23;
+    synth = std::make_unique<FastEventSynth>(scene, config);
+  }
+  ScriptedScene scene;
+  std::unique_ptr<FastEventSynth> synth;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("Two-timescale pedestrian demo — humans at ~0.25 px/frame\n\n");
+
+  constexpr int kSlowFactor = 4;  // 4 x 66 ms = 264 ms exposure
+  SidewalkWorld world;
+  TwoTimescaleBuilder frames(240, 180, kSlowFactor);
+  MedianFilter median(3);
+  HistogramRpn rpnFast{HistogramRpnConfig{}};
+  HistogramRpn rpnSlow{HistogramRpnConfig{}};
+  OverlapTrackerConfig trackerConfig;
+  trackerConfig.minSeedArea = 6.0F;
+  OverlapTracker fastTracker(trackerConfig);
+  OverlapTracker slowTracker(trackerConfig);
+  PrSweepAccumulator fastScore({0.2F});
+  PrSweepAccumulator slowScore({0.2F});
+
+  BinaryImage filtered(240, 180);
+  const auto frameCount = static_cast<std::size_t>(
+      secondsToUs(35.0) / kDefaultFramePeriodUs);
+  for (std::size_t f = 0; f < frameCount; ++f) {
+    const EventPacket window = latchReadout(
+        world.synth->nextWindow(kDefaultFramePeriodUs), 240, 180);
+    frames.addWindow(window);
+
+    // Humans only in the ground truth for the pedestrian score.
+    GtFrame gt = annotateScene(world.scene, window.tEnd());
+    GtFrame humansOnly{gt.t, {}};
+    for (const GtBox& b : gt.boxes) {
+      if (b.kind == ObjectClass::kHuman) {
+        humansOnly.boxes.push_back(b);
+      }
+    }
+
+    median.applyInto(frames.fastFrame(), filtered);
+    fastScore.addFrame(fastTracker.update(rpnFast.propose(filtered)),
+                       humansOnly.boxes);
+    median.applyInto(frames.slowFrame(), filtered);
+    slowScore.addFrame(slowTracker.update(rpnSlow.propose(filtered)),
+                       humansOnly.boxes);
+  }
+
+  const PrCounts& fast = fastScore.counts()[0];
+  const PrCounts& slow = slowScore.counts()[0];
+  std::printf("Pedestrian recall at IoU 0.2 over 35 s:\n");
+  std::printf("  fast frame  (tF = 66 ms):        %.3f  (precision %.3f)\n",
+              fast.recall(), fast.precision());
+  std::printf("  slow frame  (%d x tF = %d ms):   %.3f  (precision %.3f)\n",
+              kSlowFactor, kSlowFactor * 66, slow.recall(),
+              slow.precision());
+  std::printf("\nThe long exposure integrates enough events for the "
+              "median filter and RPN to\nsee the walker; the fast frame "
+              "stays responsive for vehicles.  A production\nnode runs "
+              "both, as the paper's future-work section proposes.\n");
+  return 0;
+}

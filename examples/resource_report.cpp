@@ -1,0 +1,74 @@
+// Resource report — size an EBBIOT deployment before building it.
+//
+// Takes a sensor geometry and operating point (how busy the scene is,
+// how noisy the sensor) and prints the full Eq. (1)-(8) budget for the
+// three candidate pipelines, plus a recommendation.  This is the
+// "IoT node datasheet" use of the paper's cost models.
+#include <cstdio>
+
+#include "src/resource/cost_model.hpp"
+
+namespace {
+
+void report(const char* title, ebbiot::SensorGeometry geometry, double alpha,
+            double beta, double eventsPerFrameAfterFilter) {
+  using namespace ebbiot;
+  PipelineCostParams params;
+  params.ebbi.geometry = geometry;
+  params.ebbi.alpha = alpha;
+  params.nnFilt.geometry = geometry;
+  params.nnFilt.alpha = alpha;
+  params.nnFilt.beta = beta;
+  params.rpn.geometry = geometry;
+  params.ebms.nF = eventsPerFrameAfterFilter;
+
+  const CostEstimate ours = ebbiotPipelineCost(params);
+  const CostEstimate kf = ebbiKfPipelineCost(params);
+  const CostEstimate ebms = ebmsPipelineCost(params);
+
+  std::printf("%s  (%d x %d, alpha=%.2f, beta=%.1f, NF=%.0f)\n", title,
+              geometry.width, geometry.height, alpha, beta,
+              eventsPerFrameAfterFilter);
+  std::printf("  %-16s %12s %12s\n", "pipeline", "kops/frame", "memory kB");
+  std::printf("  %-16s %12.1f %12.2f\n", "EBBIOT",
+              ours.computesPerFrame / 1e3, ours.memoryKB());
+  std::printf("  %-16s %12.1f %12.2f\n", "EBBI+KF",
+              kf.computesPerFrame / 1e3, kf.memoryKB());
+  std::printf("  %-16s %12.1f %12.2f\n", "NN-filt+EBMS",
+              ebms.computesPerFrame / 1e3, ebms.memoryKB());
+  const char* pick =
+      ours.computesPerFrame <= ebms.computesPerFrame ? "EBBIOT" : "EBMS";
+  std::printf("  -> cheapest computes: %s (%.1fx margin)\n\n", pick,
+              ebms.computesPerFrame > ours.computesPerFrame
+                  ? ebms.computesPerFrame / ours.computesPerFrame
+                  : ours.computesPerFrame / ebms.computesPerFrame);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ebbiot;
+  std::printf("EBBIOT deployment resource report\n");
+  std::printf("=================================\n\n");
+
+  // The paper's node: DAVIS240 at a busy junction.
+  report("DAVIS240, busy junction (paper)", SensorGeometry{240, 180}, 0.10,
+         2.0, 650.0);
+
+  // A quiet residential street: far fewer events — the event-driven
+  // chain becomes competitive in computes (its cost scales with events,
+  // EBBIOT's with pixels), though not in memory.
+  report("DAVIS240, quiet street", SensorGeometry{240, 180}, 0.01, 1.5,
+         80.0);
+
+  // A higher-resolution next-gen sensor at the same relative activity:
+  // frame-domain costs grow with area; so do event counts.
+  report("VGA sensor (640x480), busy", SensorGeometry{640, 480}, 0.10, 2.0,
+         4800.0);
+
+  std::printf("Rule of thumb: EBBIOT wins whenever the scene keeps the "
+              "sensor busy\n(alpha*beta*A*B events/frame competitive with "
+              "A*B pixel touches), and its\nmemory advantage (no "
+              "timestamp map) holds everywhere.\n");
+  return 0;
+}

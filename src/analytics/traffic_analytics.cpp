@@ -1,0 +1,129 @@
+#include "src/analytics/traffic_analytics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+LineCounter::LineCounter(float lineX) : lineX_(lineX) {}
+
+void LineCounter::process(const TrackLog& log) {
+  leftToRight_ = 0;
+  rightToLeft_ = 0;
+  for (const auto& [id, points] : log.trajectories()) {
+    // Scan the trajectory for sign changes of (centerX - lineX); one
+    // count per crossing (a track oscillating on the line still counts
+    // each genuine re-crossing, matching loop-detector semantics).
+    std::optional<bool> wasRight;
+    for (const TrackLog::TrajectoryPoint& p : points) {
+      const float cx = p.box.center().x;
+      if (cx == lineX_) {
+        continue;  // exactly on the line: wait for a side
+      }
+      const bool isRight = cx > lineX_;
+      if (wasRight.has_value() && isRight != *wasRight) {
+        if (isRight) {
+          ++leftToRight_;
+        } else {
+          ++rightToLeft_;
+        }
+      }
+      wasRight = isRight;
+    }
+  }
+}
+
+SpeedEstimator::SpeedEstimator(const SpeedEstimatorConfig& config)
+    : config_(config) {
+  EBBIOT_ASSERT(config.pixelsPerMeter > 0.0);
+  EBBIOT_ASSERT(config.framePeriod > 0);
+  EBBIOT_ASSERT(config.minSamples >= 2);
+}
+
+std::vector<SpeedReport> SpeedEstimator::estimate(
+    const TrackLog& log) const {
+  std::vector<SpeedReport> out;
+  const double framesPerSecond =
+      static_cast<double>(kMicrosPerSecond) /
+      static_cast<double>(config_.framePeriod);
+  for (const auto& [id, points] : log.trajectories()) {
+    if (points.size() < config_.minSamples) {
+      continue;
+    }
+    SpeedReport report;
+    report.trackId = id;
+    report.samples = points.size();
+    report.pxPerFrame = log.meanSpeed(id, config_.framePeriod);
+    report.metersPerSecond =
+        report.pxPerFrame * framesPerSecond / config_.pixelsPerMeter;
+    report.kmPerHour = report.metersPerSecond * 3.6;
+    out.push_back(report);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpeedReport& a, const SpeedReport& b) {
+              return a.trackId < b.trackId;
+            });
+  return out;
+}
+
+double SpeedEstimator::meanKmPerHour(const TrackLog& log) const {
+  const std::vector<SpeedReport> reports = estimate(log);
+  if (reports.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const SpeedReport& r : reports) {
+    sum += r.kmPerHour;
+  }
+  return sum / static_cast<double>(reports.size());
+}
+
+ZoneReport analyzeZone(const TrackLog& log, const BBox& zone,
+                       TimeUs framePeriod) {
+  EBBIOT_ASSERT(framePeriod > 0);
+  ZoneReport report;
+  for (const auto& [id, points] : log.trajectories()) {
+    std::size_t framesInside = 0;
+    for (const TrackLog::TrajectoryPoint& p : points) {
+      const Vec2f c = p.box.center();
+      if (zone.contains(c.x, c.y)) {
+        ++framesInside;
+      }
+    }
+    if (framesInside > 0) {
+      ++report.tracksSeen;
+      report.totalDwell += static_cast<TimeUs>(framesInside) * framePeriod;
+    }
+  }
+  report.meanDwellS =
+      report.tracksSeen > 0
+          ? usToSeconds(report.totalDwell) /
+                static_cast<double>(report.tracksSeen)
+          : 0.0;
+  return report;
+}
+
+TrafficSummary summarizeTraffic(const TrackLog& log, float countingLineX,
+                                const SpeedEstimatorConfig& speedConfig) {
+  TrafficSummary summary;
+  summary.tracksTotal = log.trajectories().size();
+  LineCounter counter(countingLineX);
+  counter.process(log);
+  summary.countedLeftToRight = counter.leftToRight();
+  summary.countedRightToLeft = counter.rightToLeft();
+  if (!log.frames().empty()) {
+    summary.durationS = usToSeconds(log.frames().back().t -
+                                    log.frames().front().t) +
+                        usToSeconds(speedConfig.framePeriod);
+  }
+  summary.flowPerMinute =
+      summary.durationS > 0.0
+          ? static_cast<double>(counter.total()) * 60.0 / summary.durationS
+          : 0.0;
+  summary.meanSpeedKmh = SpeedEstimator(speedConfig).meanKmPerHour(log);
+  return summary;
+}
+
+}  // namespace ebbiot

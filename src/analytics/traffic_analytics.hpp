@@ -1,0 +1,105 @@
+// Traffic analytics over track logs — the downstream consumer layer.
+//
+// The whole point of tracking at the edge (Section I) is that the node
+// uplinks *tracks*, and analytics run on those: vehicle counting, speed
+// estimation (the paper's reference [14] does exactly this from the same
+// tracker family) and zone occupancy.  This module consumes TrackLog —
+// whether produced live by a pipeline or replayed from CSV — so it also
+// runs server-side on collected uplink data.
+//
+// Geometry note: a pixels-per-meter calibration converts image speeds to
+// road speeds; for a stationary side-view camera a single scalar per lane
+// is the standard approximation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common/geometry.hpp"
+#include "src/eval/track_log.hpp"
+
+namespace ebbiot {
+
+/// Counts tracks whose centre crosses a vertical line, by direction.
+/// Robust to per-frame jitter: a track is counted once per crossing,
+/// using its position on both sides of the line.
+class LineCounter {
+ public:
+  explicit LineCounter(float lineX);
+
+  /// Process a whole log (idempotent: reprocessing resets the counts).
+  void process(const TrackLog& log);
+
+  [[nodiscard]] std::size_t leftToRight() const { return leftToRight_; }
+  [[nodiscard]] std::size_t rightToLeft() const { return rightToLeft_; }
+  [[nodiscard]] std::size_t total() const {
+    return leftToRight_ + rightToLeft_;
+  }
+
+ private:
+  float lineX_;
+  std::size_t leftToRight_ = 0;
+  std::size_t rightToLeft_ = 0;
+};
+
+/// Per-track speed statistics with a pixels-per-meter calibration.
+struct SpeedReport {
+  std::uint32_t trackId = 0;
+  double pxPerFrame = 0.0;
+  double metersPerSecond = 0.0;
+  double kmPerHour = 0.0;
+  std::size_t samples = 0;
+};
+
+struct SpeedEstimatorConfig {
+  double pixelsPerMeter = 4.0;  ///< side-view calibration scalar
+  TimeUs framePeriod = kDefaultFramePeriodUs;
+  std::size_t minSamples = 10;  ///< tracks shorter than this are skipped
+};
+
+class SpeedEstimator {
+ public:
+  explicit SpeedEstimator(const SpeedEstimatorConfig& config);
+
+  [[nodiscard]] const SpeedEstimatorConfig& config() const {
+    return config_;
+  }
+
+  /// Reports for every sufficiently-long track in the log, sorted by id.
+  [[nodiscard]] std::vector<SpeedReport> estimate(const TrackLog& log) const;
+
+  /// Mean km/h across the reported tracks (0 if none).
+  [[nodiscard]] double meanKmPerHour(const TrackLog& log) const;
+
+ private:
+  SpeedEstimatorConfig config_;
+};
+
+/// Occupancy of a region: how many distinct tracks entered it, and the
+/// aggregate dwell time.
+struct ZoneReport {
+  std::size_t tracksSeen = 0;
+  TimeUs totalDwell = 0;
+  double meanDwellS = 0.0;
+};
+
+[[nodiscard]] ZoneReport analyzeZone(const TrackLog& log, const BBox& zone,
+                                     TimeUs framePeriod);
+
+/// One-call summary for dashboards: counts, flow and speeds.
+struct TrafficSummary {
+  std::size_t tracksTotal = 0;
+  std::size_t countedLeftToRight = 0;
+  std::size_t countedRightToLeft = 0;
+  double flowPerMinute = 0.0;  ///< line crossings per minute
+  double meanSpeedKmh = 0.0;
+  double durationS = 0.0;
+};
+
+[[nodiscard]] TrafficSummary summarizeTraffic(
+    const TrackLog& log, float countingLineX,
+    const SpeedEstimatorConfig& speedConfig = {});
+
+}  // namespace ebbiot

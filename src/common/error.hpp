@@ -1,0 +1,58 @@
+// Error types shared across the EBBIOT library.
+//
+// The library follows a simple policy:
+//   * programming errors (violated preconditions) -> EBBIOT_ASSERT, which
+//     throws LogicError so tests can observe the failure deterministically;
+//   * environmental errors (I/O, malformed files)  -> IoError;
+//   * configuration errors (invalid parameter sets) -> ConfigError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ebbiot {
+
+/// Base class of all exceptions thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Violated precondition or internal invariant (a bug in the caller or in
+/// the library itself).
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+/// File/stream level failure: missing file, bad magic, truncated payload.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// An invalid combination of configuration parameters.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assertFail(const char* expr, const char* file,
+                                    int line) {
+  throw LogicError(std::string("EBBIOT_ASSERT failed: ") + expr + " at " +
+                   file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace ebbiot
+
+/// Precondition / invariant check that stays on in release builds.  The
+/// checked expressions in this library are all O(1); keeping them enabled is
+/// cheap and makes the benchmark binaries trustworthy.
+#define EBBIOT_ASSERT(expr)                                      \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      ::ebbiot::detail::assertFail(#expr, __FILE__, __LINE__);   \
+    }                                                            \
+  } while (false)

@@ -1,0 +1,92 @@
+#include "src/common/geometry.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace ebbiot {
+
+float Vec2f::norm() const { return std::sqrt(x * x + y * y); }
+
+BBox intersect(const BBox& a, const BBox& b) {
+  const float l = std::max(a.left(), b.left());
+  const float r = std::min(a.right(), b.right());
+  const float bo = std::max(a.bottom(), b.bottom());
+  const float t = std::min(a.top(), b.top());
+  if (r <= l || t <= bo) {
+    return {};
+  }
+  return {l, bo, r - l, t - bo};
+}
+
+BBox unite(const BBox& a, const BBox& b) {
+  if (a.empty()) {
+    return b;
+  }
+  if (b.empty()) {
+    return a;
+  }
+  const float l = std::min(a.left(), b.left());
+  const float r = std::max(a.right(), b.right());
+  const float bo = std::min(a.bottom(), b.bottom());
+  const float t = std::max(a.top(), b.top());
+  return {l, bo, r - l, t - bo};
+}
+
+float intersectionArea(const BBox& a, const BBox& b) {
+  return intersect(a, b).area();
+}
+
+float unionArea(const BBox& a, const BBox& b) {
+  return a.area() + b.area() - intersectionArea(a, b);
+}
+
+float iou(const BBox& a, const BBox& b) {
+  const float inter = intersectionArea(a, b);
+  if (inter <= 0.0F) {
+    return 0.0F;
+  }
+  const float uni = a.area() + b.area() - inter;
+  return uni > 0.0F ? inter / uni : 0.0F;
+}
+
+float overlapFractionOfFirst(const BBox& a, const BBox& b) {
+  const float areaA = a.area();
+  if (areaA <= 0.0F) {
+    return 0.0F;
+  }
+  return intersectionArea(a, b) / areaA;
+}
+
+bool overlapMatches(const BBox& a, const BBox& b, float minFraction) {
+  const float inter = intersectionArea(a, b);
+  if (inter <= 0.0F) {
+    return false;
+  }
+  return inter >= minFraction * a.area() || inter >= minFraction * b.area();
+}
+
+BBox uniteAll(const std::vector<BBox>& boxes) {
+  BBox acc;
+  for (const BBox& b : boxes) {
+    acc = unite(acc, b);
+  }
+  return acc;
+}
+
+BBox clampToFrame(const BBox& b, int frameW, int frameH) {
+  const float l = std::max(b.left(), 0.0F);
+  const float r = std::min(b.right(), static_cast<float>(frameW));
+  const float bo = std::max(b.bottom(), 0.0F);
+  const float t = std::min(b.top(), static_cast<float>(frameH));
+  if (r <= l || t <= bo) {
+    return {};
+  }
+  return {l, bo, r - l, t - bo};
+}
+
+std::ostream& operator<<(std::ostream& os, const BBox& b) {
+  return os << "BBox{x=" << b.x << ", y=" << b.y << ", w=" << b.w
+            << ", h=" << b.h << "}";
+}
+
+}  // namespace ebbiot

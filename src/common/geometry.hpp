@@ -1,0 +1,110 @@
+// 2-D geometry primitives: points, axis-aligned boxes, IoU and overlap
+// fractions.  These are the vocabulary types of the region-proposal stage,
+// the trackers and the evaluation harness.
+//
+// Boxes follow the paper's convention (Section II-C): a box is described by
+// its bottom-left corner (x, y), width w and height h.  The pixel grid has
+// x growing rightwards and y growing upwards; a box with w == 0 or h == 0 is
+// empty.  Floating-point boxes are used so trackers can hold sub-pixel
+// positions and velocities.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace ebbiot {
+
+/// Integer pixel coordinate.
+struct Point2i {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(const Point2i&, const Point2i&) = default;
+};
+
+/// Continuous 2-D coordinate / velocity vector.
+struct Vec2f {
+  float x = 0.0F;
+  float y = 0.0F;
+
+  friend bool operator==(const Vec2f&, const Vec2f&) = default;
+
+  Vec2f operator+(const Vec2f& o) const { return {x + o.x, y + o.y}; }
+  Vec2f operator-(const Vec2f& o) const { return {x - o.x, y - o.y}; }
+  Vec2f operator*(float s) const { return {x * s, y * s}; }
+
+  /// Euclidean norm.
+  [[nodiscard]] float norm() const;
+};
+
+/// Axis-aligned box: bottom-left corner (x, y), width w, height h.
+struct BBox {
+  float x = 0.0F;
+  float y = 0.0F;
+  float w = 0.0F;
+  float h = 0.0F;
+
+  friend bool operator==(const BBox&, const BBox&) = default;
+
+  [[nodiscard]] bool empty() const { return w <= 0.0F || h <= 0.0F; }
+  [[nodiscard]] float area() const { return empty() ? 0.0F : w * h; }
+  [[nodiscard]] float left() const { return x; }
+  [[nodiscard]] float right() const { return x + w; }
+  [[nodiscard]] float bottom() const { return y; }
+  [[nodiscard]] float top() const { return y + h; }
+  [[nodiscard]] Vec2f center() const { return {x + w / 2.0F, y + h / 2.0F}; }
+
+  /// Box translated by (dx, dy); size unchanged.
+  [[nodiscard]] BBox translated(float dx, float dy) const {
+    return {x + dx, y + dy, w, h};
+  }
+
+  /// Box whose centre is moved to c; size unchanged.
+  [[nodiscard]] BBox withCenter(Vec2f c) const {
+    return {c.x - w / 2.0F, c.y - h / 2.0F, w, h};
+  }
+
+  /// True if the point lies inside (left/bottom inclusive, right/top
+  /// exclusive — the half-open convention of a pixel grid).
+  [[nodiscard]] bool contains(float px, float py) const {
+    return px >= left() && px < right() && py >= bottom() && py < top();
+  }
+};
+
+/// Intersection box (empty box at origin when disjoint).
+[[nodiscard]] BBox intersect(const BBox& a, const BBox& b);
+
+/// Smallest box containing both (ignores empty operands).
+[[nodiscard]] BBox unite(const BBox& a, const BBox& b);
+
+/// Area of the intersection.
+[[nodiscard]] float intersectionArea(const BBox& a, const BBox& b);
+
+/// Area of the union (area(a) + area(b) - intersection).
+[[nodiscard]] float unionArea(const BBox& a, const BBox& b);
+
+/// Intersection-over-Union, Eq. (9) of the paper.  Returns 0 for two empty
+/// boxes.  Always in [0, 1].
+[[nodiscard]] float iou(const BBox& a, const BBox& b);
+
+/// Fraction of a's area covered by the intersection with b, in [0, 1].
+/// This is the overlap measure used by the Overlap-based Tracker: a match
+/// is declared when the overlap is larger than a fraction of either box.
+[[nodiscard]] float overlapFractionOfFirst(const BBox& a, const BBox& b);
+
+/// The OT match predicate (Section II-C step 2): overlap area exceeds
+/// `minFraction` of the area of either operand.
+[[nodiscard]] bool overlapMatches(const BBox& a, const BBox& b,
+                                  float minFraction);
+
+/// Smallest box containing every box of the range (empty when none).
+[[nodiscard]] BBox uniteAll(const std::vector<BBox>& boxes);
+
+/// Clamp the box to the [0,0,w,h) sensor frame; may become empty.
+[[nodiscard]] BBox clampToFrame(const BBox& b, int frameW, int frameH);
+
+std::ostream& operator<<(std::ostream& os, const BBox& b);
+
+}  // namespace ebbiot

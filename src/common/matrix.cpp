@@ -1,0 +1,184 @@
+#include "src/common/matrix.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols,
+               std::initializer_list<double> values)
+    : Matrix(rows, cols) {
+  EBBIOT_ASSERT(values.size() == rows * cols);
+  std::size_t i = 0;
+  for (double v : values) {
+    data_[i++] = v;
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = 1.0;
+  }
+  return m;
+}
+
+Matrix Matrix::diagonal(const std::vector<double>& values) {
+  Matrix m(values.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    m(i, i) = values[i];
+  }
+  return m;
+}
+
+Matrix Matrix::columnVector(const std::vector<double>& values) {
+  Matrix m(values.size(), 1);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    m(i, 0) = values[i];
+  }
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  EBBIOT_ASSERT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  EBBIOT_ASSERT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::operator+(const Matrix& o) const {
+  EBBIOT_ASSERT(rows_ == o.rows_ && cols_ == o.cols_);
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] + o.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& o) const {
+  EBBIOT_ASSERT(rows_ == o.rows_ && cols_ == o.cols_);
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] - o.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& o) const {
+  EBBIOT_ASSERT(cols_ == o.rows_);
+  Matrix out(rows_, o.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = data_[r * cols_ + k];
+      if (a == 0.0) {
+        continue;
+      }
+      for (std::size_t c = 0; c < o.cols_; ++c) {
+        out.data_[r * o.cols_ + c] += a * o.data_[k * o.cols_ + c];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] * s;
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::inverted() const {
+  EBBIOT_ASSERT(rows_ == cols_);
+  const std::size_t n = rows_;
+  Matrix a = *this;
+  Matrix inv = Matrix::identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: bring the largest-magnitude entry into the pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) {
+        pivot = r;
+      }
+    }
+    if (std::abs(a(pivot, col)) < 1e-12) {
+      throw LogicError("Matrix::inverted: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a(pivot, c), a(col, c));
+        std::swap(inv(pivot, c), inv(col, c));
+      }
+    }
+    const double d = a(col, col);
+    for (std::size_t c = 0; c < n; ++c) {
+      a(col, c) /= d;
+      inv(col, c) /= d;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) {
+        continue;
+      }
+      const double f = a(r, col);
+      if (f == 0.0) {
+        continue;
+      }
+      for (std::size_t c = 0; c < n; ++c) {
+        a(r, c) -= f * a(col, c);
+        inv(r, c) -= f * inv(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+double Matrix::distance(const Matrix& o) const {
+  EBBIOT_ASSERT(rows_ == o.rows_ && cols_ == o.cols_);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - o.data_[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double Matrix::maxAbs() const {
+  double m = 0.0;
+  for (double v : data_) {
+    m = std::max(m, std::abs(v));
+  }
+  return m;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  os << "Matrix " << m.rows() << "x" << m.cols() << " [";
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << (r == 0 ? "[" : ", [");
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      os << (c == 0 ? "" : ", ") << m(r, c);
+    }
+    os << "]";
+  }
+  return os << "]";
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,72 @@
+// A small dense matrix library, sized for Kalman filtering.
+//
+// The paper's Kalman-filter baseline (Section II-C, Eq. 7) runs a constant
+// velocity model with state/measurement vectors of length 2*NT.  The
+// matrices involved are therefore tiny (<= 16x16), so this implementation
+// optimises for clarity and numerical robustness, not for BLAS-level
+// throughput: row-major storage in a std::vector, Gauss-Jordan inversion
+// with partial pivoting, and explicit dimension checks on every operation.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace ebbiot {
+
+/// Dense row-major matrix of double.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialised.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols with explicit row-major contents.
+  Matrix(std::size_t rows, std::size_t cols,
+         std::initializer_list<double> values);
+
+  static Matrix identity(std::size_t n);
+
+  /// n x n with the given values on the diagonal.
+  static Matrix diagonal(const std::vector<double>& values);
+
+  /// Column vector from values.
+  static Matrix columnVector(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  Matrix operator*(const Matrix& o) const;
+  Matrix operator*(double s) const;
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Inverse via Gauss-Jordan with partial pivoting.  Throws LogicError on
+  /// (numerically) singular input.
+  [[nodiscard]] Matrix inverted() const;
+
+  /// Frobenius-norm distance to another matrix of the same shape.
+  [[nodiscard]] double distance(const Matrix& o) const;
+
+  /// Max |element|.
+  [[nodiscard]] double maxAbs() const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace ebbiot

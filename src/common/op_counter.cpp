@@ -1,0 +1,39 @@
+#include "src/common/op_counter.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace ebbiot {
+
+std::ostream& operator<<(std::ostream& os, const OpCounts& c) {
+  return os << "OpCounts{cmp=" << c.compares << ", add=" << c.adds
+            << ", mul=" << c.multiplies << ", wr=" << c.memWrites
+            << ", total=" << c.total() << "}";
+}
+
+std::string formatKops(double ops) {
+  char buf[64];
+  if (ops >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f Mops", ops / 1e6);
+  } else if (ops >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1f kops", ops / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f ops", ops);
+  }
+  return buf;
+}
+
+std::string formatBytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / (1024.0 * 1024.0));
+  } else if (bytes >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f kB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace ebbiot

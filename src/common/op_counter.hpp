@@ -1,0 +1,55 @@
+// Operation counting for the resource comparisons of Figure 5.
+//
+// The paper argues for EBBIOT in "kops/frame" and kilobytes, via the closed
+// forms of Eqs. (1)-(8).  To check those models against reality, each
+// processing stage in this library also *measures* its work: algorithms
+// increment an OpCounts record as they run (comparisons, additions,
+// multiplications, memory writes), and the pipelines aggregate per-stage
+// totals.  bench_fig5_resources reports both the analytic model and these
+// measured counts side by side.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace ebbiot {
+
+/// Tally of abstract operations.  "Ops" follow the paper's accounting:
+/// comparisons, counter increments/additions, multiplications and memory
+/// writes all count as one op each; memory reads are ignored (Section II-A
+/// ignores them "due to lower energy requirement").
+struct OpCounts {
+  std::uint64_t compares = 0;
+  std::uint64_t adds = 0;
+  std::uint64_t multiplies = 0;
+  std::uint64_t memWrites = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return compares + adds + multiplies + memWrites;
+  }
+
+  OpCounts& operator+=(const OpCounts& o) {
+    compares += o.compares;
+    adds += o.adds;
+    multiplies += o.multiplies;
+    memWrites += o.memWrites;
+    return *this;
+  }
+
+  friend OpCounts operator+(OpCounts a, const OpCounts& b) { return a += b; }
+
+  void reset() { *this = OpCounts{}; }
+
+  friend bool operator==(const OpCounts&, const OpCounts&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const OpCounts& c);
+
+/// Formats e.g. 125243 as "125.2 kops".
+std::string formatKops(double ops);
+
+/// Formats a byte count as "10.8 kB" / "1.6 kB" / "512 B".
+std::string formatBytes(double bytes);
+
+}  // namespace ebbiot

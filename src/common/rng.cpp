@@ -1,0 +1,69 @@
+#include "src/common/rng.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  EBBIOT_ASSERT(lo <= hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  EBBIOT_ASSERT(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return uniform() < p;
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::exponential(double rate) {
+  EBBIOT_ASSERT(rate > 0.0);
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+std::int64_t Rng::poisson(double mean) {
+  EBBIOT_ASSERT(mean >= 0.0);
+  if (mean == 0.0) {
+    return 0;
+  }
+  if (mean > 256.0) {
+    // Normal approximation keeps per-frame noise generation O(1) even for
+    // very high background-activity rates.
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw < 0.0 ? 0 : static_cast<std::int64_t>(std::llround(draw));
+  }
+  return std::poisson_distribution<std::int64_t>(mean)(engine_);
+}
+
+Rng Rng::fork(std::uint64_t streamTag) const {
+  // SplitMix64 finalizer over (state hash ^ tag): cheap, well-distributed,
+  // and independent of how many draws the parent has already made.
+  std::mt19937_64 probe = engine_;
+  std::uint64_t h = probe() ^ (streamTag + 0x9E3779B97F4A7C15ULL);
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return Rng(h);
+}
+
+}  // namespace ebbiot

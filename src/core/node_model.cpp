@@ -1,0 +1,65 @@
+#include "src/core/node_model.hpp"
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+NodeBudget estimateNodeBudget(const NodePlatform& platform,
+                              const NodeWorkload& workload) {
+  EBBIOT_ASSERT(platform.clockHz > 0.0 && platform.opsPerCycle > 0.0);
+  EBBIOT_ASSERT(workload.framePeriod > 0);
+  EBBIOT_ASSERT(workload.opsPerFrame >= 0.0);
+  EBBIOT_ASSERT(workload.txBitsPerFrame >= 0.0);
+
+  NodeBudget budget;
+  const double framePeriodS = usToSeconds(workload.framePeriod);
+  budget.activeSecondsPerFrame =
+      workload.opsPerFrame / (platform.clockHz * platform.opsPerCycle);
+  budget.dutyCycle = budget.activeSecondsPerFrame / framePeriodS;
+  budget.feasible = budget.dutyCycle <= 1.0;
+
+  const double activeS = std::min(budget.activeSecondsPerFrame, framePeriodS);
+  const double sleepS = framePeriodS - activeS;
+  // mW * s = mJ; report uJ.
+  budget.processorEnergyUjPerFrame =
+      activeS * platform.activePowerMw * 1e3 +
+      sleepS * platform.sleepPowerUw / 1e3 * 1e3;
+  budget.radioEnergyUjPerFrame =
+      workload.txBitsPerFrame * platform.radioEnergyPerBitNj / 1e3;
+  budget.sensorEnergyUjPerFrame =
+      framePeriodS * platform.sensorPowerMw * 1e3;
+
+  const double totalUj = budget.processorEnergyUjPerFrame +
+                         budget.radioEnergyUjPerFrame +
+                         budget.sensorEnergyUjPerFrame;
+  budget.meanPowerMw = totalUj / framePeriodS / 1e3;
+  budget.bandwidthBps = workload.txBitsPerFrame / framePeriodS;
+  budget.batteryLifeHours =
+      budget.meanPowerMw > 0.0
+          ? platform.batteryCapacityMwh / budget.meanPowerMw
+          : 0.0;
+  return budget;
+}
+
+double trackPayloadBits(double meanTracks) {
+  EBBIOT_ASSERT(meanTracks >= 0.0);
+  // id, x, y, w, h, vx, vy at 16 bits each.
+  return meanTracks * 7.0 * 16.0;
+}
+
+double ebbiPayloadBits(int width, int height) {
+  EBBIOT_ASSERT(width > 0 && height > 0);
+  return static_cast<double>(width) * height;
+}
+
+double rawEventPayloadBits(double eventsPerFrame, int bitsPerEvent) {
+  EBBIOT_ASSERT(eventsPerFrame >= 0.0 && bitsPerEvent > 0);
+  return eventsPerFrame * bitsPerEvent;
+}
+
+double grayFramePayloadBits(int width, int height) {
+  EBBIOT_ASSERT(width > 0 && height > 0);
+  return static_cast<double>(width) * height * 8.0;
+}
+
+}  // namespace ebbiot

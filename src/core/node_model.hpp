@@ -1,0 +1,73 @@
+// IoVT sensor-node budget model: duty cycle, energy, bandwidth, battery.
+//
+// The paper's motivation is node-level: "the focus of our approach is to
+// make the whole system less memory intensive (thus reducing chip area)
+// and less computationally complex leading to savings in energy", with
+// the duty-cycled interrupt scheme of Fig. 2 letting the processor sleep
+// between tF readouts, and edge processing shrinking what the radio must
+// transmit.  This model turns a pipeline's per-frame op count and output
+// payload into engineering quantities:
+//
+//   * active time/frame   = ops / (IPC * clock)
+//   * duty cycle          = active time / tF
+//   * processor energy    = active * P_active + sleep * P_sleep
+//   * radio energy        = payload bits * E_tx
+//   * battery life        = capacity / mean power
+//
+// Defaults are a Cortex-M-class microcontroller with a BLE-class radio —
+// the platform the paper's "FPGA and microprocessors commonly used in
+// IoT" remark points at.
+#pragma once
+
+#include "src/common/time.hpp"
+
+namespace ebbiot {
+
+struct NodePlatform {
+  double clockHz = 50e6;          ///< core clock
+  double opsPerCycle = 1.0;       ///< sustained abstract ops per cycle
+  double activePowerMw = 12.0;    ///< core + memories while awake
+  double sleepPowerUw = 4.0;      ///< deep-sleep floor (sensor stays on)
+  double sensorPowerMw = 10.0;    ///< DAVIS-class sensor, always on
+  double radioEnergyPerBitNj = 50.0;  ///< BLE-class transmit energy
+  double batteryCapacityMwh = 6'000.0;  ///< 2000 mAh @ 3 V
+};
+
+/// What the node pushes upstream each frame.
+struct NodeWorkload {
+  double opsPerFrame = 0.0;       ///< pipeline computes per frame
+  double txBitsPerFrame = 0.0;    ///< transmitted payload per frame
+  TimeUs framePeriod = kDefaultFramePeriodUs;
+};
+
+struct NodeBudget {
+  double activeSecondsPerFrame = 0.0;
+  double dutyCycle = 0.0;             ///< active fraction of tF, [0, 1]
+  double processorEnergyUjPerFrame = 0.0;
+  double radioEnergyUjPerFrame = 0.0;
+  double sensorEnergyUjPerFrame = 0.0;
+  double meanPowerMw = 0.0;           ///< whole node, averaged over tF
+  double bandwidthBps = 0.0;
+  double batteryLifeHours = 0.0;
+  /// True if the workload cannot finish within one frame period at this
+  /// clock — the configuration is infeasible in real time.
+  bool feasible = true;
+};
+
+/// Evaluate the budget of one workload on one platform.
+[[nodiscard]] NodeBudget estimateNodeBudget(const NodePlatform& platform,
+                                            const NodeWorkload& workload);
+
+/// Payload sizes for the transmission policies compared in the benches.
+/// Track list: id + box + velocity, 16 bits per field (the paper's OT
+/// state lives in small registers).
+[[nodiscard]] double trackPayloadBits(double meanTracks);
+/// One EBBI bitmap per frame.
+[[nodiscard]] double ebbiPayloadBits(int width, int height);
+/// Raw AER events at `bitsPerEvent` (x, y, polarity, timestamp).
+[[nodiscard]] double rawEventPayloadBits(double eventsPerFrame,
+                                         int bitsPerEvent = 32);
+/// A conventional 8-bit grayscale frame.
+[[nodiscard]] double grayFramePayloadBits(int width, int height);
+
+}  // namespace ebbiot

@@ -1,0 +1,149 @@
+#include "src/core/runner.hpp"
+
+#include <set>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+RecordingResult RunResult::toRecordingResult(
+    const PipelineRunStats& stats, const std::string& recordingName) const {
+  RecordingResult out;
+  out.name = recordingName;
+  out.gtTracks = gtTracks;
+  out.thresholds = thresholds;
+  out.counts = stats.counts;
+  return out;
+}
+
+RunnerConfig makeDefaultRunnerConfig(int width, int height) {
+  RunnerConfig config;
+  config.ebbiot.width = width;
+  config.ebbiot.height = height;
+  config.kalman.width = width;
+  config.kalman.height = height;
+  config.ebms.nnFilter.width = width;
+  config.ebms.nnFilter.height = height;
+  return config;
+}
+
+RunResult runRecording(EventSource& source, const SceneProvider& scene,
+                       TimeUs duration, const RunnerConfig& config) {
+  EBBIOT_ASSERT(duration > 0);
+  EBBIOT_ASSERT(config.framePeriod > 0);
+  EBBIOT_ASSERT(!config.iouThresholds.empty());
+  EBBIOT_ASSERT(source.width() == scene.width() &&
+                source.height() == scene.height());
+
+  RunResult result;
+  result.thresholds = config.iouThresholds;
+
+  std::optional<EbbiotPipeline> ebbiotPipe;
+  std::optional<KalmanPipeline> kalmanPipe;
+  std::optional<EbmsPipeline> ebmsPipe;
+  if (config.runEbbiot) {
+    ebbiotPipe.emplace(config.ebbiot);
+    result.ebbiot = PipelineRunStats{
+        "EBBIOT", std::vector<PrCounts>(config.iouThresholds.size()), {}, 0};
+  }
+  if (config.runKalman) {
+    kalmanPipe.emplace(config.kalman);
+    result.kalman = PipelineRunStats{
+        "EBBI+KF", std::vector<PrCounts>(config.iouThresholds.size()), {}, 0};
+  }
+  if (config.runEbms) {
+    ebmsPipe.emplace(config.ebms);
+    result.ebms = PipelineRunStats{
+        "EBMS", std::vector<PrCounts>(config.iouThresholds.size()), {}, 0};
+  }
+
+  std::set<std::uint32_t> gtIds;
+  double alphaSum = 0.0;
+  double betaSum = 0.0;
+  std::size_t activityFrames = 0;
+  double filteredSum = 0.0;
+
+  const std::size_t totalFrames =
+      static_cast<std::size_t>(duration / config.framePeriod);
+  const std::size_t frameLimit =
+      config.maxFrames > 0 ? std::min(config.maxFrames, totalFrames)
+                           : totalFrames;
+
+  for (std::size_t frame = 0; frame < frameLimit; ++frame) {
+    const EventPacket streamPacket = source.nextWindow(config.framePeriod);
+    result.streamEvents += streamPacket.size();
+
+    const GtFrame gt = annotateScene(scene, streamPacket.tEnd(),
+                                     config.gtOptions);
+    for (const GtBox& b : gt.boxes) {
+      gtIds.insert(b.trackId);
+    }
+    result.gtBoxes += gt.boxes.size();
+
+    // Latched readout for the frame-domain pipelines.
+    EventPacket latched;
+    if (config.runEbbiot || config.runKalman) {
+      latched = latchReadout(streamPacket, source.width(), source.height());
+      result.latchedEvents += latched.size();
+      const FrameStats stats =
+          computeFrameStats(streamPacket, source.width(), source.height());
+      if (stats.activePixels > 0) {
+        alphaSum += stats.alpha;
+        betaSum += stats.beta;
+        ++activityFrames;
+      }
+    }
+
+    auto evaluate = [&](PipelineRunStats& stats, const Tracks& rawTracks) {
+      // Ground truth is frame-clipped; clip reported boxes the same way
+      // so objects straddling the frame edge are scored fairly.
+      Tracks tracks;
+      tracks.reserve(rawTracks.size());
+      for (const Track& t : rawTracks) {
+        Track clipped = t;
+        clipped.box = clampToFrame(t.box, source.width(), source.height());
+        if (!clipped.box.empty()) {
+          tracks.push_back(clipped);
+        }
+      }
+      for (std::size_t i = 0; i < config.iouThresholds.size(); ++i) {
+        stats.counts[i].add(
+            matchFrame(tracks, gt.boxes, config.iouThresholds[i]));
+      }
+      ++stats.frames;
+    };
+
+    if (ebbiotPipe) {
+      const Tracks tracks = ebbiotPipe->processWindow(latched);
+      result.ebbiot->totalOps += ebbiotPipe->lastOps().total();
+      evaluate(*result.ebbiot, tracks);
+    }
+    if (kalmanPipe) {
+      const Tracks tracks = kalmanPipe->processWindow(latched);
+      result.kalman->totalOps += kalmanPipe->lastOps().total();
+      evaluate(*result.kalman, tracks);
+    }
+    if (ebmsPipe) {
+      const Tracks tracks = ebmsPipe->processWindow(streamPacket);
+      result.ebms->totalOps += ebmsPipe->lastOps().total();
+      filteredSum += static_cast<double>(ebmsPipe->lastFilteredEventCount());
+      evaluate(*result.ebms, tracks);
+    }
+    ++result.frames;
+  }
+
+  result.gtTracks = gtIds.size();
+  if (activityFrames > 0) {
+    result.meanAlpha = alphaSum / static_cast<double>(activityFrames);
+    result.meanBeta = betaSum / static_cast<double>(activityFrames);
+  }
+  if (result.frames > 0) {
+    result.meanEventsPerFrame = static_cast<double>(result.streamEvents) /
+                                static_cast<double>(result.frames);
+    result.meanFilteredEventsPerFrame =
+        filteredSum / static_cast<double>(result.frames);
+  }
+  return result;
+}
+
+}  // namespace ebbiot

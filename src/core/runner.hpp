@@ -1,0 +1,85 @@
+// Frame-clocked evaluation runner.
+//
+// Drives an EventSource window by window (period tF), feeds
+//   * the latch readout of each window to the EBBIOT and EBBI+KF
+//     pipelines (the duty-cycled scheme of Fig. 2), and
+//   * the raw stream to the NN-filt + EBMS pipeline,
+// matches every pipeline's tracks against ground truth at each window
+// boundary across a sweep of IoU thresholds (Fig. 4's evaluation), and
+// accumulates measured per-stage operation counts and stream statistics
+// (the empirical side of Fig. 5 / Table I).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.hpp"
+#include "src/eval/metrics.hpp"
+#include "src/events/stats.hpp"
+#include "src/sim/davis.hpp"
+#include "src/sim/ground_truth.hpp"
+
+namespace ebbiot {
+
+struct RunnerConfig {
+  TimeUs framePeriod = kDefaultFramePeriodUs;
+  std::vector<float> iouThresholds = defaultIouSweep();
+  GtOptions gtOptions;
+  bool runEbbiot = true;
+  bool runKalman = true;
+  bool runEbms = true;
+  EbbiotPipelineConfig ebbiot;
+  KalmanPipelineConfig kalman;
+  EbmsPipelineConfig ebms;
+  /// Stop after this many frames even if the source has more (0 = run the
+  /// full `duration` passed to runRecording).
+  std::size_t maxFrames = 0;
+};
+
+/// Result of one pipeline over one recording.
+struct PipelineRunStats {
+  std::string name;
+  std::vector<PrCounts> counts;  ///< parallel to RunnerConfig thresholds
+  OpCounts totalOps;
+  std::size_t frames = 0;
+
+  [[nodiscard]] double meanOpsPerFrame() const {
+    return frames > 0 ? static_cast<double>(totalOps.total()) /
+                            static_cast<double>(frames)
+                      : 0.0;
+  }
+};
+
+struct RunResult {
+  std::vector<float> thresholds;
+  std::optional<PipelineRunStats> ebbiot;
+  std::optional<PipelineRunStats> kalman;
+  std::optional<PipelineRunStats> ebms;
+  std::size_t gtTracks = 0;        ///< distinct ground-truth tracks seen
+  std::size_t gtBoxes = 0;         ///< total ground-truth boxes
+  std::size_t frames = 0;
+  std::uint64_t streamEvents = 0;  ///< raw events drawn from the source
+  std::uint64_t latchedEvents = 0; ///< after latch readout
+  double meanAlpha = 0.0;          ///< active-pixel fraction (latched frame)
+  double meanBeta = 0.0;           ///< stream events per active pixel
+  double meanEventsPerFrame = 0.0; ///< raw stream events per frame
+  double meanFilteredEventsPerFrame = 0.0;  ///< after NN-filt (EBMS only)
+
+  /// Convert one pipeline's stats into a RecordingResult for weighted
+  /// cross-recording averaging.
+  [[nodiscard]] RecordingResult toRecordingResult(
+      const PipelineRunStats& stats, const std::string& recordingName) const;
+};
+
+/// Run all enabled pipelines against a source+scene for `duration`.
+[[nodiscard]] RunResult runRecording(EventSource& source,
+                                     const SceneProvider& scene,
+                                     TimeUs duration,
+                                     const RunnerConfig& config);
+
+/// Convenience: a RunnerConfig with all pipeline geometries set for the
+/// given sensor size and the paper's default parameters.
+[[nodiscard]] RunnerConfig makeDefaultRunnerConfig(int width, int height);
+
+}  // namespace ebbiot

@@ -1,0 +1,170 @@
+#include "src/detect/cca.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+CcaLabeler::CcaLabeler(const CcaConfig& config) : config_(config) {
+  EBBIOT_ASSERT(config.minComponentPixels >= 1);
+}
+
+std::uint32_t CcaLabeler::UnionFind::make() {
+  parent.push_back(static_cast<std::uint32_t>(parent.size()));
+  return static_cast<std::uint32_t>(parent.size() - 1);
+}
+
+std::uint32_t CcaLabeler::UnionFind::find(std::uint32_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];  // path halving
+    x = parent[x];
+  }
+  return x;
+}
+
+void CcaLabeler::UnionFind::unite(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t ra = find(a);
+  const std::uint32_t rb = find(b);
+  if (ra != rb) {
+    parent[std::max(ra, rb)] = std::min(ra, rb);
+  }
+}
+
+template <typename IsSetFn>
+std::vector<ConnectedComponent> CcaLabeler::labelGrid(int width, int height,
+                                                      IsSetFn isSet,
+                                                      float scaleX,
+                                                      float scaleY) {
+  constexpr std::uint32_t kNoLabel = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> labels(
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+      kNoLabel);
+  UnionFind uf;
+  const bool eight = config_.connectivity == Connectivity::kEight;
+
+  // Pass 1: provisional labels from already-visited neighbours
+  // (W, SW, S, SE in bottom-up scan order; S row is y-1).
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      ++ops_.compares;
+      if (!isSet(x, y)) {
+        continue;
+      }
+      std::uint32_t best = kNoLabel;
+      auto consider = [&](int nx, int ny) {
+        if (nx < 0 || nx >= width || ny < 0) {
+          return;
+        }
+        const std::uint32_t l =
+            labels[static_cast<std::size_t>(ny) * width + nx];
+        ++ops_.compares;
+        if (l == kNoLabel) {
+          return;
+        }
+        if (best == kNoLabel) {
+          best = l;
+        } else {
+          uf.unite(best, l);
+          ++ops_.adds;
+        }
+      };
+      consider(x - 1, y);
+      consider(x, y - 1);
+      if (eight) {
+        consider(x - 1, y - 1);
+        consider(x + 1, y - 1);
+      }
+      if (best == kNoLabel) {
+        best = uf.make();
+      }
+      labels[static_cast<std::size_t>(y) * width + x] = best;
+      ++ops_.memWrites;
+    }
+  }
+
+  // Pass 2: resolve labels to roots and accumulate per-component extents.
+  struct Extent {
+    int minX = std::numeric_limits<int>::max();
+    int maxX = std::numeric_limits<int>::min();
+    int minY = std::numeric_limits<int>::max();
+    int maxY = std::numeric_limits<int>::min();
+    std::size_t count = 0;
+    std::size_t order = 0;  // scan order of first pixel, for stable output
+  };
+  std::vector<Extent> extents(uf.parent.size());
+  std::size_t nextOrder = 0;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const std::uint32_t l = labels[static_cast<std::size_t>(y) * width + x];
+      if (l == kNoLabel) {
+        continue;
+      }
+      const std::uint32_t root = uf.find(l);
+      Extent& e = extents[root];
+      if (e.count == 0) {
+        e.order = nextOrder++;
+      }
+      e.minX = std::min(e.minX, x);
+      e.maxX = std::max(e.maxX, x);
+      e.minY = std::min(e.minY, y);
+      e.maxY = std::max(e.maxY, y);
+      ++e.count;
+      ++ops_.adds;
+    }
+  }
+
+  std::vector<ConnectedComponent> components;
+  for (const Extent& e : extents) {
+    if (e.count < config_.minComponentPixels) {
+      continue;
+    }
+    components.push_back(ConnectedComponent{
+        BBox{static_cast<float>(e.minX) * scaleX,
+             static_cast<float>(e.minY) * scaleY,
+             static_cast<float>(e.maxX - e.minX + 1) * scaleX,
+             static_cast<float>(e.maxY - e.minY + 1) * scaleY},
+        e.count});
+  }
+  // extents is indexed by root label which is already scan-ordered for
+  // roots (min label wins in unite), but orders can interleave; sort by
+  // first-appearance for deterministic output.
+  std::sort(components.begin(), components.end(),
+            [](const ConnectedComponent& a, const ConnectedComponent& b) {
+              if (a.box.y != b.box.y) {
+                return a.box.y < b.box.y;
+              }
+              return a.box.x < b.box.x;
+            });
+  return components;
+}
+
+std::vector<ConnectedComponent> CcaLabeler::label(const BinaryImage& image) {
+  ops_.reset();
+  return labelGrid(
+      image.width(), image.height(),
+      [&image](int x, int y) { return image.get(x, y); }, 1.0F, 1.0F);
+}
+
+std::vector<ConnectedComponent> CcaLabeler::labelDownsampled(
+    const CountImage& image, int s1, int s2) {
+  EBBIOT_ASSERT(s1 >= 1 && s2 >= 1);
+  ops_.reset();
+  return labelGrid(
+      image.width(), image.height(),
+      [&image](int x, int y) { return image.at(x, y) > 0; },
+      static_cast<float>(s1), static_cast<float>(s2));
+}
+
+RegionProposals CcaLabeler::propose(const BinaryImage& image) {
+  const auto components = label(image);
+  RegionProposals proposals;
+  proposals.reserve(components.size());
+  for (const ConnectedComponent& c : components) {
+    proposals.push_back(RegionProposal{c.box, c.pixelCount});
+  }
+  return proposals;
+}
+
+}  // namespace ebbiot

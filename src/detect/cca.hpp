@@ -1,0 +1,80 @@
+// Connected-component region proposal — the paper's future-work RPN.
+//
+// Section IV: "Future work will change the RPN to a general connected
+// component approach [10] instead of relying on side views."  This module
+// implements the classic two-pass labelling algorithm with a union-find
+// over provisional labels, at a configurable connectivity, either directly
+// on the full-resolution EBBI or on the downsampled count image (the
+// latter keeps the cost within an IoT budget while still generalising
+// beyond side views).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/op_counter.hpp"
+#include "src/detect/region.hpp"
+#include "src/ebbi/binary_image.hpp"
+#include "src/ebbi/downsample.hpp"
+
+namespace ebbiot {
+
+enum class Connectivity : std::uint8_t {
+  kFour = 4,
+  kEight = 8,
+};
+
+struct CcaConfig {
+  Connectivity connectivity = Connectivity::kEight;
+  std::size_t minComponentPixels = 4;  ///< discard smaller components
+};
+
+/// One labelled component.
+struct ConnectedComponent {
+  BBox box;                 ///< tight bounding box, full image coordinates
+  std::size_t pixelCount = 0;
+
+  friend bool operator==(const ConnectedComponent&,
+                         const ConnectedComponent&) = default;
+};
+
+class CcaLabeler {
+ public:
+  explicit CcaLabeler(const CcaConfig& config);
+
+  /// Label the binary image; returns components of at least
+  /// minComponentPixels pixels, in scan order of first appearance.
+  [[nodiscard]] std::vector<ConnectedComponent> label(
+      const BinaryImage& image);
+
+  /// Label a downsampled count image (cell > 0 counts as foreground);
+  /// boxes are scaled back to full resolution by (s1, s2).
+  [[nodiscard]] std::vector<ConnectedComponent> labelDownsampled(
+      const CountImage& image, int s1, int s2);
+
+  /// Region proposals from full-resolution labelling.
+  [[nodiscard]] RegionProposals propose(const BinaryImage& image);
+
+  /// Ops of the most recent call (per-pixel neighbour checks + union-find).
+  [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
+
+  [[nodiscard]] const CcaConfig& config() const { return config_; }
+
+ private:
+  struct UnionFind {
+    std::vector<std::uint32_t> parent;
+    std::uint32_t make();
+    std::uint32_t find(std::uint32_t x);
+    void unite(std::uint32_t a, std::uint32_t b);
+  };
+
+  template <typename IsSetFn>
+  std::vector<ConnectedComponent> labelGrid(int width, int height,
+                                            IsSetFn isSet, float scaleX,
+                                            float scaleY);
+
+  CcaConfig config_;
+  OpCounts ops_;
+};
+
+}  // namespace ebbiot

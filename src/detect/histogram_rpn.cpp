@@ -1,0 +1,99 @@
+#include "src/detect/histogram_rpn.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+/// Tight bounding box of the set pixels inside `box` (empty if none).
+BBox tightenToPixels(const BinaryImage& image, const BBox& box,
+                     OpCounts& ops) {
+  const int x0 = static_cast<int>(std::floor(box.left()));
+  const int x1 = static_cast<int>(std::ceil(box.right()));
+  const int y0 = static_cast<int>(std::floor(box.bottom()));
+  const int y1 = static_cast<int>(std::ceil(box.top()));
+  int minX = x1;
+  int maxX = x0 - 1;
+  int minY = y1;
+  int maxY = y0 - 1;
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      ops.compares += 1;
+      if (!image.get(x, y)) {
+        continue;
+      }
+      minX = std::min(minX, x);
+      maxX = std::max(maxX, x);
+      minY = std::min(minY, y);
+      maxY = std::max(maxY, y);
+    }
+  }
+  if (maxX < minX) {
+    return {};
+  }
+  return {static_cast<float>(minX), static_cast<float>(minY),
+          static_cast<float>(maxX - minX + 1),
+          static_cast<float>(maxY - minY + 1)};
+}
+
+}  // namespace
+
+HistogramRpn::HistogramRpn(const HistogramRpnConfig& config)
+    : config_(config), downsampler_(config.s1, config.s2) {
+  EBBIOT_ASSERT(config.threshold >= 1);
+  EBBIOT_ASSERT(config.minValidPixels >= 1);
+}
+
+RegionProposals HistogramRpn::propose(const BinaryImage& ebbi) {
+  ops_.reset();
+  down_ = downsampler_.downsample(ebbi);
+  ops_ += downsampler_.lastOps();
+  hist_ = histogramBuilder_.build(down_);
+  ops_ += histogramBuilder_.lastOps();
+
+  runsX_ = findRuns(hist_.hx, config_.threshold, config_.maxGap);
+  runsY_ = findRuns(hist_.hy, config_.threshold, config_.maxGap);
+  ops_.compares += hist_.hx.size() + hist_.hy.size();
+
+  const bool ambiguous = runsX_.size() > 1 && runsY_.size() > 1;
+  const bool validate = config_.alwaysValidate || ambiguous;
+
+  RegionProposals proposals;
+  proposals.reserve(runsX_.size() * runsY_.size());
+  const float s1 = static_cast<float>(config_.s1);
+  const float s2 = static_cast<float>(config_.s2);
+  for (const HistogramRun& rx : runsX_) {
+    for (const HistogramRun& ry : runsY_) {
+      BBox box{static_cast<float>(rx.begin) * s1,
+               static_cast<float>(ry.begin) * s2,
+               static_cast<float>(rx.length()) * s1,
+               static_cast<float>(ry.length()) * s2};
+      box = clampToFrame(box, ebbi.width(), ebbi.height());
+      if (box.empty()) {
+        continue;
+      }
+      std::uint64_t support = std::min(rx.mass, ry.mass);
+      if (validate) {
+        const std::size_t pixels = ebbi.popcountInRegion(box);
+        ops_.adds += static_cast<std::uint64_t>(box.area());
+        ops_.compares += 1;
+        if (pixels < config_.minValidPixels) {
+          continue;  // spurious X-run x Y-run intersection
+        }
+        support = pixels;
+      }
+      if (config_.tightenBoxes) {
+        box = tightenToPixels(ebbi, box, ops_);
+        if (box.empty()) {
+          continue;
+        }
+      }
+      proposals.push_back(RegionProposal{box, support});
+    }
+  }
+  return proposals;
+}
+
+}  // namespace ebbiot

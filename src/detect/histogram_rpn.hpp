@@ -1,0 +1,79 @@
+// Event-density region proposal network, Section II-B of the paper.
+//
+// Pipeline per frame:
+//   1. block-downsample the (filtered) EBBI by (s1, s2)        — Eq. (3)
+//   2. build X and Y histograms of the downsampled image       — Eq. (4)
+//   3. find contiguous runs of bins >= threshold in each axis
+//   4. form candidate boxes as the cartesian intersections of X-runs and
+//      Y-runs, scaled back to full resolution
+//   5. when both axes have multiple runs, intersections can be spurious
+//      ("false regions may be proposed by considering all overlaps"), so
+//      each candidate is validated against the full-resolution image: it
+//      must contain at least `minValidPixels` set pixels.
+//
+// The coarse histogram deliberately merges fragmented objects (the bus /
+// car fragmentation of Figure 3) at the cost of slightly oversized boxes;
+// the tracker smooths both effects.
+#pragma once
+
+#include "src/common/op_counter.hpp"
+#include "src/detect/region.hpp"
+#include "src/ebbi/binary_image.hpp"
+#include "src/ebbi/downsample.hpp"
+#include "src/ebbi/histogram.hpp"
+
+namespace ebbiot {
+
+struct HistogramRpnConfig {
+  int s1 = 6;                     ///< X downsample factor (paper: 6)
+  int s2 = 3;                     ///< Y downsample factor (paper: 3)
+  std::uint32_t threshold = 1;    ///< histogram run threshold (paper: 1)
+  int maxGap = 0;                 ///< bridge gaps up to this many bins
+  std::size_t minValidPixels = 1; ///< full-res support needed when ambiguous
+  /// Validate candidates even when only one axis is ambiguous.  When false,
+  /// validation only runs with multiple runs on *both* axes (the paper's
+  /// case); true is stricter and slightly costlier.
+  bool alwaysValidate = false;
+  /// Shrink every proposal to the tight bounding box of its set pixels.
+  /// The raw intersection boxes are padded to (s1, s2) block boundaries;
+  /// tightening removes that quantisation at a cost proportional to the
+  /// proposal area (small next to the downsampling pass).
+  bool tightenBoxes = true;
+};
+
+class HistogramRpn {
+ public:
+  explicit HistogramRpn(const HistogramRpnConfig& config);
+
+  /// Propose regions for one frame.
+  [[nodiscard]] RegionProposals propose(const BinaryImage& ebbi);
+
+  /// Intermediate products of the most recent propose() call, exposed for
+  /// tests, visualisation and the examples.
+  [[nodiscard]] const CountImage& lastDownsampled() const { return down_; }
+  [[nodiscard]] const HistogramPair& lastHistograms() const { return hist_; }
+  [[nodiscard]] const std::vector<HistogramRun>& lastRunsX() const {
+    return runsX_;
+  }
+  [[nodiscard]] const std::vector<HistogramRun>& lastRunsY() const {
+    return runsY_;
+  }
+
+  /// Ops of the most recent propose() call (downsample + histogram + run
+  /// finding + validation), comparable to C_RPN of Eq. (5).
+  [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
+
+  [[nodiscard]] const HistogramRpnConfig& config() const { return config_; }
+
+ private:
+  HistogramRpnConfig config_;
+  Downsampler downsampler_;
+  HistogramBuilder histogramBuilder_;
+  CountImage down_;
+  HistogramPair hist_;
+  std::vector<HistogramRun> runsX_;
+  std::vector<HistogramRun> runsY_;
+  OpCounts ops_;
+};
+
+}  // namespace ebbiot

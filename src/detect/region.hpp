@@ -1,0 +1,24 @@
+// Region proposal type shared by the RPN variants and the trackers.
+#pragma once
+
+#include <vector>
+
+#include "src/common/geometry.hpp"
+
+namespace ebbiot {
+
+/// A proposed object region in full-resolution pixel coordinates.
+struct RegionProposal {
+  BBox box;
+  /// Number of set pixels supporting the proposal (histogram mass for the
+  /// histogram RPN, component size for CCA).  Lets consumers rank or gate
+  /// weak proposals.
+  std::uint64_t support = 0;
+
+  friend bool operator==(const RegionProposal&,
+                         const RegionProposal&) = default;
+};
+
+using RegionProposals = std::vector<RegionProposal>;
+
+}  // namespace ebbiot

@@ -1,0 +1,131 @@
+#include "src/ebbi/binary_image.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+BinaryImage::BinaryImage(int width, int height)
+    : width_(width),
+      height_(height),
+      wordsPerRow_((static_cast<std::size_t>(width) + 63) / 64),
+      words_(wordsPerRow_ * static_cast<std::size_t>(height), 0) {
+  EBBIOT_ASSERT(width > 0 && height > 0);
+}
+
+std::size_t BinaryImage::wordIndex(int x, int y) const {
+  return static_cast<std::size_t>(y) * wordsPerRow_ +
+         static_cast<std::size_t>(x) / 64;
+}
+
+std::uint64_t BinaryImage::bitMask(int x) const {
+  return std::uint64_t{1} << (static_cast<unsigned>(x) % 64);
+}
+
+void BinaryImage::checkBounds(int x, int y) const {
+  EBBIOT_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_);
+}
+
+bool BinaryImage::get(int x, int y) const {
+  checkBounds(x, y);
+  return (words_[wordIndex(x, y)] & bitMask(x)) != 0;
+}
+
+void BinaryImage::set(int x, int y, bool value) {
+  checkBounds(x, y);
+  if (value) {
+    words_[wordIndex(x, y)] |= bitMask(x);
+  } else {
+    words_[wordIndex(x, y)] &= ~bitMask(x);
+  }
+}
+
+void BinaryImage::clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+std::size_t BinaryImage::popcount() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) {
+    n += static_cast<std::size_t>(std::popcount(w));
+  }
+  return n;
+}
+
+std::size_t BinaryImage::popcountInRegion(const BBox& region) const {
+  const BBox r = clampToFrame(region, width_, height_);
+  if (r.empty()) {
+    return 0;
+  }
+  const int x0 = static_cast<int>(std::floor(r.left()));
+  const int x1 = static_cast<int>(std::ceil(r.right()));
+  const int y0 = static_cast<int>(std::floor(r.bottom()));
+  const int y1 = static_cast<int>(std::ceil(r.top()));
+  std::size_t n = 0;
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      if (get(x, y)) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+bool BinaryImage::anySetInRegion(const BBox& region) const {
+  const BBox r = clampToFrame(region, width_, height_);
+  if (r.empty()) {
+    return false;
+  }
+  const int x0 = static_cast<int>(std::floor(r.left()));
+  const int x1 = static_cast<int>(std::ceil(r.right()));
+  const int y0 = static_cast<int>(std::floor(r.bottom()));
+  const int y1 = static_cast<int>(std::ceil(r.top()));
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      if (get(x, y)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void BinaryImage::orWith(const BinaryImage& o) {
+  EBBIOT_ASSERT(sameShape(o));
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= o.words_[i];
+  }
+}
+
+BBox BinaryImage::boundingBoxOfSetPixels() const {
+  int minX = width_;
+  int maxX = -1;
+  int minY = height_;
+  int maxY = -1;
+  for (int y = 0; y < height_; ++y) {
+    for (std::size_t w = 0; w < wordsPerRow_; ++w) {
+      const std::uint64_t word =
+          words_[static_cast<std::size_t>(y) * wordsPerRow_ + w];
+      if (word == 0) {
+        continue;
+      }
+      const int base = static_cast<int>(w) * 64;
+      const int lo = base + std::countr_zero(word);
+      const int hi = base + 63 - std::countl_zero(word);
+      minX = std::min(minX, lo);
+      maxX = std::max(maxX, hi);
+      minY = std::min(minY, y);
+      maxY = std::max(maxY, y);
+    }
+  }
+  if (maxX < 0) {
+    return {};
+  }
+  return {static_cast<float>(minX), static_cast<float>(minY),
+          static_cast<float>(maxX - minX + 1),
+          static_cast<float>(maxY - minY + 1)};
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,73 @@
+// Bit-packed binary image.
+//
+// The Event-Based Binary Image (EBBI) is the paper's central data structure:
+// one bit per pixel ("only one possible event per pixel, ignoring polarity",
+// Section II-A).  1 bit/pixel is also what Eq. (1)'s memory model assumes
+// (M_EBBI = 2*A*B bits), so this class stores exactly A*B bits in 64-bit
+// words, with popcount and word-level row access for the downsampler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/geometry.hpp"
+
+namespace ebbiot {
+
+class BinaryImage {
+ public:
+  BinaryImage() = default;
+
+  /// width x height, all zero.
+  BinaryImage(int width, int height);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] bool sameShape(const BinaryImage& o) const {
+    return width_ == o.width_ && height_ == o.height_;
+  }
+
+  [[nodiscard]] bool get(int x, int y) const;
+  void set(int x, int y, bool value);
+
+  /// Set every pixel to 0 without reallocating.
+  void clear();
+
+  /// Number of set pixels.
+  [[nodiscard]] std::size_t popcount() const;
+
+  /// Number of set pixels within the clamped box.
+  [[nodiscard]] std::size_t popcountInRegion(const BBox& region) const;
+
+  /// True if any pixel in the clamped box is set (early-out scan).  Used by
+  /// the RPN validity check for intersection regions (Section II-B).
+  [[nodiscard]] bool anySetInRegion(const BBox& region) const;
+
+  /// Bitwise OR with another image of identical shape (used by the
+  /// two-timescale long-exposure frame).
+  void orWith(const BinaryImage& o);
+
+  /// Tight bounding box of the set pixels (empty when image is blank).
+  [[nodiscard]] BBox boundingBoxOfSetPixels() const;
+
+  /// Memory footprint of the pixel payload in bits (= width*height as
+  /// allocated, for the Eq. (1) style accounting).
+  [[nodiscard]] std::size_t payloadBits() const {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  }
+
+  friend bool operator==(const BinaryImage&, const BinaryImage&) = default;
+
+ private:
+  [[nodiscard]] std::size_t wordIndex(int x, int y) const;
+  [[nodiscard]] std::uint64_t bitMask(int x) const;
+  void checkBounds(int x, int y) const;
+
+  int width_ = 0;
+  int height_ = 0;
+  std::size_t wordsPerRow_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ebbiot

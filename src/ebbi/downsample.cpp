@@ -1,0 +1,60 @@
+#include "src/ebbi/downsample.hpp"
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+CountImage::CountImage(int width, int height)
+    : width_(width),
+      height_(height),
+      cells_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+             0) {
+  EBBIOT_ASSERT(width > 0 && height > 0);
+}
+
+std::uint16_t CountImage::at(int x, int y) const {
+  EBBIOT_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return cells_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+std::uint16_t& CountImage::at(int x, int y) {
+  EBBIOT_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return cells_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+std::uint64_t CountImage::totalMass() const {
+  std::uint64_t acc = 0;
+  for (std::uint16_t c : cells_) {
+    acc += c;
+  }
+  return acc;
+}
+
+Downsampler::Downsampler(int s1, int s2) : s1_(s1), s2_(s2) {
+  EBBIOT_ASSERT(s1 >= 1 && s2 >= 1);
+}
+
+CountImage Downsampler::downsample(const BinaryImage& image) {
+  const int outW = image.width() / s1_;
+  const int outH = image.height() / s2_;
+  EBBIOT_ASSERT(outW > 0 && outH > 0);
+  ops_.reset();
+  CountImage out(outW, outH);
+  for (int j = 0; j < outH; ++j) {
+    for (int i = 0; i < outW; ++i) {
+      std::uint16_t acc = 0;
+      for (int n = 0; n < s2_; ++n) {
+        for (int m = 0; m < s1_; ++m) {
+          acc = static_cast<std::uint16_t>(
+              acc + (image.get(i * s1_ + m, j * s2_ + n) ? 1 : 0));
+          ++ops_.adds;
+        }
+      }
+      out.at(i, j) = acc;
+      ++ops_.memWrites;
+    }
+  }
+  return out;
+}
+
+}  // namespace ebbiot

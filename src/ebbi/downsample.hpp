@@ -1,0 +1,64 @@
+// Block-sum downsampling, Eq. (3) of the paper.
+//
+//   I_{s1,s2}(i, j) = sum_{m<s1, n<s2} I(i*s1 + m, j*s2 + n)
+//
+// The output is a small count image (each cell holds how many pixels of the
+// s1 x s2 block are set, so values fit in ceil(log2(s1*s2)) bits — the
+// first term of the M_RPN memory model in Eq. (5)).  Trailing pixels that
+// do not fill a whole block are dropped, matching the floor() bounds of
+// Eq. (3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/op_counter.hpp"
+#include "src/ebbi/binary_image.hpp"
+
+namespace ebbiot {
+
+/// Count image produced by block-sum downsampling.
+class CountImage {
+ public:
+  CountImage() = default;
+  CountImage(int width, int height);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+  [[nodiscard]] std::uint16_t at(int x, int y) const;
+  std::uint16_t& at(int x, int y);
+
+  /// Sum of all cells (equals popcount of the covered source area).
+  [[nodiscard]] std::uint64_t totalMass() const;
+
+  friend bool operator==(const CountImage&, const CountImage&) = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint16_t> cells_;
+};
+
+class Downsampler {
+ public:
+  /// s1 = X-direction factor, s2 = Y-direction factor (paper: 6, 3).
+  Downsampler(int s1, int s2);
+
+  [[nodiscard]] int s1() const { return s1_; }
+  [[nodiscard]] int s2() const { return s2_; }
+
+  /// Downsample per Eq. (3).  Output size is floor(W/s1) x floor(H/s2).
+  [[nodiscard]] CountImage downsample(const BinaryImage& image);
+
+  /// Ops performed by the most recent call (one add per source pixel read
+  /// that lands in a block, one write per output cell).
+  [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
+
+ private:
+  int s1_;
+  int s2_;
+  OpCounts ops_;
+};
+
+}  // namespace ebbiot

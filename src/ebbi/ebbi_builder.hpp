@@ -1,0 +1,48 @@
+// EBBI accumulation: events -> binary frame.
+//
+// Section II-A: the processor wakes every tF, reads the events latched since
+// the last interrupt and forms an Event-Based Binary Image, ignoring
+// polarity — one possible event per pixel.  The builder also measures the
+// memory writes it performs so the pipelines can compare against the
+// C_EBBI model of Eq. (1) (the "+2" term per pixel is the EBBI write plus
+// the filtered-image write; the builder accounts the first of those).
+#pragma once
+
+#include "src/common/op_counter.hpp"
+#include "src/ebbi/binary_image.hpp"
+#include "src/events/event_packet.hpp"
+
+namespace ebbiot {
+
+class EbbiBuilder {
+ public:
+  EbbiBuilder(int width, int height);
+
+  /// Build an EBBI from one frame-window packet.  Every event sets its
+  /// pixel; duplicates are idempotent (the latch semantics of the sensor).
+  [[nodiscard]] BinaryImage build(const EventPacket& packet);
+
+  /// Build into an existing image (cleared first); avoids reallocation in
+  /// the steady-state pipeline loop.
+  void buildInto(const EventPacket& packet, BinaryImage& image);
+
+  /// Per-polarity variant: returns the combined EBBI and fills onImage /
+  /// offImage.  The paper keeps the original frame "since it might carry
+  /// more information necessary for classification at a later stage".
+  [[nodiscard]] BinaryImage buildWithPolarity(const EventPacket& packet,
+                                              BinaryImage& onImage,
+                                              BinaryImage& offImage);
+
+  /// Ops performed by the most recent build call.
+  [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+ private:
+  int width_;
+  int height_;
+  OpCounts ops_;
+};
+
+}  // namespace ebbiot

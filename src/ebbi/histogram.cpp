@@ -1,0 +1,59 @@
+#include "src/ebbi/histogram.hpp"
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+HistogramPair HistogramBuilder::build(const CountImage& image) {
+  ops_.reset();
+  HistogramPair out;
+  out.hx.assign(static_cast<std::size_t>(image.width()), 0);
+  out.hy.assign(static_cast<std::size_t>(image.height()), 0);
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const std::uint16_t v = image.at(x, y);
+      out.hx[static_cast<std::size_t>(x)] += v;
+      out.hy[static_cast<std::size_t>(y)] += v;
+      ops_.adds += 2;
+    }
+  }
+  ops_.memWrites += out.hx.size() + out.hy.size();
+  return out;
+}
+
+std::vector<HistogramRun> findRuns(const std::vector<std::uint32_t>& histogram,
+                                   std::uint32_t threshold, int maxGap) {
+  EBBIOT_ASSERT(maxGap >= 0);
+  std::vector<HistogramRun> runs;
+  HistogramRun current;
+  bool open = false;
+  int gap = 0;
+  for (int i = 0; i < static_cast<int>(histogram.size()); ++i) {
+    const std::uint32_t v = histogram[static_cast<std::size_t>(i)];
+    if (v >= threshold) {
+      if (!open) {
+        current = HistogramRun{i, i + 1, v};
+        open = true;
+      } else {
+        // Close the gap we skipped over (its bins carry below-threshold
+        // mass we deliberately ignore).
+        current.end = i + 1;
+        current.mass += v;
+      }
+      gap = 0;
+    } else if (open) {
+      ++gap;
+      if (gap > maxGap) {
+        runs.push_back(current);
+        open = false;
+        gap = 0;
+      }
+    }
+  }
+  if (open) {
+    runs.push_back(current);
+  }
+  return runs;
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,36 @@
+#include "src/ebbi/two_timescale.hpp"
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+TwoTimescaleBuilder::TwoTimescaleBuilder(int width, int height,
+                                         int slowFactor)
+    : builder_(width, height),
+      slowFactor_(slowFactor),
+      fast_(width, height),
+      slow_(width, height) {
+  EBBIOT_ASSERT(slowFactor >= 1);
+  ring_.reserve(static_cast<std::size_t>(slowFactor));
+  for (int i = 0; i < slowFactor; ++i) {
+    ring_.emplace_back(width, height);
+  }
+}
+
+void TwoTimescaleBuilder::addWindow(const EventPacket& packet) {
+  builder_.buildInto(packet, ring_[ringNext_]);
+  fast_ = ring_[ringNext_];
+  ringNext_ = (ringNext_ + 1) % ring_.size();
+  ringFill_ = std::min(ringFill_ + 1, ring_.size());
+  ++windowsSeen_;
+  rebuildSlow();
+}
+
+void TwoTimescaleBuilder::rebuildSlow() {
+  slow_.clear();
+  for (std::size_t i = 0; i < ringFill_; ++i) {
+    slow_.orWith(ring_[i]);
+  }
+}
+
+}  // namespace ebbiot

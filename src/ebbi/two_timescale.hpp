@@ -1,0 +1,55 @@
+// Two-timescale EBBI — the paper's stated future-work extension.
+//
+// Section IV: slow, small objects (pedestrians) produce too few events in a
+// 66 ms window to form a usable silhouette; "this can be done by a two time
+// scale approach where a second frame is generated with longer exposure
+// times to capture activity of humans".
+//
+// This builder maintains, alongside the fast frame of each tF window, a
+// slow frame that is the bitwise OR of the most recent k fast frames — an
+// exposure of k*tF without a second sensor readout.  A ring of the k fast
+// frames makes the slow frame a sliding (not tumbling) window.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/ebbi/binary_image.hpp"
+#include "src/ebbi/ebbi_builder.hpp"
+#include "src/events/event_packet.hpp"
+
+namespace ebbiot {
+
+class TwoTimescaleBuilder {
+ public:
+  /// `slowFactor` = k: the slow frame integrates the last k fast windows.
+  TwoTimescaleBuilder(int width, int height, int slowFactor);
+
+  /// Consume one fast-window packet; updates both frames.
+  void addWindow(const EventPacket& packet);
+
+  /// Fast frame = EBBI of the most recent window only.
+  [[nodiscard]] const BinaryImage& fastFrame() const { return fast_; }
+
+  /// Slow frame = OR of the last k windows (fewer while warming up).
+  [[nodiscard]] const BinaryImage& slowFrame() const { return slow_; }
+
+  /// Number of windows consumed so far.
+  [[nodiscard]] std::size_t windowsSeen() const { return windowsSeen_; }
+
+  [[nodiscard]] int slowFactor() const { return slowFactor_; }
+
+ private:
+  void rebuildSlow();
+
+  EbbiBuilder builder_;
+  int slowFactor_;
+  std::vector<BinaryImage> ring_;  ///< last k fast frames
+  std::size_t ringNext_ = 0;
+  std::size_t ringFill_ = 0;
+  BinaryImage fast_;
+  BinaryImage slow_;
+  std::size_t windowsSeen_ = 0;
+};
+
+}  // namespace ebbiot

@@ -1,0 +1,54 @@
+#include "src/eval/matching.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+FrameMatchResult matchFrame(const Tracks& predictions,
+                            const std::vector<GtBox>& groundTruth,
+                            float iouThreshold) {
+  EBBIOT_ASSERT(iouThreshold >= 0.0F && iouThreshold <= 1.0F);
+  FrameMatchResult result;
+  result.predictions = predictions.size();
+  result.groundTruths = groundTruth.size();
+
+  struct Candidate {
+    float iou;
+    std::size_t pred;
+    std::size_t gt;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    for (std::size_t j = 0; j < groundTruth.size(); ++j) {
+      const float v = iou(predictions[i].box, groundTruth[j].box);
+      if (v >= iouThreshold && v > 0.0F) {
+        candidates.push_back(Candidate{v, i, j});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.iou != b.iou) {
+                return a.iou > b.iou;
+              }
+              if (a.pred != b.pred) {
+                return a.pred < b.pred;
+              }
+              return a.gt < b.gt;
+            });
+  std::vector<bool> predUsed(predictions.size(), false);
+  std::vector<bool> gtUsed(groundTruth.size(), false);
+  for (const Candidate& c : candidates) {
+    if (predUsed[c.pred] || gtUsed[c.gt]) {
+      continue;
+    }
+    predUsed[c.pred] = true;
+    gtUsed[c.gt] = true;
+    result.matches.push_back(MatchedPair{c.pred, c.gt, c.iou});
+  }
+  return result;
+}
+
+}  // namespace ebbiot

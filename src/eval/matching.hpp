@@ -1,0 +1,48 @@
+// Per-frame matching between predicted tracks and ground truth boxes.
+//
+// Section III-B: a proposed box is a true positive iff its IoU with a
+// ground-truth box exceeds a threshold.  Matching is one-to-one: each
+// ground-truth box can validate at most one prediction and vice versa
+// (otherwise a fragmented pair of predictions over one object would count
+// twice).  We use greedy best-IoU-first assignment, the standard choice
+// for detection-style P/R evaluation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/geometry.hpp"
+#include "src/sim/ground_truth.hpp"
+#include "src/trackers/track.hpp"
+
+namespace ebbiot {
+
+/// One matched (prediction, ground truth) pair.
+struct MatchedPair {
+  std::size_t predIndex = 0;
+  std::size_t gtIndex = 0;
+  float iou = 0.0F;
+
+  friend bool operator==(const MatchedPair&, const MatchedPair&) = default;
+};
+
+struct FrameMatchResult {
+  std::vector<MatchedPair> matches;   ///< IoU >= threshold, one-to-one
+  std::size_t predictions = 0;        ///< total prediction boxes
+  std::size_t groundTruths = 0;       ///< total ground truth boxes
+
+  [[nodiscard]] std::size_t truePositives() const { return matches.size(); }
+  [[nodiscard]] std::size_t falsePositives() const {
+    return predictions - matches.size();
+  }
+  [[nodiscard]] std::size_t falseNegatives() const {
+    return groundTruths - matches.size();
+  }
+};
+
+/// Greedy one-to-one matching at the given IoU threshold.
+[[nodiscard]] FrameMatchResult matchFrame(const Tracks& predictions,
+                                          const std::vector<GtBox>& groundTruth,
+                                          float iouThreshold);
+
+}  // namespace ebbiot

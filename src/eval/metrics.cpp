@@ -1,0 +1,93 @@
+#include "src/eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+void PrCounts::add(const FrameMatchResult& frame) {
+  truePositives += frame.truePositives();
+  predictions += frame.predictions;
+  groundTruths += frame.groundTruths;
+}
+
+double PrCounts::precision() const {
+  return predictions > 0 ? static_cast<double>(truePositives) /
+                               static_cast<double>(predictions)
+                         : 0.0;
+}
+
+double PrCounts::recall() const {
+  return groundTruths > 0 ? static_cast<double>(truePositives) /
+                                static_cast<double>(groundTruths)
+                          : 0.0;
+}
+
+double PrCounts::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+PrCounts& PrCounts::operator+=(const PrCounts& o) {
+  truePositives += o.truePositives;
+  predictions += o.predictions;
+  groundTruths += o.groundTruths;
+  return *this;
+}
+
+PrSweepAccumulator::PrSweepAccumulator(std::vector<float> thresholds)
+    : thresholds_(std::move(thresholds)), counts_(thresholds_.size()) {
+  EBBIOT_ASSERT(!thresholds_.empty());
+  EBBIOT_ASSERT(std::is_sorted(thresholds_.begin(), thresholds_.end()));
+}
+
+void PrSweepAccumulator::addFrame(const Tracks& predictions,
+                                  const std::vector<GtBox>& groundTruth) {
+  for (std::size_t i = 0; i < thresholds_.size(); ++i) {
+    counts_[i].add(matchFrame(predictions, groundTruth, thresholds_[i]));
+  }
+}
+
+const PrCounts& PrSweepAccumulator::at(float threshold) const {
+  for (std::size_t i = 0; i < thresholds_.size(); ++i) {
+    if (std::abs(thresholds_[i] - threshold) < 1e-6F) {
+      return counts_[i];
+    }
+  }
+  throw LogicError("PrSweepAccumulator::at: threshold not in sweep");
+}
+
+std::vector<float> defaultIouSweep() {
+  return {0.1F, 0.2F, 0.3F, 0.4F, 0.5F, 0.6F, 0.7F};
+}
+
+std::vector<WeightedPr> weightedAverage(
+    const std::vector<RecordingResult>& recordings) {
+  EBBIOT_ASSERT(!recordings.empty());
+  const std::vector<float>& thresholds = recordings.front().thresholds;
+  for (const RecordingResult& r : recordings) {
+    EBBIOT_ASSERT(r.thresholds == thresholds);
+    EBBIOT_ASSERT(r.counts.size() == thresholds.size());
+  }
+  std::vector<WeightedPr> out;
+  out.reserve(thresholds.size());
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    double wSum = 0.0;
+    double pSum = 0.0;
+    double rSum = 0.0;
+    for (const RecordingResult& r : recordings) {
+      const double w = static_cast<double>(r.gtTracks);
+      wSum += w;
+      pSum += w * r.counts[i].precision();
+      rSum += w * r.counts[i].recall();
+    }
+    EBBIOT_ASSERT(wSum > 0.0);
+    out.push_back(WeightedPr{thresholds[i], pSum / wSum, rSum / wSum});
+  }
+  return out;
+}
+
+}  // namespace ebbiot

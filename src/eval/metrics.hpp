@@ -1,0 +1,78 @@
+// Precision / recall accumulation and cross-recording aggregation.
+//
+// Section III-B/C:
+//   precision = true positive boxes / total proposal boxes
+//   recall    = true positive boxes / total ground truth boxes
+// evaluated over all frames of a recording at each IoU threshold, then
+// combined across recordings as a weighted average with weights equal to
+// the number of ground-truth tracks in each recording (Fig. 4's method).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/eval/matching.hpp"
+
+namespace ebbiot {
+
+/// Totals for one recording at one IoU threshold.
+struct PrCounts {
+  std::size_t truePositives = 0;
+  std::size_t predictions = 0;
+  std::size_t groundTruths = 0;
+
+  void add(const FrameMatchResult& frame);
+
+  [[nodiscard]] double precision() const;
+  [[nodiscard]] double recall() const;
+  [[nodiscard]] double f1() const;
+
+  PrCounts& operator+=(const PrCounts& o);
+};
+
+/// Accumulates frame matches at a sweep of IoU thresholds simultaneously.
+class PrSweepAccumulator {
+ public:
+  explicit PrSweepAccumulator(std::vector<float> thresholds);
+
+  /// Match one frame at every threshold.
+  void addFrame(const Tracks& predictions,
+                const std::vector<GtBox>& groundTruth);
+
+  [[nodiscard]] const std::vector<float>& thresholds() const {
+    return thresholds_;
+  }
+  [[nodiscard]] const std::vector<PrCounts>& counts() const {
+    return counts_;
+  }
+  [[nodiscard]] const PrCounts& at(float threshold) const;
+
+ private:
+  std::vector<float> thresholds_;
+  std::vector<PrCounts> counts_;
+};
+
+/// The default threshold sweep used by Fig. 4 style reports.
+[[nodiscard]] std::vector<float> defaultIouSweep();
+
+/// Per-recording result bundle for weighted averaging.
+struct RecordingResult {
+  std::string name;
+  std::size_t gtTracks = 0;  ///< weight (distinct ground truth tracks)
+  std::vector<float> thresholds;
+  std::vector<PrCounts> counts;  ///< parallel to thresholds
+};
+
+/// Weighted precision/recall across recordings at each threshold:
+/// weights are gtTracks, per the paper ("weights correspond to the number
+/// of ground truth tracks present in a given recording").
+struct WeightedPr {
+  float threshold = 0.0F;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+[[nodiscard]] std::vector<WeightedPr> weightedAverage(
+    const std::vector<RecordingResult>& recordings);
+
+}  // namespace ebbiot

@@ -1,0 +1,125 @@
+#include "src/eval/track_log.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+void TrackLog::addFrame(TimeUs t, const Tracks& tracks) {
+  EBBIOT_ASSERT(frames_.empty() || frames_.back().t < t);
+  frames_.push_back(TrackLogFrame{t, tracks});
+}
+
+std::size_t TrackLog::totalBoxes() const {
+  std::size_t n = 0;
+  for (const TrackLogFrame& f : frames_) {
+    n += f.tracks.size();
+  }
+  return n;
+}
+
+std::map<std::uint32_t, std::vector<TrackLog::TrajectoryPoint>>
+TrackLog::trajectories() const {
+  std::map<std::uint32_t, std::vector<TrajectoryPoint>> out;
+  for (const TrackLogFrame& f : frames_) {
+    for (const Track& t : f.tracks) {
+      out[t.id].push_back(TrajectoryPoint{f.t, t.box, t.velocity});
+    }
+  }
+  return out;
+}
+
+double TrackLog::meanSpeed(std::uint32_t trackId, TimeUs framePeriod) const {
+  EBBIOT_ASSERT(framePeriod > 0);
+  std::vector<TrajectoryPoint> points;
+  for (const TrackLogFrame& f : frames_) {
+    for (const Track& t : f.tracks) {
+      if (t.id == trackId) {
+        points.push_back(TrajectoryPoint{f.t, t.box, t.velocity});
+      }
+    }
+  }
+  if (points.size() < 2) {
+    return 0.0;
+  }
+  const Vec2f c0 = points.front().box.center();
+  const Vec2f c1 = points.back().box.center();
+  const double frames = static_cast<double>(points.back().t -
+                                            points.front().t) /
+                        static_cast<double>(framePeriod);
+  return frames > 0.0 ? (c1 - c0).norm() / frames : 0.0;
+}
+
+void writeTrackLogCsv(std::ostream& os, const TrackLog& log) {
+  os << "t_us,track_id,x,y,w,h,vx,vy\n";
+  for (const TrackLogFrame& f : log.frames()) {
+    for (const Track& t : f.tracks) {
+      os << f.t << ',' << t.id << ',' << t.box.x << ',' << t.box.y << ','
+         << t.box.w << ',' << t.box.h << ',' << t.velocity.x << ','
+         << t.velocity.y << '\n';
+    }
+  }
+  if (!os) {
+    throw IoError("failed writing track log CSV");
+  }
+}
+
+TrackLog readTrackLogCsv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "t_us,track_id,x,y,w,h,vx,vy") {
+    throw IoError("unexpected track log CSV header");
+  }
+  TrackLog log;
+  TimeUs currentT = 0;
+  Tracks current;
+  bool open = false;
+  std::size_t lineNo = 1;
+  auto flush = [&] {
+    if (open) {
+      log.addFrame(currentT, current);
+      current.clear();
+      open = false;
+    }
+  };
+  while (std::getline(is, line)) {
+    ++lineNo;
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::vector<std::string> fields;
+    std::string field;
+    while (std::getline(ls, field, ',')) {
+      fields.push_back(field);
+    }
+    if (fields.size() != 8) {
+      throw IoError("malformed track log CSV at line " +
+                    std::to_string(lineNo));
+    }
+    try {
+      const TimeUs t = std::stoll(fields[0]);
+      if (!open || t != currentT) {
+        flush();
+        currentT = t;
+        open = true;
+      }
+      Track track;
+      track.id = static_cast<std::uint32_t>(std::stoul(fields[1]));
+      track.box = BBox{std::stof(fields[2]), std::stof(fields[3]),
+                       std::stof(fields[4]), std::stof(fields[5])};
+      track.velocity = Vec2f{std::stof(fields[6]), std::stof(fields[7])};
+      current.push_back(track);
+    } catch (const std::logic_error&) {
+      throw IoError("unparseable number in track log CSV at line " +
+                    std::to_string(lineNo));
+    }
+  }
+  flush();
+  return log;
+}
+
+}  // namespace ebbiot

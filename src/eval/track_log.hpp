@@ -1,0 +1,59 @@
+// Track logs: the node's uplink payload, recorded and replayed.
+//
+// An IoVT node's output is the per-frame track list (Section I: edge
+// processing exists to avoid shipping video).  TrackLog captures that
+// stream, round-trips it through CSV (the wire/debug format) and offers
+// the per-track views (trajectories) that downstream analytics — speed
+// estimation, counting, zone alarms — consume.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <vector>
+
+#include "src/common/time.hpp"
+#include "src/trackers/track.hpp"
+
+namespace ebbiot {
+
+struct TrackLogFrame {
+  TimeUs t = 0;
+  Tracks tracks;
+};
+
+class TrackLog {
+ public:
+  /// Append one frame's report (frames must arrive in time order).
+  void addFrame(TimeUs t, const Tracks& tracks);
+
+  [[nodiscard]] const std::vector<TrackLogFrame>& frames() const {
+    return frames_;
+  }
+  [[nodiscard]] std::size_t frameCount() const { return frames_.size(); }
+  [[nodiscard]] std::size_t totalBoxes() const;
+
+  /// Per-track trajectory: time-ordered (t, box) samples.
+  struct TrajectoryPoint {
+    TimeUs t = 0;
+    BBox box;
+    Vec2f velocity;
+  };
+  [[nodiscard]] std::map<std::uint32_t, std::vector<TrajectoryPoint>>
+  trajectories() const;
+
+  /// Mean speed of one track in px/frame over its observed samples
+  /// (displacement-based, robust to per-frame velocity noise); 0 when the
+  /// track has fewer than two samples.
+  [[nodiscard]] double meanSpeed(std::uint32_t trackId,
+                                 TimeUs framePeriod) const;
+
+ private:
+  std::vector<TrackLogFrame> frames_;
+};
+
+/// CSV round-trip: "t_us,track_id,x,y,w,h,vx,vy".
+void writeTrackLogCsv(std::ostream& os, const TrackLog& log);
+[[nodiscard]] TrackLog readTrackLogCsv(std::istream& is);
+
+}  // namespace ebbiot

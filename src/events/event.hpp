@@ -1,0 +1,49 @@
+// The Address-Event-Representation (AER) event tuple.
+//
+// A neuromorphic vision sensor outputs an event e_i = (x_i, y_i, t_i, p_i)
+// whenever the log intensity at pixel (x_i, y_i) changes by more than a
+// threshold: p = +1 (ON) for an increase, p = -1 (OFF) for a decrease
+// (Section II of the paper).  Timestamps are microseconds.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/time.hpp"
+
+namespace ebbiot {
+
+/// Event polarity.
+enum class Polarity : std::int8_t {
+  kOff = -1,  ///< intensity decreased past the threshold
+  kOn = 1,    ///< intensity increased past the threshold
+};
+
+/// One AER event.  16 bytes; packets of these are the unit of exchange
+/// between the sensor (simulator) and every event-domain consumer.
+struct Event {
+  std::uint16_t x = 0;   ///< column, 0 <= x < sensor width
+  std::uint16_t y = 0;   ///< row, 0 <= y < sensor height (y grows upward)
+  Polarity p = Polarity::kOn;
+  TimeUs t = 0;          ///< microseconds since recording start
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Strict time order with (x, y, p) tie-breaks, used to canonicalise
+/// packets whose generators emit per-object bursts.
+struct EventTimeOrder {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.t != b.t) {
+      return a.t < b.t;
+    }
+    if (a.y != b.y) {
+      return a.y < b.y;
+    }
+    if (a.x != b.x) {
+      return a.x < b.x;
+    }
+    return static_cast<int>(a.p) < static_cast<int>(b.p);
+  }
+};
+
+}  // namespace ebbiot

@@ -1,0 +1,82 @@
+#include "src/events/stats.hpp"
+
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+FrameStats computeFrameStats(const EventPacket& packet, int width,
+                             int height) {
+  EBBIOT_ASSERT(width > 0 && height > 0);
+  FrameStats s;
+  s.eventCount = packet.size();
+  std::vector<std::uint8_t> touched(
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height), 0);
+  std::size_t on = 0;
+  for (const Event& e : packet) {
+    EBBIOT_ASSERT(e.x < width && e.y < height);
+    const std::size_t idx =
+        static_cast<std::size_t>(e.y) * static_cast<std::size_t>(width) + e.x;
+    if (touched[idx] == 0) {
+      touched[idx] = 1;
+      ++s.activePixels;
+    }
+    if (e.p == Polarity::kOn) {
+      ++on;
+    }
+  }
+  const double pixels = static_cast<double>(width) * height;
+  s.alpha = static_cast<double>(s.activePixels) / pixels;
+  s.beta = s.activePixels > 0 ? static_cast<double>(s.eventCount) /
+                                    static_cast<double>(s.activePixels)
+                              : 0.0;
+  s.onFraction = s.eventCount > 0
+                     ? static_cast<double>(on) / static_cast<double>(s.eventCount)
+                     : 0.0;
+  const double durS = usToSeconds(packet.duration());
+  s.eventRateHz = durS > 0.0 ? static_cast<double>(s.eventCount) / durS : 0.0;
+  return s;
+}
+
+StreamStatsAccumulator::StreamStatsAccumulator(int width, int height)
+    : width_(width), height_(height) {
+  EBBIOT_ASSERT(width > 0 && height > 0);
+}
+
+void StreamStatsAccumulator::addPacket(const EventPacket& packet) {
+  const FrameStats s = computeFrameStats(packet, width_, height_);
+  totalEvents_ += s.eventCount;
+  ++frames_;
+  durationUs_ += packet.duration();
+  if (s.activePixels > 0) {
+    alphaSum_ += s.alpha;
+    betaSum_ += s.beta;
+    ++framesWithActivity_;
+  }
+}
+
+double StreamStatsAccumulator::meanEventsPerFrame() const {
+  return frames_ > 0 ? static_cast<double>(totalEvents_) /
+                           static_cast<double>(frames_)
+                     : 0.0;
+}
+
+double StreamStatsAccumulator::meanAlpha() const {
+  return framesWithActivity_ > 0
+             ? alphaSum_ / static_cast<double>(framesWithActivity_)
+             : 0.0;
+}
+
+double StreamStatsAccumulator::meanBeta() const {
+  return framesWithActivity_ > 0
+             ? betaSum_ / static_cast<double>(framesWithActivity_)
+             : 0.0;
+}
+
+double StreamStatsAccumulator::meanEventRateHz() const {
+  const double durS = usToSeconds(durationUs_);
+  return durS > 0.0 ? static_cast<double>(totalEvents_) / durS : 0.0;
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,58 @@
+// Event stream statistics.
+//
+// Several parameters of the paper's cost models are *statistics of the
+// stream*: n (events per frame), alpha (fraction of active pixels) and
+// beta (mean fires per active pixel per frame) in Eqs. (1)-(2).  This
+// module measures them from packets so the analytic models in
+// src/resource can be evaluated at the operating point of a recording.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/events/event_packet.hpp"
+
+namespace ebbiot {
+
+/// Statistics of a single frame-window packet against a sensor geometry.
+struct FrameStats {
+  std::size_t eventCount = 0;    ///< n: events in the window
+  std::size_t activePixels = 0;  ///< pixels that fired at least once
+  double alpha = 0.0;            ///< activePixels / (A*B)
+  double beta = 0.0;             ///< eventCount / activePixels (>= 1), 0 if idle
+  double onFraction = 0.0;       ///< share of ON-polarity events
+  double eventRateHz = 0.0;      ///< events per second over the window
+};
+
+/// Compute FrameStats for one packet.  width/height define the sensor.
+[[nodiscard]] FrameStats computeFrameStats(const EventPacket& packet,
+                                           int width, int height);
+
+/// Running aggregate over many frames (used by the dataset benches to
+/// report Table I-style totals).
+class StreamStatsAccumulator {
+ public:
+  StreamStatsAccumulator(int width, int height);
+
+  void addPacket(const EventPacket& packet);
+
+  [[nodiscard]] std::uint64_t totalEvents() const { return totalEvents_; }
+  [[nodiscard]] std::size_t frames() const { return frames_; }
+  [[nodiscard]] TimeUs totalDuration() const { return durationUs_; }
+  [[nodiscard]] double meanEventsPerFrame() const;
+  [[nodiscard]] double meanAlpha() const;
+  [[nodiscard]] double meanBeta() const;
+  [[nodiscard]] double meanEventRateHz() const;
+
+ private:
+  int width_;
+  int height_;
+  std::uint64_t totalEvents_ = 0;
+  std::size_t frames_ = 0;
+  TimeUs durationUs_ = 0;
+  double alphaSum_ = 0.0;
+  double betaSum_ = 0.0;
+  std::size_t framesWithActivity_ = 0;
+};
+
+}  // namespace ebbiot

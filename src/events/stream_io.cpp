@@ -1,0 +1,198 @@
+#include "src/events/stream_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'E', 'B', 'B', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void writePod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T readPod(std::istream& is, const char* what) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) {
+    throw IoError(std::string("truncated stream while reading ") + what);
+  }
+  return value;
+}
+
+}  // namespace
+
+void writeBinaryStream(std::ostream& os, const EventPacket& packet,
+                       int width, int height) {
+  EBBIOT_ASSERT(width > 0 && width <= std::numeric_limits<std::uint16_t>::max());
+  EBBIOT_ASSERT(height > 0 &&
+                height <= std::numeric_limits<std::uint16_t>::max());
+  os.write(kMagic.data(), kMagic.size());
+  writePod(os, kVersion);
+  writePod(os, static_cast<std::uint16_t>(width));
+  writePod(os, static_cast<std::uint16_t>(height));
+  writePod(os, packet.tStart());
+  writePod(os, packet.tEnd());
+  writePod(os, static_cast<std::uint64_t>(packet.size()));
+  for (const Event& e : packet) {
+    writePod(os, e.x);
+    writePod(os, e.y);
+    writePod(os, static_cast<std::int8_t>(e.p));
+    // 12-byte record: 2+2+1 payload + 7-byte delta-free timestamp truncated
+    // to 56 bits (recordings are << 2^55 us long).
+    std::array<std::uint8_t, 7> tBytes{};
+    std::uint64_t t = static_cast<std::uint64_t>(e.t);
+    for (auto& b : tBytes) {
+      b = static_cast<std::uint8_t>(t & 0xFF);
+      t >>= 8;
+    }
+    os.write(reinterpret_cast<const char*>(tBytes.data()), tBytes.size());
+  }
+  if (!os) {
+    throw IoError("failed writing binary event stream");
+  }
+}
+
+BinaryStreamContents readBinaryStream(std::istream& is) {
+  std::array<char, 4> magic{};
+  is.read(magic.data(), magic.size());
+  if (!is || magic != kMagic) {
+    throw IoError("bad magic: not an EBBT stream");
+  }
+  const auto version = readPod<std::uint32_t>(is, "version");
+  if (version != kVersion) {
+    throw IoError("unsupported EBBT version " + std::to_string(version));
+  }
+  BinaryStreamContents out;
+  out.header.width = readPod<std::uint16_t>(is, "width");
+  out.header.height = readPod<std::uint16_t>(is, "height");
+  if (out.header.width == 0 || out.header.height == 0) {
+    throw IoError("zero sensor dimension in header");
+  }
+  out.header.tStart = readPod<TimeUs>(is, "tStart");
+  out.header.tEnd = readPod<TimeUs>(is, "tEnd");
+  if (out.header.tStart > out.header.tEnd) {
+    throw IoError("header window is inverted");
+  }
+  out.header.eventCount = readPod<std::uint64_t>(is, "eventCount");
+
+  std::vector<Event> events;
+  events.reserve(out.header.eventCount);
+  for (std::uint64_t i = 0; i < out.header.eventCount; ++i) {
+    Event e;
+    e.x = readPod<std::uint16_t>(is, "event.x");
+    e.y = readPod<std::uint16_t>(is, "event.y");
+    const auto rawP = readPod<std::int8_t>(is, "event.p");
+    if (rawP != 1 && rawP != -1) {
+      throw IoError("invalid polarity byte");
+    }
+    e.p = static_cast<Polarity>(rawP);
+    std::array<std::uint8_t, 7> tBytes{};
+    is.read(reinterpret_cast<char*>(tBytes.data()), tBytes.size());
+    if (!is) {
+      throw IoError("truncated stream while reading event timestamp");
+    }
+    std::uint64_t t = 0;
+    for (std::size_t b = tBytes.size(); b-- > 0;) {
+      t = (t << 8) | tBytes[b];
+    }
+    e.t = static_cast<TimeUs>(t);
+    if (e.x >= out.header.width || e.y >= out.header.height) {
+      throw IoError("event coordinates outside sensor frame");
+    }
+    if (e.t < out.header.tStart || e.t >= out.header.tEnd) {
+      throw IoError("event timestamp outside header window");
+    }
+    events.push_back(e);
+  }
+  out.packet =
+      EventPacket(out.header.tStart, out.header.tEnd, std::move(events));
+  return out;
+}
+
+void writeBinaryStreamFile(const std::string& path, const EventPacket& packet,
+                           int width, int height) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw IoError("cannot open for writing: " + path);
+  }
+  writeBinaryStream(os, packet, width, height);
+}
+
+BinaryStreamContents readBinaryStreamFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw IoError("cannot open for reading: " + path);
+  }
+  return readBinaryStream(is);
+}
+
+void writeCsvStream(std::ostream& os, const EventPacket& packet) {
+  os << "t_us,x,y,polarity\n";
+  for (const Event& e : packet) {
+    os << e.t << ',' << e.x << ',' << e.y << ','
+       << static_cast<int>(e.p) << '\n';
+  }
+  if (!os) {
+    throw IoError("failed writing CSV event stream");
+  }
+}
+
+EventPacket readCsvStream(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw IoError("empty CSV stream");
+  }
+  if (line != "t_us,x,y,polarity") {
+    throw IoError("unexpected CSV header: " + line);
+  }
+  std::vector<Event> events;
+  TimeUs minT = std::numeric_limits<TimeUs>::max();
+  TimeUs maxT = std::numeric_limits<TimeUs>::min();
+  std::size_t lineNo = 1;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream ls(line);
+    Event e;
+    long long t = 0;
+    long x = 0;
+    long y = 0;
+    int p = 0;
+    char c1 = 0;
+    char c2 = 0;
+    char c3 = 0;
+    ls >> t >> c1 >> x >> c2 >> y >> c3 >> p;
+    if (!ls || c1 != ',' || c2 != ',' || c3 != ',' || (p != 1 && p != -1) ||
+        x < 0 || y < 0 || x > std::numeric_limits<std::uint16_t>::max() ||
+        y > std::numeric_limits<std::uint16_t>::max()) {
+      throw IoError("malformed CSV at line " + std::to_string(lineNo));
+    }
+    e.t = t;
+    e.x = static_cast<std::uint16_t>(x);
+    e.y = static_cast<std::uint16_t>(y);
+    e.p = static_cast<Polarity>(p);
+    minT = std::min(minT, e.t);
+    maxT = std::max(maxT, e.t);
+    events.push_back(e);
+  }
+  if (events.empty()) {
+    return EventPacket(0, 0);
+  }
+  return EventPacket(minT, maxT + 1, std::move(events));
+}
+
+}  // namespace ebbiot

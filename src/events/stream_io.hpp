@@ -1,0 +1,53 @@
+// Event stream file I/O.
+//
+// Two codecs:
+//   * a compact binary container ("EBBT" magic) analogous to the AEDAT
+//     containers produced by DAVIS tooling — 12 bytes/event, little-endian,
+//     with a header carrying sensor geometry; and
+//   * a human-readable CSV (t,x,y,p) for interop with scripting tools.
+//
+// Both round-trip exactly and validate their input (magic, version,
+// coordinate bounds), throwing IoError on malformed files.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "src/events/event_packet.hpp"
+
+namespace ebbiot {
+
+/// Header describing a stored recording.
+struct StreamHeader {
+  std::uint16_t width = 0;
+  std::uint16_t height = 0;
+  TimeUs tStart = 0;
+  TimeUs tEnd = 0;
+  std::uint64_t eventCount = 0;
+
+  friend bool operator==(const StreamHeader&, const StreamHeader&) = default;
+};
+
+/// Write a packet in the binary "EBBT" container format.
+void writeBinaryStream(std::ostream& os, const EventPacket& packet,
+                       int width, int height);
+
+/// Read a full binary stream back.  Throws IoError on malformed input.
+struct BinaryStreamContents {
+  StreamHeader header;
+  EventPacket packet;
+};
+[[nodiscard]] BinaryStreamContents readBinaryStream(std::istream& is);
+
+/// Convenience file wrappers.
+void writeBinaryStreamFile(const std::string& path, const EventPacket& packet,
+                           int width, int height);
+[[nodiscard]] BinaryStreamContents readBinaryStreamFile(
+    const std::string& path);
+
+/// CSV with a "t_us,x,y,polarity" header row; polarity is 1 or -1.
+void writeCsvStream(std::ostream& os, const EventPacket& packet);
+[[nodiscard]] EventPacket readCsvStream(std::istream& is);
+
+}  // namespace ebbiot

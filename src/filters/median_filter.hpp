@@ -1,0 +1,42 @@
+// Binary median filter, Section II-A of the paper.
+//
+// Spurious sensor events appear in the EBBI as salt-and-pepper noise, so a
+// p x p median (p = 3) removes them: a pixel of the filtered image is 1 iff
+// more than floor(p^2/2) pixels of its patch are 1.  For a binary image the
+// median reduces to counting ones and comparing against floor(p^2/2), which
+// is exactly the compute model the paper charges in Eq. (1):
+// per pixel, (alpha * p^2) counter increments + 1 comparison + 1 write.
+//
+// Border policy is zero padding: patches are clipped at the frame edge and
+// the threshold stays floor(p^2/2), so lone border pixels are removed just
+// like interior ones.
+#pragma once
+
+#include "src/common/op_counter.hpp"
+#include "src/ebbi/binary_image.hpp"
+
+namespace ebbiot {
+
+class MedianFilter {
+ public:
+  /// `patchSize` = p, odd and >= 1 (paper: 3).
+  explicit MedianFilter(int patchSize);
+
+  [[nodiscard]] int patchSize() const { return patchSize_; }
+
+  /// Filtered copy of the image.
+  [[nodiscard]] BinaryImage apply(const BinaryImage& input);
+
+  /// Filter into a preallocated output of the same shape.
+  void applyInto(const BinaryImage& input, BinaryImage& output);
+
+  /// Ops of the most recent apply: counter increments for 1-pixels seen,
+  /// one comparison per pixel and one write per pixel (Eq. (1) accounting).
+  [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
+
+ private:
+  int patchSize_;
+  OpCounts ops_;
+};
+
+}  // namespace ebbiot

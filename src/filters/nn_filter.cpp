@@ -1,0 +1,65 @@
+#include "src/filters/nn_filter.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+NnFilter::NnFilter(const NnFilterConfig& config) : config_(config) {
+  EBBIOT_ASSERT(config.width > 0 && config.height > 0);
+  EBBIOT_ASSERT(config.neighbourhood >= 1 && config.neighbourhood % 2 == 1);
+  EBBIOT_ASSERT(config.supportWindow > 0);
+  EBBIOT_ASSERT(config.timestampBits > 0);
+  reset();
+}
+
+void NnFilter::reset() {
+  lastTimestamp_.assign(static_cast<std::size_t>(config_.width) *
+                            static_cast<std::size_t>(config_.height),
+                        kNever);
+}
+
+EventPacket NnFilter::filter(const EventPacket& packet) {
+  EBBIOT_ASSERT(packet.isTimeSorted());
+  ops_.reset();
+  EventPacket out(packet.tStart(), packet.tEnd());
+  const int r = config_.neighbourhood / 2;
+  for (const Event& e : packet) {
+    EBBIOT_ASSERT(e.x < config_.width && e.y < config_.height);
+    bool supported = false;
+    const int x0 = std::max(0, e.x - r);
+    const int x1 = std::min(config_.width - 1, e.x + r);
+    const int y0 = std::max(0, e.y - r);
+    const int y1 = std::min(config_.height - 1, e.y + r);
+    for (int yy = y0; yy <= y1; ++yy) {
+      for (int xx = x0; xx <= x1; ++xx) {
+        if (xx == e.x && yy == e.y) {
+          continue;  // support must come from a *neighbouring* pixel
+        }
+        const TimeUs ts =
+            lastTimestamp_[static_cast<std::size_t>(yy) * config_.width + xx];
+        ++ops_.compares;
+        ++ops_.adds;  // Eq. (2): comparison + counter increment per cell
+        if (ts != kNever && e.t - ts <= config_.supportWindow) {
+          supported = true;
+        }
+      }
+    }
+    lastTimestamp_[static_cast<std::size_t>(e.y) * config_.width + e.x] = e.t;
+    // One Bt-bit timestamp write, charged as Bt bit-ops per Eq. (2).
+    ops_.memWrites += static_cast<std::uint64_t>(config_.timestampBits);
+    if (supported) {
+      out.push(e);
+    }
+  }
+  return out;
+}
+
+std::size_t NnFilter::memoryBits() const {
+  return static_cast<std::size_t>(config_.timestampBits) *
+         static_cast<std::size_t>(config_.width) *
+         static_cast<std::size_t>(config_.height);
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,59 @@
+// Nearest-Neighbour event filter (NN-filt), Section II-A / Eq. (2).
+//
+// The conventional event-domain denoiser the paper compares against
+// (Padala, Basu & Orchard 2018): a timestamp map stores, per pixel, the
+// time of its most recent event (Bt bits each).  An incoming event is kept
+// iff some *other* pixel of its p x p neighbourhood fired within the last
+// `supportWindow` microseconds — i.e. the event has spatio-temporal
+// support.  Isolated shot-noise events have none and are dropped.
+//
+// Cost accounting per event matches Eq. (2): p^2 - 1 comparisons plus
+// p^2 - 1 increments, plus one Bt-bit memory write for the timestamp
+// update (the paper charges that write as Bt single-bit ops).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/op_counter.hpp"
+#include "src/common/time.hpp"
+#include "src/events/event_packet.hpp"
+
+namespace ebbiot {
+
+struct NnFilterConfig {
+  int width = 240;
+  int height = 180;
+  int neighbourhood = 3;          ///< p
+  TimeUs supportWindow = 5'000;   ///< temporal support window, us
+  int timestampBits = 16;         ///< Bt, for the memory/ops accounting
+};
+
+class NnFilter {
+ public:
+  explicit NnFilter(const NnFilterConfig& config);
+
+  /// Filter a packet; events must be time-sorted.  Stateful across calls:
+  /// the timestamp map persists, as in a streaming deployment.
+  [[nodiscard]] EventPacket filter(const EventPacket& packet);
+
+  /// Reset the timestamp map to "never fired".
+  void reset();
+
+  /// Ops of the most recent filter() call (Eq. (2) accounting).
+  [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
+
+  /// Memory footprint of the timestamp map in bits: Bt * A * B (Eq. (2)).
+  [[nodiscard]] std::size_t memoryBits() const;
+
+  [[nodiscard]] const NnFilterConfig& config() const { return config_; }
+
+ private:
+  NnFilterConfig config_;
+  std::vector<TimeUs> lastTimestamp_;  ///< per pixel; kNever when unfired
+  OpCounts ops_;
+
+  static constexpr TimeUs kNever = -1;
+};
+
+}  // namespace ebbiot

@@ -1,0 +1,37 @@
+#include "src/filters/refractory_filter.hpp"
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+RefractoryFilter::RefractoryFilter(int width, int height,
+                                   TimeUs refractoryPeriod)
+    : width_(width), height_(height), period_(refractoryPeriod) {
+  EBBIOT_ASSERT(width > 0 && height > 0);
+  EBBIOT_ASSERT(refractoryPeriod >= 0);
+  reset();
+}
+
+void RefractoryFilter::reset() {
+  lastPass_.assign(static_cast<std::size_t>(width_) *
+                       static_cast<std::size_t>(height_),
+                   kNever);
+}
+
+EventPacket RefractoryFilter::filter(const EventPacket& packet) {
+  EBBIOT_ASSERT(packet.isTimeSorted());
+  EventPacket out(packet.tStart(), packet.tEnd());
+  for (const Event& e : packet) {
+    EBBIOT_ASSERT(e.x < width_ && e.y < height_);
+    const std::size_t idx =
+        static_cast<std::size_t>(e.y) * static_cast<std::size_t>(width_) + e.x;
+    const TimeUs last = lastPass_[idx];
+    if (last == kNever || e.t - last >= period_) {
+      lastPass_[idx] = e.t;
+      out.push(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,38 @@
+// Per-pixel refractory filter.
+//
+// A standard event-camera preprocessing stage (and a behaviour of the DAVIS
+// pixel itself): after a pixel fires, further events from the same pixel
+// within the refractory period are suppressed.  Used by the simulator's
+// stream-mode output and available as a standalone stage; it bounds beta
+// (mean fires per active pixel per frame) from above.
+#pragma once
+
+#include <vector>
+
+#include "src/common/time.hpp"
+#include "src/events/event_packet.hpp"
+
+namespace ebbiot {
+
+class RefractoryFilter {
+ public:
+  RefractoryFilter(int width, int height, TimeUs refractoryPeriod);
+
+  /// Keep the first event per pixel per refractory window.  Events must be
+  /// time-sorted.  Stateful across packets.
+  [[nodiscard]] EventPacket filter(const EventPacket& packet);
+
+  void reset();
+
+  [[nodiscard]] TimeUs refractoryPeriod() const { return period_; }
+
+ private:
+  int width_;
+  int height_;
+  TimeUs period_;
+  std::vector<TimeUs> lastPass_;
+
+  static constexpr TimeUs kNever = -1;
+};
+
+}  // namespace ebbiot

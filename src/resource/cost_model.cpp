@@ -1,0 +1,111 @@
+#include "src/resource/cost_model.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+double ceilLog2(double v) {
+  EBBIOT_ASSERT(v >= 1.0);
+  return std::ceil(std::log2(v));
+}
+
+}  // namespace
+
+CostEstimate ebbiCost(const EbbiCostParams& params) {
+  EBBIOT_ASSERT(params.p >= 1 && params.alpha >= 0.0 && params.alpha <= 1.0);
+  const double ab = params.geometry.pixels();
+  const double p2 = static_cast<double>(params.p) * params.p;
+  CostEstimate est;
+  est.computesPerFrame = (params.alpha * p2 + 2.0) * ab;
+  est.memoryBits = 2.0 * ab;  // original EBBI + filtered copy, 1 bit each
+  return est;
+}
+
+CostEstimate nnFiltCost(const NnFiltCostParams& params) {
+  EBBIOT_ASSERT(params.beta >= 1.0);
+  const double ab = params.geometry.pixels();
+  const double p2 = static_cast<double>(params.p) * params.p;
+  const double n = params.beta * params.alpha * ab;  // events per frame
+  CostEstimate est;
+  est.computesPerFrame =
+      (2.0 * (p2 - 1.0) + static_cast<double>(params.timestampBits)) * n;
+  est.memoryBits = static_cast<double>(params.timestampBits) * ab;
+  return est;
+}
+
+CostEstimate rpnCost(const RpnCostParams& params) {
+  EBBIOT_ASSERT(params.s1 >= 1 && params.s2 >= 1);
+  const double ab = params.geometry.pixels();
+  const double s1 = params.s1;
+  const double s2 = params.s2;
+  const double down = ab / (s1 * s2);
+  CostEstimate est;
+  est.computesPerFrame =
+      params.printedVariant ? ab + down : ab + 2.0 * down;
+  const double a = params.geometry.width;
+  const double b = params.geometry.height;
+  est.memoryBits = down * ceilLog2(s1 * s2) +
+                   (a / s1) * ceilLog2(b * s1) + (b / s2) * ceilLog2(a * s2);
+  return est;
+}
+
+CostEstimate otCost(const OtCostParams& params) {
+  EBBIOT_ASSERT(params.nT >= 0.0 && params.maxTrackers >= 1);
+  CostEstimate est;
+  est.computesPerFrame = 134.0 * params.nT * params.nT +
+                         params.gamma3 * params.n3 +
+                         params.gamma4 * params.n4 + params.gamma5 * params.n5;
+  // Register file: per slot, (x, y, w, h, vx, vy, age/hits, flags) at
+  // 16 bits each — comfortably inside the paper's "< 0.5 kB".
+  est.memoryBits = static_cast<double>(params.maxTrackers) * 8.0 * 16.0;
+  return est;
+}
+
+CostEstimate kfCost(const KfCostParams& params) {
+  EBBIOT_ASSERT(params.nT >= 1);
+  const double n = 2.0 * params.nT;
+  const double m = 2.0 * params.nT;
+  CostEstimate est;
+  est.computesPerFrame = 4.0 * m * m * m + 6.0 * m * m * n +
+                         4.0 * m * n * n + 4.0 * n * n * n + 3.0 * n * n;
+  // State x(n), covariance P(n^2), F(n^2), Q(n^2), workspace (n^2),
+  // H(m*n), K(n*m), R + S (2*m^2), innovation (m) — as 64-bit doubles.
+  const double doubles =
+      n + 4.0 * n * n + 2.0 * m * n + 2.0 * m * m + m;
+  est.memoryBits = doubles * 64.0;
+  return est;
+}
+
+CostEstimate ebmsCost(const EbmsCostParams& params) {
+  EBBIOT_ASSERT(params.nF >= 0.0 && params.cl >= 0.0 && params.clMax >= 1);
+  CostEstimate est;
+  est.computesPerFrame =
+      params.nF * (9.0 * params.cl * params.cl +
+                   (169.0 + 16.0 * params.gammaMerge) * params.cl + 11.0);
+  est.memoryBits = 408.0 * static_cast<double>(params.clMax) + 56.0;
+  return est;
+}
+
+CostEstimate ebbiotPipelineCost(const PipelineCostParams& params) {
+  return ebbiCost(params.ebbi) + rpnCost(params.rpn) + otCost(params.ot);
+}
+
+CostEstimate ebbiKfPipelineCost(const PipelineCostParams& params) {
+  return ebbiCost(params.ebbi) + rpnCost(params.rpn) + kfCost(params.kf);
+}
+
+CostEstimate ebmsPipelineCost(const PipelineCostParams& params) {
+  return nnFiltCost(params.nnFilt) + ebmsCost(params.ebms);
+}
+
+CostEstimate frameBasedDetectorReference() {
+  CostEstimate est;
+  est.computesPerFrame = 5.6e9;          // tiny-YOLO class, ~GFLOPs/frame
+  est.memoryBits = 1.0e9 * 8.0;          // > 1 GB RAM (Section II-B)
+  return est;
+}
+
+}  // namespace ebbiot

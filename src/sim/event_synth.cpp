@@ -1,0 +1,146 @@
+#include "src/sim/event_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+FastEventSynth::FastEventSynth(const SceneProvider& scene,
+                               const EventSynthConfig& config)
+    : scene_(scene),
+      config_(config),
+      width_(scene.width()),
+      height_(scene.height()),
+      rng_(config.seed) {
+  EBBIOT_ASSERT(config.edgeEventsPerPixelTravel >= 0.0);
+  EBBIOT_ASSERT(config.backgroundActivityHz >= 0.0);
+}
+
+EventPacket FastEventSynth::nextWindow(TimeUs duration) {
+  EBBIOT_ASSERT(duration > 0);
+  const TimeUs t0 = now_;
+  const TimeUs t1 = now_ + duration;
+  EventPacket out(t0, t1);
+  // Objects evaluated at the window midpoint; travel within the window is
+  // short relative to object size, so midpoint pose + swept bands is a
+  // good model of the event footprint.
+  for (const ObjectState& o : scene_.objectsAt((t0 + t1) / 2)) {
+    emitObject(o, t0, t1, out);
+  }
+  const double dtS = usToSeconds(duration);
+  for (const DistractorRegion& d : config_.distractors) {
+    // Distractors flutter with mixed polarity; emitBand splits the mean so
+    // both polarities appear.
+    emitBand(d.box, d.eventRateHz * dtS / 2.0, Polarity::kOn, t0, t1, out);
+    emitBand(d.box, d.eventRateHz * dtS / 2.0, Polarity::kOff, t0, t1, out);
+  }
+  emitNoise(t0, t1, out);
+  out.sortByTime();
+  now_ = t1;
+  return out;
+}
+
+void FastEventSynth::emitObject(const ObjectState& object, TimeUs t0,
+                                TimeUs t1, EventPacket& out) {
+  const BBox frame{0.0F, 0.0F, static_cast<float>(width_),
+                   static_cast<float>(height_)};
+  const BBox visible = intersect(object.box, frame);
+  if (visible.empty()) {
+    return;
+  }
+  const double dtS = usToSeconds(t1 - t0);
+  const double travel =
+      static_cast<double>(object.velocity.norm()) * dtS;  // px this window
+  if (travel <= 0.0) {
+    return;  // stationary objects emit nothing (contrast unchanged)
+  }
+  const ObjectClassModel& model = classModel(object.kind);
+  const double edgeRate =
+      config_.edgeEventsPerPixelTravel * model.edgeEventDensity;
+  const float bandW = static_cast<float>(std::max(1.0, travel));
+
+  const bool movingRight = object.velocity.x >= 0.0F;
+  // Vertical contours: the leading face sweeps [lead, lead +- travel], the
+  // trailing face likewise.  A dark object on a brighter background makes
+  // OFF events at the leading contour and ON at the trailing one.
+  const float leadX = movingRight ? visible.right() - bandW : visible.left();
+  const float trailX = movingRight ? visible.left() : visible.right() - bandW;
+  const double vertMean = visible.h * travel * edgeRate;
+  emitBand(BBox{leadX, visible.y, bandW, visible.h}, vertMean, Polarity::kOff,
+           t0, t1, out);
+  emitBand(BBox{trailX, visible.y, bandW, visible.h}, vertMean, Polarity::kOn,
+           t0, t1, out);
+
+  // Horizontal contours (top/bottom) at grazing incidence for horizontal
+  // motion: a quarter of the vertical rate per pixel.
+  const double horizMean = visible.w * travel * edgeRate * 0.25;
+  emitBand(BBox{visible.x, visible.top() - 1.0F, visible.w, 1.0F},
+           horizMean / 2.0, Polarity::kOff, t0, t1, out);
+  emitBand(BBox{visible.x, visible.y, visible.w, 1.0F}, horizMean / 2.0,
+           Polarity::kOn, t0, t1, out);
+
+  // Interior texture events across the whole visible body.
+  const double interiorMean = visible.area() * travel *
+                              model.interiorEventDensity *
+                              config_.interiorScale;
+  const std::int64_t n = rng_.poisson(interiorMean);
+  for (std::int64_t i = 0; i < n; ++i) {
+    Event e;
+    e.x = static_cast<std::uint16_t>(std::clamp(
+        static_cast<int>(rng_.uniform(visible.left(), visible.right())), 0,
+        width_ - 1));
+    e.y = static_cast<std::uint16_t>(std::clamp(
+        static_cast<int>(rng_.uniform(visible.bottom(), visible.top())), 0,
+        height_ - 1));
+    e.p = rng_.chance(0.5) ? Polarity::kOn : Polarity::kOff;
+    e.t = t0 + rng_.uniformInt(0, t1 - t0 - 1);
+    out.push(e);
+  }
+}
+
+void FastEventSynth::emitBand(const BBox& band, double meanCount,
+                              Polarity polarity, TimeUs t0, TimeUs t1,
+                              EventPacket& out) {
+  const BBox clipped = clampToFrame(band, width_, height_);
+  if (clipped.empty() || meanCount <= 0.0) {
+    return;
+  }
+  // Scale the count by the visible share of the band.
+  const double scale = band.area() > 0.0F ? clipped.area() / band.area() : 0.0;
+  const std::int64_t n = rng_.poisson(meanCount * scale);
+  for (std::int64_t i = 0; i < n; ++i) {
+    Event e;
+    e.x = static_cast<std::uint16_t>(std::clamp(
+        static_cast<int>(rng_.uniform(clipped.left(), clipped.right())), 0,
+        width_ - 1));
+    e.y = static_cast<std::uint16_t>(std::clamp(
+        static_cast<int>(rng_.uniform(clipped.bottom(), clipped.top())), 0,
+        height_ - 1));
+    e.p = polarity;
+    e.t = t0 + rng_.uniformInt(0, t1 - t0 - 1);
+    out.push(e);
+  }
+}
+
+void FastEventSynth::emitNoise(TimeUs t0, TimeUs t1, EventPacket& out) {
+  const double dtS = usToSeconds(t1 - t0);
+  const std::size_t pixels = static_cast<std::size_t>(width_) *
+                             static_cast<std::size_t>(height_);
+  const double mean =
+      config_.backgroundActivityHz * static_cast<double>(pixels) * dtS;
+  const std::int64_t n = rng_.poisson(mean);
+  for (std::int64_t i = 0; i < n; ++i) {
+    Event e;
+    const std::int64_t pix =
+        rng_.uniformInt(0, static_cast<std::int64_t>(pixels) - 1);
+    e.x = static_cast<std::uint16_t>(pix % width_);
+    e.y = static_cast<std::uint16_t>(pix / width_);
+    e.p = rng_.chance(0.5) ? Polarity::kOn : Polarity::kOff;
+    e.t = t0 + rng_.uniformInt(0, t1 - t0 - 1);
+    out.push(e);
+  }
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,77 @@
+// Fast statistical event synthesizer.
+//
+// The rasterising DavisSimulator is faithful but costs O(object area /
+// sim step); synthesising the paper's full recordings (Table I: 2998 s +
+// 999 s, 120 M events) that way is wasteful.  FastEventSynth generates
+// events *per frame window* directly from the statistics that matter to
+// the downstream pipeline:
+//
+//   * leading and trailing vertical contours of each moving object emit
+//     Poisson(edge_height x travel x density) events inside the band swept
+//     during the window (OFF at the leading dark edge, ON at the trailing),
+//   * horizontal (top/bottom) contours emit a grazing-incidence share,
+//   * the interior emits Poisson(area x travel x interior density) events
+//     (few for flat-sided buses/trucks -> fragmented EBBIs, as in Fig. 3),
+//   * background-activity noise is uniform Poisson over the array,
+//
+// with all timestamps uniform in the window.  Event counts per object and
+// per frame match the DavisSimulator closely enough that pipelines tuned
+// on one behave identically on the other (verified by test).
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.hpp"
+#include "src/sim/davis.hpp"
+#include "src/sim/scene.hpp"
+
+namespace ebbiot {
+
+/// A scene element that emits events but is not a tracked object — the
+/// paper's "distractors such as trees which create spurious events"
+/// (Section II-C), to be masked by the Region of Exclusion.
+struct DistractorRegion {
+  BBox box;
+  double eventRateHz = 0.0;  ///< total events per second across the region
+};
+
+struct EventSynthConfig {
+  double backgroundActivityHz = 0.2;  ///< noise rate per pixel
+  std::vector<DistractorRegion> distractors;
+  /// Events per edge pixel per pixel of travel, before the per-class
+  /// edgeEventDensity factor.  ~2 reproduces beta ~= 2 for fast edges in
+  /// stream mode (each log-contrast edge crossing fires about twice).
+  double edgeEventsPerPixelTravel = 2.0;
+  /// Scale on per-class interior densities.
+  double interiorScale = 1.0;
+  std::uint64_t seed = 42;
+};
+
+class FastEventSynth final : public EventSource {
+ public:
+  /// The scene must outlive the synthesizer.
+  FastEventSynth(const SceneProvider& scene, const EventSynthConfig& config);
+
+  [[nodiscard]] EventPacket nextWindow(TimeUs duration) override;
+  [[nodiscard]] TimeUs now() const override { return now_; }
+  [[nodiscard]] int width() const override { return width_; }
+  [[nodiscard]] int height() const override { return height_; }
+
+  [[nodiscard]] const EventSynthConfig& config() const { return config_; }
+
+ private:
+  void emitObject(const ObjectState& object, TimeUs t0, TimeUs t1,
+                  EventPacket& out);
+  void emitBand(const BBox& band, double meanCount, Polarity polarity,
+                TimeUs t0, TimeUs t1, EventPacket& out);
+  void emitNoise(TimeUs t0, TimeUs t1, EventPacket& out);
+
+  const SceneProvider& scene_;
+  EventSynthConfig config_;
+  int width_;
+  int height_;
+  TimeUs now_ = 0;
+  Rng rng_;
+};
+
+}  // namespace ebbiot

@@ -1,0 +1,64 @@
+#include "src/sim/object_models.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+std::string_view objectClassName(ObjectClass c) {
+  switch (c) {
+    case ObjectClass::kHuman:
+      return "human";
+    case ObjectClass::kBike:
+      return "bike";
+    case ObjectClass::kCar:
+      return "car";
+    case ObjectClass::kVan:
+      return "van";
+    case ObjectClass::kTruck:
+      return "truck";
+    case ObjectClass::kBus:
+      return "bus";
+  }
+  return "unknown";
+}
+
+const std::array<ObjectClassModel, kObjectClassCount>& objectCatalogue() {
+  // Sizes in pixels at the 12 mm ENG lens on the 240x180 DAVIS; side view.
+  // Bus width (120 px) vs human width (8 px) spans the paper's "order of
+  // magnitude" size range; speeds span sub-pixel (humans, ~0.3 px/frame)
+  // to ~6 px/frame (fast cars) at tF = 66 ms.
+  static const std::array<ObjectClassModel, kObjectClassCount> catalogue = {{
+      {ObjectClass::kHuman, 8.0F, 20.0F, 0.20F, 4.0F, 12.0F, 1.2F, 0.30F},
+      {ObjectClass::kBike, 16.0F, 18.0F, 0.20F, 30.0F, 60.0F, 1.2F, 0.25F},
+      {ObjectClass::kCar, 48.0F, 22.0F, 0.15F, 30.0F, 90.0F, 1.5F, 0.18F},
+      {ObjectClass::kVan, 60.0F, 28.0F, 0.15F, 30.0F, 75.0F, 1.5F, 0.12F},
+      {ObjectClass::kTruck, 95.0F, 34.0F, 0.12F, 25.0F, 60.0F, 1.5F, 0.06F},
+      {ObjectClass::kBus, 120.0F, 38.0F, 0.10F, 25.0F, 55.0F, 1.5F, 0.05F},
+  }};
+  return catalogue;
+}
+
+const ObjectClassModel& classModel(ObjectClass c) {
+  const auto idx = static_cast<std::size_t>(c);
+  EBBIOT_ASSERT(idx < kObjectClassCount);
+  return objectCatalogue()[idx];
+}
+
+SampledObject sampleObject(ObjectClass c, float lensScale, Rng& rng) {
+  EBBIOT_ASSERT(lensScale > 0.0F);
+  const ObjectClassModel& m = classModel(c);
+  SampledObject s;
+  s.kind = c;
+  const float jw = 1.0F + static_cast<float>(rng.uniform(-m.sizeJitter,
+                                                         m.sizeJitter));
+  const float jh = 1.0F + static_cast<float>(rng.uniform(-m.sizeJitter,
+                                                         m.sizeJitter));
+  s.width = std::max(2.0F, m.width * jw * lensScale);
+  s.height = std::max(2.0F, m.height * jh * lensScale);
+  s.speed = static_cast<float>(rng.uniform(m.minSpeed, m.maxSpeed)) * lensScale;
+  return s;
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,70 @@
+// Object class catalogue for the synthetic traffic scenes.
+//
+// Section III-A: "typical objects in the scene include humans, bikes, cars,
+// vans, trucks and buses", with sizes varying "by an order of magnitude"
+// and velocities from sub-pixel to 5-6 pixels/frame.  This catalogue pins
+// nominal pixel dimensions (at the ENG recording's 12 mm lens) and speed
+// ranges per class; the 6 mm LT4 lens halves apparent sizes via lensScale.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "src/common/rng.hpp"
+
+namespace ebbiot {
+
+enum class ObjectClass : int {
+  kHuman = 0,
+  kBike,
+  kCar,
+  kVan,
+  kTruck,
+  kBus,
+};
+
+inline constexpr int kObjectClassCount = 6;
+
+[[nodiscard]] std::string_view objectClassName(ObjectClass c);
+
+/// Static description of one object class.
+struct ObjectClassModel {
+  ObjectClass kind = ObjectClass::kCar;
+  /// Nominal size in pixels at the 12 mm reference lens.
+  float width = 0.0F;
+  float height = 0.0F;
+  /// Relative size jitter applied per spawned instance (+-).
+  float sizeJitter = 0.15F;
+  /// Speed range in pixels per second at the reference lens.  66 ms frames
+  /// make 15 px/s roughly 1 px/frame.
+  float minSpeed = 0.0F;
+  float maxSpeed = 0.0F;
+  /// Events per pixel of *edge* per pixel of travel (leading + trailing
+  /// contours; large flat-sided vehicles have strong edges).
+  float edgeEventDensity = 1.0F;
+  /// Events per pixel of *interior* per pixel of travel.  Buses and trucks
+  /// have large featureless sides ("a lot of plane surface ... that do not
+  /// generate much events", Section II-C) -> low interior density, which is
+  /// what produces the fragmentation the OT must repair.
+  float interiorEventDensity = 0.1F;
+};
+
+/// The full catalogue, indexed by ObjectClass.
+[[nodiscard]] const std::array<ObjectClassModel, kObjectClassCount>&
+objectCatalogue();
+
+[[nodiscard]] const ObjectClassModel& classModel(ObjectClass c);
+
+/// Sampled concrete dimensions/speed for a new instance.
+struct SampledObject {
+  ObjectClass kind = ObjectClass::kCar;
+  float width = 0.0F;
+  float height = 0.0F;
+  float speed = 0.0F;  ///< px/s, unsigned; direction set by the lane
+};
+
+/// Draw a concrete instance of class `c` at the given lens scale.
+[[nodiscard]] SampledObject sampleObject(ObjectClass c, float lensScale,
+                                         Rng& rng);
+
+}  // namespace ebbiot

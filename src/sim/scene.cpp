@@ -1,0 +1,54 @@
+#include "src/sim/scene.hpp"
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+ScriptedScene::ScriptedScene(int width, int height)
+    : width_(width), height_(height) {
+  EBBIOT_ASSERT(width > 0 && height > 0);
+}
+
+std::uint32_t ScriptedScene::add(const ScriptedObject& object) {
+  EBBIOT_ASSERT(object.tStart <= object.tEnd);
+  ScriptedObject copy = object;
+  if (copy.id == 0) {
+    copy.id = nextId_++;
+  } else {
+    nextId_ = std::max(nextId_, copy.id + 1);
+  }
+  objects_.push_back(copy);
+  return copy.id;
+}
+
+std::uint32_t ScriptedScene::addLinear(ObjectClass kind, const BBox& start,
+                                       Vec2f velocity, TimeUs tStart,
+                                       TimeUs tEnd) {
+  return add(ScriptedObject{0, kind, start, velocity, tStart, tEnd,
+                            nextId_ * 7919U});
+}
+
+BBox scriptedBoxAt(const ScriptedObject& object, TimeUs t) {
+  const float dt = static_cast<float>(usToSeconds(t - object.tStart));
+  return object.boxAtStart.translated(object.velocity.x * dt,
+                                      object.velocity.y * dt);
+}
+
+std::vector<ObjectState> ScriptedScene::objectsAt(TimeUs t) const {
+  std::vector<ObjectState> out;
+  const BBox frame{0.0F, 0.0F, static_cast<float>(width_),
+                   static_cast<float>(height_)};
+  for (const ScriptedObject& o : objects_) {
+    if (t < o.tStart || t >= o.tEnd) {
+      continue;
+    }
+    const BBox box = scriptedBoxAt(o, t);
+    if (intersect(box, frame).empty()) {
+      continue;
+    }
+    out.push_back(ObjectState{o.id, o.kind, box, o.velocity, o.textureSeed});
+  }
+  return out;
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,86 @@
+// Scene abstraction: who is where at time t.
+//
+// Both sensor models (the rasterising DavisSimulator and the statistical
+// FastEventSynth) consume a SceneProvider, which answers "which objects are
+// visible at time t, and where".  Two implementations exist:
+//   * ScriptedScene — hand-placed objects with linear trajectories, the
+//     workhorse of the tracker unit tests (exact, deterministic motion);
+//   * TrafficScenario (traffic.hpp) — stochastic lane traffic for the
+//     paper-scale recordings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/geometry.hpp"
+#include "src/common/time.hpp"
+#include "src/sim/object_models.hpp"
+
+namespace ebbiot {
+
+/// Snapshot of one object at a queried instant.
+struct ObjectState {
+  std::uint32_t id = 0;          ///< stable identity across frames
+  ObjectClass kind = ObjectClass::kCar;
+  BBox box;                      ///< full (unclipped) box, px
+  Vec2f velocity;                ///< px/s
+  /// Per-object texture phase seed, so the rasteriser draws a stable
+  /// pattern that travels with the object.
+  std::uint32_t textureSeed = 0;
+};
+
+/// Interface: enumerate visible objects at a given time.
+class SceneProvider {
+ public:
+  virtual ~SceneProvider() = default;
+
+  /// Objects whose (unclipped) boxes intersect the sensor frame at time t.
+  /// Must be deterministic in t.
+  [[nodiscard]] virtual std::vector<ObjectState> objectsAt(TimeUs t) const = 0;
+
+  [[nodiscard]] virtual int width() const = 0;
+  [[nodiscard]] virtual int height() const = 0;
+};
+
+/// A scripted linear trajectory: the box translates at constant velocity
+/// from its pose at tStart; the object exists during [tStart, tEnd).
+struct ScriptedObject {
+  std::uint32_t id = 0;
+  ObjectClass kind = ObjectClass::kCar;
+  BBox boxAtStart;
+  Vec2f velocity;  ///< px/s
+  TimeUs tStart = 0;
+  TimeUs tEnd = 0;
+  std::uint32_t textureSeed = 0;
+};
+
+/// Deterministic scene assembled from scripted objects.
+class ScriptedScene : public SceneProvider {
+ public:
+  ScriptedScene(int width, int height);
+
+  /// Add an object; returns its id.
+  std::uint32_t add(const ScriptedObject& object);
+
+  /// Convenience: object of class `kind` entering with box `start` at
+  /// tStart, moving with `velocity` until tEnd.
+  std::uint32_t addLinear(ObjectClass kind, const BBox& start, Vec2f velocity,
+                          TimeUs tStart, TimeUs tEnd);
+
+  [[nodiscard]] std::vector<ObjectState> objectsAt(TimeUs t) const override;
+  [[nodiscard]] int width() const override { return width_; }
+  [[nodiscard]] int height() const override { return height_; }
+
+  [[nodiscard]] std::size_t objectCount() const { return objects_.size(); }
+
+ private:
+  int width_;
+  int height_;
+  std::vector<ScriptedObject> objects_;
+  std::uint32_t nextId_ = 1;
+};
+
+/// Pose of a scripted object at time t (shared by scene + ground truth).
+[[nodiscard]] BBox scriptedBoxAt(const ScriptedObject& object, TimeUs t);
+
+}  // namespace ebbiot

@@ -1,0 +1,156 @@
+#include "src/sim/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+std::array<double, kObjectClassCount> roadMix() {
+  std::array<double, kObjectClassCount> w{};
+  w[static_cast<std::size_t>(ObjectClass::kBike)] = 0.12;
+  w[static_cast<std::size_t>(ObjectClass::kCar)] = 0.52;
+  w[static_cast<std::size_t>(ObjectClass::kVan)] = 0.16;
+  w[static_cast<std::size_t>(ObjectClass::kTruck)] = 0.10;
+  w[static_cast<std::size_t>(ObjectClass::kBus)] = 0.10;
+  return w;
+}
+
+std::array<double, kObjectClassCount> pathMix() {
+  std::array<double, kObjectClassCount> w{};
+  w[static_cast<std::size_t>(ObjectClass::kHuman)] = 0.7;
+  w[static_cast<std::size_t>(ObjectClass::kBike)] = 0.3;
+  return w;
+}
+
+ObjectClass sampleClass(const std::array<double, kObjectClassCount>& weights,
+                        Rng& rng) {
+  double total = 0.0;
+  for (double w : weights) {
+    EBBIOT_ASSERT(w >= 0.0);
+    total += w;
+  }
+  EBBIOT_ASSERT(total > 0.0);
+  double draw = rng.uniform(0.0, total);
+  for (int i = 0; i < kObjectClassCount; ++i) {
+    draw -= weights[static_cast<std::size_t>(i)];
+    if (draw <= 0.0) {
+      return static_cast<ObjectClass>(i);
+    }
+  }
+  return ObjectClass::kBus;
+}
+
+}  // namespace
+
+std::vector<LaneSpec> makeDefaultLanes(int height, float lensScale) {
+  EBBIOT_ASSERT(height > 0 && lensScale > 0.0F);
+  const float h = static_cast<float>(height);
+  std::vector<LaneSpec> lanes;
+  // Three vehicle lanes.  Separation is chosen so that ordinary vehicles
+  // in different lanes occupy distinct Y bands (the paper's side-view
+  // assumption: the 1-D histogram RPN needs lanes not to chain
+  // vertically), while the tallest vehicles (buses, trucks) still graze
+  // the neighbouring lane, producing occasional genuine dynamic
+  // occlusions for the tracker's case-5 logic.
+  lanes.push_back(LaneSpec{h * 0.24F, +1, 0.18, roadMix(), 2.0});
+  lanes.push_back(LaneSpec{h * 0.42F, -1, 0.18, roadMix(), 2.0});
+  lanes.push_back(LaneSpec{h * 0.60F, +1, 0.10, roadMix(), 2.5});
+  // Pedestrian / cycle path further up (side view: further from camera).
+  // Pedestrians linger for tens of seconds, so a very low arrival rate
+  // still puts them in a meaningful share of frames while keeping overall
+  // concurrency at the paper's operating point (~2 objects in frame).
+  LaneSpec path{h * 0.80F, -1, 0.004, pathMix(), 3.0};
+  lanes.push_back(path);
+  return lanes;
+}
+
+TrafficScenario::TrafficScenario(const TrafficConfig& config, TimeUs duration)
+    : config_(config), duration_(duration) {
+  EBBIOT_ASSERT(config.width > 0 && config.height > 0);
+  EBBIOT_ASSERT(config.lensScale > 0.0F);
+  EBBIOT_ASSERT(duration > 0);
+  EBBIOT_ASSERT(!config.lanes.empty());
+  generateSchedule();
+}
+
+void TrafficScenario::generateSchedule() {
+  Rng rng(config_.seed);
+  const float frameW = static_cast<float>(config_.width);
+  for (std::size_t laneIdx = 0; laneIdx < config_.lanes.size(); ++laneIdx) {
+    const LaneSpec& lane = config_.lanes[laneIdx];
+    EBBIOT_ASSERT(lane.arrivalRateHz > 0.0);
+    Rng laneRng = rng.fork(laneIdx + 1);
+    double tS = 0.0;
+    while (true) {
+      tS += std::max(laneRng.exponential(lane.arrivalRateHz),
+                     lane.minHeadwayS);
+      const TimeUs tStart = secondsToUs(tS);
+      if (tStart >= duration_) {
+        break;
+      }
+      const SampledObject sampled =
+          sampleObject(sampleClass(lane.classWeights, laneRng),
+                       config_.lensScale, laneRng);
+      const float speed = std::max(sampled.speed, 1.0F);
+      ScriptedObject obj;
+      obj.id = nextId_++;
+      obj.kind = sampled.kind;
+      const float yJitter = static_cast<float>(laneRng.uniform(-2.0, 2.0));
+      const float y = lane.yCenter - sampled.height / 2.0F + yJitter;
+      const float x0 =
+          lane.direction > 0 ? -sampled.width : frameW;
+      obj.boxAtStart = BBox{x0, y, sampled.width, sampled.height};
+      obj.velocity = Vec2f{static_cast<float>(lane.direction) * speed, 0.0F};
+      obj.tStart = tStart;
+      const double crossS =
+          static_cast<double>(frameW + sampled.width) / speed;
+      obj.tEnd = std::min(duration_, tStart + secondsToUs(crossS) + 1);
+      obj.textureSeed = static_cast<std::uint32_t>(
+          laneRng.uniformInt(1, std::numeric_limits<std::int32_t>::max()));
+      schedule_.push_back(obj);
+    }
+  }
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const ScriptedObject& a, const ScriptedObject& b) {
+              if (a.tStart != b.tStart) {
+                return a.tStart < b.tStart;
+              }
+              return a.id < b.id;
+            });
+}
+
+std::vector<ObjectState> TrafficScenario::objectsAt(TimeUs t) const {
+  std::vector<ObjectState> out;
+  const BBox frame{0.0F, 0.0F, static_cast<float>(config_.width),
+                   static_cast<float>(config_.height)};
+  for (const ScriptedObject& o : schedule_) {
+    if (o.tStart > t) {
+      break;  // schedule is sorted by tStart
+    }
+    if (t >= o.tEnd) {
+      continue;
+    }
+    const BBox box = scriptedBoxAt(o, t);
+    if (intersect(box, frame).empty()) {
+      continue;
+    }
+    out.push_back(ObjectState{o.id, o.kind, box, o.velocity, o.textureSeed});
+  }
+  return out;
+}
+
+GroundTruth TrafficScenario::groundTruth(TimeUs framePeriod,
+                                         const GtOptions& options) const {
+  EBBIOT_ASSERT(framePeriod > 0);
+  GroundTruth gt;
+  for (TimeUs t = framePeriod; t <= duration_; t += framePeriod) {
+    gt.frames.push_back(annotateScene(*this, t, options));
+  }
+  return gt;
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,79 @@
+// Stochastic lane traffic — the paper's recording scenario.
+//
+// Section III-A: a stationary DAVIS watches a traffic junction from the
+// side; humans, bikes, cars, vans, trucks and buses cross the field of
+// view; object sizes span an order of magnitude and speeds run from
+// sub-pixel to ~6 px/frame.  TrafficScenario reproduces that as lanes with
+// Poisson arrivals: each lane has a vertical position, a travel direction
+// and a class mix; every arrival samples a concrete object from the
+// catalogue and crosses the frame at constant velocity.  Opposing lanes
+// overlap vertically, so crossings produce genuine dynamic occlusions for
+// the tracker.
+//
+// The whole schedule is generated up front from one seed, which makes the
+// scenario a deterministic SceneProvider: objectsAt(t) is a pure function.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/sim/ground_truth.hpp"
+#include "src/sim/scene.hpp"
+
+namespace ebbiot {
+
+/// One traffic lane.
+struct LaneSpec {
+  float yCenter = 0.0F;   ///< vertical centre of objects in this lane, px
+  int direction = +1;     ///< +1: left-to-right, -1: right-to-left
+  double arrivalRateHz = 0.2;  ///< mean arrivals per second
+  /// Relative class mix in this lane, indexed by ObjectClass; zero entries
+  /// excluded.  Vehicles on road lanes, humans/bikes on path lanes.
+  std::array<double, kObjectClassCount> classWeights{};
+  double minHeadwayS = 1.5;  ///< minimum spacing between arrivals
+};
+
+struct TrafficConfig {
+  int width = 240;
+  int height = 180;
+  float lensScale = 1.0F;   ///< 1.0 at 12 mm (ENG); 0.5 at 6 mm (LT4)
+  std::vector<LaneSpec> lanes;
+  std::uint64_t seed = 7;
+};
+
+/// Road+path lane set spanning the sensor for the given geometry: two
+/// vehicle lanes in each direction plus a pedestrian path, scaled by
+/// lensScale.
+[[nodiscard]] std::vector<LaneSpec> makeDefaultLanes(int height,
+                                                     float lensScale);
+
+class TrafficScenario final : public SceneProvider {
+ public:
+  /// Generates the full arrival schedule for [0, duration) at construction.
+  TrafficScenario(const TrafficConfig& config, TimeUs duration);
+
+  [[nodiscard]] std::vector<ObjectState> objectsAt(TimeUs t) const override;
+  [[nodiscard]] int width() const override { return config_.width; }
+  [[nodiscard]] int height() const override { return config_.height; }
+
+  [[nodiscard]] TimeUs duration() const { return duration_; }
+  [[nodiscard]] const std::vector<ScriptedObject>& schedule() const {
+    return schedule_;
+  }
+
+  /// Ground truth sampled at every multiple of framePeriod in [0,duration).
+  [[nodiscard]] GroundTruth groundTruth(TimeUs framePeriod,
+                                        const GtOptions& options = {}) const;
+
+ private:
+  void generateSchedule();
+
+  TrafficConfig config_;
+  TimeUs duration_;
+  std::vector<ScriptedObject> schedule_;  ///< sorted by tStart
+  std::uint32_t nextId_ = 1;
+};
+
+}  // namespace ebbiot

@@ -1,0 +1,124 @@
+#include "src/trackers/assignment.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+/// Kuhn-Munkres with potentials; requires rows <= cols.  Returns, for
+/// each row (1-based internally), its assigned column.
+std::vector<int> kuhnMunkres(const std::vector<double>& cost,
+                             std::size_t rows, std::size_t cols) {
+  EBBIOT_ASSERT(rows <= cols);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t n = rows;
+  const std::size_t m = cols;
+  std::vector<double> u(n + 1, 0.0);
+  std::vector<double> v(m + 1, 0.0);
+  std::vector<std::size_t> p(m + 1, 0);  // p[j] = row assigned to column j
+  std::vector<std::size_t> way(m + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<bool> used(m + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = p[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= m; ++j) {
+        if (used[j]) {
+          continue;
+        }
+        const double cur =
+            cost[(i0 - 1) * m + (j - 1)] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> columnOfRow(n, -1);
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (p[j] >= 1 && p[j] <= n) {
+      columnOfRow[p[j] - 1] = static_cast<int>(j - 1);
+    }
+  }
+  return columnOfRow;
+}
+
+}  // namespace
+
+Assignment solveAssignment(const std::vector<double>& cost,
+                           std::size_t rows, std::size_t cols,
+                           double forbiddenCost) {
+  EBBIOT_ASSERT(cost.size() == rows * cols);
+  Assignment result;
+  result.columnOfRow.assign(rows, -1);
+  if (rows == 0 || cols == 0) {
+    return result;
+  }
+
+  std::vector<int> columnOfRow;
+  if (rows <= cols) {
+    columnOfRow = kuhnMunkres(cost, rows, cols);
+  } else {
+    // Transpose, solve, invert the mapping.
+    std::vector<double> t(cols * rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        t[c * rows + r] = cost[r * cols + c];
+      }
+    }
+    const std::vector<int> rowOfColumn = kuhnMunkres(t, cols, rows);
+    columnOfRow.assign(rows, -1);
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rowOfColumn[c] >= 0) {
+        columnOfRow[static_cast<std::size_t>(rowOfColumn[c])] =
+            static_cast<int>(c);
+      }
+    }
+  }
+
+  // Strip forbidden pairs and accumulate the real cost.
+  for (std::size_t r = 0; r < rows; ++r) {
+    const int c = columnOfRow[r];
+    if (c < 0) {
+      continue;
+    }
+    const double pairCost = cost[r * cols + static_cast<std::size_t>(c)];
+    if (pairCost >= forbiddenCost) {
+      continue;  // leave the row unassigned
+    }
+    result.columnOfRow[r] = c;
+    result.totalCost += pairCost;
+  }
+  return result;
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,34 @@
+// Linear assignment (Hungarian / Kuhn-Munkres) for data association.
+//
+// The Kalman baseline associates region proposals to tracks.  Greedy
+// nearest-first matching (the default) is O(n^2 log n) and what most
+// embedded trackers ship; the Hungarian algorithm finds the cost-optimal
+// one-to-one assignment in O(n^3).  Both are provided so the ablation
+// benches can quantify what optimal association is worth on this
+// workload.
+//
+// Implementation: the classic potentials + augmenting-path formulation
+// (Jonker-style) on a rectangular cost matrix, rows <= cols padded
+// internally.  Costs above `forbiddenCost` mark impossible pairs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ebbiot {
+
+/// Result of an assignment: for each row, the chosen column or -1.
+struct Assignment {
+  std::vector<int> columnOfRow;
+  double totalCost = 0.0;
+};
+
+/// Solve min-cost one-to-one assignment.  `cost` is row-major
+/// rows x cols.  Pairs with cost >= forbiddenCost are never assigned;
+/// rows may stay unassigned when all their columns are forbidden or
+/// taken by cheaper rows (rows > cols).
+[[nodiscard]] Assignment solveAssignment(const std::vector<double>& cost,
+                                         std::size_t rows, std::size_t cols,
+                                         double forbiddenCost = 1e17);
+
+}  // namespace ebbiot

@@ -1,0 +1,221 @@
+#include "src/trackers/ebms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+EbmsTracker::EbmsTracker(const EbmsConfig& config) : config_(config) {
+  EBBIOT_ASSERT(config.maxClusters >= 1);
+  EBBIOT_ASSERT(config.captureRadius > 0.0F);
+  EBBIOT_ASSERT(config.mixingFactor > 0.0F && config.mixingFactor <= 1.0F);
+  EBBIOT_ASSERT(config.velocityWindow >= 2);
+}
+
+BBox EbmsTracker::clusterBox(const Cluster& c) const {
+  // Rectangular extent from the mean absolute deviation of recent events:
+  // for a uniform box profile, full width ~= 4 * MAD.
+  const float w = std::max(config_.minBoxSide, 4.0F * c.madX);
+  const float h = std::max(config_.minBoxSide, 4.0F * c.madY);
+  return BBox{c.position.x - w / 2.0F, c.position.y - h / 2.0F, w, h};
+}
+
+void EbmsTracker::processEvent(const Event& event) {
+  const Vec2f p{static_cast<float>(event.x) + 0.5F,
+                static_cast<float>(event.y) + 0.5F};
+  // Nearest cluster whose capture region contains the event.
+  Cluster* best = nullptr;
+  float bestDist = std::numeric_limits<float>::max();
+  for (Cluster& c : clusters_) {
+    const float dx = std::abs(p.x - c.position.x);
+    const float dy = std::abs(p.y - c.position.y);
+    ops_.compares += 2;
+    ops_.adds += 2;
+    if (dx <= config_.captureRadius && dy <= config_.captureRadius) {
+      const float d = dx + dy;  // L1 is fine for the argmin
+      if (d < bestDist) {
+        bestDist = d;
+        best = &c;
+      }
+    }
+  }
+  if (best != nullptr) {
+    Cluster& c = *best;
+    const float m = config_.mixingFactor;
+    c.position.x = (1.0F - m) * c.position.x + m * p.x;
+    c.position.y = (1.0F - m) * c.position.y + m * p.y;
+    ops_.multiplies += 4;
+    ops_.adds += 2;
+    const float s = config_.sizeSmoothing;
+    c.madX = s * c.madX + (1.0F - s) * std::abs(p.x - c.position.x);
+    c.madY = s * c.madY + (1.0F - s) * std::abs(p.y - c.position.y);
+    ops_.multiplies += 4;
+    ops_.adds += 4;
+    ++c.support;
+    c.lastEventT = event.t;
+    if (event.t - c.lastSampleT >= config_.positionSampleInterval) {
+      c.history.emplace_back(event.t, c.position);
+      c.lastSampleT = event.t;
+      while (static_cast<int>(c.history.size()) > config_.velocityWindow) {
+        c.history.pop_front();
+      }
+      ops_.memWrites += 3;
+    }
+    return;
+  }
+  // Seed a potential cluster if a slot is free.
+  if (static_cast<int>(clusters_.size()) < config_.maxClusters) {
+    Cluster c;
+    c.id = nextId_++;
+    c.position = p;
+    c.support = 1;
+    c.lastEventT = event.t;
+    c.lastSampleT = event.t;
+    c.bornT = event.t;
+    c.history.emplace_back(event.t, p);
+    clusters_.push_back(std::move(c));
+    ops_.memWrites += 6;
+  }
+}
+
+void EbmsTracker::processPacket(const EventPacket& packet) {
+  ops_.reset();
+  for (const Event& e : packet) {
+    processEvent(e);
+  }
+  maintain(packet.tEnd());
+}
+
+void EbmsTracker::maintain(TimeUs now) {
+  // Prune silent clusters.
+  std::erase_if(clusters_, [&](const Cluster& c) {
+    return now - c.lastEventT > config_.clusterLifetime;
+  });
+  ops_.compares += clusters_.size();
+
+  // Merge overlapping clusters: keep the better-supported one, pull it
+  // slightly toward the victim (support-weighted), absorb the support.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (std::size_t i = 0; i < clusters_.size() && !merged; ++i) {
+      for (std::size_t j = i + 1; j < clusters_.size() && !merged; ++j) {
+        const BBox bi = clusterBox(clusters_[i]);
+        const BBox bj = clusterBox(clusters_[j]);
+        ops_.compares += 4;
+        ops_.multiplies += 2;
+        if (!overlapMatches(bi, bj, config_.mergeOverlapFraction)) {
+          continue;
+        }
+        const std::size_t keep =
+            clusters_[i].support >= clusters_[j].support ? i : j;
+        const std::size_t drop = keep == i ? j : i;
+        Cluster& k = clusters_[keep];
+        const Cluster& d = clusters_[drop];
+        const float wK = static_cast<float>(k.support) /
+                         static_cast<float>(k.support + d.support);
+        k.position.x = wK * k.position.x + (1.0F - wK) * d.position.x;
+        k.position.y = wK * k.position.y + (1.0F - wK) * d.position.y;
+        k.madX = std::max(k.madX, d.madX);
+        k.madY = std::max(k.madY, d.madY);
+        k.support += d.support;
+        k.lastEventT = std::max(k.lastEventT, d.lastEventT);
+        ops_.multiplies += 4;
+        ops_.adds += 6;
+        clusters_.erase(clusters_.begin() +
+                        static_cast<std::ptrdiff_t>(drop));
+        ++mergeCount_;
+        merged = true;
+      }
+    }
+  }
+
+  for (Cluster& c : clusters_) {
+    fitVelocity(c);
+  }
+  lastMaintain_ = now;
+}
+
+void EbmsTracker::fitVelocity(Cluster& cluster) {
+  // Least-squares line fit of position vs time over the sampled history
+  // (the paper: "past 10 positions ... using least square regression").
+  const std::size_t n = cluster.history.size();
+  if (n < 2) {
+    cluster.velocity = Vec2f{};
+    return;
+  }
+  double sumT = 0.0;
+  double sumX = 0.0;
+  double sumY = 0.0;
+  double sumTT = 0.0;
+  double sumTX = 0.0;
+  double sumTY = 0.0;
+  const TimeUs t0 = cluster.history.front().first;
+  for (const auto& [t, p] : cluster.history) {
+    const double ts = usToSeconds(t - t0);
+    sumT += ts;
+    sumX += p.x;
+    sumY += p.y;
+    sumTT += ts * ts;
+    sumTX += ts * p.x;
+    sumTY += ts * p.y;
+    ops_.multiplies += 3;
+    ops_.adds += 6;
+  }
+  const double nD = static_cast<double>(n);
+  const double denom = nD * sumTT - sumT * sumT;
+  if (std::abs(denom) < 1e-12) {
+    cluster.velocity = Vec2f{};
+    return;
+  }
+  // Slope is px/s; stored as px/s (converted to px/frame by callers that
+  // need frame units).
+  cluster.velocity.x =
+      static_cast<float>((nD * sumTX - sumT * sumX) / denom);
+  cluster.velocity.y =
+      static_cast<float>((nD * sumTY - sumT * sumY) / denom);
+  ops_.multiplies += 8;
+  ops_.adds += 4;
+}
+
+Tracks EbmsTracker::visibleTracks() const {
+  Tracks out;
+  for (const Cluster& c : clusters_) {
+    if (c.support < static_cast<std::uint64_t>(config_.visibilitySupport)) {
+      continue;
+    }
+    Track t;
+    t.id = c.id;
+    t.box = clusterBox(c);
+    t.velocity = c.velocity;  // px/s
+    t.hits = static_cast<int>(
+        std::min<std::uint64_t>(c.support,
+                                std::numeric_limits<int>::max()));
+    out.push_back(t);
+  }
+  return out;
+}
+
+Tracks EbmsTracker::allClusters() const {
+  Tracks out;
+  for (const Cluster& c : clusters_) {
+    Track t;
+    t.id = c.id;
+    t.box = clusterBox(c);
+    t.velocity = c.velocity;
+    t.hits = static_cast<int>(
+        std::min<std::uint64_t>(c.support,
+                                std::numeric_limits<int>::max()));
+    out.push_back(t);
+  }
+  return out;
+}
+
+int EbmsTracker::activeCount() const {
+  return static_cast<int>(clusters_.size());
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,238 @@
+#include "src/trackers/kalman.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/error.hpp"
+#include "src/trackers/assignment.hpp"
+
+namespace ebbiot {
+
+ConstantVelocityKalman::ConstantVelocityKalman(Vec2f position,
+                                               const KalmanConfig& config)
+    : x_(Matrix::columnVector({position.x, position.y, 0.0, 0.0})),
+      p_(Matrix::diagonal({config.measurementNoise * config.measurementNoise,
+                           config.measurementNoise * config.measurementNoise,
+                           config.initialVelocitySigma *
+                               config.initialVelocitySigma,
+                           config.initialVelocitySigma *
+                               config.initialVelocitySigma})),
+      f_(Matrix(4, 4,
+                {1, 0, 1, 0,  //
+                 0, 1, 0, 1,  //
+                 0, 0, 1, 0,  //
+                 0, 0, 0, 1})),
+      h_(Matrix(2, 4,
+                {1, 0, 0, 0,  //
+                 0, 1, 0, 0})),
+      r_(Matrix::diagonal(
+          {config.measurementNoise * config.measurementNoise,
+           config.measurementNoise * config.measurementNoise})) {
+  // Discrete white-noise acceleration model, dt = 1 frame:
+  //   Q = q * [dt^4/4, dt^3/2; dt^3/2, dt^2] per axis.
+  const double q = config.processNoise;
+  q_ = Matrix(4, 4);
+  q_(0, 0) = q / 4.0;
+  q_(1, 1) = q / 4.0;
+  q_(0, 2) = q / 2.0;
+  q_(2, 0) = q / 2.0;
+  q_(1, 3) = q / 2.0;
+  q_(3, 1) = q / 2.0;
+  q_(2, 2) = q;
+  q_(3, 3) = q;
+}
+
+void ConstantVelocityKalman::predict() {
+  x_ = f_ * x_;
+  p_ = f_ * p_ * f_.transposed() + q_;
+}
+
+void ConstantVelocityKalman::update(Vec2f measuredPosition) {
+  const Matrix z = Matrix::columnVector(
+      {measuredPosition.x, measuredPosition.y});
+  const Matrix innovation = z - h_ * x_;
+  const Matrix s = h_ * p_ * h_.transposed() + r_;
+  const Matrix k = p_ * h_.transposed() * s.inverted();
+  x_ = x_ + k * innovation;
+  p_ = (Matrix::identity(4) - k * h_) * p_;
+  lastInnovation_ = std::hypot(innovation(0, 0), innovation(1, 0));
+}
+
+Vec2f ConstantVelocityKalman::position() const {
+  return {static_cast<float>(x_(0, 0)), static_cast<float>(x_(1, 0))};
+}
+
+Vec2f ConstantVelocityKalman::velocity() const {
+  return {static_cast<float>(x_(2, 0)), static_cast<float>(x_(3, 0))};
+}
+
+KalmanTracker::KalmanTracker(const KalmanTrackerConfig& config)
+    : config_(config) {
+  EBBIOT_ASSERT(config.maxTracks >= 1);
+  EBBIOT_ASSERT(config.gateDistance > 0.0);
+  EBBIOT_ASSERT(config.frameWidth > 0 && config.frameHeight > 0);
+}
+
+void KalmanTracker::refreshTrackBox(Entry& entry) {
+  const Vec2f c = entry.filter.position();
+  entry.track.box = BBox{c.x - entry.w / 2.0F, c.y - entry.h / 2.0F,
+                         entry.w, entry.h};
+  entry.track.velocity = entry.filter.velocity();
+}
+
+Tracks KalmanTracker::update(const RegionProposals& proposals) {
+  ops_.reset();
+
+  // Time update for every live track.  Eq. (7) charges the KF recursions
+  // in matrix-op counts; we meter real multiply/adds instead (4x4 matrix
+  // products dominate).
+  for (Entry& e : entries_) {
+    e.filter.predict();
+    ops_.multiplies += 4 * 4 * 4 * 2;  // F*x (4x4*4x1) + F*P*F^T products
+    ops_.adds += 4 * 4 * 4 * 2;
+  }
+
+  // Gated association: centroid distances as costs, solved greedily
+  // (closest pair first) or optimally (Hungarian), per config.
+  const std::size_t nP = proposals.size();
+  std::vector<bool> trackMatched(entries_.size(), false);
+  std::vector<bool> proposalMatched(nP, false);
+  constexpr double kForbidden = 1e17;
+
+  std::vector<double> costs(entries_.size() * nP, kForbidden);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Vec2f c = entries_[i].filter.position();
+    for (std::size_t j = 0; j < nP; ++j) {
+      if (proposals[j].box.empty()) {
+        continue;
+      }
+      const Vec2f pc = proposals[j].box.center();
+      const double d = std::hypot(c.x - pc.x, c.y - pc.y);
+      ops_.multiplies += 2;
+      ops_.adds += 3;
+      ops_.compares += 1;
+      if (d <= config_.gateDistance) {
+        costs[i * nP + j] = d;
+      }
+    }
+  }
+
+  auto commitMatch = [&](std::size_t track, std::size_t proposal) {
+    trackMatched[track] = true;
+    proposalMatched[proposal] = true;
+    Entry& e = entries_[track];
+    const RegionProposal& prop = proposals[proposal];
+    e.filter.update(prop.box.center());
+    ops_.multiplies += 2 * 4 * 4 * 3;  // K gain products + state update
+    ops_.adds += 2 * 4 * 4 * 3;
+    const float ss = config_.sizeSmoothing;
+    e.w = ss * e.w + (1.0F - ss) * prop.box.w;
+    e.h = ss * e.h + (1.0F - ss) * prop.box.h;
+    ++e.track.age;
+    ++e.track.hits;
+    e.track.misses = 0;
+    refreshTrackBox(e);
+  };
+
+  if (config_.association == AssociationMethod::kHungarian &&
+      !entries_.empty() && nP > 0) {
+    const Assignment assignment =
+        solveAssignment(costs, entries_.size(), nP, kForbidden);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (assignment.columnOfRow[i] >= 0) {
+        commitMatch(i, static_cast<std::size_t>(assignment.columnOfRow[i]));
+      }
+    }
+    // Rough op charge for the O(n^3) solve.
+    const std::size_t n = std::max(entries_.size(), nP);
+    ops_.adds += n * n * n;
+  } else {
+    struct Pair {
+      double dist;
+      std::size_t track;
+      std::size_t proposal;
+    };
+    std::vector<Pair> pairs;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      for (std::size_t j = 0; j < nP; ++j) {
+        if (costs[i * nP + j] < kForbidden) {
+          pairs.push_back(Pair{costs[i * nP + j], i, j});
+        }
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair& a, const Pair& b) { return a.dist < b.dist; });
+    for (const Pair& p : pairs) {
+      if (trackMatched[p.track] || proposalMatched[p.proposal]) {
+        continue;
+      }
+      commitMatch(p.track, p.proposal);
+    }
+  }
+
+  // Unmatched tracks coast on the prediction.
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (trackMatched[i]) {
+      continue;
+    }
+    Entry& e = entries_[i];
+    ++e.track.age;
+    ++e.track.misses;
+    refreshTrackBox(e);
+  }
+
+  // Kill stale or departed tracks.
+  std::erase_if(entries_, [this](const Entry& e) {
+    if (e.track.misses > config_.maxMisses) {
+      return true;
+    }
+    return clampToFrame(e.track.box, config_.frameWidth, config_.frameHeight)
+        .empty();
+  });
+
+  // Seed from unmatched proposals.
+  for (std::size_t j = 0; j < nP; ++j) {
+    if (proposalMatched[j] ||
+        static_cast<int>(entries_.size()) >= config_.maxTracks) {
+      continue;
+    }
+    const RegionProposal& prop = proposals[j];
+    ops_.compares += 1;
+    if (prop.box.area() < config_.minSeedArea) {
+      continue;
+    }
+    Entry e{Track{}, ConstantVelocityKalman(prop.box.center(),
+                                            config_.filter),
+            prop.box.w, prop.box.h};
+    e.track.id = nextId_++;
+    e.track.age = 1;
+    e.track.hits = 1;
+    refreshTrackBox(e);
+    entries_.push_back(std::move(e));
+    ops_.memWrites += 8;
+  }
+
+  Tracks out;
+  for (Entry& e : entries_) {
+    if (e.track.hits >= config_.minHitsToReport) {
+      out.push_back(e.track);
+    }
+  }
+  return out;
+}
+
+Tracks KalmanTracker::liveTracks() const {
+  Tracks out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    out.push_back(e.track);
+  }
+  return out;
+}
+
+int KalmanTracker::activeCount() const {
+  return static_cast<int>(entries_.size());
+}
+
+}  // namespace ebbiot

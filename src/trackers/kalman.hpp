@@ -1,0 +1,112 @@
+// Kalman-filter tracking baseline — Section II-C, Eq. (7).
+//
+// The paper's comparison tracker follows Lin, Ramesh & Xiang (ACCV 2015):
+// a constant-velocity motion model over track centroids (the published
+// description keeps a measurement vector of the two centroid coordinates
+// per track).  This module provides:
+//   * ConstantVelocityKalman — a single-target KF with state
+//     [xc, yc, vx, vy]^T and measurement [xc, yc]^T on the dense Matrix
+//     type, with the standard predict/update recursions; and
+//   * KalmanTracker — the multi-target manager: greedy gated nearest-
+//     centroid association of RPN proposals to tracks, seeding from
+//     unmatched proposals, and EMA box-size smoothing (the KF itself
+//     estimates only the centroid, as in the paper).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/matrix.hpp"
+#include "src/common/op_counter.hpp"
+#include "src/detect/region.hpp"
+#include "src/trackers/track.hpp"
+
+namespace ebbiot {
+
+struct KalmanConfig {
+  double processNoise = 1.0;      ///< accel noise spectral density, px/fr^2
+  double measurementNoise = 2.0;  ///< centroid measurement sigma, px
+  double initialVelocitySigma = 5.0;
+};
+
+/// Single-target constant-velocity Kalman filter (frame-indexed: dt = 1).
+class ConstantVelocityKalman {
+ public:
+  ConstantVelocityKalman(Vec2f position, const KalmanConfig& config);
+
+  /// Time update: x <- F x, P <- F P F^T + Q.
+  void predict();
+
+  /// Measurement update with a centroid observation.
+  void update(Vec2f measuredPosition);
+
+  [[nodiscard]] Vec2f position() const;
+  [[nodiscard]] Vec2f velocity() const;
+
+  /// Innovation (pre-fit residual) magnitude of the last update.
+  [[nodiscard]] double lastInnovation() const { return lastInnovation_; }
+
+  [[nodiscard]] const Matrix& covariance() const { return p_; }
+
+ private:
+  Matrix x_;  ///< 4x1 state [xc, yc, vx, vy]
+  Matrix p_;  ///< 4x4 covariance
+  Matrix f_;  ///< 4x4 transition
+  Matrix q_;  ///< 4x4 process noise
+  Matrix h_;  ///< 2x4 measurement
+  Matrix r_;  ///< 2x2 measurement noise
+  double lastInnovation_ = 0.0;
+};
+
+/// How proposals are associated to tracks.
+enum class AssociationMethod {
+  kGreedy,     ///< globally closest pair first (the embedded default)
+  kHungarian,  ///< cost-optimal assignment (src/trackers/assignment.hpp)
+};
+
+struct KalmanTrackerConfig {
+  int maxTracks = 8;            ///< NT, matched to the OT for fairness
+  KalmanConfig filter;
+  AssociationMethod association = AssociationMethod::kGreedy;
+  double gateDistance = 40.0;   ///< max centroid distance for association
+  float sizeSmoothing = 0.7F;   ///< EMA weight of previous size
+  int maxMisses = 3;
+  int minHitsToReport = 3;      ///< same report gate as the OT, for fairness
+  float minSeedArea = 12.0F;
+  int frameWidth = 240;
+  int frameHeight = 180;
+};
+
+class KalmanTracker {
+ public:
+  explicit KalmanTracker(const KalmanTrackerConfig& config);
+
+  /// Advance one frame with this frame's region proposals.
+  Tracks update(const RegionProposals& proposals);
+
+  [[nodiscard]] Tracks liveTracks() const;
+  [[nodiscard]] int activeCount() const;
+
+  /// Ops of the most recent update, comparable to C_KF of Eq. (7).
+  [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
+
+  [[nodiscard]] const KalmanTrackerConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    Track track;
+    ConstantVelocityKalman filter;
+    float w = 0.0F;  ///< smoothed box size
+    float h = 0.0F;
+  };
+
+  void refreshTrackBox(Entry& entry);
+
+  KalmanTrackerConfig config_;
+  std::vector<Entry> entries_;
+  std::uint32_t nextId_ = 1;
+  OpCounts ops_;
+};
+
+}  // namespace ebbiot

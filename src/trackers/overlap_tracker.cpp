@@ -1,0 +1,492 @@
+#include "src/trackers/overlap_tracker.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+OverlapTracker::OverlapTracker(const OverlapTrackerConfig& config)
+    : config_(config), slots_(static_cast<std::size_t>(config.maxTrackers)) {
+  EBBIOT_ASSERT(config.maxTrackers >= 1);
+  EBBIOT_ASSERT(config.matchFraction > 0.0F && config.matchFraction <= 1.0F);
+  EBBIOT_ASSERT(config.predictionWeight >= 0.0F &&
+                config.predictionWeight <= 1.0F);
+  EBBIOT_ASSERT(config.occlusionLookahead >= 1);
+  EBBIOT_ASSERT(config.frameWidth > 0 && config.frameHeight > 0);
+}
+
+BBox OverlapTracker::predictBox(const Slot& slot, int steps) const {
+  const float s = static_cast<float>(steps);
+  return slot.track.box.translated(slot.velocity.x * s, slot.velocity.y * s);
+}
+
+bool OverlapTracker::insideRoe(const BBox& box) const {
+  const Vec2f c = box.center();
+  for (const BBox& roe : config_.regionsOfExclusion) {
+    if (roe.contains(c.x, c.y)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Tracks OverlapTracker::update(const RegionProposals& rawProposals) {
+  ops_.reset();
+
+  // --- Region of exclusion: mask distractor proposals up front.
+  RegionProposals proposals;
+  proposals.reserve(rawProposals.size());
+  for (const RegionProposal& p : rawProposals) {
+    ops_.compares += config_.regionsOfExclusion.size();
+    if (!p.box.empty() && !insideRoe(p.box)) {
+      proposals.push_back(p);
+    }
+  }
+
+  // --- Step 1: predictions for all valid trackers.
+  std::vector<int> live;
+  for (int i = 0; i < config_.maxTrackers; ++i) {
+    if (slots_[static_cast<std::size_t>(i)].valid) {
+      live.push_back(i);
+    }
+  }
+  std::vector<BBox> pred(live.size());
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    pred[k] = predictBox(slots_[static_cast<std::size_t>(live[k])], 1);
+    ops_.adds += 2;  // x += vx, y += vy
+  }
+
+  // --- Step 2: overlap matches (tracker k <-> proposal j).
+  const std::size_t nT = live.size();
+  const std::size_t nP = proposals.size();
+  std::vector<std::vector<int>> matchesOfTracker(nT);
+  std::vector<std::vector<int>> matchesOfProposal(nP);
+  for (std::size_t k = 0; k < nT; ++k) {
+    for (std::size_t j = 0; j < nP; ++j) {
+      // Overlap test: ~4 interval comparisons + area arithmetic.
+      ops_.compares += 4;
+      ops_.multiplies += 2;
+      if (overlapMatches(pred[k], proposals[j].box, config_.matchFraction)) {
+        matchesOfTracker[k].push_back(static_cast<int>(j));
+        matchesOfProposal[j].push_back(static_cast<int>(k));
+      }
+    }
+  }
+
+  // --- Connected components of the match graph; each resolves to one of
+  // the paper's cases.
+  std::vector<bool> trackerDone(nT, false);
+  std::vector<bool> proposalDone(nP, false);
+  std::vector<bool> releasedProposal(nP, false);
+
+  // Fragment-absorption rule (Section II-C step 4): starting from the
+  // best-overlapping proposal, absorb further fragments only while the
+  // union stays near the tracker's remembered size.  Returns the merged
+  // box; proposals that would overgrow it are released for re-seeding.
+  auto absorbFragments = [&](const BBox& predicted,
+                             const std::vector<int>& proposalIdx) {
+    std::vector<int> order = proposalIdx;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return intersectionArea(predicted, proposals[static_cast<std::size_t>(
+                                             a)].box) >
+             intersectionArea(predicted, proposals[static_cast<std::size_t>(
+                                             b)].box);
+    });
+    const float maxW = predicted.w * config_.maxUnionGrowth +
+                       config_.unionGrowthMarginPx;
+    const float maxH = predicted.h * config_.maxUnionGrowth +
+                       config_.unionGrowthMarginPx;
+    BBox merged;
+    for (int j : order) {
+      const BBox& candidate = proposals[static_cast<std::size_t>(j)].box;
+      const BBox grown = unite(merged, candidate);
+      ops_.compares += 2;
+      ops_.adds += 4;
+      if (merged.empty()) {
+        merged = grown;
+        continue;
+      }
+      // Side-view rule: fragments of one vehicle share its Y band, so a
+      // candidate must overlap the prediction vertically; an object in a
+      // different lane does not and is released to its own tracker.
+      const float yOverlap = std::min(predicted.top(), candidate.top()) -
+                             std::max(predicted.bottom(), candidate.bottom());
+      const bool sameBand =
+          yOverlap >= 0.5F * std::min(predicted.h, candidate.h);
+      if (sameBand && grown.w <= maxW && grown.h <= maxH) {
+        merged = grown;
+      } else if (candidate.area() >= 0.25F * predicted.area()) {
+        // Large enough to be a distinct object: release it so it can
+        // seed its own tracker.
+        releasedProposal[static_cast<std::size_t>(j)] = true;
+      }
+      // Small rejected shards are debris of this object (sparse interior
+      // beyond the histogram gap); absorbing them would overgrow the box
+      // and seeding them would fabricate ghost tracks, so they are
+      // consumed silently.
+    }
+    return merged;
+  };
+
+  for (std::size_t start = 0; start < nT; ++start) {
+    if (trackerDone[start] || matchesOfTracker[start].empty()) {
+      continue;
+    }
+    // Gather the component via BFS over the bipartite graph.
+    std::vector<int> compTrackers;
+    std::vector<int> compProposals;
+    std::vector<int> stackT{static_cast<int>(start)};
+    std::vector<int> stackP;
+    trackerDone[start] = true;
+    while (!stackT.empty() || !stackP.empty()) {
+      if (!stackT.empty()) {
+        const int k = stackT.back();
+        stackT.pop_back();
+        compTrackers.push_back(k);
+        for (int j : matchesOfTracker[static_cast<std::size_t>(k)]) {
+          if (!proposalDone[static_cast<std::size_t>(j)]) {
+            proposalDone[static_cast<std::size_t>(j)] = true;
+            stackP.push_back(j);
+          }
+        }
+      } else {
+        const int j = stackP.back();
+        stackP.pop_back();
+        compProposals.push_back(j);
+        for (int k : matchesOfProposal[static_cast<std::size_t>(j)]) {
+          if (!trackerDone[static_cast<std::size_t>(k)]) {
+            trackerDone[static_cast<std::size_t>(k)] = true;
+            stackT.push_back(k);
+          }
+        }
+      }
+    }
+
+    if (compTrackers.size() == 1) {
+      // --- Case 4: one tracker, >= 1 proposals: the union of the
+      // absorbable fragments repairs fragmentation; blend with prediction.
+      const int k = compTrackers.front();
+      Slot& slot = slots_[static_cast<std::size_t>(live[
+          static_cast<std::size_t>(k)])];
+      const BBox merged = absorbFragments(predictBox(slot, 1), compProposals);
+      updateMatched(slot, merged);
+      continue;
+    }
+
+    // >= 2 trackers: the paper's case 5, resolved proposal by proposal.
+    //
+    // The occlusion test compares the *pre-update trajectories* of the
+    // trackers ("the predicted trajectory of those trackers for upto
+    // n = 2 future time steps").  Each step is checked with the box swept
+    // over the step interval (union of the n-1 and n step poses), because
+    // fast closing speeds can cross entirely between two integer steps.
+    struct Trajectory {
+      BBox box;
+      Vec2f velocity;
+    };
+    std::vector<Trajectory> preUpdate(compTrackers.size());
+    for (std::size_t a = 0; a < compTrackers.size(); ++a) {
+      const Slot& slot = slots_[static_cast<std::size_t>(
+          live[static_cast<std::size_t>(compTrackers[a])])];
+      preUpdate[a] = Trajectory{slot.track.box, slot.velocity};
+    }
+    auto sweptBoxAt = [&](std::size_t a, int step) {
+      const Trajectory& t = preUpdate[a];
+      const float s0 = static_cast<float>(step - 1);
+      const float s1 = static_cast<float>(step);
+      const BBox swept =
+          unite(t.box.translated(t.velocity.x * s0, t.velocity.y * s0),
+                t.box.translated(t.velocity.x * s1, t.velocity.y * s1));
+      const float m = config_.occlusionMarginPx;
+      return BBox{swept.x - m, swept.y - m, swept.w + 2.0F * m,
+                  swept.h + 2.0F * m};
+    };
+    auto trajectoriesCross = [&](std::size_t a, std::size_t b) {
+      // Occlusion needs genuine relative motion: co-moving trackers are
+      // fragments of one object, never a crossing pair.
+      const Vec2f dv = preUpdate[a].velocity - preUpdate[b].velocity;
+      ops_.compares += 2;
+      if (std::abs(dv.x) <= config_.duplicateVelocityTol &&
+          std::abs(dv.y) <= config_.duplicateVelocityTol) {
+        return false;
+      }
+      for (int n = 1; n <= config_.occlusionLookahead; ++n) {
+        ops_.compares += 4;
+        ops_.adds += 8;
+        if (!intersect(sweptBoxAt(a, n), sweptBoxAt(b, n)).empty()) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    // Component-local index of each tracker.
+    auto localIndex = [&](int trackerK) {
+      for (std::size_t a = 0; a < compTrackers.size(); ++a) {
+        if (compTrackers[a] == trackerK) {
+          return a;
+        }
+      }
+      EBBIOT_ASSERT(false && "tracker not in component");
+      return std::size_t{0};
+    };
+
+    std::vector<bool> coasting(compTrackers.size(), false);
+    std::vector<bool> freed(compTrackers.size(), false);
+    std::vector<std::size_t> mergedInto(compTrackers.size());
+    for (std::size_t a = 0; a < compTrackers.size(); ++a) {
+      mergedInto[a] = a;
+    }
+    std::vector<std::vector<int>> assigned(compTrackers.size());
+
+    // First pass: proposals shared by several trackers decide occlusion
+    // vs fragmentation-merge.
+    for (int j : compProposals) {
+      const auto& matched = matchesOfProposal[static_cast<std::size_t>(j)];
+      if (matched.size() < 2) {
+        continue;
+      }
+      bool occlusion = false;
+      for (std::size_t x = 0; x < matched.size() && !occlusion; ++x) {
+        for (std::size_t y = x + 1; y < matched.size() && !occlusion; ++y) {
+          occlusion = trajectoriesCross(localIndex(matched[x]),
+                                        localIndex(matched[y]));
+        }
+      }
+      if (occlusion) {
+        // Case 5a: dynamic occlusion — every matched tracker coasts on
+        // its own prediction with velocity retained; the merged blob
+        // proposal is consumed without updating anyone.
+        for (int k : matched) {
+          coasting[localIndex(k)] = true;
+        }
+      } else {
+        // Case 5b: duplicate trackers from earlier fragmentation — merge
+        // into the senior (most-established) tracker, which inherits the
+        // proposal; the duplicates are freed.
+        std::size_t senior = localIndex(matched.front());
+        for (int k : matched) {
+          const std::size_t a = localIndex(k);
+          const Slot& slot = slots_[static_cast<std::size_t>(
+              live[static_cast<std::size_t>(compTrackers[a])])];
+          const Slot& best = slots_[static_cast<std::size_t>(
+              live[static_cast<std::size_t>(compTrackers[senior])])];
+          if (slot.track.hits > best.track.hits) {
+            senior = a;
+          }
+        }
+        for (int k : matched) {
+          const std::size_t a = localIndex(k);
+          if (a != senior && !coasting[a]) {
+            freed[a] = true;
+            mergedInto[a] = senior;
+          }
+        }
+        assigned[senior].push_back(j);
+      }
+    }
+
+    // Second pass: exclusively-matched proposals go to their tracker —
+    // or to the senior that absorbed it.
+    for (int j : compProposals) {
+      const auto& matched = matchesOfProposal[static_cast<std::size_t>(j)];
+      if (matched.size() != 1) {
+        continue;
+      }
+      std::size_t a = localIndex(matched.front());
+      while (mergedInto[a] != a) {
+        a = mergedInto[a];
+      }
+      assigned[a].push_back(j);
+    }
+
+    // Apply the outcome per tracker.
+    for (std::size_t a = 0; a < compTrackers.size(); ++a) {
+      Slot& slot = slots_[static_cast<std::size_t>(
+          live[static_cast<std::size_t>(compTrackers[a])])];
+      if (freed[a]) {
+        slot.valid = false;
+        continue;
+      }
+      if (coasting[a]) {
+        slot.track.box = predictBox(slot, 1);
+        slot.track.occluded = true;
+        ++slot.track.age;
+        slot.track.misses = 0;
+        ops_.adds += 3;
+        continue;
+      }
+      if (!assigned[a].empty()) {
+        const BBox merged =
+            absorbFragments(predictBox(slot, 1), assigned[a]);
+        updateMatched(slot, merged);
+        continue;
+      }
+      // Matched somewhere in the component but ended up with nothing
+      // (e.g. its proposal went to an occluding pair): coast.
+      coast(slot);
+      if (shouldKill(slot)) {
+        slot.valid = false;
+      }
+    }
+  }
+
+  // --- Step 3 + coasting: unmatched proposals seed; unmatched trackers
+  // coast on their prediction.
+  for (std::size_t k = 0; k < nT; ++k) {
+    Slot& slot = slots_[static_cast<std::size_t>(live[k])];
+    if (!slot.valid || !matchesOfTracker[k].empty()) {
+      continue;
+    }
+    coast(slot);
+    if (shouldKill(slot)) {
+      slot.valid = false;
+    }
+  }
+  for (std::size_t j = 0; j < nP; ++j) {
+    if (!matchesOfProposal[j].empty() && !releasedProposal[j]) {
+      continue;
+    }
+    ops_.compares += 1;
+    if (proposals[j].box.area() >= config_.minSeedArea) {
+      seed(proposals[j]);
+    }
+  }
+
+  // --- Duplicate suppression: collapse co-moving, co-located trackers
+  // (fragment shards that graduated into their own slots).
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].valid) {
+      continue;
+    }
+    for (std::size_t j = i + 1; j < slots_.size(); ++j) {
+      if (!slots_[j].valid) {
+        continue;
+      }
+      Slot& a = slots_[i];
+      Slot& b = slots_[j];
+      const float minArea = std::min(a.track.box.area(), b.track.box.area());
+      ops_.compares += 3;
+      ops_.multiplies += 2;
+      if (minArea <= 0.0F ||
+          intersectionArea(a.track.box, b.track.box) <
+              config_.duplicateOverlap * minArea) {
+        continue;
+      }
+      const Vec2f dv = a.velocity - b.velocity;
+      if (std::abs(dv.x) > config_.duplicateVelocityTol ||
+          std::abs(dv.y) > config_.duplicateVelocityTol) {
+        continue;  // crossing objects, not duplicates
+      }
+      Slot& junior = a.track.hits >= b.track.hits ? b : a;
+      junior.valid = false;
+    }
+  }
+
+  // --- Report.
+  Tracks out;
+  for (const Slot& slot : slots_) {
+    if (slot.valid && slot.track.hits >= config_.minHitsToReport) {
+      Track t = slot.track;
+      t.velocity = slot.velocity;
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+void OverlapTracker::updateMatched(Slot& slot, const BBox& merged) {
+  const BBox predicted = predictBox(slot, 1);
+  const float wp = config_.predictionWeight;
+  const float wm = 1.0F - wp;
+  const float ws = config_.sizeSmoothing;
+
+  BBox updated;
+  // Blend sizes, then rate-limit growth so a transiently oversized merged
+  // box cannot compound the tracker's size frame over frame (shrinking is
+  // unconstrained: a departing object's visible part legitimately
+  // collapses quickly).
+  updated.w = ws * predicted.w + (1.0F - ws) * merged.w;
+  updated.h = ws * predicted.h + (1.0F - ws) * merged.h;
+  updated.w = std::min(updated.w, predicted.w * 1.15F + 3.0F);
+  updated.h = std::min(updated.h, predicted.h * 1.15F + 3.0F);
+  // Blend centres, then recover the bottom-left corner at the new size.
+  const Vec2f cPred = predicted.center();
+  const Vec2f cMeas = merged.center();
+  const Vec2f c{wp * cPred.x + wm * cMeas.x, wp * cPred.y + wm * cMeas.y};
+  updated.x = c.x - updated.w / 2.0F;
+  updated.y = c.y - updated.h / 2.0F;
+
+  const Vec2f cPrev = slot.track.box.center();
+  const Vec2f vMeasured{c.x - cPrev.x, c.y - cPrev.y};
+  const float vb = config_.velocityBlend;
+  slot.velocity = Vec2f{vb * slot.velocity.x + (1.0F - vb) * vMeasured.x,
+                        vb * slot.velocity.y + (1.0F - vb) * vMeasured.y};
+
+  slot.track.box = updated;
+  ++slot.track.age;
+  ++slot.track.hits;
+  slot.track.misses = 0;
+  slot.track.occluded = false;
+  ops_.adds += 12;
+  ops_.multiplies += 10;
+}
+
+void OverlapTracker::coast(Slot& slot) {
+  slot.track.box = predictBox(slot, 1);
+  ++slot.track.age;
+  ++slot.track.misses;
+  slot.track.occluded = false;
+  ops_.adds += 3;
+}
+
+bool OverlapTracker::shouldKill(const Slot& slot) const {
+  if (slot.track.misses > config_.maxMisses) {
+    return true;
+  }
+  const BBox inFrame = clampToFrame(slot.track.box, config_.frameWidth,
+                                    config_.frameHeight);
+  return inFrame.empty();
+}
+
+void OverlapTracker::seed(const RegionProposal& proposal) {
+  for (Slot& slot : slots_) {
+    if (slot.valid) {
+      continue;
+    }
+    slot.valid = true;
+    slot.track = Track{};
+    slot.track.id = nextId_++;
+    slot.track.box = proposal.box;
+    slot.track.age = 1;
+    slot.track.hits = 1;
+    slot.track.misses = 0;
+    slot.velocity = Vec2f{};
+    ops_.memWrites += 6;
+    return;
+  }
+  // No free tracker: the proposal is dropped (paper: "if ... there are
+  // available free trackers", step 3).
+}
+
+Tracks OverlapTracker::liveTracks() const {
+  Tracks out;
+  for (const Slot& slot : slots_) {
+    if (slot.valid) {
+      Track t = slot.track;
+      t.velocity = slot.velocity;
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+int OverlapTracker::activeCount() const {
+  return static_cast<int>(
+      std::count_if(slots_.begin(), slots_.end(),
+                    [](const Slot& s) { return s.valid; }));
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,175 @@
+#include "src/viz/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+RgbImage::RgbImage(int width, int height, Rgb fill)
+    : width_(width),
+      height_(height),
+      bytes_(static_cast<std::size_t>(width) * height * 3) {
+  EBBIOT_ASSERT(width > 0 && height > 0);
+  for (std::size_t i = 0; i < bytes_.size(); i += 3) {
+    bytes_[i] = fill.r;
+    bytes_[i + 1] = fill.g;
+    bytes_[i + 2] = fill.b;
+  }
+}
+
+std::size_t RgbImage::offset(int x, int y) const {
+  EBBIOT_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_);
+  // Sensor y-up -> raster top-down.
+  const int row = height_ - 1 - y;
+  return (static_cast<std::size_t>(row) * width_ + x) * 3;
+}
+
+Rgb RgbImage::at(int x, int y) const {
+  const std::size_t o = offset(x, y);
+  return Rgb{bytes_[o], bytes_[o + 1], bytes_[o + 2]};
+}
+
+void RgbImage::set(int x, int y, Rgb color) {
+  const std::size_t o = offset(x, y);
+  bytes_[o] = color.r;
+  bytes_[o + 1] = color.g;
+  bytes_[o + 2] = color.b;
+}
+
+RgbImage renderEbbi(const BinaryImage& ebbi) {
+  RgbImage image(ebbi.width(), ebbi.height());
+  for (int y = 0; y < ebbi.height(); ++y) {
+    for (int x = 0; x < ebbi.width(); ++x) {
+      if (ebbi.get(x, y)) {
+        image.set(x, y, colors::kEventGray);
+      }
+    }
+  }
+  return image;
+}
+
+void drawBox(RgbImage& image, const BBox& box, Rgb color) {
+  const BBox c = clampToFrame(box, image.width(), image.height());
+  if (c.empty()) {
+    return;
+  }
+  const int x0 = static_cast<int>(std::floor(c.left()));
+  const int x1 = std::min(image.width() - 1,
+                          static_cast<int>(std::ceil(c.right())) - 1);
+  const int y0 = static_cast<int>(std::floor(c.bottom()));
+  const int y1 = std::min(image.height() - 1,
+                          static_cast<int>(std::ceil(c.top())) - 1);
+  for (int x = x0; x <= x1; ++x) {
+    image.set(x, y0, color);
+    image.set(x, y1, color);
+  }
+  for (int y = y0; y <= y1; ++y) {
+    image.set(x0, y, color);
+    image.set(x1, y, color);
+  }
+}
+
+RgbImage renderFrame(const BinaryImage& ebbi, const FrameOverlay& overlay) {
+  RgbImage image = renderEbbi(ebbi);
+  if (overlay.regionsOfExclusion != nullptr) {
+    for (const BBox& roe : *overlay.regionsOfExclusion) {
+      drawBox(image, roe, colors::kRoe);
+    }
+  }
+  if (overlay.proposals != nullptr) {
+    for (const RegionProposal& p : *overlay.proposals) {
+      drawBox(image, p.box, colors::kProposal);
+    }
+  }
+  if (overlay.groundTruth != nullptr) {
+    for (const GtBox& g : *overlay.groundTruth) {
+      drawBox(image, g.box, colors::kGroundTruth);
+    }
+  }
+  if (overlay.tracks != nullptr) {
+    for (const Track& t : *overlay.tracks) {
+      drawBox(image, t.box, colors::kTrack);
+    }
+  }
+  return image;
+}
+
+void writePpm(std::ostream& os, const RgbImage& image) {
+  os << "P6\n" << image.width() << ' ' << image.height() << "\n255\n";
+  os.write(reinterpret_cast<const char*>(image.bytes().data()),
+           static_cast<std::streamsize>(image.bytes().size()));
+  if (!os) {
+    throw IoError("failed writing PPM image");
+  }
+}
+
+void writePpmFile(const std::string& path, const RgbImage& image) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw IoError("cannot open for writing: " + path);
+  }
+  writePpm(os, image);
+}
+
+std::string renderAscii(const BinaryImage& ebbi, const FrameOverlay& overlay,
+                        int columns, int rows) {
+  EBBIOT_ASSERT(columns > 0 && rows > 0);
+  std::vector<std::string> canvas(
+      static_cast<std::size_t>(rows), std::string(
+          static_cast<std::size_t>(columns), '.'));
+  const float sx = static_cast<float>(ebbi.width()) / columns;
+  const float sy = static_cast<float>(ebbi.height()) / rows;
+
+  auto plotCell = [&](float px, float py, char c) {
+    const int cx = std::clamp(static_cast<int>(px / sx), 0, columns - 1);
+    const int cy = std::clamp(static_cast<int>(py / sy), 0, rows - 1);
+    canvas[static_cast<std::size_t>(rows - 1 - cy)]
+          [static_cast<std::size_t>(cx)] = c;
+  };
+
+  for (int y = 0; y < ebbi.height(); ++y) {
+    for (int x = 0; x < ebbi.width(); ++x) {
+      if (ebbi.get(x, y)) {
+        plotCell(static_cast<float>(x), static_cast<float>(y), '*');
+      }
+    }
+  }
+  auto outline = [&](const BBox& b, char c) {
+    const BBox cl = clampToFrame(b, ebbi.width(), ebbi.height());
+    if (cl.empty()) {
+      return;
+    }
+    for (float x = cl.left(); x < cl.right(); x += sx) {
+      plotCell(x, cl.bottom(), c);
+      plotCell(x, cl.top() - 1.0F, c);
+    }
+    for (float y = cl.bottom(); y < cl.top(); y += sy) {
+      plotCell(cl.left(), y, c);
+      plotCell(cl.right() - 1.0F, y, c);
+    }
+  };
+  if (overlay.groundTruth != nullptr) {
+    for (const GtBox& g : *overlay.groundTruth) {
+      outline(g.box, '#');
+    }
+  }
+  if (overlay.tracks != nullptr) {
+    for (const Track& t : *overlay.tracks) {
+      outline(t.box, 'o');
+    }
+  }
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>(rows) * (columns + 1));
+  for (const std::string& row : canvas) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ebbiot

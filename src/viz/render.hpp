@@ -1,0 +1,95 @@
+// Rendering of EBBIs, proposals and tracks for inspection.
+//
+// Surveillance pipelines live or die by being debuggable: this module
+// turns any frame of the pipeline into either an RGB raster (written as
+// binary PPM, viewable everywhere) or an ASCII sketch for terminals and
+// logs.  Convention: row 0 of the raster is the *top* image row, so the
+// sensor's y-up coordinates are flipped at render time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/geometry.hpp"
+#include "src/detect/region.hpp"
+#include "src/ebbi/binary_image.hpp"
+#include "src/sim/ground_truth.hpp"
+#include "src/trackers/track.hpp"
+
+namespace ebbiot {
+
+/// 8-bit RGB color.
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  friend bool operator==(const Rgb&, const Rgb&) = default;
+};
+
+namespace colors {
+inline constexpr Rgb kBlack{0, 0, 0};
+inline constexpr Rgb kWhite{255, 255, 255};
+inline constexpr Rgb kEventGray{190, 190, 190};
+inline constexpr Rgb kGroundTruth{0, 200, 0};
+inline constexpr Rgb kTrack{255, 64, 64};
+inline constexpr Rgb kProposal{80, 120, 255};
+inline constexpr Rgb kRoe{180, 120, 0};
+}  // namespace colors
+
+/// A simple RGB raster.
+class RgbImage {
+ public:
+  RgbImage() = default;
+  RgbImage(int width, int height, Rgb fill = colors::kBlack);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+  /// Pixel access in *sensor* coordinates (y grows upward).
+  [[nodiscard]] Rgb at(int x, int y) const;
+  void set(int x, int y, Rgb color);
+
+  /// Raw row-major top-down bytes (for PPM output).
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t offset(int x, int y) const;
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Start a frame render from an EBBI (set pixels in kEventGray).
+[[nodiscard]] RgbImage renderEbbi(const BinaryImage& ebbi);
+
+/// Draw a one-pixel box outline (clipped to the image).
+void drawBox(RgbImage& image, const BBox& box, Rgb color);
+
+/// Compose a full debug frame: EBBI + proposals + tracks + ground truth.
+struct FrameOverlay {
+  const RegionProposals* proposals = nullptr;
+  const Tracks* tracks = nullptr;
+  const std::vector<GtBox>* groundTruth = nullptr;
+  const std::vector<BBox>* regionsOfExclusion = nullptr;
+};
+[[nodiscard]] RgbImage renderFrame(const BinaryImage& ebbi,
+                                   const FrameOverlay& overlay);
+
+/// Binary PPM (P6) writer; throws IoError on failure.
+void writePpm(std::ostream& os, const RgbImage& image);
+void writePpmFile(const std::string& path, const RgbImage& image);
+
+/// ASCII sketch at the given terminal size: '.' empty, '*' events,
+/// '#' ground truth outline, 'o' track outline ('o' wins on overlap).
+[[nodiscard]] std::string renderAscii(const BinaryImage& ebbi,
+                                      const FrameOverlay& overlay,
+                                      int columns = 80, int rows = 24);
+
+}  // namespace ebbiot

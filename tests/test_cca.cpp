@@ -1,0 +1,230 @@
+#include "src/detect/cca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "src/common/rng.hpp"
+
+namespace ebbiot {
+namespace {
+
+void fillBlock(BinaryImage& img, int x0, int y0, int w, int h) {
+  for (int y = y0; y < y0 + h; ++y) {
+    for (int x = x0; x < x0 + w; ++x) {
+      img.set(x, y, true);
+    }
+  }
+}
+
+/// Reference flood-fill labeller for the property test.
+std::vector<ConnectedComponent> floodFillReference(const BinaryImage& img,
+                                                   Connectivity conn,
+                                                   std::size_t minPixels) {
+  const int w = img.width();
+  const int h = img.height();
+  std::vector<bool> visited(static_cast<std::size_t>(w) * h, false);
+  std::vector<ConnectedComponent> out;
+  for (int sy = 0; sy < h; ++sy) {
+    for (int sx = 0; sx < w; ++sx) {
+      if (!img.get(sx, sy) || visited[static_cast<std::size_t>(sy) * w + sx]) {
+        continue;
+      }
+      int minX = sx;
+      int maxX = sx;
+      int minY = sy;
+      int maxY = sy;
+      std::size_t count = 0;
+      std::queue<std::pair<int, int>> q;
+      q.emplace(sx, sy);
+      visited[static_cast<std::size_t>(sy) * w + sx] = true;
+      while (!q.empty()) {
+        const auto [x, y] = q.front();
+        q.pop();
+        ++count;
+        minX = std::min(minX, x);
+        maxX = std::max(maxX, x);
+        minY = std::min(minY, y);
+        maxY = std::max(maxY, y);
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0) {
+              continue;
+            }
+            if (conn == Connectivity::kFour && dx != 0 && dy != 0) {
+              continue;
+            }
+            const int nx = x + dx;
+            const int ny = y + dy;
+            if (nx < 0 || nx >= w || ny < 0 || ny >= h) {
+              continue;
+            }
+            if (!img.get(nx, ny) ||
+                visited[static_cast<std::size_t>(ny) * w + nx]) {
+              continue;
+            }
+            visited[static_cast<std::size_t>(ny) * w + nx] = true;
+            q.emplace(nx, ny);
+          }
+        }
+      }
+      if (count >= minPixels) {
+        out.push_back(ConnectedComponent{
+            BBox{static_cast<float>(minX), static_cast<float>(minY),
+                 static_cast<float>(maxX - minX + 1),
+                 static_cast<float>(maxY - minY + 1)},
+            count});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ConnectedComponent& a, const ConnectedComponent& b) {
+              if (a.box.y != b.box.y) {
+                return a.box.y < b.box.y;
+              }
+              return a.box.x < b.box.x;
+            });
+  return out;
+}
+
+TEST(CcaTest, EmptyImageNoComponents) {
+  CcaLabeler cca(CcaConfig{});
+  const BinaryImage img(64, 64);
+  EXPECT_TRUE(cca.label(img).empty());
+}
+
+TEST(CcaTest, SingleBlockOneComponent) {
+  CcaLabeler cca(CcaConfig{});
+  BinaryImage img(64, 64);
+  fillBlock(img, 10, 10, 8, 6);
+  const auto comps = cca.label(img);
+  ASSERT_EQ(comps.size(), 1U);
+  EXPECT_EQ(comps[0].pixelCount, 48U);
+  EXPECT_EQ(comps[0].box, (BBox{10, 10, 8, 6}));
+}
+
+TEST(CcaTest, TwoBlocksTwoComponents) {
+  CcaLabeler cca(CcaConfig{});
+  BinaryImage img(64, 64);
+  fillBlock(img, 5, 5, 6, 6);
+  fillBlock(img, 30, 30, 6, 6);
+  EXPECT_EQ(cca.label(img).size(), 2U);
+}
+
+TEST(CcaTest, DiagonalTouchJoinsOnlyWithEightConnectivity) {
+  BinaryImage img(16, 16);
+  img.set(5, 5, true);
+  img.set(6, 6, true);
+  CcaConfig eight;
+  eight.minComponentPixels = 1;
+  CcaLabeler ccaEight(eight);
+  EXPECT_EQ(ccaEight.label(img).size(), 1U);
+  CcaConfig four;
+  four.connectivity = Connectivity::kFour;
+  four.minComponentPixels = 1;
+  CcaLabeler ccaFour(four);
+  EXPECT_EQ(ccaFour.label(img).size(), 2U);
+}
+
+TEST(CcaTest, UShapeIsOneComponent) {
+  // U-shape forces label equivalences to be resolved by union-find.
+  BinaryImage img(32, 32);
+  fillBlock(img, 5, 5, 3, 12);    // left arm
+  fillBlock(img, 15, 5, 3, 12);   // right arm
+  fillBlock(img, 5, 5, 13, 3);    // bottom bridge
+  CcaConfig config;
+  config.minComponentPixels = 1;
+  CcaLabeler cca(config);
+  const auto comps = cca.label(img);
+  ASSERT_EQ(comps.size(), 1U);
+  EXPECT_EQ(comps[0].box, (BBox{5, 5, 13, 12}));
+}
+
+TEST(CcaTest, MinComponentPixelsFilters) {
+  BinaryImage img(32, 32);
+  fillBlock(img, 5, 5, 5, 5);    // 25 px
+  img.set(20, 20, true);         // 1 px speck
+  CcaConfig config;
+  config.minComponentPixels = 4;
+  CcaLabeler cca(config);
+  const auto comps = cca.label(img);
+  ASSERT_EQ(comps.size(), 1U);
+  EXPECT_EQ(comps[0].pixelCount, 25U);
+}
+
+TEST(CcaTest, ProposalsMirrorComponents) {
+  CcaLabeler cca(CcaConfig{});
+  BinaryImage img(64, 64);
+  fillBlock(img, 10, 10, 8, 6);
+  const RegionProposals props = cca.propose(img);
+  ASSERT_EQ(props.size(), 1U);
+  EXPECT_EQ(props[0].box, (BBox{10, 10, 8, 6}));
+  EXPECT_EQ(props[0].support, 48U);
+}
+
+TEST(CcaTest, DownsampledLabellingScalesBoxes) {
+  CountImage down(40, 60);
+  down.at(5, 10) = 3;
+  down.at(6, 10) = 2;
+  CcaConfig config;
+  config.minComponentPixels = 1;
+  CcaLabeler cca(config);
+  const auto comps = cca.labelDownsampled(down, 6, 3);
+  ASSERT_EQ(comps.size(), 1U);
+  EXPECT_EQ(comps[0].box, (BBox{30, 30, 12, 3}));
+  EXPECT_EQ(comps[0].pixelCount, 2U);  // cells, not mass
+}
+
+// Property: two-pass union-find agrees exactly with flood fill on random
+// images at both connectivities.
+struct CcaPropertyCase {
+  int seed;
+  Connectivity conn;
+};
+
+class CcaEquivalenceProperty
+    : public ::testing::TestWithParam<CcaPropertyCase> {};
+
+TEST_P(CcaEquivalenceProperty, MatchesFloodFill) {
+  const auto [seed, conn] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  BinaryImage img(48, 48);
+  // Mixture of blobs and noise for interesting topologies.
+  for (int b = 0; b < 5; ++b) {
+    const int x0 = static_cast<int>(rng.uniformInt(0, 40));
+    const int y0 = static_cast<int>(rng.uniformInt(0, 40));
+    fillBlock(img, x0, y0, static_cast<int>(rng.uniformInt(2, 7)),
+              static_cast<int>(rng.uniformInt(2, 7)));
+  }
+  for (int i = 0; i < 120; ++i) {
+    img.set(static_cast<int>(rng.uniformInt(0, 47)),
+            static_cast<int>(rng.uniformInt(0, 47)), true);
+  }
+  CcaConfig config;
+  config.connectivity = conn;
+  config.minComponentPixels = 1;
+  CcaLabeler cca(config);
+  const auto ours = cca.label(img);
+  const auto reference = floodFillReference(img, conn, 1);
+  ASSERT_EQ(ours.size(), reference.size());
+  for (std::size_t i = 0; i < ours.size(); ++i) {
+    EXPECT_EQ(ours[i].box, reference[i].box) << "component " << i;
+    EXPECT_EQ(ours[i].pixelCount, reference[i].pixelCount) << "component "
+                                                            << i;
+  }
+}
+
+std::vector<CcaPropertyCase> makeCcaCases() {
+  std::vector<CcaPropertyCase> cases;
+  for (int seed = 1; seed <= 8; ++seed) {
+    cases.push_back({seed, Connectivity::kEight});
+    cases.push_back({seed, Connectivity::kFour});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomImages, CcaEquivalenceProperty,
+                         ::testing::ValuesIn(makeCcaCases()));
+
+}  // namespace
+}  // namespace ebbiot

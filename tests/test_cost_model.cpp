@@ -1,0 +1,161 @@
+// Verifies the closed-form cost models against every number printed in
+// the paper (Sections II-A through II-C).
+#include "src/resource/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+TEST(EbbiCostTest, PaperNumbers) {
+  // "a conservative estimate of C_EBBI = 125.2 kops/frame"
+  const CostEstimate est = ebbiCost();
+  EXPECT_NEAR(est.computesPerFrame, 125'280.0, 1.0);
+  // "the reduced memory requirement of our proposed EBBI is only 10.8 kB"
+  // (2 bits/pixel over 240x180 = 86400 bits; the paper divides by 1000).
+  EXPECT_NEAR(est.memoryBits, 86'400.0, 1e-9);
+  EXPECT_NEAR(est.memoryBytes(), 10'800.0, 1e-9);
+}
+
+TEST(NnFiltCostTest, PaperNumbers) {
+  // "C_NN-filt ~= 276.4 kops/frame" at beta = 2, alpha = 0.1, Bt = 16.
+  const CostEstimate est = nnFiltCost();
+  EXPECT_NEAR(est.computesPerFrame, 276'480.0, 1.0);
+  // M_NN-filt = 16 * 43200 bits = 86.4 kB.
+  EXPECT_NEAR(est.memoryBytes(), 86'400.0, 1e-9);
+}
+
+TEST(NnFiltCostTest, EightTimesMemoryOfEbbi) {
+  // "our proposed method provides 8X memory savings" (Bt/2 = 8).
+  EXPECT_NEAR(nnFiltCost().memoryBits / ebbiCost().memoryBits, 8.0, 1e-12);
+}
+
+TEST(RpnCostTest, FormulaAndPrintedVariant) {
+  // Eq. (5) as written: A*B + 2*A*B/(s1*s2) = 48.0 kops.
+  EXPECT_NEAR(rpnCost().computesPerFrame, 48'000.0, 1.0);
+  // The paper's printed value (45.6 kops) = single-histogram accounting.
+  RpnCostParams printed;
+  printed.printedVariant = true;
+  EXPECT_NEAR(rpnCost(printed).computesPerFrame, 45'600.0, 1.0);
+}
+
+TEST(RpnCostTest, PaperMemory) {
+  // M_RPN = 2400*5 + 40*11 + 60*10 = 13040 bits ~= 1.6 kB.
+  const CostEstimate est = rpnCost();
+  EXPECT_NEAR(est.memoryBits, 13'040.0, 1e-9);
+  EXPECT_NEAR(est.memoryKB(), 1.59, 0.01);
+}
+
+TEST(OtCostTest, PaperNumbers) {
+  // "NT ~= 2 resulting in C_OT ~= 564" (134*4 = 536 + residual terms).
+  const CostEstimate est = otCost();
+  EXPECT_NEAR(est.computesPerFrame, 564.0, 1.0);
+  // "memory requirement for this tracker is negligible (< 0.5 kB)".
+  EXPECT_LT(est.memoryBytes(), 512.0);
+  EXPECT_GT(est.memoryBits, 0.0);
+}
+
+TEST(OtCostTest, QuadraticInTrackerCount) {
+  OtCostParams p4;
+  p4.nT = 4.0;
+  OtCostParams p2;
+  p2.nT = 2.0;
+  const double delta =
+      otCost(p4).computesPerFrame - otCost(p2).computesPerFrame;
+  EXPECT_NEAR(delta, 134.0 * (16.0 - 4.0), 1e-9);
+}
+
+TEST(KfCostTest, PaperNumbers) {
+  // Eq. (7) with n = m = 4: 4*64 + 6*64 + 4*64 + 4*64 + 3*16 = 1200.
+  const CostEstimate est = kfCost();
+  EXPECT_NEAR(est.computesPerFrame, 1'200.0, 1e-9);
+  // "Memory requirement of the KF is ~= 1.1 kB".
+  EXPECT_NEAR(est.memoryKB(), 1.06, 0.06);
+}
+
+TEST(EbmsCostTest, PaperNumbers) {
+  // "EBMS requires 252 kops per frame" at NF=650, CL=2, gamma=0.1.
+  const CostEstimate est = ebmsCost();
+  EXPECT_NEAR(est.computesPerFrame, 252'330.0, 1.0);
+  // Eq. (8): M_EBMS = 408*8 + 56 = 3320 (the paper reads this as 3.32 kB;
+  // the equation is stated in bits — we return the equation's value).
+  EXPECT_NEAR(est.memoryBits, 3'320.0, 1e-9);
+}
+
+TEST(EbmsCostTest, AboutFiveHundredTimesOtCompute) {
+  // "EBMS requires ... ~= 500X higher than EBBIOT['s tracker]".
+  const double ratio =
+      ebmsCost().computesPerFrame / otCost().computesPerFrame;
+  EXPECT_GT(ratio, 400.0);
+  EXPECT_LT(ratio, 500.0);
+}
+
+TEST(PipelineCostTest, EbbiotTotals) {
+  const CostEstimate est = ebbiotPipelineCost();
+  // 125.28k + 48.0k + 0.564k ~= 173.8 kops/frame.
+  EXPECT_NEAR(est.computesPerFrame, 173'844.0, 10.0);
+  // 10.8 kB + 1.63 kB + 128 B ~= 12.6 kB.
+  EXPECT_NEAR(est.memoryBytes(), 12'558.0, 10.0);
+}
+
+TEST(PipelineCostTest, EbmsPipelineRatios) {
+  // Fig. 5: ~3X less computes and ~7X less memory than the EBMS chain.
+  const CostEstimate ours = ebbiotPipelineCost();
+  const CostEstimate theirs = ebmsPipelineCost();
+  const double computeRatio = theirs.computesPerFrame / ours.computesPerFrame;
+  EXPECT_GT(computeRatio, 2.5);
+  EXPECT_LT(computeRatio, 3.5);
+  const double memoryRatio = theirs.memoryBits / ours.memoryBits;
+  EXPECT_GT(memoryRatio, 6.0);
+  EXPECT_LT(memoryRatio, 8.0);
+}
+
+TEST(PipelineCostTest, KfPipelineComparableComputeMoreMemory) {
+  const CostEstimate ours = ebbiotPipelineCost();
+  const CostEstimate kf = ebbiKfPipelineCost();
+  // Compute nearly identical (tracker is a rounding error of the front
+  // end); memory slightly higher for the KF state.
+  EXPECT_NEAR(kf.computesPerFrame / ours.computesPerFrame, 1.0, 0.01);
+  EXPECT_GT(kf.memoryBits, ours.memoryBits);
+}
+
+TEST(FrameBasedReferenceTest, OverThousandTimesWorse) {
+  // Section II-B: "> 1000X less memory and computes compared to frame
+  // based approaches."
+  const CostEstimate cnn = frameBasedDetectorReference();
+  const CostEstimate rpn = rpnCost();
+  EXPECT_GT(cnn.computesPerFrame / rpn.computesPerFrame, 1'000.0);
+  EXPECT_GT(cnn.memoryBits / rpn.memoryBits, 1'000.0);
+  const CostEstimate ours = ebbiotPipelineCost();
+  EXPECT_GT(cnn.computesPerFrame / ours.computesPerFrame, 1'000.0);
+  EXPECT_GT(cnn.memoryBits / ours.memoryBits, 1'000.0);
+}
+
+TEST(CostModelTest, InvalidParamsRejected) {
+  EbbiCostParams badEbbi;
+  badEbbi.alpha = 1.5;
+  EXPECT_THROW((void)ebbiCost(badEbbi), LogicError);
+  NnFiltCostParams badNn;
+  badNn.beta = 0.5;  // beta >= 1 by definition
+  EXPECT_THROW((void)nnFiltCost(badNn), LogicError);
+  RpnCostParams badRpn;
+  badRpn.s1 = 0;
+  EXPECT_THROW((void)rpnCost(badRpn), LogicError);
+  KfCostParams badKf;
+  badKf.nT = 0;
+  EXPECT_THROW((void)kfCost(badKf), LogicError);
+}
+
+TEST(CostEstimateTest, Addition) {
+  CostEstimate a{100.0, 800.0};
+  CostEstimate b{50.0, 200.0};
+  const CostEstimate s = a + b;
+  EXPECT_DOUBLE_EQ(s.computesPerFrame, 150.0);
+  EXPECT_DOUBLE_EQ(s.memoryBits, 1000.0);
+  EXPECT_DOUBLE_EQ(s.memoryBytes(), 125.0);
+}
+
+}  // namespace
+}  // namespace ebbiot

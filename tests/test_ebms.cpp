@@ -1,0 +1,203 @@
+#include "src/trackers/ebms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace ebbiot {
+namespace {
+
+EbmsConfig testConfig() {
+  EbmsConfig c;
+  c.visibilitySupport = 10;
+  return c;
+}
+
+/// Emit a burst of events uniformly over a box within [t0, t1).
+EventPacket burst(const BBox& box, TimeUs t0, TimeUs t1, int count,
+                  std::uint64_t seed) {
+  Rng rng(seed);
+  EventPacket p(t0, t1);
+  for (int i = 0; i < count; ++i) {
+    Event e;
+    e.x = static_cast<std::uint16_t>(rng.uniform(box.left(), box.right()));
+    e.y = static_cast<std::uint16_t>(rng.uniform(box.bottom(), box.top()));
+    e.p = rng.chance(0.5) ? Polarity::kOn : Polarity::kOff;
+    e.t = t0 + rng.uniformInt(0, t1 - t0 - 1);
+    p.push(e);
+  }
+  p.sortByTime();
+  return p;
+}
+
+TEST(EbmsTrackerTest, SeedsPotentialClusterFromFirstEvent) {
+  EbmsTracker tracker(testConfig());
+  tracker.processEvent(Event{50, 50, Polarity::kOn, 100});
+  EXPECT_EQ(tracker.activeCount(), 1);
+  EXPECT_TRUE(tracker.visibleTracks().empty());  // below support threshold
+}
+
+TEST(EbmsTrackerTest, ClusterBecomesVisibleWithSupport) {
+  EbmsTracker tracker(testConfig());
+  tracker.processPacket(burst(BBox{45, 45, 12, 12}, 0, 66'000, 40, 1));
+  const Tracks t = tracker.visibleTracks();
+  ASSERT_EQ(t.size(), 1U);
+  EXPECT_NEAR(t[0].box.center().x, 51.0F, 6.0F);
+  EXPECT_NEAR(t[0].box.center().y, 51.0F, 6.0F);
+}
+
+TEST(EbmsTrackerTest, MeanShiftFollowsMovingBurst) {
+  EbmsTracker tracker(testConfig());
+  // Bursts marching right 4 px per 66 ms frame.
+  for (int f = 0; f < 15; ++f) {
+    const float x = 40.0F + 4.0F * static_cast<float>(f);
+    tracker.processPacket(burst(BBox{x, 60, 16, 16},
+                                f * 66'000, (f + 1) * 66'000, 120,
+                                static_cast<std::uint64_t>(f + 1)));
+  }
+  const Tracks t = tracker.visibleTracks();
+  ASSERT_EQ(t.size(), 1U);
+  const float finalCenter = 40.0F + 4.0F * 14.0F + 8.0F;
+  EXPECT_NEAR(t[0].box.center().x, finalCenter, 8.0F);
+  // Velocity fit positive (px/s): 4 px / 66 ms ~= 60 px/s.
+  EXPECT_GT(t[0].velocity.x, 20.0F);
+}
+
+TEST(EbmsTrackerTest, TwoSeparatedBurstsTwoClusters) {
+  EbmsTracker tracker(testConfig());
+  EventPacket p = mergePackets(burst(BBox{30, 40, 12, 12}, 0, 66'000, 60, 1),
+                               burst(BBox{160, 90, 12, 12}, 0, 66'000, 60, 2));
+  tracker.processPacket(p);
+  EXPECT_EQ(tracker.visibleTracks().size(), 2U);
+}
+
+TEST(EbmsTrackerTest, OverlappingClustersMerge) {
+  // Small capture radius so two clusters seed over adjacent bursts, with
+  // a merge threshold their MAD boxes exceed.
+  EbmsConfig config = testConfig();
+  config.captureRadius = 6.0F;
+  config.mergeOverlapFraction = 0.05F;
+  EbmsTracker tracker(config);
+  EventPacket p = mergePackets(burst(BBox{46, 48, 8, 8}, 0, 66'000, 60, 1),
+                               burst(BBox{56, 48, 8, 8}, 0, 66'000, 60, 2));
+  tracker.processPacket(p);
+  EXPECT_EQ(tracker.activeCount(), 1);
+  EXPECT_GT(tracker.mergeCount(), 0U);
+}
+
+TEST(EbmsTrackerTest, SilentClusterPruned) {
+  EbmsConfig config = testConfig();
+  config.clusterLifetime = 50'000;
+  EbmsTracker tracker(config);
+  tracker.processPacket(burst(BBox{50, 50, 10, 10}, 0, 66'000, 60, 1));
+  EXPECT_EQ(tracker.activeCount(), 1);
+  // Two empty frames exceed the 50 ms lifetime.
+  tracker.processPacket(EventPacket(66'000, 132'000));
+  EXPECT_EQ(tracker.activeCount(), 0);
+}
+
+TEST(EbmsTrackerTest, CapsAtMaxClusters) {
+  EbmsConfig config = testConfig();
+  config.maxClusters = 3;
+  config.captureRadius = 5.0F;
+  EbmsTracker tracker(config);
+  // Events at 8 well-separated spots; only 3 slots exist.
+  EventPacket p(0, 66'000);
+  for (int i = 0; i < 8; ++i) {
+    p.push(Event{static_cast<std::uint16_t>(20 + 25 * i), 50, Polarity::kOn,
+                 static_cast<TimeUs>(i * 100)});
+  }
+  tracker.processPacket(p);
+  EXPECT_EQ(tracker.activeCount(), 3);
+}
+
+TEST(EbmsTrackerTest, PaperDefaultClMaxIsEight) {
+  EXPECT_EQ(EbmsConfig{}.maxClusters, 8);
+  EXPECT_EQ(EbmsConfig{}.velocityWindow, 10);  // LSQ over past 10 positions
+}
+
+TEST(EbmsTrackerTest, VelocityFitUsesLeastSquares) {
+  // Feed a cluster whose sampled positions advance linearly; the LSQ
+  // slope must recover the speed even with the mean-shift lag.
+  EbmsConfig config = testConfig();
+  config.mixingFactor = 0.3F;  // fast adaptation for a clean fit
+  // Sample positions every half frame so the 10-sample window spans
+  // several frames of motion (the within-frame burst is stationary).
+  config.positionSampleInterval = 33'000;
+  EbmsTracker tracker(config);
+  for (int f = 0; f < 12; ++f) {
+    const float x = 40.0F + 3.0F * static_cast<float>(f);
+    tracker.processPacket(burst(BBox{x, 60, 10, 10}, f * 66'000,
+                                (f + 1) * 66'000, 80,
+                                static_cast<std::uint64_t>(f + 7)));
+  }
+  const Tracks t = tracker.visibleTracks();
+  ASSERT_EQ(t.size(), 1U);
+  // 3 px per 66 ms ~= 45 px/s.
+  EXPECT_NEAR(t[0].velocity.x, 45.0F, 20.0F);
+  EXPECT_NEAR(t[0].velocity.y, 0.0F, 10.0F);
+}
+
+TEST(EbmsTrackerTest, SizeEstimateTracksBurstExtent) {
+  EbmsConfig config = testConfig();
+  config.sizeSmoothing = 0.9F;
+  EbmsTracker tracker(config);
+  tracker.processPacket(burst(BBox{40, 50, 40, 20}, 0, 66'000, 400, 3));
+  const Tracks t = tracker.visibleTracks();
+  ASSERT_EQ(t.size(), 1U);
+  // MAD-based box: wider than tall, at the right order of magnitude.
+  EXPECT_GT(t[0].box.w, t[0].box.h);
+  EXPECT_GT(t[0].box.w, 15.0F);
+  EXPECT_LT(t[0].box.w, 60.0F);
+}
+
+TEST(EbmsTrackerTest, OpsAccumulatePerPacket) {
+  EbmsTracker tracker(testConfig());
+  tracker.processPacket(burst(BBox{40, 50, 20, 20}, 0, 66'000, 100, 5));
+  const auto ops = tracker.lastOps().total();
+  EXPECT_GT(ops, 100U);
+  // Cost scales with event count (Eq. (8): proportional to NF).
+  tracker.processPacket(burst(BBox{40, 50, 20, 20}, 66'000, 132'000, 400, 6));
+  EXPECT_GT(tracker.lastOps().total(), ops * 2);
+}
+
+TEST(EbmsTrackerTest, InvalidConfigRejected) {
+  EbmsConfig bad = testConfig();
+  bad.maxClusters = 0;
+  EXPECT_THROW(EbmsTracker{bad}, LogicError);
+  EbmsConfig bad2 = testConfig();
+  bad2.mixingFactor = 0.0F;
+  EXPECT_THROW(EbmsTracker{bad2}, LogicError);
+}
+
+// Property: cluster count never exceeds CLmax, boxes stay positive-sized.
+class EbmsInvariantProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EbmsInvariantProperty, Invariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  EbmsTracker tracker(testConfig());
+  for (int f = 0; f < 30; ++f) {
+    EventPacket p(f * 66'000, (f + 1) * 66'000);
+    const int count = static_cast<int>(rng.uniformInt(0, 200));
+    for (int i = 0; i < count; ++i) {
+      p.push(Event{static_cast<std::uint16_t>(rng.uniformInt(0, 239)),
+                   static_cast<std::uint16_t>(rng.uniformInt(0, 179)),
+                   Polarity::kOn,
+                   f * 66'000 + rng.uniformInt(0, 65'999)});
+    }
+    p.sortByTime();
+    tracker.processPacket(p);
+    EXPECT_LE(tracker.activeCount(), tracker.config().maxClusters);
+    for (const Track& t : tracker.allClusters()) {
+      EXPECT_GT(t.box.w, 0.0F);
+      EXPECT_GT(t.box.h, 0.0F);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EbmsInvariantProperty,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace ebbiot

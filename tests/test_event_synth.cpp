@@ -1,0 +1,193 @@
+#include "src/sim/event_synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/events/stats.hpp"
+#include "src/sim/davis.hpp"
+#include "src/sim/scene.hpp"
+
+namespace ebbiot {
+namespace {
+
+EventSynthConfig quietConfig() {
+  EventSynthConfig c;
+  c.backgroundActivityHz = 0.0;
+  c.seed = 4;
+  return c;
+}
+
+TEST(FastEventSynthTest, EmptySceneNoNoiseNoEvents) {
+  ScriptedScene scene(240, 180);
+  FastEventSynth synth(scene, quietConfig());
+  EXPECT_TRUE(synth.nextWindow(kDefaultFramePeriodUs).empty());
+}
+
+TEST(FastEventSynthTest, StationaryObjectEmitsNothing) {
+  ScriptedScene scene(240, 180);
+  scene.addLinear(ObjectClass::kCar, BBox{50, 60, 48, 22}, Vec2f{0, 0}, 0,
+                  secondsToUs(10.0));
+  FastEventSynth synth(scene, quietConfig());
+  EXPECT_TRUE(synth.nextWindow(kDefaultFramePeriodUs).empty());
+}
+
+TEST(FastEventSynthTest, MovingObjectEventsConcentrateAtContours) {
+  ScriptedScene scene(240, 180);
+  scene.addLinear(ObjectClass::kBus, BBox{60, 60, 120, 38}, Vec2f{45, 0}, 0,
+                  secondsToUs(10.0));
+  FastEventSynth synth(scene, quietConfig());
+  const EventPacket p = synth.nextWindow(kDefaultFramePeriodUs);
+  ASSERT_GT(p.size(), 50U);
+  // Split events into edge bands (near x=60 and x=180) vs interior.
+  std::size_t nearEdges = 0;
+  std::size_t interior = 0;
+  for (const Event& e : p) {
+    const float x = static_cast<float>(e.x);
+    if (std::abs(x - 60.0F) < 8.0F || std::abs(x - 180.0F) < 8.0F) {
+      ++nearEdges;
+    } else if (x > 70.0F && x < 170.0F) {
+      ++interior;
+    }
+  }
+  // A flat-sided bus: contours dominate its interior.
+  EXPECT_GT(nearEdges, interior);
+}
+
+TEST(FastEventSynthTest, LeadingEdgeOffTrailingOn) {
+  ScriptedScene scene(240, 180);
+  // Moving right: leading (right) contour OFF, trailing (left) ON.
+  scene.addLinear(ObjectClass::kCar, BBox{60, 60, 48, 22}, Vec2f{60, 0}, 0,
+                  secondsToUs(10.0));
+  FastEventSynth synth(scene, quietConfig());
+  const EventPacket p = synth.nextWindow(kDefaultFramePeriodUs);
+  std::size_t offRight = 0;
+  std::size_t onRight = 0;
+  std::size_t onLeft = 0;
+  std::size_t offLeft = 0;
+  for (const Event& e : p) {
+    const float x = static_cast<float>(e.x);
+    if (x > 98.0F) {  // near the leading face (108 at midpoint)
+      (e.p == Polarity::kOff ? offRight : onRight) += 1;
+    } else if (x < 70.0F) {  // near the trailing face
+      (e.p == Polarity::kOn ? onLeft : offLeft) += 1;
+    }
+  }
+  EXPECT_GT(offRight, onRight);
+  EXPECT_GT(onLeft, offLeft);
+}
+
+TEST(FastEventSynthTest, EventCountScalesWithSpeed) {
+  auto countAtSpeed = [](float speed) {
+    ScriptedScene scene(240, 180);
+    scene.addLinear(ObjectClass::kCar, BBox{20, 60, 48, 22},
+                    Vec2f{speed, 0}, 0, secondsToUs(10.0));
+    FastEventSynth synth(scene, quietConfig());
+    std::size_t total = 0;
+    for (int i = 0; i < 10; ++i) {
+      total += synth.nextWindow(kDefaultFramePeriodUs).size();
+    }
+    return total;
+  };
+  const std::size_t slow = countAtSpeed(15.0F);
+  const std::size_t fast = countAtSpeed(60.0F);
+  EXPECT_GT(static_cast<double>(fast), 2.5 * static_cast<double>(slow));
+}
+
+TEST(FastEventSynthTest, NoiseRateMatchesConfig) {
+  ScriptedScene scene(240, 180);
+  EventSynthConfig c = quietConfig();
+  c.backgroundActivityHz = 0.5;
+  FastEventSynth synth(scene, c);
+  std::size_t total = 0;
+  for (int i = 0; i < 30; ++i) {
+    total += synth.nextWindow(kDefaultFramePeriodUs).size();
+  }
+  const double expected = 0.5 * 240 * 180 * 0.066 * 30;
+  EXPECT_NEAR(static_cast<double>(total), expected, expected * 0.05);
+}
+
+TEST(FastEventSynthTest, DistractorRegionEmits) {
+  ScriptedScene scene(240, 180);
+  EventSynthConfig c = quietConfig();
+  c.distractors.push_back(DistractorRegion{BBox{200, 140, 30, 30}, 3000.0});
+  FastEventSynth synth(scene, c);
+  const EventPacket p = synth.nextWindow(kDefaultFramePeriodUs);
+  EXPECT_GT(p.size(), 100U);  // ~3000 * 0.066 ~= 200
+  for (const Event& e : p) {
+    EXPECT_GE(e.x, 200);
+    EXPECT_GE(e.y, 140);
+  }
+}
+
+TEST(FastEventSynthTest, EventsWithinFrameAndWindowSorted) {
+  ScriptedScene scene(240, 180);
+  // Object straddling the frame edge: all events must still be in-frame.
+  scene.addLinear(ObjectClass::kBus, BBox{-60, 60, 120, 38}, Vec2f{45, 0}, 0,
+                  secondsToUs(10.0));
+  EventSynthConfig c = quietConfig();
+  c.backgroundActivityHz = 0.2;
+  FastEventSynth synth(scene, c);
+  for (int i = 0; i < 5; ++i) {
+    const EventPacket p = synth.nextWindow(kDefaultFramePeriodUs);
+    EXPECT_TRUE(p.isTimeSorted());
+    for (const Event& e : p) {
+      EXPECT_LT(e.x, 240);
+      EXPECT_LT(e.y, 180);
+      EXPECT_GE(e.t, p.tStart());
+      EXPECT_LT(e.t, p.tEnd());
+    }
+  }
+}
+
+TEST(FastEventSynthTest, Deterministic) {
+  auto run = [] {
+    ScriptedScene scene(240, 180);
+    scene.addLinear(ObjectClass::kCar, BBox{20, 60, 48, 22}, Vec2f{60, 0},
+                    0, secondsToUs(10.0));
+    EventSynthConfig c;
+    c.seed = 1234;
+    FastEventSynth synth(scene, c);
+    return synth.nextWindow(kDefaultFramePeriodUs);
+  };
+  const EventPacket a = run();
+  const EventPacket b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(FastEventSynthTest, AgreesWithDavisSimulatorOnEventBudget) {
+  // The statistical synthesizer must land in the same order of magnitude
+  // as the rasterising simulator for a standard car so that pipeline
+  // parameters transfer (DESIGN.md substitution argument).
+  ScriptedScene scene(240, 180);
+  scene.addLinear(ObjectClass::kCar, BBox{20, 70, 48, 22}, Vec2f{60, 0}, 0,
+                  secondsToUs(10.0));
+
+  DavisConfig dc;
+  dc.backgroundActivityHz = 0.0;
+  dc.hotPixelFraction = 0.0;
+  DavisSimulator davis(scene, dc);
+  std::size_t davisTotal = 0;
+  for (int i = 0; i < 20; ++i) {
+    davisTotal += davis.nextWindow(kDefaultFramePeriodUs).size();
+  }
+
+  ScriptedScene scene2(240, 180);
+  scene2.addLinear(ObjectClass::kCar, BBox{20, 70, 48, 22}, Vec2f{60, 0}, 0,
+                   secondsToUs(10.0));
+  FastEventSynth synth(scene2, quietConfig());
+  std::size_t synthTotal = 0;
+  for (int i = 0; i < 20; ++i) {
+    synthTotal += synth.nextWindow(kDefaultFramePeriodUs).size();
+  }
+  ASSERT_GT(davisTotal, 0U);
+  ASSERT_GT(synthTotal, 0U);
+  const double ratio = static_cast<double>(synthTotal) /
+                       static_cast<double>(davisTotal);
+  EXPECT_GT(ratio, 0.3);
+  EXPECT_LT(ratio, 3.0);
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,223 @@
+#include "src/common/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ebbiot {
+namespace {
+
+TEST(BBoxTest, EmptyWhenZeroSized) {
+  EXPECT_TRUE(BBox{}.empty());
+  EXPECT_TRUE((BBox{1, 1, 0, 5}).empty());
+  EXPECT_TRUE((BBox{1, 1, 5, 0}).empty());
+  EXPECT_FALSE((BBox{0, 0, 1, 1}).empty());
+}
+
+TEST(BBoxTest, AreaOfEmptyIsZero) {
+  EXPECT_FLOAT_EQ((BBox{3, 4, 0, 7}).area(), 0.0F);
+  EXPECT_FLOAT_EQ((BBox{0, 0, 4, 5}).area(), 20.0F);
+}
+
+TEST(BBoxTest, EdgesAndCenter) {
+  const BBox b{2, 3, 10, 6};
+  EXPECT_FLOAT_EQ(b.left(), 2.0F);
+  EXPECT_FLOAT_EQ(b.right(), 12.0F);
+  EXPECT_FLOAT_EQ(b.bottom(), 3.0F);
+  EXPECT_FLOAT_EQ(b.top(), 9.0F);
+  EXPECT_FLOAT_EQ(b.center().x, 7.0F);
+  EXPECT_FLOAT_EQ(b.center().y, 6.0F);
+}
+
+TEST(BBoxTest, ContainsUsesHalfOpenConvention) {
+  const BBox b{0, 0, 4, 4};
+  EXPECT_TRUE(b.contains(0.0F, 0.0F));
+  EXPECT_TRUE(b.contains(3.99F, 3.99F));
+  EXPECT_FALSE(b.contains(4.0F, 2.0F));
+  EXPECT_FALSE(b.contains(2.0F, 4.0F));
+  EXPECT_FALSE(b.contains(-0.01F, 2.0F));
+}
+
+TEST(BBoxTest, TranslatedPreservesSize) {
+  const BBox b{1, 2, 3, 4};
+  const BBox t = b.translated(5.0F, -2.0F);
+  EXPECT_FLOAT_EQ(t.x, 6.0F);
+  EXPECT_FLOAT_EQ(t.y, 0.0F);
+  EXPECT_FLOAT_EQ(t.w, 3.0F);
+  EXPECT_FLOAT_EQ(t.h, 4.0F);
+}
+
+TEST(BBoxTest, WithCenterMovesBox) {
+  const BBox b{0, 0, 4, 2};
+  const BBox m = b.withCenter({10.0F, 10.0F});
+  EXPECT_FLOAT_EQ(m.center().x, 10.0F);
+  EXPECT_FLOAT_EQ(m.center().y, 10.0F);
+  EXPECT_FLOAT_EQ(m.w, 4.0F);
+  EXPECT_FLOAT_EQ(m.h, 2.0F);
+}
+
+TEST(IntersectTest, OverlappingBoxes) {
+  const BBox a{0, 0, 10, 10};
+  const BBox b{5, 5, 10, 10};
+  const BBox i = intersect(a, b);
+  EXPECT_FLOAT_EQ(i.x, 5.0F);
+  EXPECT_FLOAT_EQ(i.y, 5.0F);
+  EXPECT_FLOAT_EQ(i.w, 5.0F);
+  EXPECT_FLOAT_EQ(i.h, 5.0F);
+}
+
+TEST(IntersectTest, DisjointBoxesGiveEmpty) {
+  EXPECT_TRUE(intersect(BBox{0, 0, 2, 2}, BBox{5, 5, 2, 2}).empty());
+}
+
+TEST(IntersectTest, TouchingEdgesAreEmpty) {
+  EXPECT_TRUE(intersect(BBox{0, 0, 2, 2}, BBox{2, 0, 2, 2}).empty());
+}
+
+TEST(UniteTest, CoversBothBoxes) {
+  const BBox u = unite(BBox{0, 0, 2, 2}, BBox{5, 5, 2, 2});
+  EXPECT_FLOAT_EQ(u.x, 0.0F);
+  EXPECT_FLOAT_EQ(u.y, 0.0F);
+  EXPECT_FLOAT_EQ(u.right(), 7.0F);
+  EXPECT_FLOAT_EQ(u.top(), 7.0F);
+}
+
+TEST(UniteTest, EmptyOperandIsIdentity) {
+  const BBox b{3, 4, 5, 6};
+  EXPECT_EQ(unite(BBox{}, b), b);
+  EXPECT_EQ(unite(b, BBox{}), b);
+}
+
+TEST(UniteAllTest, EmptyListGivesEmptyBox) {
+  EXPECT_TRUE(uniteAll({}).empty());
+}
+
+TEST(UniteAllTest, SpansAllBoxes) {
+  const BBox u = uniteAll({BBox{0, 0, 1, 1}, BBox{10, 0, 1, 1},
+                           BBox{5, 20, 1, 1}});
+  EXPECT_FLOAT_EQ(u.right(), 11.0F);
+  EXPECT_FLOAT_EQ(u.top(), 21.0F);
+}
+
+TEST(IouTest, IdenticalBoxesGiveOne) {
+  const BBox b{2, 3, 7, 5};
+  EXPECT_FLOAT_EQ(iou(b, b), 1.0F);
+}
+
+TEST(IouTest, DisjointBoxesGiveZero) {
+  EXPECT_FLOAT_EQ(iou(BBox{0, 0, 2, 2}, BBox{10, 10, 2, 2}), 0.0F);
+}
+
+TEST(IouTest, HalfOverlapValue) {
+  // Two 2x2 boxes overlapping in a 1x2 strip: I = 2, U = 6.
+  const float v = iou(BBox{0, 0, 2, 2}, BBox{1, 0, 2, 2});
+  EXPECT_NEAR(v, 2.0F / 6.0F, 1e-6F);
+}
+
+TEST(IouTest, EmptyBoxesGiveZero) {
+  EXPECT_FLOAT_EQ(iou(BBox{}, BBox{}), 0.0F);
+  EXPECT_FLOAT_EQ(iou(BBox{}, BBox{0, 0, 3, 3}), 0.0F);
+}
+
+TEST(OverlapFractionTest, FractionOfFirstArea) {
+  const BBox a{0, 0, 4, 4};   // area 16
+  const BBox b{2, 0, 4, 4};   // overlap 8
+  EXPECT_FLOAT_EQ(overlapFractionOfFirst(a, b), 0.5F);
+}
+
+TEST(OverlapMatchesTest, MatchesWhenEitherFractionHigh) {
+  // Small box fully inside a big one: fraction of small = 1.0, of big is
+  // tiny.  Must still match (the OT's "either box" rule).
+  const BBox big{0, 0, 100, 100};
+  const BBox small{10, 10, 5, 5};
+  EXPECT_TRUE(overlapMatches(big, small, 0.5F));
+  EXPECT_TRUE(overlapMatches(small, big, 0.5F));
+}
+
+TEST(OverlapMatchesTest, RejectsThinOverlap) {
+  const BBox a{0, 0, 10, 10};
+  const BBox b{9, 0, 10, 10};  // 10% of each
+  EXPECT_FALSE(overlapMatches(a, b, 0.25F));
+  EXPECT_TRUE(overlapMatches(a, b, 0.05F));
+}
+
+TEST(ClampToFrameTest, InsideBoxUnchanged) {
+  const BBox b{5, 5, 10, 10};
+  EXPECT_EQ(clampToFrame(b, 240, 180), b);
+}
+
+TEST(ClampToFrameTest, PartiallyOutsideClipped) {
+  const BBox c = clampToFrame(BBox{-5, -5, 20, 20}, 240, 180);
+  EXPECT_FLOAT_EQ(c.x, 0.0F);
+  EXPECT_FLOAT_EQ(c.y, 0.0F);
+  EXPECT_FLOAT_EQ(c.w, 15.0F);
+  EXPECT_FLOAT_EQ(c.h, 15.0F);
+}
+
+TEST(ClampToFrameTest, FullyOutsideBecomesEmpty) {
+  EXPECT_TRUE(clampToFrame(BBox{300, 5, 10, 10}, 240, 180).empty());
+  EXPECT_TRUE(clampToFrame(BBox{-50, 5, 10, 10}, 240, 180).empty());
+}
+
+TEST(Vec2fTest, Arithmetic) {
+  const Vec2f a{1, 2};
+  const Vec2f b{3, 4};
+  EXPECT_EQ((a + b), (Vec2f{4, 6}));
+  EXPECT_EQ((b - a), (Vec2f{2, 2}));
+  EXPECT_EQ((a * 2.0F), (Vec2f{2, 4}));
+  EXPECT_FLOAT_EQ((Vec2f{3, 4}).norm(), 5.0F);
+}
+
+// ------------------------------------------------------------------
+// Property sweeps: IoU invariants over a grid of box pairs.
+
+struct IouCase {
+  BBox a;
+  BBox b;
+};
+
+class IouPropertyTest : public ::testing::TestWithParam<IouCase> {};
+
+TEST_P(IouPropertyTest, SymmetricBoundedAndConsistent) {
+  const auto& [a, b] = GetParam();
+  const float ab = iou(a, b);
+  const float ba = iou(b, a);
+  EXPECT_FLOAT_EQ(ab, ba);
+  EXPECT_GE(ab, 0.0F);
+  EXPECT_LE(ab, 1.0F);
+  // intersection <= union and area identities
+  EXPECT_LE(intersectionArea(a, b), unionArea(a, b) + 1e-4F);
+  EXPECT_NEAR(unionArea(a, b),
+              a.area() + b.area() - intersectionArea(a, b), 1e-3F);
+  // intersection fits inside both
+  const BBox i = intersect(a, b);
+  EXPECT_LE(i.area(), a.area() + 1e-4F);
+  EXPECT_LE(i.area(), b.area() + 1e-4F);
+  // union box contains both
+  const BBox u = unite(a, b);
+  EXPECT_GE(u.area() + 1e-4F, a.area());
+  EXPECT_GE(u.area() + 1e-4F, b.area());
+}
+
+std::vector<IouCase> makeIouGrid() {
+  std::vector<IouCase> cases;
+  const float positions[] = {-3.0F, 0.0F, 2.5F, 7.0F};
+  const float sizes[] = {1.0F, 4.0F, 9.5F};
+  for (float ax : positions) {
+    for (float aw : sizes) {
+      for (float bx : positions) {
+        for (float bw : sizes) {
+          cases.push_back(IouCase{BBox{ax, ax / 2.0F, aw, aw * 0.75F},
+                                  BBox{bx, bx / 3.0F, bw, bw * 1.25F}});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(BoxGrid, IouPropertyTest,
+                         ::testing::ValuesIn(makeIouGrid()));
+
+}  // namespace
+}  // namespace ebbiot

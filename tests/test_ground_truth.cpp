@@ -1,0 +1,111 @@
+#include "src/sim/ground_truth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/sim/scene.hpp"
+
+namespace ebbiot {
+namespace {
+
+TEST(AnnotateSceneTest, ClipsBoxesToFrame) {
+  ScriptedScene scene(240, 180);
+  scene.addLinear(ObjectClass::kCar, BBox{-10, 60, 40, 20}, Vec2f{0, 1}, 0,
+                  secondsToUs(10.0));
+  const GtFrame frame = annotateScene(scene, secondsToUs(1.0));
+  ASSERT_EQ(frame.boxes.size(), 1U);
+  EXPECT_FLOAT_EQ(frame.boxes[0].box.x, 0.0F);
+  EXPECT_FLOAT_EQ(frame.boxes[0].box.w, 30.0F);
+}
+
+TEST(AnnotateSceneTest, BarelyVisibleObjectExcluded) {
+  ScriptedScene scene(240, 180);
+  // Only 10% of the object inside the frame < default 25% threshold.
+  scene.addLinear(ObjectClass::kCar, BBox{-36, 60, 40, 20}, Vec2f{0, 1}, 0,
+                  secondsToUs(10.0));
+  const GtFrame frame = annotateScene(scene, secondsToUs(1.0));
+  EXPECT_TRUE(frame.boxes.empty());
+}
+
+TEST(AnnotateSceneTest, VisibilityThresholdConfigurable) {
+  ScriptedScene scene(240, 180);
+  scene.addLinear(ObjectClass::kCar, BBox{-36, 60, 40, 20}, Vec2f{0, 1}, 0,
+                  secondsToUs(10.0));
+  GtOptions options;
+  options.minVisibleFraction = 0.05F;
+  const GtFrame frame = annotateScene(scene, secondsToUs(1.0), options);
+  EXPECT_EQ(frame.boxes.size(), 1U);
+}
+
+TEST(AnnotateSceneTest, TinyBoxExcluded) {
+  ScriptedScene scene(240, 180);
+  scene.addLinear(ObjectClass::kHuman, BBox{50, 50, 1.5F, 1.5F},
+                  Vec2f{0, 1}, 0, secondsToUs(10.0));
+  const GtFrame frame = annotateScene(scene, secondsToUs(1.0));
+  EXPECT_TRUE(frame.boxes.empty());
+}
+
+TEST(AnnotateSceneTest, KeepsTrackIdAndClass) {
+  ScriptedScene scene(240, 180);
+  const auto id = scene.addLinear(ObjectClass::kBus, BBox{50, 50, 100, 38},
+                                  Vec2f{10, 0}, 0, secondsToUs(10.0));
+  const GtFrame frame = annotateScene(scene, secondsToUs(1.0));
+  ASSERT_EQ(frame.boxes.size(), 1U);
+  EXPECT_EQ(frame.boxes[0].trackId, id);
+  EXPECT_EQ(frame.boxes[0].kind, ObjectClass::kBus);
+}
+
+TEST(GroundTruthTest, DistinctTracksAndTotalBoxes) {
+  GroundTruth gt;
+  gt.frames.push_back(GtFrame{
+      0, {GtBox{1, ObjectClass::kCar, BBox{0, 0, 5, 5}},
+          GtBox{2, ObjectClass::kBus, BBox{10, 10, 5, 5}}}});
+  gt.frames.push_back(
+      GtFrame{100, {GtBox{1, ObjectClass::kCar, BBox{1, 0, 5, 5}}}});
+  EXPECT_EQ(gt.distinctTracks(), 2U);
+  EXPECT_EQ(gt.totalBoxes(), 3U);
+}
+
+TEST(GroundTruthCsvTest, RoundTrip) {
+  GroundTruth gt;
+  gt.frames.push_back(GtFrame{
+      66'000, {GtBox{1, ObjectClass::kCar, BBox{1.5F, 2.5F, 40, 20}},
+               GtBox{2, ObjectClass::kHuman, BBox{100, 90, 8, 20}}}});
+  gt.frames.push_back(
+      GtFrame{132'000, {GtBox{1, ObjectClass::kCar, BBox{5, 2.5F, 40, 20}}}});
+  std::stringstream buffer;
+  writeGroundTruthCsv(buffer, gt);
+  const GroundTruth back = readGroundTruthCsv(buffer);
+  ASSERT_EQ(back.frames.size(), 2U);
+  EXPECT_EQ(back.frames[0].t, 66'000);
+  ASSERT_EQ(back.frames[0].boxes.size(), 2U);
+  EXPECT_EQ(back.frames[0].boxes[0].trackId, 1U);
+  EXPECT_EQ(back.frames[0].boxes[1].kind, ObjectClass::kHuman);
+  EXPECT_FLOAT_EQ(back.frames[0].boxes[0].box.x, 1.5F);
+  EXPECT_EQ(back.frames[1].boxes.size(), 1U);
+}
+
+TEST(GroundTruthCsvTest, HeaderValidated) {
+  std::stringstream buffer;
+  buffer << "wrong,header\n";
+  EXPECT_THROW((void)readGroundTruthCsv(buffer), IoError);
+}
+
+TEST(GroundTruthCsvTest, UnknownClassRejected) {
+  std::stringstream buffer;
+  buffer << "t_us,track_id,class,x,y,w,h\n"
+         << "0,1,spaceship,0,0,5,5\n";
+  EXPECT_THROW((void)readGroundTruthCsv(buffer), IoError);
+}
+
+TEST(GroundTruthCsvTest, MalformedRowRejected) {
+  std::stringstream buffer;
+  buffer << "t_us,track_id,class,x,y,w,h\n"
+         << "0,1,car,0,0\n";
+  EXPECT_THROW((void)readGroundTruthCsv(buffer), IoError);
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,137 @@
+#include "src/ebbi/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace ebbiot {
+namespace {
+
+TEST(HistogramBuilderTest, ColumnAndRowSums) {
+  CountImage img(3, 2);
+  img.at(0, 0) = 1;
+  img.at(1, 0) = 2;
+  img.at(2, 1) = 3;
+  HistogramBuilder builder;
+  const HistogramPair h = builder.build(img);
+  ASSERT_EQ(h.hx.size(), 3U);
+  ASSERT_EQ(h.hy.size(), 2U);
+  EXPECT_EQ(h.hx[0], 1U);
+  EXPECT_EQ(h.hx[1], 2U);
+  EXPECT_EQ(h.hx[2], 3U);
+  EXPECT_EQ(h.hy[0], 3U);
+  EXPECT_EQ(h.hy[1], 3U);
+}
+
+TEST(HistogramBuilderTest, SumsEqualTotalMass) {
+  Rng rng(5);
+  CountImage img(40, 60);
+  for (int i = 0; i < 500; ++i) {
+    img.at(static_cast<int>(rng.uniformInt(0, 39)),
+           static_cast<int>(rng.uniformInt(0, 59))) =
+        static_cast<std::uint16_t>(rng.uniformInt(0, 18));
+  }
+  HistogramBuilder builder;
+  const HistogramPair h = builder.build(img);
+  std::uint64_t sumX = 0;
+  for (auto v : h.hx) {
+    sumX += v;
+  }
+  std::uint64_t sumY = 0;
+  for (auto v : h.hy) {
+    sumY += v;
+  }
+  EXPECT_EQ(sumX, img.totalMass());
+  EXPECT_EQ(sumY, img.totalMass());
+}
+
+TEST(FindRunsTest, NoRunsInFlatHistogram) {
+  EXPECT_TRUE(findRuns({0, 0, 0, 0}, 1).empty());
+}
+
+TEST(FindRunsTest, SingleRun) {
+  const auto runs = findRuns({0, 2, 3, 1, 0}, 1);
+  ASSERT_EQ(runs.size(), 1U);
+  EXPECT_EQ(runs[0].begin, 1);
+  EXPECT_EQ(runs[0].end, 4);
+  EXPECT_EQ(runs[0].length(), 3);
+  EXPECT_EQ(runs[0].mass, 6U);
+}
+
+TEST(FindRunsTest, MultipleRunsSplitByGaps) {
+  const auto runs = findRuns({1, 0, 2, 2, 0, 0, 5}, 1);
+  ASSERT_EQ(runs.size(), 3U);
+  EXPECT_EQ(runs[0].begin, 0);
+  EXPECT_EQ(runs[0].end, 1);
+  EXPECT_EQ(runs[1].begin, 2);
+  EXPECT_EQ(runs[1].end, 4);
+  EXPECT_EQ(runs[2].begin, 6);
+  EXPECT_EQ(runs[2].end, 7);
+}
+
+TEST(FindRunsTest, RunsAtBothEnds) {
+  const auto runs = findRuns({3, 0, 0, 4}, 1);
+  ASSERT_EQ(runs.size(), 2U);
+  EXPECT_EQ(runs[0].begin, 0);
+  EXPECT_EQ(runs[1].end, 4);
+}
+
+TEST(FindRunsTest, ThresholdFiltersWeakBins) {
+  const auto runs = findRuns({1, 1, 5, 5, 1}, 3);
+  ASSERT_EQ(runs.size(), 1U);
+  EXPECT_EQ(runs[0].begin, 2);
+  EXPECT_EQ(runs[0].end, 4);
+  EXPECT_EQ(runs[0].mass, 10U);
+}
+
+TEST(FindRunsTest, MaxGapBridgesShortGaps) {
+  // Gap of 1 bin between two runs: maxGap=1 merges them.
+  const auto merged = findRuns({2, 0, 2}, 1, 1);
+  ASSERT_EQ(merged.size(), 1U);
+  EXPECT_EQ(merged[0].begin, 0);
+  EXPECT_EQ(merged[0].end, 3);
+  // Gap of 2 bins is not bridged by maxGap=1.
+  const auto split = findRuns({2, 0, 0, 2}, 1, 1);
+  EXPECT_EQ(split.size(), 2U);
+}
+
+TEST(FindRunsTest, EmptyHistogram) {
+  EXPECT_TRUE(findRuns({}, 1).empty());
+}
+
+// Property: runs tile the above-threshold bins exactly, never overlap,
+// and are maximal.
+class FindRunsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FindRunsProperty, RunsAreExactCover) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<std::uint32_t> hist(64);
+  for (auto& v : hist) {
+    v = static_cast<std::uint32_t>(rng.uniformInt(0, 3));
+  }
+  const std::uint32_t threshold = 2;
+  const auto runs = findRuns(hist, threshold);
+  std::vector<bool> covered(hist.size(), false);
+  int prevEnd = -1;
+  for (const HistogramRun& r : runs) {
+    EXPECT_GT(r.begin, prevEnd);  // ordered, disjoint, non-adjacent
+    EXPECT_LT(r.begin, r.end);
+    std::uint64_t mass = 0;
+    for (int i = r.begin; i < r.end; ++i) {
+      EXPECT_GE(hist[static_cast<std::size_t>(i)], threshold);
+      covered[static_cast<std::size_t>(i)] = true;
+      mass += hist[static_cast<std::size_t>(i)];
+    }
+    EXPECT_EQ(r.mass, mass);
+    prevEnd = r.end;
+  }
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    EXPECT_EQ(covered[i], hist[i] >= threshold) << "bin " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FindRunsProperty,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,221 @@
+#include "src/trackers/kalman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace ebbiot {
+namespace {
+
+KalmanTrackerConfig testConfig() {
+  KalmanTrackerConfig c;
+  c.minHitsToReport = 2;
+  c.minSeedArea = 4.0F;
+  return c;
+}
+
+RegionProposals props(std::initializer_list<BBox> boxes) {
+  RegionProposals out;
+  for (const BBox& b : boxes) {
+    out.push_back(RegionProposal{b, static_cast<std::uint64_t>(b.area())});
+  }
+  return out;
+}
+
+TEST(ConstantVelocityKalmanTest, InitialStateAtMeasurement) {
+  ConstantVelocityKalman kf(Vec2f{10, 20}, KalmanConfig{});
+  EXPECT_FLOAT_EQ(kf.position().x, 10.0F);
+  EXPECT_FLOAT_EQ(kf.position().y, 20.0F);
+  EXPECT_FLOAT_EQ(kf.velocity().x, 0.0F);
+}
+
+TEST(ConstantVelocityKalmanTest, ConvergesToConstantVelocity) {
+  ConstantVelocityKalman kf(Vec2f{0, 0}, KalmanConfig{});
+  for (int f = 1; f <= 30; ++f) {
+    kf.predict();
+    kf.update(Vec2f{3.0F * static_cast<float>(f),
+                    -1.0F * static_cast<float>(f)});
+  }
+  EXPECT_NEAR(kf.velocity().x, 3.0F, 0.2F);
+  EXPECT_NEAR(kf.velocity().y, -1.0F, 0.2F);
+  EXPECT_NEAR(kf.position().x, 90.0F, 1.0F);
+}
+
+TEST(ConstantVelocityKalmanTest, PredictExtrapolatesLinearly) {
+  ConstantVelocityKalman kf(Vec2f{0, 0}, KalmanConfig{});
+  for (int f = 1; f <= 20; ++f) {
+    kf.predict();
+    kf.update(Vec2f{2.0F * static_cast<float>(f), 0.0F});
+  }
+  const float xBefore = kf.position().x;
+  kf.predict();  // no measurement
+  EXPECT_NEAR(kf.position().x - xBefore, 2.0F, 0.3F);
+}
+
+TEST(ConstantVelocityKalmanTest, NoisyMeasurementsSmoothed) {
+  Rng rng(11);
+  ConstantVelocityKalman kf(Vec2f{0, 0}, KalmanConfig{});
+  double errSum = 0.0;
+  double rawErrSum = 0.0;
+  int n = 0;
+  for (int f = 1; f <= 100; ++f) {
+    kf.predict();
+    const float truth = 2.0F * static_cast<float>(f);
+    const float noisy = truth + static_cast<float>(rng.normal(0.0, 2.0));
+    kf.update(Vec2f{noisy, 0.0F});
+    if (f > 20) {
+      errSum += std::abs(kf.position().x - truth);
+      rawErrSum += std::abs(noisy - truth);
+      ++n;
+    }
+  }
+  // Filtered error beats raw measurement error.
+  EXPECT_LT(errSum / n, rawErrSum / n);
+}
+
+TEST(ConstantVelocityKalmanTest, CovarianceShrinksWithUpdates) {
+  ConstantVelocityKalman kf(Vec2f{0, 0}, KalmanConfig{});
+  const double before = kf.covariance()(2, 2);  // velocity variance
+  for (int f = 1; f <= 10; ++f) {
+    kf.predict();
+    kf.update(Vec2f{1.0F * static_cast<float>(f), 0.0F});
+  }
+  EXPECT_LT(kf.covariance()(2, 2), before);
+}
+
+TEST(ConstantVelocityKalmanTest, InnovationReported) {
+  ConstantVelocityKalman kf(Vec2f{0, 0}, KalmanConfig{});
+  kf.predict();
+  kf.update(Vec2f{3, 4});
+  EXPECT_NEAR(kf.lastInnovation(), 5.0, 1e-3);
+}
+
+TEST(KalmanTrackerTest, SeedsAndReports) {
+  KalmanTracker tracker(testConfig());
+  EXPECT_TRUE(tracker.update(props({BBox{10, 10, 20, 10}})).empty());
+  const Tracks t = tracker.update(props({BBox{12, 10, 20, 10}}));
+  ASSERT_EQ(t.size(), 1U);
+  EXPECT_EQ(tracker.activeCount(), 1);
+}
+
+TEST(KalmanTrackerTest, TracksMovingObject) {
+  KalmanTracker tracker(testConfig());
+  Tracks last;
+  for (int f = 0; f < 25; ++f) {
+    const float x = 10.0F + 3.0F * static_cast<float>(f);
+    last = tracker.update(props({BBox{x, 50, 30, 16}}));
+  }
+  ASSERT_EQ(last.size(), 1U);
+  EXPECT_NEAR(last[0].velocity.x, 3.0F, 0.4F);
+  EXPECT_NEAR(last[0].box.center().x, 10.0F + 3.0F * 24.0F + 15.0F, 3.0F);
+  EXPECT_EQ(last[0].id, 1U);
+}
+
+TEST(KalmanTrackerTest, GateRejectsFarProposals) {
+  KalmanTrackerConfig config = testConfig();
+  config.gateDistance = 20.0;
+  KalmanTracker tracker(config);
+  (void)tracker.update(props({BBox{10, 10, 20, 10}}));
+  // A proposal 100 px away cannot be associated: it seeds a second track
+  // and the first coasts.
+  (void)tracker.update(props({BBox{150, 10, 20, 10}}));
+  EXPECT_EQ(tracker.activeCount(), 2);
+}
+
+TEST(KalmanTrackerTest, GreedyAssociationIsOneToOne) {
+  KalmanTracker tracker(testConfig());
+  (void)tracker.update(props({BBox{10, 50, 20, 10}, BBox{60, 50, 20, 10}}));
+  (void)tracker.update(props({BBox{12, 50, 20, 10}, BBox{62, 50, 20, 10}}));
+  EXPECT_EQ(tracker.activeCount(), 2);
+  // One proposal near both tracks: only one track gets it.
+  const Tracks t = tracker.update(props({BBox{36, 50, 20, 10}}));
+  EXPECT_EQ(tracker.activeCount(), 2);
+  int matched = 0;
+  for (const Track& track : t) {
+    if (track.misses == 0) {
+      ++matched;
+    }
+  }
+  EXPECT_EQ(matched, 1);
+}
+
+TEST(KalmanTrackerTest, CoastsAndDies) {
+  KalmanTrackerConfig config = testConfig();
+  config.maxMisses = 2;
+  KalmanTracker tracker(config);
+  for (int f = 0; f < 5; ++f) {
+    (void)tracker.update(props({BBox{50.0F + 2.0F * f, 50, 20, 10}}));
+  }
+  EXPECT_EQ(tracker.activeCount(), 1);
+  (void)tracker.update({});
+  (void)tracker.update({});
+  EXPECT_EQ(tracker.activeCount(), 1);
+  (void)tracker.update({});
+  EXPECT_EQ(tracker.activeCount(), 0);
+}
+
+TEST(KalmanTrackerTest, CapsAtMaxTracks) {
+  KalmanTrackerConfig config = testConfig();
+  config.maxTracks = 2;
+  KalmanTracker tracker(config);
+  (void)tracker.update(props(
+      {BBox{10, 50, 20, 10}, BBox{60, 50, 20, 10}, BBox{110, 50, 20, 10}}));
+  EXPECT_EQ(tracker.activeCount(), 2);
+}
+
+TEST(KalmanTrackerTest, SizeSmoothingDampsFlicker) {
+  KalmanTracker tracker(testConfig());
+  (void)tracker.update(props({BBox{50, 50, 30, 16}}));
+  (void)tracker.update(props({BBox{52, 50, 30, 16}}));
+  // A fragment proposal with half the width: the reported box shrinks
+  // only partially.
+  const Tracks t = tracker.update(props({BBox{54, 50, 15, 16}}));
+  ASSERT_EQ(t.size(), 1U);
+  EXPECT_GT(t[0].box.w, 22.0F);
+}
+
+TEST(KalmanTrackerTest, InvalidConfigRejected) {
+  KalmanTrackerConfig bad = testConfig();
+  bad.maxTracks = 0;
+  EXPECT_THROW(KalmanTracker{bad}, LogicError);
+  KalmanTrackerConfig bad2 = testConfig();
+  bad2.gateDistance = 0.0;
+  EXPECT_THROW(KalmanTracker{bad2}, LogicError);
+}
+
+// Property: invariants over random proposal streams.
+class KalmanTrackerInvariantProperty : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(KalmanTrackerInvariantProperty, FrameInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  KalmanTracker tracker(testConfig());
+  for (int f = 0; f < 60; ++f) {
+    RegionProposals p;
+    const int count = static_cast<int>(rng.uniformInt(0, 4));
+    for (int i = 0; i < count; ++i) {
+      p.push_back(RegionProposal{
+          BBox{static_cast<float>(rng.uniformInt(0, 219)),
+               static_cast<float>(rng.uniformInt(0, 159)),
+               static_cast<float>(rng.uniformInt(4, 64)),
+               static_cast<float>(rng.uniformInt(4, 34))},
+          10});
+    }
+    const Tracks tracks = tracker.update(p);
+    EXPECT_LE(tracker.activeCount(), tracker.config().maxTracks);
+    std::set<std::uint32_t> ids;
+    for (const Track& t : tracks) {
+      EXPECT_FALSE(t.box.empty());
+      EXPECT_TRUE(ids.insert(t.id).second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KalmanTrackerInvariantProperty,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,112 @@
+#include "src/eval/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+Tracks makeTracks(std::initializer_list<BBox> boxes) {
+  Tracks out;
+  std::uint32_t id = 1;
+  for (const BBox& b : boxes) {
+    Track t;
+    t.id = id++;
+    t.box = b;
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<GtBox> makeGt(std::initializer_list<BBox> boxes) {
+  std::vector<GtBox> out;
+  std::uint32_t id = 1;
+  for (const BBox& b : boxes) {
+    out.push_back(GtBox{id++, ObjectClass::kCar, b});
+  }
+  return out;
+}
+
+TEST(MatchFrameTest, PerfectMatch) {
+  const auto result = matchFrame(makeTracks({BBox{10, 10, 20, 10}}),
+                                 makeGt({BBox{10, 10, 20, 10}}), 0.5F);
+  EXPECT_EQ(result.truePositives(), 1U);
+  EXPECT_EQ(result.falsePositives(), 0U);
+  EXPECT_EQ(result.falseNegatives(), 0U);
+  EXPECT_FLOAT_EQ(result.matches[0].iou, 1.0F);
+}
+
+TEST(MatchFrameTest, NoOverlapNoMatch) {
+  const auto result = matchFrame(makeTracks({BBox{10, 10, 20, 10}}),
+                                 makeGt({BBox{100, 100, 20, 10}}), 0.1F);
+  EXPECT_EQ(result.truePositives(), 0U);
+  EXPECT_EQ(result.falsePositives(), 1U);
+  EXPECT_EQ(result.falseNegatives(), 1U);
+}
+
+TEST(MatchFrameTest, ThresholdGatesMatch) {
+  // IoU of these boxes = 50/150 = 1/3.
+  const Tracks pred = makeTracks({BBox{0, 0, 10, 10}});
+  const auto gt = makeGt({BBox{5, 0, 10, 10}});
+  EXPECT_EQ(matchFrame(pred, gt, 0.30F).truePositives(), 1U);
+  EXPECT_EQ(matchFrame(pred, gt, 0.34F).truePositives(), 0U);
+}
+
+TEST(MatchFrameTest, OneToOneAssignment) {
+  // Two predictions over one ground truth: only one true positive.
+  const auto result = matchFrame(
+      makeTracks({BBox{10, 10, 20, 10}, BBox{11, 10, 20, 10}}),
+      makeGt({BBox{10, 10, 20, 10}}), 0.5F);
+  EXPECT_EQ(result.truePositives(), 1U);
+  EXPECT_EQ(result.falsePositives(), 1U);
+  // The better-overlapping prediction won.
+  EXPECT_EQ(result.matches[0].predIndex, 0U);
+}
+
+TEST(MatchFrameTest, GreedyPicksBestPairsFirst) {
+  // pred0 overlaps gt0 weakly and gt1 strongly; pred1 overlaps gt0
+  // strongly.  Greedy must pair (pred0, gt1) and (pred1, gt0).
+  const Tracks pred = makeTracks({BBox{50, 0, 10, 10}, BBox{2, 0, 10, 10}});
+  const auto gt = makeGt({BBox{0, 0, 10, 10}, BBox{50, 0, 10, 10}});
+  const auto result = matchFrame(pred, gt, 0.1F);
+  ASSERT_EQ(result.truePositives(), 2U);
+  for (const MatchedPair& m : result.matches) {
+    if (m.predIndex == 0) {
+      EXPECT_EQ(m.gtIndex, 1U);
+    } else {
+      EXPECT_EQ(m.gtIndex, 0U);
+    }
+  }
+}
+
+TEST(MatchFrameTest, EmptyInputs) {
+  const auto r1 = matchFrame({}, makeGt({BBox{0, 0, 5, 5}}), 0.5F);
+  EXPECT_EQ(r1.falseNegatives(), 1U);
+  const auto r2 = matchFrame(makeTracks({BBox{0, 0, 5, 5}}), {}, 0.5F);
+  EXPECT_EQ(r2.falsePositives(), 1U);
+  const auto r3 = matchFrame({}, {}, 0.5F);
+  EXPECT_EQ(r3.truePositives(), 0U);
+}
+
+TEST(MatchFrameTest, InvalidThresholdRejected) {
+  EXPECT_THROW((void)matchFrame({}, {}, -0.1F), LogicError);
+  EXPECT_THROW((void)matchFrame({}, {}, 1.5F), LogicError);
+}
+
+TEST(MatchFrameTest, CountsAreConsistent) {
+  const auto result = matchFrame(
+      makeTracks({BBox{0, 0, 10, 10}, BBox{30, 0, 10, 10},
+                  BBox{200, 100, 10, 10}}),
+      makeGt({BBox{1, 0, 10, 10}, BBox{31, 0, 10, 10},
+              BBox{100, 100, 10, 10}, BBox{150, 50, 10, 10}}),
+      0.5F);
+  EXPECT_EQ(result.predictions, 3U);
+  EXPECT_EQ(result.groundTruths, 4U);
+  EXPECT_EQ(result.truePositives(), 2U);
+  EXPECT_EQ(result.falsePositives(), 1U);
+  EXPECT_EQ(result.falseNegatives(), 2U);
+}
+
+}  // namespace
+}  // namespace ebbiot

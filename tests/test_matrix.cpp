@@ -1,0 +1,158 @@
+#include "src/common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace ebbiot {
+namespace {
+
+TEST(MatrixTest, ZeroInitialised) {
+  const Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2U);
+  EXPECT_EQ(m.cols(), 3U);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, InitializerListLayoutIsRowMajor) {
+  const Matrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 2), 0.0);
+  const Matrix d = Matrix::diagonal({2.0, 5.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixTest, AddSubtract) {
+  const Matrix a(2, 2, {1, 2, 3, 4});
+  const Matrix b(2, 2, {5, 6, 7, 8});
+  EXPECT_EQ(a + b, Matrix(2, 2, {6, 8, 10, 12}));
+  EXPECT_EQ(b - a, Matrix(2, 2, {4, 4, 4, 4}));
+}
+
+TEST(MatrixTest, MultiplyKnownResult) {
+  const Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix p = a * b;
+  EXPECT_EQ(p, Matrix(2, 2, {58, 64, 139, 154}));
+}
+
+TEST(MatrixTest, ScalarMultiply) {
+  const Matrix a(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(a * 2.0, Matrix(2, 2, {2, 4, 6, 8}));
+}
+
+TEST(MatrixTest, Transpose) {
+  const Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3U);
+  EXPECT_EQ(t.cols(), 2U);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+  EXPECT_EQ(t.transposed(), a);
+}
+
+TEST(MatrixTest, InverseOfKnownMatrix) {
+  const Matrix a(2, 2, {4, 7, 2, 6});
+  const Matrix inv = a.inverted();
+  EXPECT_NEAR(inv(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(inv(0, 1), -0.7, 1e-12);
+  EXPECT_NEAR(inv(1, 0), -0.2, 1e-12);
+  EXPECT_NEAR(inv(1, 1), 0.4, 1e-12);
+}
+
+TEST(MatrixTest, SingularMatrixThrows) {
+  const Matrix a(2, 2, {1, 2, 2, 4});
+  EXPECT_THROW((void)a.inverted(), LogicError);
+}
+
+TEST(MatrixTest, MismatchedShapesThrow) {
+  const Matrix a(2, 2);
+  const Matrix b(3, 3);
+  EXPECT_THROW((void)(a + b), LogicError);
+  EXPECT_THROW((void)(a - b), LogicError);
+  EXPECT_THROW((void)(a * Matrix(3, 1)), LogicError);
+}
+
+TEST(MatrixTest, OutOfBoundsAccessThrows) {
+  Matrix a(2, 2);
+  EXPECT_THROW((void)a(2, 0), LogicError);
+  EXPECT_THROW((void)a(0, 2), LogicError);
+}
+
+TEST(MatrixTest, ColumnVector) {
+  const Matrix v = Matrix::columnVector({1, 2, 3});
+  EXPECT_EQ(v.rows(), 3U);
+  EXPECT_EQ(v.cols(), 1U);
+  EXPECT_DOUBLE_EQ(v(2, 0), 3.0);
+}
+
+TEST(MatrixTest, DistanceAndMaxAbs) {
+  const Matrix a(1, 2, {0, 3});
+  const Matrix b(1, 2, {4, 3});
+  EXPECT_DOUBLE_EQ(a.distance(b), 4.0);
+  EXPECT_DOUBLE_EQ((a - b).maxAbs(), 4.0);
+}
+
+// Property: A * A^-1 == I for random well-conditioned matrices.
+class MatrixInverseProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixInverseProperty, InverseTimesSelfIsIdentity) {
+  const int n = GetParam();
+  Rng rng(1234 + static_cast<std::uint64_t>(n));
+  Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      a(r, c) = rng.uniform(-1.0, 1.0);
+    }
+    a(r, r) += static_cast<double>(n);  // diagonal dominance
+  }
+  const Matrix prod = a * a.inverted();
+  EXPECT_LT(prod.distance(Matrix::identity(a.rows())), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatrixInverseProperty,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16));
+
+// Property: (A*B)^T == B^T * A^T.
+class MatrixTransposeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixTransposeProperty, ProductTransposeIdentity) {
+  const int n = GetParam();
+  Rng rng(99 + static_cast<std::uint64_t>(n));
+  Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n + 1));
+  Matrix b(static_cast<std::size_t>(n + 1), static_cast<std::size_t>(n));
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      a(r, c) = rng.uniform(-2.0, 2.0);
+    }
+  }
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      b(r, c) = rng.uniform(-2.0, 2.0);
+    }
+  }
+  const Matrix lhs = (a * b).transposed();
+  const Matrix rhs = b.transposed() * a.transposed();
+  EXPECT_LT(lhs.distance(rhs), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatrixTransposeProperty,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,161 @@
+#include "src/filters/median_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace ebbiot {
+namespace {
+
+BinaryImage blockImage(int w, int h, const BBox& block) {
+  BinaryImage img(w, h);
+  for (int y = static_cast<int>(block.bottom());
+       y < static_cast<int>(block.top()); ++y) {
+    for (int x = static_cast<int>(block.left());
+         x < static_cast<int>(block.right()); ++x) {
+      img.set(x, y, true);
+    }
+  }
+  return img;
+}
+
+TEST(MedianFilterTest, RemovesIsolatedPixel) {
+  BinaryImage img(20, 20);
+  img.set(10, 10, true);  // salt noise
+  MedianFilter filter(3);
+  const BinaryImage out = filter.apply(img);
+  EXPECT_EQ(out.popcount(), 0U);
+}
+
+TEST(MedianFilterTest, KeepsSolidBlockInterior) {
+  const BinaryImage img = blockImage(20, 20, BBox{5, 5, 8, 8});
+  MedianFilter filter(3);
+  const BinaryImage out = filter.apply(img);
+  // Interior survives; corners (with only 4 of 9 neighbours set) erode.
+  EXPECT_TRUE(out.get(8, 8));
+  EXPECT_TRUE(out.get(6, 6));
+  EXPECT_FALSE(out.get(5, 5));   // corner: 4 <= floor(9/2)
+  EXPECT_TRUE(out.get(9, 5));    // edge midpoint: 6 > 4
+}
+
+TEST(MedianFilterTest, FillsSinglePixelHole) {
+  BinaryImage img = blockImage(20, 20, BBox{5, 5, 8, 8});
+  img.set(9, 9, false);  // pepper noise inside the block
+  MedianFilter filter(3);
+  const BinaryImage out = filter.apply(img);
+  EXPECT_TRUE(out.get(9, 9));
+}
+
+TEST(MedianFilterTest, RemovesLoneBorderPixel) {
+  BinaryImage img(20, 20);
+  img.set(0, 0, true);
+  img.set(19, 19, true);
+  MedianFilter filter(3);
+  const BinaryImage out = filter.apply(img);
+  EXPECT_EQ(out.popcount(), 0U);
+}
+
+TEST(MedianFilterTest, PatchSizeOneIsIdentity) {
+  Rng rng(3);
+  BinaryImage img(30, 30);
+  for (int i = 0; i < 100; ++i) {
+    img.set(static_cast<int>(rng.uniformInt(0, 29)),
+            static_cast<int>(rng.uniformInt(0, 29)), true);
+  }
+  MedianFilter filter(1);
+  EXPECT_EQ(filter.apply(img), img);
+}
+
+TEST(MedianFilterTest, EvenPatchSizeRejected) {
+  EXPECT_THROW(MedianFilter(2), LogicError);
+  EXPECT_THROW(MedianFilter(0), LogicError);
+}
+
+TEST(MedianFilterTest, ApplyIntoShapeMismatchThrows) {
+  MedianFilter filter(3);
+  BinaryImage in(10, 10);
+  BinaryImage out(11, 10);
+  EXPECT_THROW(filter.applyInto(in, out), LogicError);
+}
+
+TEST(MedianFilterTest, OpsMatchEq1Structure) {
+  // Eq. (1): per pixel, one counter increment per set patch pixel, one
+  // comparison, one write.
+  BinaryImage img(16, 16);
+  MedianFilter filter(3);
+  (void)filter.apply(img);
+  const OpCounts& ops = filter.lastOps();
+  EXPECT_EQ(ops.compares, 16U * 16U);
+  EXPECT_EQ(ops.memWrites, 16U * 16U);
+  EXPECT_EQ(ops.adds, 0U);  // blank image: no set pixels seen
+
+  // A fully set image: each interior pixel sees 9 ones; borders fewer.
+  BinaryImage full = blockImage(16, 16, BBox{0, 0, 16, 16});
+  (void)filter.apply(full);
+  EXPECT_GT(filter.lastOps().adds, 16U * 16U * 6U);
+  EXPECT_LE(filter.lastOps().adds, 16U * 16U * 9U);
+}
+
+TEST(MedianFilterTest, MajorityThresholdExact) {
+  // A pixel with exactly 5 of 9 set (> floor(9/2) = 4) stays; 4 of 9 goes.
+  BinaryImage img(5, 5);
+  // Centre + 4 in a cross = 5 set pixels in the centre's patch.
+  img.set(2, 2, true);
+  img.set(1, 2, true);
+  img.set(3, 2, true);
+  img.set(2, 1, true);
+  img.set(2, 3, true);
+  MedianFilter filter(3);
+  const BinaryImage out = filter.apply(img);
+  EXPECT_TRUE(out.get(2, 2));
+  // Remove one arm: 4 of 9 -> erased.
+  img.set(2, 3, false);
+  const BinaryImage out2 = filter.apply(img);
+  EXPECT_FALSE(out2.get(2, 2));
+}
+
+// Property: the filter never *increases* the symmetric difference under
+// idempotence-like repetition — applying twice equals applying once for
+// well-separated shapes (erosion of corners converges quickly).
+class MedianStabilityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MedianStabilityProperty, SecondPassChangesLittle) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  // Dense blocks + sparse noise.
+  BinaryImage img(64, 64);
+  for (int b = 0; b < 3; ++b) {
+    const int x0 = static_cast<int>(rng.uniformInt(2, 40));
+    const int y0 = static_cast<int>(rng.uniformInt(2, 40));
+    for (int y = y0; y < y0 + 12; ++y) {
+      for (int x = x0; x < x0 + 12; ++x) {
+        img.set(x, y, true);
+      }
+    }
+  }
+  for (int i = 0; i < 60; ++i) {
+    img.set(static_cast<int>(rng.uniformInt(0, 63)),
+            static_cast<int>(rng.uniformInt(0, 63)), true);
+  }
+  MedianFilter filter(3);
+  const BinaryImage once = filter.apply(img);
+  const BinaryImage twice = filter.apply(once);
+  // Count differing pixels.
+  std::size_t diff = 0;
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      if (once.get(x, y) != twice.get(x, y)) {
+        ++diff;
+      }
+    }
+  }
+  // The second pass may nibble a few corner pixels but must not rework
+  // the image wholesale.
+  EXPECT_LE(diff, once.popcount() / 10 + 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MedianStabilityProperty,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace ebbiot

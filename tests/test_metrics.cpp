@@ -1,0 +1,142 @@
+#include "src/eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+Tracks makeTracks(std::initializer_list<BBox> boxes) {
+  Tracks out;
+  std::uint32_t id = 1;
+  for (const BBox& b : boxes) {
+    Track t;
+    t.id = id++;
+    t.box = b;
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<GtBox> makeGt(std::initializer_list<BBox> boxes) {
+  std::vector<GtBox> out;
+  std::uint32_t id = 1;
+  for (const BBox& b : boxes) {
+    out.push_back(GtBox{id++, ObjectClass::kCar, b});
+  }
+  return out;
+}
+
+TEST(PrCountsTest, PrecisionRecallF1) {
+  PrCounts c;
+  c.truePositives = 6;
+  c.predictions = 8;
+  c.groundTruths = 12;
+  EXPECT_DOUBLE_EQ(c.precision(), 0.75);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.5);
+  EXPECT_NEAR(c.f1(), 0.6, 1e-12);
+}
+
+TEST(PrCountsTest, ZeroDenominators) {
+  PrCounts c;
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+}
+
+TEST(PrSweepAccumulatorTest, AccumulatesPerThreshold) {
+  PrSweepAccumulator acc({0.3F, 0.6F});
+  // IoU = 0.5 between these: true positive at 0.3, miss at 0.6.
+  acc.addFrame(makeTracks({BBox{0, 0, 10, 10}}),
+               makeGt({BBox{0, 0, 15, 10}}));  // IoU = 100/150 = 0.67
+  EXPECT_EQ(acc.at(0.3F).truePositives, 1U);
+  EXPECT_EQ(acc.at(0.6F).truePositives, 1U);
+  acc.addFrame(makeTracks({BBox{0, 0, 10, 10}}),
+               makeGt({BBox{5, 0, 10, 10}}));  // IoU = 1/3
+  EXPECT_EQ(acc.at(0.3F).truePositives, 2U);
+  EXPECT_EQ(acc.at(0.6F).truePositives, 1U);
+  EXPECT_EQ(acc.at(0.3F).predictions, 2U);
+  EXPECT_EQ(acc.at(0.3F).groundTruths, 2U);
+}
+
+TEST(PrSweepAccumulatorTest, MonotoneInThreshold) {
+  // Raising the IoU threshold can only lose true positives.
+  PrSweepAccumulator acc(defaultIouSweep());
+  for (int f = 0; f < 10; ++f) {
+    acc.addFrame(
+        makeTracks({BBox{static_cast<float>(f), 0, 10, 10},
+                    BBox{50, 50, 8, 8}}),
+        makeGt({BBox{static_cast<float>(f) + 2.0F, 0, 10, 10},
+                BBox{52, 50, 8, 8}}));
+  }
+  const auto& counts = acc.counts();
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_LE(counts[i].truePositives, counts[i - 1].truePositives);
+    EXPECT_LE(counts[i].precision(), counts[i - 1].precision() + 1e-12);
+    EXPECT_LE(counts[i].recall(), counts[i - 1].recall() + 1e-12);
+  }
+}
+
+TEST(PrSweepAccumulatorTest, UnknownThresholdThrows) {
+  PrSweepAccumulator acc({0.5F});
+  EXPECT_THROW((void)acc.at(0.25F), LogicError);
+}
+
+TEST(PrSweepAccumulatorTest, UnsortedThresholdsRejected) {
+  EXPECT_THROW(PrSweepAccumulator({0.5F, 0.3F}), LogicError);
+  EXPECT_THROW(PrSweepAccumulator({}), LogicError);
+}
+
+TEST(WeightedAverageTest, WeightsByGtTracks) {
+  // Recording A: precision 1.0, 30 tracks.  Recording B: precision 0.5,
+  // 10 tracks.  Weighted: (30*1 + 10*0.5)/40 = 0.875.
+  RecordingResult a;
+  a.name = "A";
+  a.gtTracks = 30;
+  a.thresholds = {0.5F};
+  PrCounts ca;
+  ca.truePositives = 10;
+  ca.predictions = 10;
+  ca.groundTruths = 20;
+  a.counts = {ca};
+
+  RecordingResult b;
+  b.name = "B";
+  b.gtTracks = 10;
+  b.thresholds = {0.5F};
+  PrCounts cb;
+  cb.truePositives = 5;
+  cb.predictions = 10;
+  cb.groundTruths = 10;
+  b.counts = {cb};
+
+  const auto avg = weightedAverage({a, b});
+  ASSERT_EQ(avg.size(), 1U);
+  EXPECT_FLOAT_EQ(avg[0].threshold, 0.5F);
+  EXPECT_NEAR(avg[0].precision, 0.875, 1e-12);
+  EXPECT_NEAR(avg[0].recall, (30.0 * 0.5 + 10.0 * 0.5) / 40.0, 1e-12);
+}
+
+TEST(WeightedAverageTest, MismatchedThresholdsRejected) {
+  RecordingResult a;
+  a.gtTracks = 1;
+  a.thresholds = {0.5F};
+  a.counts = {PrCounts{}};
+  RecordingResult b;
+  b.gtTracks = 1;
+  b.thresholds = {0.6F};
+  b.counts = {PrCounts{}};
+  EXPECT_THROW((void)weightedAverage({a, b}), LogicError);
+}
+
+TEST(DefaultIouSweepTest, SortedAndCoversPaperRange) {
+  const auto sweep = defaultIouSweep();
+  EXPECT_GE(sweep.size(), 5U);
+  EXPECT_TRUE(std::is_sorted(sweep.begin(), sweep.end()));
+  EXPECT_LE(sweep.front(), 0.1F + 1e-6F);
+  EXPECT_GE(sweep.back(), 0.5F);
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,157 @@
+#include "src/filters/nn_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+NnFilterConfig smallConfig() {
+  NnFilterConfig c;
+  c.width = 32;
+  c.height = 32;
+  c.neighbourhood = 3;
+  c.supportWindow = 1'000;
+  c.timestampBits = 16;
+  return c;
+}
+
+TEST(NnFilterTest, IsolatedEventDropped) {
+  NnFilter filter(smallConfig());
+  EventPacket p(0, 10'000);
+  p.push(Event{10, 10, Polarity::kOn, 100});
+  const EventPacket out = filter.filter(p);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(NnFilterTest, NeighbourSupportedEventKept) {
+  NnFilter filter(smallConfig());
+  EventPacket p(0, 10'000);
+  p.push(Event{10, 10, Polarity::kOn, 100});   // dropped (no support yet)
+  p.push(Event{11, 10, Polarity::kOn, 200});   // supported by (10,10)
+  const EventPacket out = filter.filter(p);
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].x, 11);
+}
+
+TEST(NnFilterTest, SamePixelDoesNotSupportItself) {
+  NnFilter filter(smallConfig());
+  EventPacket p(0, 10'000);
+  p.push(Event{10, 10, Polarity::kOn, 100});
+  p.push(Event{10, 10, Polarity::kOn, 200});  // own pixel only: no support
+  const EventPacket out = filter.filter(p);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(NnFilterTest, SupportExpiresOutsideWindow) {
+  NnFilter filter(smallConfig());  // window = 1000 us
+  EventPacket p(0, 10'000);
+  p.push(Event{10, 10, Polarity::kOn, 100});
+  p.push(Event{11, 10, Polarity::kOn, 2'000});  // 1900 us later: stale
+  const EventPacket out = filter.filter(p);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(NnFilterTest, DiagonalNeighbourCounts) {
+  NnFilter filter(smallConfig());
+  EventPacket p(0, 10'000);
+  p.push(Event{10, 10, Polarity::kOn, 100});
+  p.push(Event{11, 11, Polarity::kOn, 200});
+  EXPECT_EQ(filter.filter(p).size(), 1U);
+}
+
+TEST(NnFilterTest, StatePersistsAcrossPackets) {
+  NnFilter filter(smallConfig());
+  EventPacket a(0, 500);
+  a.push(Event{10, 10, Polarity::kOn, 400});
+  (void)filter.filter(a);
+  EventPacket b(500, 1'500);
+  b.push(Event{11, 10, Polarity::kOn, 600});  // supported across packets
+  EXPECT_EQ(filter.filter(b).size(), 1U);
+}
+
+TEST(NnFilterTest, ResetClearsSupport) {
+  NnFilter filter(smallConfig());
+  EventPacket a(0, 500);
+  a.push(Event{10, 10, Polarity::kOn, 400});
+  (void)filter.filter(a);
+  filter.reset();
+  EventPacket b(500, 1'500);
+  b.push(Event{11, 10, Polarity::kOn, 600});
+  EXPECT_TRUE(filter.filter(b).empty());
+}
+
+TEST(NnFilterTest, DenseBurstMostlySurvives) {
+  // A moving-edge burst: events tightly packed in space and time.
+  NnFilter filter(smallConfig());
+  EventPacket p(0, 10'000);
+  for (int i = 0; i < 10; ++i) {
+    p.push(Event{static_cast<std::uint16_t>(10 + i % 3),
+                 static_cast<std::uint16_t>(10 + i / 3), Polarity::kOn,
+                 static_cast<TimeUs>(100 + i * 10)});
+  }
+  const EventPacket out = filter.filter(p);
+  EXPECT_GE(out.size(), 8U);  // only the earliest events lack support
+}
+
+TEST(NnFilterTest, BorderPixelsHandled) {
+  NnFilter filter(smallConfig());
+  EventPacket p(0, 10'000);
+  p.push(Event{0, 0, Polarity::kOn, 100});
+  p.push(Event{1, 0, Polarity::kOn, 200});
+  EXPECT_EQ(filter.filter(p).size(), 1U);
+}
+
+TEST(NnFilterTest, UnsortedPacketRejected) {
+  NnFilter filter(smallConfig());
+  EventPacket p(0, 10'000);
+  p.push(Event{1, 1, Polarity::kOn, 500});
+  p.push(Event{1, 1, Polarity::kOn, 100});
+  EXPECT_THROW((void)filter.filter(p), LogicError);
+}
+
+TEST(NnFilterTest, OpsMatchEq2Accounting) {
+  // Eq. (2): per event, (p^2 - 1) comparisons + (p^2 - 1) increments +
+  // one Bt-bit write.  Interior events see the full 8-cell neighbourhood.
+  NnFilter filter(smallConfig());
+  EventPacket p(0, 10'000);
+  p.push(Event{10, 10, Polarity::kOn, 100});
+  (void)filter.filter(p);
+  EXPECT_EQ(filter.lastOps().compares, 8U);
+  EXPECT_EQ(filter.lastOps().adds, 8U);
+  EXPECT_EQ(filter.lastOps().memWrites, 16U);  // Bt bits
+  EXPECT_EQ(filter.lastOps().total(), 32U);    // = 2(p^2-1) + Bt per event
+}
+
+TEST(NnFilterTest, MemoryBitsMatchesEq2) {
+  NnFilter filter(smallConfig());
+  EXPECT_EQ(filter.memoryBits(), 16U * 32U * 32U);
+  NnFilterConfig davis;  // defaults: 240x180, Bt=16
+  NnFilter davisFilter(davis);
+  EXPECT_EQ(davisFilter.memoryBits(), 16U * 240U * 180U);  // 86.4 kB
+}
+
+TEST(NnFilterTest, NoiseRejectionRate) {
+  // Uniform random noise at low density: the overwhelming majority of
+  // events must be rejected.
+  NnFilterConfig c = smallConfig();
+  c.width = 240;
+  c.height = 180;
+  NnFilter filter(c);
+  EventPacket p(0, 66'000);
+  // 300 random events over 43k pixels: isolated with high probability.
+  std::uint64_t s = 12345;
+  for (int i = 0; i < 300; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto x = static_cast<std::uint16_t>((s >> 20) % 240);
+    const auto y = static_cast<std::uint16_t>((s >> 40) % 180);
+    p.push(Event{x, y, Polarity::kOn, static_cast<TimeUs>(i * 200)});
+  }
+  p.sortByTime();
+  const EventPacket out = filter.filter(p);
+  EXPECT_LT(out.size(), 15U);
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,108 @@
+#include "src/core/node_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+NodePlatform testPlatform() {
+  NodePlatform p;
+  p.clockHz = 100e6;
+  p.opsPerCycle = 1.0;
+  p.activePowerMw = 10.0;
+  p.sleepPowerUw = 10.0;
+  p.sensorPowerMw = 0.0;  // isolate processor/radio terms in unit tests
+  p.radioEnergyPerBitNj = 100.0;
+  p.batteryCapacityMwh = 1'000.0;
+  return p;
+}
+
+TEST(NodeModelTest, DutyCycleFromOps) {
+  NodeWorkload w;
+  w.opsPerFrame = 1e6;  // at 100 MHz: 10 ms active
+  w.framePeriod = millisToUs(100.0);
+  const NodeBudget b = estimateNodeBudget(testPlatform(), w);
+  EXPECT_NEAR(b.activeSecondsPerFrame, 0.010, 1e-9);
+  EXPECT_NEAR(b.dutyCycle, 0.10, 1e-9);
+  EXPECT_TRUE(b.feasible);
+}
+
+TEST(NodeModelTest, InfeasibleWhenOpsExceedFrameBudget) {
+  NodeWorkload w;
+  w.opsPerFrame = 20e6;  // 200 ms of work in a 100 ms frame
+  w.framePeriod = millisToUs(100.0);
+  const NodeBudget b = estimateNodeBudget(testPlatform(), w);
+  EXPECT_FALSE(b.feasible);
+  EXPECT_GT(b.dutyCycle, 1.0);
+}
+
+TEST(NodeModelTest, ProcessorEnergySplitsActiveAndSleep) {
+  NodeWorkload w;
+  w.opsPerFrame = 1e6;  // 10 ms active, 90 ms sleep
+  w.framePeriod = millisToUs(100.0);
+  const NodeBudget b = estimateNodeBudget(testPlatform(), w);
+  // active: 10 mW * 10 ms = 100 uJ;  sleep: 10 uW * 90 ms = 0.9 uJ.
+  EXPECT_NEAR(b.processorEnergyUjPerFrame, 100.9, 0.01);
+}
+
+TEST(NodeModelTest, RadioEnergyFromPayload) {
+  NodeWorkload w;
+  w.opsPerFrame = 0.0;
+  w.txBitsPerFrame = 1'000.0;  // at 100 nJ/bit -> 100 uJ
+  w.framePeriod = millisToUs(100.0);
+  const NodeBudget b = estimateNodeBudget(testPlatform(), w);
+  EXPECT_NEAR(b.radioEnergyUjPerFrame, 100.0, 1e-9);
+  EXPECT_NEAR(b.bandwidthBps, 10'000.0, 1e-6);
+}
+
+TEST(NodeModelTest, BatteryLifeFromMeanPower) {
+  NodeWorkload w;
+  w.opsPerFrame = 0.0;
+  w.txBitsPerFrame = 0.0;
+  w.framePeriod = millisToUs(100.0);
+  NodePlatform p = testPlatform();
+  p.sleepPowerUw = 1'000.0;  // 1 mW constant
+  const NodeBudget b = estimateNodeBudget(p, w);
+  EXPECT_NEAR(b.meanPowerMw, 1.0, 1e-6);
+  EXPECT_NEAR(b.batteryLifeHours, 1'000.0, 1e-3);
+}
+
+TEST(NodeModelTest, SensorPowerAlwaysOn) {
+  NodeWorkload w;
+  w.framePeriod = millisToUs(100.0);
+  NodePlatform p = testPlatform();
+  p.sensorPowerMw = 5.0;
+  const NodeBudget b = estimateNodeBudget(p, w);
+  EXPECT_NEAR(b.sensorEnergyUjPerFrame, 500.0, 1e-6);
+}
+
+TEST(NodeModelTest, PayloadHelpers) {
+  EXPECT_DOUBLE_EQ(trackPayloadBits(2.0), 224.0);         // 2 * 7 * 16
+  EXPECT_DOUBLE_EQ(ebbiPayloadBits(240, 180), 43'200.0);
+  EXPECT_DOUBLE_EQ(rawEventPayloadBits(650.0), 650.0 * 32.0);
+  EXPECT_DOUBLE_EQ(grayFramePayloadBits(240, 180), 345'600.0);
+}
+
+TEST(NodeModelTest, TrackPayloadFarBelowAlternatives) {
+  // The IoVT headline: tracks are orders of magnitude lighter than any
+  // other uplink policy.
+  const double tracks = trackPayloadBits(2.0);
+  EXPECT_LT(tracks * 100.0, ebbiPayloadBits(240, 180));
+  EXPECT_LT(tracks * 50.0, rawEventPayloadBits(2'500.0));
+  EXPECT_LT(tracks * 1'000.0, grayFramePayloadBits(240, 180));
+}
+
+TEST(NodeModelTest, InvalidInputsRejected) {
+  NodeWorkload w;
+  w.framePeriod = 0;
+  EXPECT_THROW((void)estimateNodeBudget(testPlatform(), w), LogicError);
+  NodeWorkload w2;
+  w2.opsPerFrame = -1.0;
+  EXPECT_THROW((void)estimateNodeBudget(testPlatform(), w2), LogicError);
+  EXPECT_THROW((void)trackPayloadBits(-1.0), LogicError);
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,80 @@
+#include "src/sim/object_models.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ebbiot {
+namespace {
+
+TEST(ObjectCatalogueTest, AllClassesPresentAndNamed) {
+  const auto& catalogue = objectCatalogue();
+  ASSERT_EQ(catalogue.size(), static_cast<std::size_t>(kObjectClassCount));
+  for (int i = 0; i < kObjectClassCount; ++i) {
+    const auto c = static_cast<ObjectClass>(i);
+    EXPECT_EQ(catalogue[static_cast<std::size_t>(i)].kind, c);
+    EXPECT_NE(objectClassName(c), "unknown");
+  }
+}
+
+TEST(ObjectCatalogueTest, SizesSpanOrderOfMagnitude) {
+  // Section III-A: "sizes of various moving objects vary by an order of
+  // magnitude in any given scene."
+  float minW = 1e9F;
+  float maxW = 0.0F;
+  for (const ObjectClassModel& m : objectCatalogue()) {
+    minW = std::min(minW, m.width);
+    maxW = std::max(maxW, m.width);
+  }
+  EXPECT_GE(maxW / minW, 10.0F);
+}
+
+TEST(ObjectCatalogueTest, SpeedsCoverSubPixelToSixPixelsPerFrame) {
+  // At tF = 66 ms, 1 px/frame ~= 15 px/s.  Humans must be sub-pixel,
+  // fastest cars ~5-6 px/frame.
+  const ObjectClassModel& human = classModel(ObjectClass::kHuman);
+  EXPECT_LT(human.maxSpeed / 15.0F, 1.0F);
+  const ObjectClassModel& car = classModel(ObjectClass::kCar);
+  EXPECT_GE(car.maxSpeed / 15.0F, 5.0F);
+  EXPECT_LE(car.maxSpeed / 15.0F, 7.0F);
+}
+
+TEST(ObjectCatalogueTest, FlatSidedVehiclesHaveLowInteriorDensity) {
+  // The fragmentation phenomenon (Fig. 3) requires buses/trucks to emit
+  // few interior events relative to cars.
+  EXPECT_LT(classModel(ObjectClass::kBus).interiorEventDensity,
+            classModel(ObjectClass::kCar).interiorEventDensity);
+  EXPECT_LT(classModel(ObjectClass::kTruck).interiorEventDensity,
+            classModel(ObjectClass::kCar).interiorEventDensity);
+}
+
+TEST(SampleObjectTest, RespectsLensScale) {
+  Rng rng(3);
+  const SampledObject full = sampleObject(ObjectClass::kBus, 1.0F, rng);
+  Rng rng2(3);
+  const SampledObject half = sampleObject(ObjectClass::kBus, 0.5F, rng2);
+  EXPECT_NEAR(half.width, full.width / 2.0F, 1e-4F);
+  EXPECT_NEAR(half.height, full.height / 2.0F, 1e-4F);
+  EXPECT_NEAR(half.speed, full.speed / 2.0F, 1e-4F);
+}
+
+TEST(SampleObjectTest, SizesWithinJitterBounds) {
+  Rng rng(5);
+  const ObjectClassModel& m = classModel(ObjectClass::kCar);
+  for (int i = 0; i < 200; ++i) {
+    const SampledObject s = sampleObject(ObjectClass::kCar, 1.0F, rng);
+    EXPECT_GE(s.width, m.width * (1.0F - m.sizeJitter) - 1e-3F);
+    EXPECT_LE(s.width, m.width * (1.0F + m.sizeJitter) + 1e-3F);
+    EXPECT_GE(s.speed, m.minSpeed - 1e-3F);
+    EXPECT_LE(s.speed, m.maxSpeed + 1e-3F);
+    EXPECT_EQ(s.kind, ObjectClass::kCar);
+  }
+}
+
+TEST(SampleObjectTest, TinyLensScaleClampedToMinimumSize) {
+  Rng rng(5);
+  const SampledObject s = sampleObject(ObjectClass::kHuman, 0.01F, rng);
+  EXPECT_GE(s.width, 2.0F);
+  EXPECT_GE(s.height, 2.0F);
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,67 @@
+#include "src/common/op_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ebbiot {
+namespace {
+
+TEST(OpCountsTest, TotalSumsAllCategories) {
+  OpCounts c;
+  c.compares = 1;
+  c.adds = 2;
+  c.multiplies = 3;
+  c.memWrites = 4;
+  EXPECT_EQ(c.total(), 10U);
+}
+
+TEST(OpCountsTest, PlusEqualsAccumulates) {
+  OpCounts a;
+  a.adds = 5;
+  OpCounts b;
+  b.compares = 3;
+  b.adds = 2;
+  a += b;
+  EXPECT_EQ(a.adds, 7U);
+  EXPECT_EQ(a.compares, 3U);
+}
+
+TEST(OpCountsTest, PlusOperator) {
+  OpCounts a;
+  a.memWrites = 1;
+  OpCounts b;
+  b.memWrites = 2;
+  EXPECT_EQ((a + b).memWrites, 3U);
+}
+
+TEST(OpCountsTest, ResetZeroes) {
+  OpCounts a;
+  a.adds = 9;
+  a.reset();
+  EXPECT_EQ(a, OpCounts{});
+  EXPECT_EQ(a.total(), 0U);
+}
+
+TEST(OpCountsTest, StreamOutputMentionsTotal) {
+  OpCounts a;
+  a.adds = 2;
+  std::ostringstream os;
+  os << a;
+  EXPECT_NE(os.str().find("total=2"), std::string::npos);
+}
+
+TEST(FormatKopsTest, RangesAndUnits) {
+  EXPECT_EQ(formatKops(500.0), "500 ops");
+  EXPECT_EQ(formatKops(125'280.0), "125.3 kops");
+  EXPECT_EQ(formatKops(5.6e9), "5600.00 Mops");
+}
+
+TEST(FormatBytesTest, RangesAndUnits) {
+  EXPECT_EQ(formatBytes(512.0), "512 B");
+  EXPECT_EQ(formatBytes(10.8 * 1024.0), "10.80 kB");
+  EXPECT_EQ(formatBytes(2.5 * 1024.0 * 1024.0), "2.50 MB");
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,282 @@
+#include "src/trackers/overlap_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+OverlapTrackerConfig testConfig() {
+  OverlapTrackerConfig c;
+  c.minHitsToReport = 2;
+  c.minSeedArea = 4.0F;
+  return c;
+}
+
+RegionProposals props(std::initializer_list<BBox> boxes) {
+  RegionProposals out;
+  for (const BBox& b : boxes) {
+    out.push_back(RegionProposal{b, static_cast<std::uint64_t>(b.area())});
+  }
+  return out;
+}
+
+TEST(OverlapTrackerTest, SeedsFromProposal) {
+  OverlapTracker tracker(testConfig());
+  EXPECT_TRUE(tracker.update(props({BBox{10, 10, 20, 10}})).empty());
+  EXPECT_EQ(tracker.activeCount(), 1);
+  // Second matched frame passes minHitsToReport.
+  const Tracks t = tracker.update(props({BBox{11, 10, 20, 10}}));
+  ASSERT_EQ(t.size(), 1U);
+  EXPECT_EQ(t[0].hits, 2);
+}
+
+TEST(OverlapTrackerTest, TinyProposalNotSeeded) {
+  OverlapTracker tracker(testConfig());
+  (void)tracker.update(props({BBox{10, 10, 1, 1}}));
+  EXPECT_EQ(tracker.activeCount(), 0);
+}
+
+TEST(OverlapTrackerTest, TracksConstantVelocityObject) {
+  OverlapTracker tracker(testConfig());
+  // Object moving +3 px/frame in x.
+  for (int f = 0; f < 20; ++f) {
+    const float x = 10.0F + 3.0F * static_cast<float>(f);
+    (void)tracker.update(props({BBox{x, 50, 30, 16}}));
+  }
+  const Tracks live = tracker.liveTracks();
+  ASSERT_EQ(live.size(), 1U);
+  // Velocity estimate converges to ~3 px/frame.
+  EXPECT_NEAR(live[0].velocity.x, 3.0F, 0.5F);
+  EXPECT_NEAR(live[0].velocity.y, 0.0F, 0.2F);
+  // Position tracks the object within a couple of pixels.
+  EXPECT_NEAR(live[0].box.x, 10.0F + 3.0F * 19.0F, 3.0F);
+  // Identity was stable the whole time: only one track ever created.
+  EXPECT_EQ(live[0].id, 1U);
+}
+
+TEST(OverlapTrackerTest, CoastsThroughMissedFrames) {
+  OverlapTracker tracker(testConfig());
+  for (int f = 0; f < 10; ++f) {
+    const float x = 10.0F + 3.0F * static_cast<float>(f);
+    (void)tracker.update(props({BBox{x, 50, 30, 16}}));
+  }
+  // Two empty frames: tracker coasts by velocity.
+  (void)tracker.update({});
+  const Tracks coasted = tracker.update({});
+  ASSERT_EQ(coasted.size(), 1U);
+  EXPECT_EQ(coasted[0].misses, 2);
+  EXPECT_NEAR(coasted[0].box.x, 10.0F + 3.0F * 11.0F, 4.0F);
+  // Reacquires afterwards with the same identity.
+  const Tracks reacquired =
+      tracker.update(props({BBox{10.0F + 3.0F * 12.0F, 50, 30, 16}}));
+  ASSERT_EQ(reacquired.size(), 1U);
+  EXPECT_EQ(reacquired[0].id, coasted[0].id);
+  EXPECT_EQ(reacquired[0].misses, 0);
+}
+
+TEST(OverlapTrackerTest, FreesSlotAfterMaxMisses) {
+  OverlapTrackerConfig config = testConfig();
+  config.maxMisses = 2;
+  OverlapTracker tracker(config);
+  (void)tracker.update(props({BBox{100, 50, 30, 16}}));
+  (void)tracker.update(props({BBox{100, 50, 30, 16}}));
+  EXPECT_EQ(tracker.activeCount(), 1);
+  (void)tracker.update({});
+  (void)tracker.update({});
+  EXPECT_EQ(tracker.activeCount(), 1);  // misses = 2 = maxMisses: still alive
+  (void)tracker.update({});
+  EXPECT_EQ(tracker.activeCount(), 0);  // misses = 3 > maxMisses
+}
+
+TEST(OverlapTrackerTest, KillsTrackLeavingFrame) {
+  OverlapTracker tracker(testConfig());
+  // Fast object heading off the right edge.
+  for (int f = 0; f < 12; ++f) {
+    const float x = 200.0F + 6.0F * static_cast<float>(f);
+    (void)tracker.update(props({BBox{std::min(x, 239.0F), 50, 20, 16}}));
+  }
+  // Let it coast out of frame.
+  for (int f = 0; f < 12; ++f) {
+    (void)tracker.update({});
+  }
+  EXPECT_EQ(tracker.activeCount(), 0);
+}
+
+TEST(OverlapTrackerTest, FragmentedProposalsMergedIntoOneTrack) {
+  // Paper case 4: an established bus track receives two fragments; the
+  // union box should be assigned to the single tracker, not seed another.
+  OverlapTracker tracker(testConfig());
+  (void)tracker.update(props({BBox{50, 50, 80, 30}}));
+  (void)tracker.update(props({BBox{52, 50, 80, 30}}));
+  EXPECT_EQ(tracker.activeCount(), 1);
+  const Tracks t =
+      tracker.update(props({BBox{54, 50, 30, 30}, BBox{100, 50, 36, 30}}));
+  EXPECT_EQ(tracker.activeCount(), 1);
+  ASSERT_EQ(t.size(), 1U);
+  // Box spans both fragments (with smoothing toward the prediction).
+  EXPECT_GT(t[0].box.w, 60.0F);
+}
+
+TEST(OverlapTrackerTest, DuplicateTrackersMergedWhenNoOcclusion) {
+  // Paper case 5b: fragmentation earlier seeded two trackers over one
+  // object; when a single unfragmented proposal arrives and the trackers'
+  // trajectories do not cross, the duplicate is freed.
+  OverlapTrackerConfig config = testConfig();
+  OverlapTracker tracker(config);
+  // Seed two side-by-side trackers (both nearly static).
+  (void)tracker.update(props({BBox{50, 50, 20, 24}, BBox{74, 50, 20, 24}}));
+  (void)tracker.update(props({BBox{51, 50, 20, 24}, BBox{75, 50, 20, 24}}));
+  EXPECT_EQ(tracker.activeCount(), 2);
+  // One merged proposal covering both.
+  (void)tracker.update(props({BBox{50, 50, 46, 24}}));
+  EXPECT_EQ(tracker.activeCount(), 1);
+}
+
+TEST(OverlapTrackerTest, OcclusionPreservesBothTracks) {
+  // Paper case 5a: two objects crossing.  Track A moves right at 4
+  // px/frame, track B moves left at 4 px/frame; when they overlap, a
+  // single merged proposal arrives.  Both trackers must survive on their
+  // predictions with velocities retained.
+  OverlapTracker tracker(testConfig());
+  auto boxA = [](int f) {
+    return BBox{40.0F + 4.0F * static_cast<float>(f), 50, 24, 16};
+  };
+  auto boxB = [](int f) {
+    return BBox{160.0F - 4.0F * static_cast<float>(f), 52, 24, 16};
+  };
+  int f = 0;
+  // Approach phase: separated proposals.
+  for (; f < 12; ++f) {
+    (void)tracker.update(props({boxA(f), boxB(f)}));
+  }
+  EXPECT_EQ(tracker.activeCount(), 2);
+  const Tracks before = tracker.liveTracks();
+  ASSERT_EQ(before.size(), 2U);
+  EXPECT_GT(before[0].velocity.x, 2.0F);
+  EXPECT_LT(before[1].velocity.x, -2.0F);
+
+  // Crossing phase: one merged proposal spanning both objects.
+  for (; f < 18; ++f) {
+    (void)tracker.update(props({unite(boxA(f), boxB(f))}));
+  }
+  EXPECT_EQ(tracker.activeCount(), 2) << "occlusion must not merge tracks";
+
+  // Separation: both reacquire, identities preserved.
+  Tracks after;
+  for (; f < 26; ++f) {
+    after = tracker.update(props({boxA(f), boxB(f)}));
+  }
+  ASSERT_EQ(after.size(), 2U);
+  EXPECT_EQ(after[0].id, before[0].id);
+  EXPECT_EQ(after[1].id, before[1].id);
+  // And they are near the true positions.
+  EXPECT_NEAR(after[0].box.x, boxA(25).x, 6.0F);
+  EXPECT_NEAR(after[1].box.x, boxB(25).x, 6.0F);
+}
+
+TEST(OverlapTrackerTest, RegionOfExclusionBlocksSeeding) {
+  OverlapTrackerConfig config = testConfig();
+  config.regionsOfExclusion.push_back(BBox{200, 140, 40, 40});
+  OverlapTracker tracker(config);
+  // Distractor proposals inside the ROE (tree flutter).
+  for (int f = 0; f < 5; ++f) {
+    (void)tracker.update(props({BBox{210, 150, 15, 15}}));
+  }
+  EXPECT_EQ(tracker.activeCount(), 0);
+  // A proposal outside the ROE still seeds.
+  (void)tracker.update(props({BBox{50, 50, 30, 16}}));
+  EXPECT_EQ(tracker.activeCount(), 1);
+}
+
+TEST(OverlapTrackerTest, CapsAtMaxTrackers) {
+  OverlapTrackerConfig config = testConfig();
+  config.maxTrackers = 3;
+  OverlapTracker tracker(config);
+  RegionProposals many;
+  for (int i = 0; i < 6; ++i) {
+    many.push_back(RegionProposal{
+        BBox{static_cast<float>(10 + 40 * i), 50, 20, 16}, 100});
+  }
+  (void)tracker.update(many);
+  EXPECT_EQ(tracker.activeCount(), 3);
+}
+
+TEST(OverlapTrackerTest, NtEightPaperDefault) {
+  EXPECT_EQ(OverlapTrackerConfig{}.maxTrackers, 8);
+}
+
+TEST(OverlapTrackerTest, OpsCountedPerFrame) {
+  OverlapTracker tracker(testConfig());
+  (void)tracker.update(props({BBox{10, 10, 20, 10}}));
+  EXPECT_GT(tracker.lastOps().total(), 0U);
+  (void)tracker.update({});
+  // Coasting frame with one live tracker still does a little work.
+  const auto coastOps = tracker.lastOps().total();
+  EXPECT_GT(coastOps, 0U);
+  EXPECT_LT(coastOps, 100U);
+}
+
+TEST(OverlapTrackerTest, EmptyProposalBoxIgnored) {
+  OverlapTracker tracker(testConfig());
+  (void)tracker.update(props({BBox{}}));
+  EXPECT_EQ(tracker.activeCount(), 0);
+}
+
+TEST(OverlapTrackerTest, InvalidConfigRejected) {
+  OverlapTrackerConfig bad = testConfig();
+  bad.maxTrackers = 0;
+  EXPECT_THROW(OverlapTracker{bad}, LogicError);
+  OverlapTrackerConfig bad2 = testConfig();
+  bad2.matchFraction = 0.0F;
+  EXPECT_THROW(OverlapTracker{bad2}, LogicError);
+}
+
+// Property: the tracker never reports more than maxTrackers tracks, never
+// reports empty boxes, and ids are unique within a frame.
+class OverlapTrackerInvariantProperty
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(OverlapTrackerInvariantProperty, FrameInvariants) {
+  const int seed = GetParam();
+  OverlapTracker tracker(testConfig());
+  std::uint64_t s = static_cast<std::uint64_t>(seed) * 0x9E3779B9ULL + 1;
+  auto next = [&s] {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  for (int f = 0; f < 60; ++f) {
+    RegionProposals p;
+    const int count = static_cast<int>(next() % 5);
+    for (int i = 0; i < count; ++i) {
+      p.push_back(RegionProposal{
+          BBox{static_cast<float>(next() % 220),
+               static_cast<float>(next() % 160),
+               static_cast<float>(4 + next() % 60),
+               static_cast<float>(4 + next() % 30)},
+          10});
+    }
+    const Tracks tracks = tracker.update(p);
+    EXPECT_LE(tracks.size(),
+              static_cast<std::size_t>(tracker.config().maxTrackers));
+    EXPECT_LE(tracker.activeCount(), tracker.config().maxTrackers);
+    std::set<std::uint32_t> ids;
+    for (const Track& t : tracks) {
+      EXPECT_FALSE(t.box.empty());
+      EXPECT_TRUE(ids.insert(t.id).second) << "duplicate id in frame";
+      EXPECT_GE(t.hits, tracker.config().minHitsToReport);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverlapTrackerInvariantProperty,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,178 @@
+// Focused tests for the OT's fragment-absorption and duplicate-
+// suppression machinery (Section II-C steps 4-5 as implemented in
+// src/trackers/overlap_tracker.cpp).
+#include <gtest/gtest.h>
+
+#include "src/trackers/overlap_tracker.hpp"
+
+namespace ebbiot {
+namespace {
+
+OverlapTrackerConfig testConfig() {
+  OverlapTrackerConfig c;
+  c.minHitsToReport = 1;
+  c.minSeedArea = 4.0F;
+  return c;
+}
+
+RegionProposals props(std::initializer_list<BBox> boxes) {
+  RegionProposals out;
+  for (const BBox& b : boxes) {
+    out.push_back(RegionProposal{b, static_cast<std::uint64_t>(b.area())});
+  }
+  return out;
+}
+
+/// Establish a tracker at the given box with ~zero velocity.
+void establish(OverlapTracker& tracker, const BBox& box, int frames = 3) {
+  for (int i = 0; i < frames; ++i) {
+    (void)tracker.update(props({box}));
+  }
+}
+
+TEST(OtFragmentMergeTest, SameBandFragmentsAbsorbed) {
+  OverlapTracker tracker(testConfig());
+  establish(tracker, BBox{50, 50, 60, 24});
+  // Two horizontal fragments of the object.
+  const Tracks t =
+      tracker.update(props({BBox{50, 50, 24, 24}, BBox{84, 50, 26, 24}}));
+  ASSERT_EQ(t.size(), 1U);
+  EXPECT_EQ(tracker.activeCount(), 1);
+  EXPECT_GT(t[0].box.w, 45.0F);  // union spans both fragments
+}
+
+TEST(OtFragmentMergeTest, DifferentBandFragmentReleasedAndSeeded) {
+  OverlapTracker tracker(testConfig());
+  establish(tracker, BBox{50, 50, 60, 24});
+  // Second proposal is vertically displaced (another lane) but overlaps
+  // the tracker in X enough to be matched: it must NOT be absorbed.
+  const BBox otherLane{55, 80, 50, 24};
+  (void)tracker.update(props({BBox{50, 50, 60, 24}, otherLane}));
+  EXPECT_EQ(tracker.activeCount(), 2);
+  const Tracks live = tracker.liveTracks();
+  // The original tracker kept roughly its own height.
+  EXPECT_LT(live[0].box.h, 30.0F);
+}
+
+TEST(OtFragmentMergeTest, OvergrowingUnionRejected) {
+  OverlapTrackerConfig config = testConfig();
+  config.maxUnionGrowth = 1.2F;
+  config.unionGrowthMarginPx = 2.0F;
+  OverlapTracker tracker(config);
+  establish(tracker, BBox{50, 50, 30, 20});
+  // A same-band fragment whose union would be ~3x the remembered width.
+  (void)tracker.update(props({BBox{50, 50, 30, 20}, BBox{120, 50, 30, 20}}));
+  const Tracks live = tracker.liveTracks();
+  ASSERT_GE(live.size(), 1U);
+  // Tracker did not balloon to 100 px.
+  EXPECT_LT(live[0].box.w, 50.0F);
+  // The far fragment is big relative to the tracker -> released + seeded.
+  EXPECT_EQ(tracker.activeCount(), 2);
+}
+
+TEST(OtFragmentMergeTest, SmallShardConsumedSilently) {
+  OverlapTrackerConfig config = testConfig();
+  config.maxUnionGrowth = 1.2F;
+  config.unionGrowthMarginPx = 2.0F;
+  OverlapTracker tracker(config);
+  establish(tracker, BBox{50, 50, 40, 20});
+  // A 10x10 shard hanging off the tracker's top edge: it matches (their
+  // boxes overlap) but fails the Y-band rule, and at 100 px^2 it is well
+  // under a quarter of the tracker's 800 px^2 — so it is neither
+  // absorbed nor allowed to seed a ghost track.
+  (void)tracker.update(props({BBox{50, 50, 40, 20}, BBox{60, 68, 10, 10}}));
+  EXPECT_EQ(tracker.activeCount(), 1);
+  const Tracks live = tracker.liveTracks();
+  ASSERT_EQ(live.size(), 1U);
+  EXPECT_LT(live[0].box.h, 25.0F);  // shard not absorbed either
+}
+
+TEST(OtDuplicateSuppressionTest, CoMovingOverlappedTrackersCollapse) {
+  OverlapTracker tracker(testConfig());
+  // Two trackers drifting together at 0.5 px/frame each (relative speed
+  // 1 px/frame, inside the duplicate tolerance).  Once their boxes
+  // overlap by more than duplicateOverlap of the smaller, the junior is
+  // suppressed.
+  bool collapsed = false;
+  for (int f = 0; f < 24 && !collapsed; ++f) {
+    const float drift = 0.5F * static_cast<float>(f);
+    (void)tracker.update(props({BBox{50.0F + drift, 50, 30, 20},
+                                BBox{78.0F - drift, 50, 30, 20}}));
+    if (f > 2) {
+      EXPECT_GE(tracker.activeCount(), 1);
+    }
+    collapsed = tracker.activeCount() == 1;
+  }
+  EXPECT_TRUE(collapsed);
+}
+
+TEST(OtDuplicateSuppressionTest, CrossingTrackersNotCollapsed) {
+  OverlapTracker tracker(testConfig());
+  // Opposite velocities, briefly overlapping boxes: must both survive.
+  auto left = [](int f) {
+    return BBox{40.0F + 5.0F * static_cast<float>(f), 50, 24, 16};
+  };
+  auto right = [](int f) {
+    return BBox{150.0F - 5.0F * static_cast<float>(f), 51, 24, 16};
+  };
+  for (int f = 0; f < 10; ++f) {
+    (void)tracker.update(props({left(f), right(f)}));
+  }
+  // Boxes now overlap strongly but velocities oppose.
+  EXPECT_EQ(tracker.activeCount(), 2);
+}
+
+TEST(OtOcclusionTest, SweptLookaheadCatchesFastClosing) {
+  // Closing speed so high the boxes would hop across each other between
+  // integer steps: the swept check must still classify it as occlusion.
+  OverlapTrackerConfig config = testConfig();
+  OverlapTracker tracker(config);
+  auto a = [](int f) {
+    return BBox{20.0F + 8.0F * static_cast<float>(f), 50, 20, 16};
+  };
+  auto b = [](int f) {
+    return BBox{200.0F - 8.0F * static_cast<float>(f), 52, 20, 16};
+  };
+  int f = 0;
+  for (; f < 10; ++f) {
+    (void)tracker.update(props({a(f), b(f)}));
+  }
+  ASSERT_EQ(tracker.activeCount(), 2);
+  const Tracks before = tracker.liveTracks();
+  // Single merged proposal while they pass each other.
+  for (; f < 14; ++f) {
+    (void)tracker.update(props({unite(a(f), b(f))}));
+  }
+  EXPECT_EQ(tracker.activeCount(), 2);
+  Tracks after;
+  for (; f < 20; ++f) {
+    after = tracker.update(props({a(f), b(f)}));
+  }
+  ASSERT_EQ(after.size(), 2U);
+  EXPECT_EQ(after[0].id, before[0].id);
+  EXPECT_EQ(after[1].id, before[1].id);
+}
+
+TEST(OtOcclusionTest, OccludedTracksFlaggedAndCoasting) {
+  OverlapTracker tracker(testConfig());
+  auto a = [](int f) {
+    return BBox{40.0F + 4.0F * static_cast<float>(f), 50, 24, 16};
+  };
+  auto b = [](int f) {
+    return BBox{150.0F - 4.0F * static_cast<float>(f), 52, 24, 16};
+  };
+  int f = 0;
+  for (; f < 12; ++f) {
+    (void)tracker.update(props({a(f), b(f)}));
+  }
+  const Tracks merged = tracker.update(props({unite(a(f), b(f))}));
+  ASSERT_EQ(merged.size(), 2U);
+  EXPECT_TRUE(merged[0].occluded);
+  EXPECT_TRUE(merged[1].occluded);
+  // Velocities retained through the blob frame.
+  EXPECT_GT(merged[0].velocity.x, 2.0F);
+  EXPECT_LT(merged[1].velocity.x, -2.0F);
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,118 @@
+// Parameterized end-to-end pipeline properties: invariants that must
+// hold across the configuration grid, not just at the paper's defaults.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/pipeline.hpp"
+#include "src/sim/davis.hpp"
+#include "src/sim/event_synth.hpp"
+#include "src/sim/scene.hpp"
+
+namespace ebbiot {
+namespace {
+
+struct PipelineCase {
+  int medianPatch;
+  int s1;
+  int s2;
+  RpnKind rpnKind;
+};
+
+class PipelineConfigSweep : public ::testing::TestWithParam<PipelineCase> {
+ protected:
+  static EventPacket window(FastEventSynth& synth) {
+    return latchReadout(synth.nextWindow(kDefaultFramePeriodUs), 240, 180);
+  }
+};
+
+TEST_P(PipelineConfigSweep, InvariantsHoldOverBusyTraffic) {
+  const auto& [patch, s1, s2, rpnKind] = GetParam();
+  ScriptedScene scene(240, 180);
+  scene.addLinear(ObjectClass::kCar, BBox{-48, 40, 48, 22}, Vec2f{65, 0},
+                  0, secondsToUs(10.0));
+  scene.addLinear(ObjectClass::kBus, BBox{240, 75, 120, 38}, Vec2f{-45, 0},
+                  0, secondsToUs(10.0));
+  scene.addLinear(ObjectClass::kVan, BBox{-60, 110, 60, 28}, Vec2f{50, 0},
+                  secondsToUs(1.0), secondsToUs(10.0));
+  EventSynthConfig synthConfig;
+  synthConfig.backgroundActivityHz = 0.3;
+  synthConfig.seed = 99;
+  FastEventSynth synth(scene, synthConfig);
+
+  EbbiotPipelineConfig config;
+  config.medianPatch = patch;
+  config.rpn.s1 = s1;
+  config.rpn.s2 = s2;
+  config.rpnKind = rpnKind;
+  EbbiotPipeline pipeline(config);
+
+  for (int f = 0; f < 45; ++f) {
+    const Tracks tracks = pipeline.processWindow(window(synth));
+    // Never more tracks than slots; ids unique; boxes non-empty and
+    // near the frame (coasting may overhang slightly).
+    EXPECT_LE(tracks.size(), 8U);
+    std::set<std::uint32_t> ids;
+    for (const Track& t : tracks) {
+      EXPECT_TRUE(ids.insert(t.id).second);
+      EXPECT_FALSE(t.box.empty());
+      EXPECT_FALSE(clampToFrame(t.box, 300, 240).empty());
+      EXPECT_GE(t.hits, 1);
+      EXPECT_GE(t.age, t.hits);
+    }
+    // Ops are measured every frame and bounded: the front end can't
+    // exceed a few multiples of A*B even at p = 5.
+    const auto total = pipeline.lastOps().total().total();
+    EXPECT_GT(total, 0U);
+    EXPECT_LT(total, 20U * 240U * 180U);
+    // Filtered image never has more pixels than the raw EBBI for p >= 3
+    // on sparse frames... (strictly: median can fill holes, so allow a
+    // small excess).
+    EXPECT_LE(pipeline.lastFiltered().popcount(),
+              pipeline.lastEbbi().popcount() * 11 / 10 + 16);
+  }
+}
+
+TEST_P(PipelineConfigSweep, DeterministicAcrossRuns) {
+  const auto& [patch, s1, s2, rpnKind] = GetParam();
+  auto run = [&] {
+    ScriptedScene scene(240, 180);
+    scene.addLinear(ObjectClass::kCar, BBox{-48, 70, 48, 22}, Vec2f{60, 0},
+                    0, secondsToUs(5.0));
+    EventSynthConfig synthConfig;
+    synthConfig.seed = 7;
+    FastEventSynth synth(scene, synthConfig);
+    EbbiotPipelineConfig config;
+    config.medianPatch = patch;
+    config.rpn.s1 = s1;
+    config.rpn.s2 = s2;
+    config.rpnKind = rpnKind;
+    EbbiotPipeline pipeline(config);
+    Tracks last;
+    std::uint64_t opsTotal = 0;
+    for (int f = 0; f < 30; ++f) {
+      last = pipeline.processWindow(window(synth));
+      opsTotal += pipeline.lastOps().total().total();
+    }
+    return std::pair{last, opsTotal};
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.second, b.second);
+  ASSERT_EQ(a.first.size(), b.first.size());
+  for (std::size_t i = 0; i < a.first.size(); ++i) {
+    EXPECT_EQ(a.first[i], b.first[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigGrid, PipelineConfigSweep,
+    ::testing::Values(PipelineCase{3, 6, 3, RpnKind::kHistogram},  // paper
+                      PipelineCase{1, 6, 3, RpnKind::kHistogram},
+                      PipelineCase{5, 6, 3, RpnKind::kHistogram},
+                      PipelineCase{3, 2, 2, RpnKind::kHistogram},
+                      PipelineCase{3, 12, 6, RpnKind::kHistogram},
+                      PipelineCase{3, 6, 3, RpnKind::kCca}));
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,85 @@
+#include "src/sim/recording.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+TEST(RecordingSpecTest, EngMatchesTableOne) {
+  const RecordingSpec spec = makeSyntheticEng();
+  EXPECT_EQ(spec.name, "SyntheticENG");
+  EXPECT_DOUBLE_EQ(spec.lensMm, 12.0);
+  EXPECT_DOUBLE_EQ(spec.durationS, 2998.4);
+  EXPECT_EQ(spec.paperEventCount, 107'500'000U);
+  EXPECT_FLOAT_EQ(spec.traffic.lensScale, 1.0F);
+}
+
+TEST(RecordingSpecTest, Lt4MatchesTableOne) {
+  const RecordingSpec spec = makeSyntheticLt4();
+  EXPECT_EQ(spec.name, "SyntheticLT4");
+  EXPECT_DOUBLE_EQ(spec.lensMm, 6.0);
+  EXPECT_DOUBLE_EQ(spec.durationS, 999.5);
+  EXPECT_EQ(spec.paperEventCount, 12'500'000U);
+  EXPECT_FLOAT_EQ(spec.traffic.lensScale, 0.5F);
+}
+
+TEST(RecordingSpecTest, ScaledRecordingShrinksDurationAndTarget) {
+  const RecordingSpec spec = scaledRecording(makeSyntheticEng(), 0.1);
+  EXPECT_NEAR(spec.durationS, 299.84, 1e-9);
+  EXPECT_EQ(spec.paperEventCount, 10'750'000U);
+  EXPECT_THROW((void)scaledRecording(makeSyntheticEng(), 0.0), LogicError);
+  EXPECT_THROW((void)scaledRecording(makeSyntheticEng(), 1.5), LogicError);
+}
+
+TEST(OpenRecordingTest, ProducesWorkingSourceAndScenario) {
+  const RecordingSpec spec = scaledRecording(makeSyntheticEng(), 0.005);
+  Recording rec = openRecording(spec);
+  ASSERT_NE(rec.scenario, nullptr);
+  ASSERT_NE(rec.source, nullptr);
+  EXPECT_EQ(rec.source->width(), 240);
+  EXPECT_EQ(rec.source->height(), 180);
+  std::size_t events = 0;
+  for (int i = 0; i < 30; ++i) {
+    events += rec.source->nextWindow(spec.framePeriod).size();
+  }
+  EXPECT_GT(events, 0U);
+}
+
+TEST(OpenRecordingTest, EventRateNearTableOneTarget) {
+  // Generate ~60 s of ENG and check the event rate lands within 2x of the
+  // Table I average (35.9 k events/s).  The full-duration comparison is
+  // bench_table1_datasets' job; this is the smoke-level calibration gate.
+  const RecordingSpec spec = scaledRecording(makeSyntheticEng(), 0.02);
+  Recording rec = openRecording(spec);
+  std::uint64_t events = 0;
+  const auto frames = static_cast<std::size_t>(
+      secondsToUs(spec.durationS) / spec.framePeriod);
+  for (std::size_t i = 0; i < frames; ++i) {
+    events += rec.source->nextWindow(spec.framePeriod).size();
+  }
+  const double rate = static_cast<double>(events) / spec.durationS;
+  const double target = static_cast<double>(makeSyntheticEng().paperEventCount) /
+                        makeSyntheticEng().durationS;
+  EXPECT_GT(rate, target * 0.5);
+  EXPECT_LT(rate, target * 2.0);
+}
+
+TEST(OpenRecordingTest, Lt4HasLowerRateThanEng) {
+  auto rateOf = [](const RecordingSpec& base) {
+    const RecordingSpec spec = scaledRecording(base, 0.02);
+    Recording rec = openRecording(spec);
+    std::uint64_t events = 0;
+    const auto frames = static_cast<std::size_t>(
+        secondsToUs(spec.durationS) / spec.framePeriod);
+    for (std::size_t i = 0; i < frames; ++i) {
+      events += rec.source->nextWindow(spec.framePeriod).size();
+    }
+    return static_cast<double>(events) / spec.durationS;
+  };
+  EXPECT_GT(rateOf(makeSyntheticEng()), 2.0 * rateOf(makeSyntheticLt4()));
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,84 @@
+#include "src/filters/refractory_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+TEST(RefractoryFilterTest, FirstEventPasses) {
+  RefractoryFilter filter(32, 32, 1'000);
+  EventPacket p(0, 10'000);
+  p.push(Event{5, 5, Polarity::kOn, 100});
+  EXPECT_EQ(filter.filter(p).size(), 1U);
+}
+
+TEST(RefractoryFilterTest, EventWithinDeadTimeDropped) {
+  RefractoryFilter filter(32, 32, 1'000);
+  EventPacket p(0, 10'000);
+  p.push(Event{5, 5, Polarity::kOn, 100});
+  p.push(Event{5, 5, Polarity::kOff, 600});   // 500 us later: dropped
+  p.push(Event{5, 5, Polarity::kOn, 1'100});  // 1000 us after first: passes
+  const EventPacket out = filter.filter(p);
+  ASSERT_EQ(out.size(), 2U);
+  EXPECT_EQ(out[0].t, 100);
+  EXPECT_EQ(out[1].t, 1'100);
+}
+
+TEST(RefractoryFilterTest, DifferentPixelsIndependent) {
+  RefractoryFilter filter(32, 32, 1'000);
+  EventPacket p(0, 10'000);
+  p.push(Event{5, 5, Polarity::kOn, 100});
+  p.push(Event{6, 5, Polarity::kOn, 150});
+  EXPECT_EQ(filter.filter(p).size(), 2U);
+}
+
+TEST(RefractoryFilterTest, StatePersistsAcrossPackets) {
+  RefractoryFilter filter(32, 32, 1'000);
+  EventPacket a(0, 500);
+  a.push(Event{5, 5, Polarity::kOn, 400});
+  (void)filter.filter(a);
+  EventPacket b(500, 2'000);
+  b.push(Event{5, 5, Polarity::kOn, 900});   // 500 us after: dropped
+  b.push(Event{5, 5, Polarity::kOn, 1'500});  // 1100 us after: passes
+  EXPECT_EQ(filter.filter(b).size(), 1U);
+}
+
+TEST(RefractoryFilterTest, ResetForgetsHistory) {
+  RefractoryFilter filter(32, 32, 1'000);
+  EventPacket a(0, 500);
+  a.push(Event{5, 5, Polarity::kOn, 400});
+  (void)filter.filter(a);
+  filter.reset();
+  EventPacket b(500, 1'000);
+  b.push(Event{5, 5, Polarity::kOn, 600});
+  EXPECT_EQ(filter.filter(b).size(), 1U);
+}
+
+TEST(RefractoryFilterTest, ZeroPeriodPassesEverything) {
+  RefractoryFilter filter(32, 32, 0);
+  EventPacket p(0, 10'000);
+  for (int i = 0; i < 5; ++i) {
+    p.push(Event{5, 5, Polarity::kOn, static_cast<TimeUs>(i)});
+  }
+  EXPECT_EQ(filter.filter(p).size(), 5U);
+}
+
+TEST(RefractoryFilterTest, UnsortedPacketRejected) {
+  RefractoryFilter filter(32, 32, 1'000);
+  EventPacket p(0, 10'000);
+  p.push(Event{1, 1, Polarity::kOn, 500});
+  p.push(Event{2, 2, Polarity::kOn, 100});
+  EXPECT_THROW((void)filter.filter(p), LogicError);
+}
+
+TEST(RefractoryFilterTest, BoundsCheckedAgainstGeometry) {
+  RefractoryFilter filter(8, 8, 1'000);
+  EventPacket p(0, 10'000);
+  p.push(Event{9, 1, Polarity::kOn, 100});
+  EXPECT_THROW((void)filter.filter(p), LogicError);
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,115 @@
+#include "src/viz/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+TEST(RgbImageTest, FillAndAccess) {
+  RgbImage img(8, 4, colors::kWhite);
+  EXPECT_EQ(img.at(0, 0), colors::kWhite);
+  img.set(3, 2, colors::kTrack);
+  EXPECT_EQ(img.at(3, 2), colors::kTrack);
+  EXPECT_EQ(img.at(3, 1), colors::kWhite);
+}
+
+TEST(RgbImageTest, SensorYUpMapsToRasterTopDown) {
+  RgbImage img(4, 4);
+  img.set(0, 3, Rgb{9, 9, 9});  // top-left in sensor coords
+  // Raster row 0 (top) should hold it: bytes offset 0.
+  EXPECT_EQ(img.bytes()[0], 9);
+}
+
+TEST(RgbImageTest, OutOfBoundsThrows) {
+  RgbImage img(4, 4);
+  EXPECT_THROW((void)img.at(4, 0), LogicError);
+  EXPECT_THROW(img.set(0, -1, colors::kWhite), LogicError);
+}
+
+TEST(RenderEbbiTest, SetPixelsBecomeGray) {
+  BinaryImage ebbi(16, 16);
+  ebbi.set(5, 5, true);
+  const RgbImage img = renderEbbi(ebbi);
+  EXPECT_EQ(img.at(5, 5), colors::kEventGray);
+  EXPECT_EQ(img.at(6, 5), colors::kBlack);
+}
+
+TEST(DrawBoxTest, OutlineOnly) {
+  RgbImage img(20, 20);
+  drawBox(img, BBox{5, 5, 6, 4}, colors::kTrack);
+  EXPECT_EQ(img.at(5, 5), colors::kTrack);    // corner
+  EXPECT_EQ(img.at(10, 8), colors::kTrack);   // right edge
+  EXPECT_EQ(img.at(7, 7), colors::kBlack);    // interior untouched
+}
+
+TEST(DrawBoxTest, ClippedAtFrame) {
+  RgbImage img(10, 10);
+  drawBox(img, BBox{-5, -5, 30, 30}, colors::kTrack);  // no throw
+  EXPECT_EQ(img.at(0, 0), colors::kTrack);
+  drawBox(img, BBox{50, 50, 5, 5}, colors::kTrack);    // fully outside
+}
+
+TEST(RenderFrameTest, OverlayPriorities) {
+  BinaryImage ebbi(40, 40);
+  ebbi.set(30, 30, true);  // clear of every overlay outline
+  RegionProposals proposals{RegionProposal{BBox{10, 10, 10, 10}, 5}};
+  Tracks tracks;
+  Track t;
+  t.id = 1;
+  t.box = BBox{12, 12, 10, 10};
+  tracks.push_back(t);
+  std::vector<GtBox> gt{GtBox{1, ObjectClass::kCar, BBox{11, 11, 10, 10}}};
+  FrameOverlay overlay;
+  overlay.proposals = &proposals;
+  overlay.tracks = &tracks;
+  overlay.groundTruth = &gt;
+  const RgbImage img = renderFrame(ebbi, overlay);
+  EXPECT_EQ(img.at(30, 30), colors::kEventGray);
+  EXPECT_EQ(img.at(10, 10), colors::kProposal);   // proposal corner
+  EXPECT_EQ(img.at(11, 11), colors::kGroundTruth);
+  EXPECT_EQ(img.at(12, 12), colors::kTrack);      // tracks drawn last
+}
+
+TEST(WritePpmTest, HeaderAndPayload) {
+  RgbImage img(3, 2, Rgb{1, 2, 3});
+  std::ostringstream os;
+  writePpm(os, img);
+  const std::string s = os.str();
+  EXPECT_EQ(s.rfind("P6\n3 2\n255\n", 0), 0U);
+  EXPECT_EQ(s.size(), 11U + 3U * 2U * 3U);
+}
+
+TEST(RenderAsciiTest, EventsAndBoxes) {
+  BinaryImage ebbi(80, 48);
+  for (int x = 30; x < 40; ++x) {
+    for (int y = 20; y < 28; ++y) {
+      ebbi.set(x, y, true);
+    }
+  }
+  Tracks tracks;
+  Track t;
+  t.box = BBox{28, 18, 14, 12};
+  tracks.push_back(t);
+  FrameOverlay overlay;
+  overlay.tracks = &tracks;
+  const std::string art = renderAscii(ebbi, overlay, 40, 12);
+  EXPECT_NE(art.find('*'), std::string::npos);
+  EXPECT_NE(art.find('o'), std::string::npos);
+  // 12 rows of 40 chars + newlines.
+  EXPECT_EQ(art.size(), 12U * 41U);
+}
+
+TEST(RenderAsciiTest, EmptyFrameAllDots) {
+  const BinaryImage ebbi(16, 16);
+  const std::string art = renderAscii(ebbi, FrameOverlay{}, 8, 4);
+  for (char c : art) {
+    EXPECT_TRUE(c == '.' || c == '\n');
+  }
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,151 @@
+#include "src/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    sawLo = sawLo || v == 0;
+    sawHi = sawHi || v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(7);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(7);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sumSq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    sum += v;
+    sumSq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumSq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.poisson(2.5);
+    EXPECT_GE(v, 0);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesApproximation) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.poisson(1000.0));
+  }
+  EXPECT_NEAR(sum / n, 1000.0, 5.0);
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.exponential(4.0);
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  Rng parent(42);
+  Rng childA = parent.fork(1);
+  Rng childA2 = Rng(42).fork(1);
+  EXPECT_DOUBLE_EQ(childA.uniform(), childA2.uniform());
+
+  Rng childB = parent.fork(2);
+  int equal = 0;
+  Rng a = parent.fork(1);
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == childB.uniform()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, InvalidArgumentsThrow) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform(5.0, 2.0), LogicError);
+  EXPECT_THROW((void)rng.uniformInt(5, 2), LogicError);
+  EXPECT_THROW((void)rng.exponential(0.0), LogicError);
+  EXPECT_THROW((void)rng.poisson(-1.0), LogicError);
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,123 @@
+#include "src/core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/sim/event_synth.hpp"
+#include "src/sim/scene.hpp"
+
+namespace ebbiot {
+namespace {
+
+struct Fixture {
+  Fixture() : scene(240, 180) {
+    scene.addLinear(ObjectClass::kCar, BBox{-48, 60, 48, 22}, Vec2f{60, 0},
+                    0, secondsToUs(20.0));
+    scene.addLinear(ObjectClass::kVan, BBox{240, 100, 60, 28},
+                    Vec2f{-45, 0}, secondsToUs(1.0), secondsToUs(20.0));
+    EventSynthConfig config;
+    config.backgroundActivityHz = 0.3;
+    config.seed = 31;
+    synth = std::make_unique<FastEventSynth>(scene, config);
+  }
+  ScriptedScene scene;
+  std::unique_ptr<FastEventSynth> synth;
+};
+
+TEST(RunnerTest, RunsAllPipelinesAndCountsFrames) {
+  Fixture fix;
+  const RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+  const RunResult result =
+      runRecording(*fix.synth, fix.scene, secondsToUs(8.0), config);
+  const auto expectedFrames =
+      static_cast<std::size_t>(secondsToUs(8.0) / kDefaultFramePeriodUs);
+  EXPECT_EQ(result.frames, expectedFrames);
+  ASSERT_TRUE(result.ebbiot.has_value());
+  ASSERT_TRUE(result.kalman.has_value());
+  ASSERT_TRUE(result.ebms.has_value());
+  EXPECT_EQ(result.ebbiot->frames, expectedFrames);
+  EXPECT_EQ(result.thresholds, config.iouThresholds);
+  EXPECT_GT(result.streamEvents, 0U);
+  EXPECT_GT(result.latchedEvents, 0U);
+  EXPECT_LE(result.latchedEvents, result.streamEvents);
+  EXPECT_EQ(result.gtTracks, 2U);
+  EXPECT_GT(result.gtBoxes, 0U);
+}
+
+TEST(RunnerTest, EbbiotAchievesGoodRecallOnEasyScene) {
+  Fixture fix;
+  const RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+  const RunResult result =
+      runRecording(*fix.synth, fix.scene, secondsToUs(8.0), config);
+  // At IoU 0.3 on two clean vehicles, EBBIOT should recall most boxes.
+  const PrCounts& counts = result.ebbiot->counts[2];  // threshold 0.3
+  EXPECT_GT(counts.recall(), 0.6);
+  EXPECT_GT(counts.precision(), 0.6);
+}
+
+TEST(RunnerTest, PipelinesCanBeDisabled) {
+  Fixture fix;
+  RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+  config.runKalman = false;
+  config.runEbms = false;
+  const RunResult result =
+      runRecording(*fix.synth, fix.scene, secondsToUs(2.0), config);
+  EXPECT_TRUE(result.ebbiot.has_value());
+  EXPECT_FALSE(result.kalman.has_value());
+  EXPECT_FALSE(result.ebms.has_value());
+}
+
+TEST(RunnerTest, MaxFramesLimitsWork) {
+  Fixture fix;
+  RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+  config.maxFrames = 5;
+  const RunResult result =
+      runRecording(*fix.synth, fix.scene, secondsToUs(8.0), config);
+  EXPECT_EQ(result.frames, 5U);
+}
+
+TEST(RunnerTest, MeanStatsPopulated) {
+  Fixture fix;
+  const RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+  const RunResult result =
+      runRecording(*fix.synth, fix.scene, secondsToUs(4.0), config);
+  EXPECT_GT(result.meanAlpha, 0.0);
+  EXPECT_LT(result.meanAlpha, 0.2);
+  EXPECT_GE(result.meanBeta, 1.0);
+  EXPECT_GT(result.meanEventsPerFrame, 0.0);
+  EXPECT_GT(result.meanFilteredEventsPerFrame, 0.0);
+  EXPECT_LT(result.meanFilteredEventsPerFrame, result.meanEventsPerFrame);
+  EXPECT_GT(result.ebbiot->meanOpsPerFrame(), 0.0);
+}
+
+TEST(RunnerTest, ToRecordingResultCarriesWeights) {
+  Fixture fix;
+  const RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+  const RunResult result =
+      runRecording(*fix.synth, fix.scene, secondsToUs(4.0), config);
+  const RecordingResult rec =
+      result.toRecordingResult(*result.ebbiot, "unit");
+  EXPECT_EQ(rec.name, "unit");
+  EXPECT_EQ(rec.gtTracks, result.gtTracks);
+  EXPECT_EQ(rec.thresholds, result.thresholds);
+  EXPECT_EQ(rec.counts.size(), result.thresholds.size());
+}
+
+TEST(RunnerTest, GeometryMismatchRejected) {
+  Fixture fix;
+  ScriptedScene other(120, 90);
+  const RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+  EXPECT_THROW(
+      (void)runRecording(*fix.synth, other, secondsToUs(1.0), config),
+      LogicError);
+}
+
+TEST(RunnerTest, ZeroDurationRejected) {
+  Fixture fix;
+  const RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+  EXPECT_THROW((void)runRecording(*fix.synth, fix.scene, 0, config),
+               LogicError);
+}
+
+}  // namespace
+}  // namespace ebbiot

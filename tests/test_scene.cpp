@@ -1,0 +1,90 @@
+#include "src/sim/scene.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+TEST(ScriptedSceneTest, ObjectVisibleOnlyDuringLifetime) {
+  ScriptedScene scene(240, 180);
+  scene.addLinear(ObjectClass::kCar, BBox{10, 60, 40, 20}, Vec2f{30, 0},
+                  secondsToUs(1.0), secondsToUs(5.0));
+  EXPECT_TRUE(scene.objectsAt(secondsToUs(0.5)).empty());
+  EXPECT_EQ(scene.objectsAt(secondsToUs(2.0)).size(), 1U);
+  EXPECT_TRUE(scene.objectsAt(secondsToUs(5.0)).empty());  // tEnd exclusive
+}
+
+TEST(ScriptedSceneTest, LinearMotionIsExact) {
+  ScriptedScene scene(240, 180);
+  scene.addLinear(ObjectClass::kCar, BBox{10, 60, 40, 20}, Vec2f{30, -6},
+                  0, secondsToUs(10.0));
+  const auto at2 = scene.objectsAt(secondsToUs(2.0));
+  ASSERT_EQ(at2.size(), 1U);
+  EXPECT_FLOAT_EQ(at2[0].box.x, 70.0F);   // 10 + 30*2
+  EXPECT_FLOAT_EQ(at2[0].box.y, 48.0F);   // 60 - 6*2
+  EXPECT_FLOAT_EQ(at2[0].box.w, 40.0F);
+  EXPECT_FLOAT_EQ(at2[0].box.h, 20.0F);
+}
+
+TEST(ScriptedSceneTest, OffscreenObjectNotReported) {
+  ScriptedScene scene(240, 180);
+  // Starts fully left of frame; becomes visible once it crosses x > -40.
+  scene.addLinear(ObjectClass::kCar, BBox{-100, 60, 40, 20}, Vec2f{30, 0},
+                  0, secondsToUs(20.0));
+  EXPECT_TRUE(scene.objectsAt(secondsToUs(1.0)).empty());   // x = -70
+  EXPECT_EQ(scene.objectsAt(secondsToUs(3.0)).size(), 1U);  // x = -10
+}
+
+TEST(ScriptedSceneTest, IdsAreStableAndUnique) {
+  ScriptedScene scene(240, 180);
+  const auto idA = scene.addLinear(ObjectClass::kCar, BBox{10, 60, 40, 20},
+                                   Vec2f{10, 0}, 0, secondsToUs(10.0));
+  const auto idB = scene.addLinear(ObjectClass::kBus, BBox{10, 100, 80, 30},
+                                   Vec2f{10, 0}, 0, secondsToUs(10.0));
+  EXPECT_NE(idA, idB);
+  const auto objects = scene.objectsAt(secondsToUs(1.0));
+  ASSERT_EQ(objects.size(), 2U);
+  EXPECT_EQ(objects[0].id, idA);
+  EXPECT_EQ(objects[1].id, idB);
+  // Same query later: same ids.
+  const auto later = scene.objectsAt(secondsToUs(2.0));
+  ASSERT_EQ(later.size(), 2U);
+  EXPECT_EQ(later[0].id, idA);
+}
+
+TEST(ScriptedSceneTest, ExplicitIdRespected) {
+  ScriptedScene scene(240, 180);
+  ScriptedObject obj;
+  obj.id = 77;
+  obj.kind = ObjectClass::kVan;
+  obj.boxAtStart = BBox{10, 10, 20, 20};
+  obj.tStart = 0;
+  obj.tEnd = secondsToUs(1.0);
+  EXPECT_EQ(scene.add(obj), 77U);
+  const auto objects = scene.objectsAt(100);
+  ASSERT_EQ(objects.size(), 1U);
+  EXPECT_EQ(objects[0].id, 77U);
+}
+
+TEST(ScriptedSceneTest, InvertedLifetimeThrows) {
+  ScriptedScene scene(240, 180);
+  ScriptedObject obj;
+  obj.tStart = 100;
+  obj.tEnd = 50;
+  EXPECT_THROW(scene.add(obj), LogicError);
+}
+
+TEST(ScriptedBoxAtTest, TranslatesFromStartTime) {
+  ScriptedObject obj;
+  obj.boxAtStart = BBox{0, 0, 10, 10};
+  obj.velocity = Vec2f{15, 0};
+  obj.tStart = secondsToUs(2.0);
+  obj.tEnd = secondsToUs(10.0);
+  const BBox b = scriptedBoxAt(obj, secondsToUs(4.0));
+  EXPECT_FLOAT_EQ(b.x, 30.0F);  // 15 px/s for 2 s
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,71 @@
+#include "src/events/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ebbiot {
+namespace {
+
+TEST(FrameStatsTest, EmptyPacket) {
+  const EventPacket p(0, 66'000);
+  const FrameStats s = computeFrameStats(p, 240, 180);
+  EXPECT_EQ(s.eventCount, 0U);
+  EXPECT_EQ(s.activePixels, 0U);
+  EXPECT_DOUBLE_EQ(s.alpha, 0.0);
+  EXPECT_DOUBLE_EQ(s.beta, 0.0);
+}
+
+TEST(FrameStatsTest, CountsDistinctPixels) {
+  EventPacket p(0, 1'000'000);
+  p.push(Event{0, 0, Polarity::kOn, 10});
+  p.push(Event{0, 0, Polarity::kOff, 20});  // same pixel again
+  p.push(Event{1, 0, Polarity::kOn, 30});
+  const FrameStats s = computeFrameStats(p, 10, 10);
+  EXPECT_EQ(s.eventCount, 3U);
+  EXPECT_EQ(s.activePixels, 2U);
+  EXPECT_DOUBLE_EQ(s.alpha, 0.02);
+  EXPECT_DOUBLE_EQ(s.beta, 1.5);
+  EXPECT_NEAR(s.onFraction, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.eventRateHz, 3.0);  // 3 events / 1 s
+}
+
+TEST(FrameStatsTest, BetaIsAtLeastOneWhenActive) {
+  EventPacket p(0, 66'000);
+  p.push(Event{5, 5, Polarity::kOn, 10});
+  const FrameStats s = computeFrameStats(p, 10, 10);
+  EXPECT_GE(s.beta, 1.0);
+}
+
+TEST(StreamStatsAccumulatorTest, AggregatesAcrossFrames) {
+  StreamStatsAccumulator acc(10, 10);
+  EventPacket a(0, 1'000'000);
+  a.push(Event{0, 0, Polarity::kOn, 10});
+  a.push(Event{1, 1, Polarity::kOn, 20});
+  acc.addPacket(a);
+  EventPacket b(1'000'000, 2'000'000);
+  b.push(Event{2, 2, Polarity::kOn, 1'500'000});
+  b.push(Event{2, 2, Polarity::kOff, 1'600'000});
+  acc.addPacket(b);
+
+  EXPECT_EQ(acc.totalEvents(), 4U);
+  EXPECT_EQ(acc.frames(), 2U);
+  EXPECT_EQ(acc.totalDuration(), 2'000'000);
+  EXPECT_DOUBLE_EQ(acc.meanEventsPerFrame(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.meanEventRateHz(), 2.0);
+  // alpha: frame a = 0.02, frame b = 0.01 -> mean 0.015
+  EXPECT_NEAR(acc.meanAlpha(), 0.015, 1e-12);
+  // beta: frame a = 1.0, frame b = 2.0 -> mean 1.5
+  EXPECT_NEAR(acc.meanBeta(), 1.5, 1e-12);
+}
+
+TEST(StreamStatsAccumulatorTest, IdleFramesExcludedFromAlphaBeta) {
+  StreamStatsAccumulator acc(10, 10);
+  acc.addPacket(EventPacket(0, 1'000));  // idle frame
+  EventPacket b(1'000, 2'000);
+  b.push(Event{0, 0, Polarity::kOn, 1'500});
+  acc.addPacket(b);
+  EXPECT_DOUBLE_EQ(acc.meanAlpha(), 0.01);
+  EXPECT_DOUBLE_EQ(acc.meanBeta(), 1.0);
+}
+
+}  // namespace
+}  // namespace ebbiot

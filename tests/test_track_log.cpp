@@ -1,0 +1,95 @@
+#include "src/eval/track_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+Track makeTrack(std::uint32_t id, float x, float y, float vx = 0.0F) {
+  Track t;
+  t.id = id;
+  t.box = BBox{x, y, 20, 10};
+  t.velocity = Vec2f{vx, 0.0F};
+  return t;
+}
+
+TEST(TrackLogTest, AddFramesInOrder) {
+  TrackLog log;
+  log.addFrame(66'000, {makeTrack(1, 10, 50)});
+  log.addFrame(132'000, {makeTrack(1, 14, 50), makeTrack(2, 100, 80)});
+  EXPECT_EQ(log.frameCount(), 2U);
+  EXPECT_EQ(log.totalBoxes(), 3U);
+}
+
+TEST(TrackLogTest, OutOfOrderFrameRejected) {
+  TrackLog log;
+  log.addFrame(132'000, {});
+  EXPECT_THROW(log.addFrame(66'000, {}), LogicError);
+}
+
+TEST(TrackLogTest, TrajectoriesGroupById) {
+  TrackLog log;
+  log.addFrame(66'000, {makeTrack(1, 10, 50)});
+  log.addFrame(132'000, {makeTrack(1, 14, 50), makeTrack(2, 100, 80)});
+  log.addFrame(198'000, {makeTrack(1, 18, 50)});
+  const auto traj = log.trajectories();
+  ASSERT_EQ(traj.size(), 2U);
+  EXPECT_EQ(traj.at(1).size(), 3U);
+  EXPECT_EQ(traj.at(2).size(), 1U);
+  EXPECT_EQ(traj.at(1)[2].t, 198'000);
+  EXPECT_FLOAT_EQ(traj.at(1)[2].box.x, 18.0F);
+}
+
+TEST(TrackLogTest, MeanSpeedFromDisplacement) {
+  TrackLog log;
+  // 4 px per 66 ms frame for 10 frames.
+  for (int f = 1; f <= 10; ++f) {
+    log.addFrame(f * 66'000,
+                 {makeTrack(1, 10.0F + 4.0F * static_cast<float>(f), 50)});
+  }
+  EXPECT_NEAR(log.meanSpeed(1, 66'000), 4.0, 1e-4);
+  EXPECT_DOUBLE_EQ(log.meanSpeed(99, 66'000), 0.0);  // unknown track
+}
+
+TEST(TrackLogCsvTest, RoundTrip) {
+  TrackLog log;
+  log.addFrame(66'000, {makeTrack(1, 10.5F, 50.25F, 3.5F)});
+  log.addFrame(132'000, {makeTrack(1, 14, 50), makeTrack(2, 100, 80)});
+  std::stringstream buffer;
+  writeTrackLogCsv(buffer, log);
+  const TrackLog back = readTrackLogCsv(buffer);
+  ASSERT_EQ(back.frameCount(), 2U);
+  EXPECT_EQ(back.frames()[0].t, 66'000);
+  ASSERT_EQ(back.frames()[0].tracks.size(), 1U);
+  EXPECT_EQ(back.frames()[0].tracks[0].id, 1U);
+  EXPECT_FLOAT_EQ(back.frames()[0].tracks[0].box.x, 10.5F);
+  EXPECT_FLOAT_EQ(back.frames()[0].tracks[0].velocity.x, 3.5F);
+  EXPECT_EQ(back.frames()[1].tracks.size(), 2U);
+}
+
+TEST(TrackLogCsvTest, EmptyLog) {
+  TrackLog log;
+  std::stringstream buffer;
+  writeTrackLogCsv(buffer, log);
+  const TrackLog back = readTrackLogCsv(buffer);
+  EXPECT_EQ(back.frameCount(), 0U);
+}
+
+TEST(TrackLogCsvTest, HeaderValidated) {
+  std::stringstream buffer;
+  buffer << "nope\n";
+  EXPECT_THROW((void)readTrackLogCsv(buffer), IoError);
+}
+
+TEST(TrackLogCsvTest, MalformedRowRejected) {
+  std::stringstream buffer;
+  buffer << "t_us,track_id,x,y,w,h,vx,vy\n66000,1,2,3\n";
+  EXPECT_THROW((void)readTrackLogCsv(buffer), IoError);
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,190 @@
+#include "src/sim/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+TrafficConfig smallConfig(std::uint64_t seed = 5) {
+  TrafficConfig c;
+  c.width = 240;
+  c.height = 180;
+  c.lensScale = 1.0F;
+  c.lanes = makeDefaultLanes(180, 1.0F);
+  c.seed = seed;
+  return c;
+}
+
+TEST(MakeDefaultLanesTest, LanesAreValid) {
+  const auto lanes = makeDefaultLanes(180, 1.0F);
+  ASSERT_GE(lanes.size(), 3U);
+  for (const LaneSpec& lane : lanes) {
+    EXPECT_GT(lane.yCenter, 0.0F);
+    EXPECT_LT(lane.yCenter, 180.0F);
+    EXPECT_TRUE(lane.direction == 1 || lane.direction == -1);
+    EXPECT_GT(lane.arrivalRateHz, 0.0);
+    double total = 0.0;
+    for (double w : lane.classWeights) {
+      total += w;
+    }
+    EXPECT_GT(total, 0.0);
+  }
+  // Both directions present (needed for crossing occlusions).
+  bool hasLeft = false;
+  bool hasRight = false;
+  for (const LaneSpec& lane : lanes) {
+    hasLeft = hasLeft || lane.direction == -1;
+    hasRight = hasRight || lane.direction == +1;
+  }
+  EXPECT_TRUE(hasLeft);
+  EXPECT_TRUE(hasRight);
+}
+
+TEST(TrafficScenarioTest, ScheduleIsSortedAndWithinDuration) {
+  TrafficScenario scenario(smallConfig(), secondsToUs(120.0));
+  const auto& schedule = scenario.schedule();
+  ASSERT_FALSE(schedule.empty());
+  TimeUs prev = 0;
+  for (const ScriptedObject& o : schedule) {
+    EXPECT_GE(o.tStart, prev);
+    prev = o.tStart;
+    EXPECT_LT(o.tStart, secondsToUs(120.0));
+    EXPECT_LE(o.tEnd, secondsToUs(120.0));
+    EXPECT_GT(o.tEnd, o.tStart);
+  }
+}
+
+TEST(TrafficScenarioTest, ArrivalCountNearExpectation) {
+  TrafficConfig config = smallConfig();
+  double totalRate = 0.0;
+  for (const LaneSpec& lane : config.lanes) {
+    totalRate += lane.arrivalRateHz;
+  }
+  const double durationS = 600.0;
+  TrafficScenario scenario(config, secondsToUs(durationS));
+  const double expected = totalRate * durationS;
+  const double actual = static_cast<double>(scenario.schedule().size());
+  // Min-headway clipping biases slightly low; allow a generous band.
+  EXPECT_GT(actual, expected * 0.5);
+  EXPECT_LT(actual, expected * 1.3);
+}
+
+TEST(TrafficScenarioTest, ObjectsMoveInLaneDirection) {
+  TrafficScenario scenario(smallConfig(), secondsToUs(120.0));
+  for (const ScriptedObject& o : scenario.schedule()) {
+    if (o.velocity.x > 0) {
+      EXPECT_LT(o.boxAtStart.x, 0.0F);  // enters from the left
+    } else {
+      EXPECT_GE(o.boxAtStart.x, 240.0F);  // enters from the right
+    }
+    EXPECT_FLOAT_EQ(o.velocity.y, 0.0F);
+  }
+}
+
+TEST(TrafficScenarioTest, DeterministicForSeed) {
+  TrafficScenario a(smallConfig(42), secondsToUs(60.0));
+  TrafficScenario b(smallConfig(42), secondsToUs(60.0));
+  ASSERT_EQ(a.schedule().size(), b.schedule().size());
+  for (std::size_t i = 0; i < a.schedule().size(); ++i) {
+    EXPECT_EQ(a.schedule()[i].tStart, b.schedule()[i].tStart);
+    EXPECT_EQ(a.schedule()[i].boxAtStart, b.schedule()[i].boxAtStart);
+  }
+  // A different seed must change *something* about the schedule.
+  TrafficScenario c(smallConfig(43), secondsToUs(60.0));
+  bool anyDifference = a.schedule().size() != c.schedule().size();
+  if (!anyDifference) {
+    for (std::size_t i = 0; i < a.schedule().size(); ++i) {
+      if (a.schedule()[i].tStart != c.schedule()[i].tStart ||
+          a.schedule()[i].boxAtStart != c.schedule()[i].boxAtStart) {
+        anyDifference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(anyDifference);
+}
+
+TEST(TrafficScenarioTest, ObjectsAtReturnsOnlyVisible) {
+  TrafficScenario scenario(smallConfig(), secondsToUs(300.0));
+  const BBox frame{0, 0, 240, 180};
+  for (double t = 10.0; t < 300.0; t += 25.0) {
+    for (const ObjectState& o : scenario.objectsAt(secondsToUs(t))) {
+      EXPECT_FALSE(intersect(o.box, frame).empty());
+    }
+  }
+}
+
+TEST(TrafficScenarioTest, AverageConcurrencyIsPaperLike) {
+  // The paper's operating point has NT ~= 2 trackers active on average;
+  // the default lane set should hold mean visible objects in [0.5, 4].
+  TrafficScenario scenario(smallConfig(), secondsToUs(600.0));
+  double sum = 0.0;
+  int samples = 0;
+  for (double t = 5.0; t < 600.0; t += 5.0) {
+    sum += static_cast<double>(scenario.objectsAt(secondsToUs(t)).size());
+    ++samples;
+  }
+  const double mean = sum / samples;
+  EXPECT_GT(mean, 0.5);
+  EXPECT_LT(mean, 4.5);
+}
+
+TEST(TrafficScenarioTest, GroundTruthFramesCoverDuration) {
+  TrafficScenario scenario(smallConfig(), secondsToUs(60.0));
+  const GroundTruth gt = scenario.groundTruth(kDefaultFramePeriodUs);
+  const auto expectedFrames =
+      static_cast<std::size_t>(secondsToUs(60.0) / kDefaultFramePeriodUs);
+  EXPECT_EQ(gt.frames.size(), expectedFrames);
+  EXPECT_GT(gt.distinctTracks(), 0U);
+  EXPECT_GT(gt.totalBoxes(), 0U);
+}
+
+TEST(TrafficScenarioTest, LensScaleShrinksObjects) {
+  TrafficConfig full = smallConfig(7);
+  TrafficConfig half = smallConfig(7);
+  half.lensScale = 0.5F;
+  half.lanes = makeDefaultLanes(180, 0.5F);
+  TrafficScenario a(full, secondsToUs(300.0));
+  TrafficScenario b(half, secondsToUs(300.0));
+  auto meanWidth = [](const TrafficScenario& s) {
+    double sum = 0.0;
+    for (const ScriptedObject& o : s.schedule()) {
+      sum += o.boxAtStart.w;
+    }
+    return sum / static_cast<double>(s.schedule().size());
+  };
+  EXPECT_NEAR(meanWidth(b) / meanWidth(a), 0.5, 0.15);
+}
+
+TEST(TrafficScenarioTest, CrossingsOccur) {
+  // Opposing lanes must actually produce overlapping boxes at some time
+  // (dynamic occlusions, needed by the Fig. 4 scenario).
+  TrafficScenario scenario(smallConfig(), secondsToUs(600.0));
+  bool crossing = false;
+  for (double t = 1.0; t < 600.0 && !crossing; t += 0.5) {
+    const auto objects = scenario.objectsAt(secondsToUs(t));
+    for (std::size_t i = 0; i < objects.size() && !crossing; ++i) {
+      for (std::size_t j = i + 1; j < objects.size(); ++j) {
+        if (!intersect(objects[i].box, objects[j].box).empty()) {
+          crossing = true;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(crossing);
+}
+
+TEST(TrafficScenarioTest, InvalidConfigRejected) {
+  TrafficConfig noLanes = smallConfig();
+  noLanes.lanes.clear();
+  EXPECT_THROW(TrafficScenario(noLanes, secondsToUs(10.0)), LogicError);
+  EXPECT_THROW(TrafficScenario(smallConfig(), 0), LogicError);
+}
+
+}  // namespace
+}  // namespace ebbiot

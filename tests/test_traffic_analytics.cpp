@@ -1,0 +1,138 @@
+#include "src/analytics/traffic_analytics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+Track makeTrack(std::uint32_t id, float x, float y) {
+  Track t;
+  t.id = id;
+  t.box = BBox{x, y, 20, 10};
+  return t;
+}
+
+/// A log with one track moving +dx px/frame from x0 and another moving
+/// -dx from x1, over `frames` frames.
+TrackLog twoOpposingTracks(float x0, float x1, float dx, int frames) {
+  TrackLog log;
+  for (int f = 1; f <= frames; ++f) {
+    const float step = dx * static_cast<float>(f);
+    log.addFrame(static_cast<TimeUs>(f) * kDefaultFramePeriodUs,
+                 {makeTrack(1, x0 + step, 50), makeTrack(2, x1 - step, 80)});
+  }
+  return log;
+}
+
+TEST(LineCounterTest, CountsBothDirections) {
+  // Track 1: 40 -> 160; track 2: 200 -> 80.  Line at x = 120 (centres
+  // cross at 110 + 10 = 120 offset; box centre = x + 10).
+  const TrackLog log = twoOpposingTracks(40, 200, 4, 30);
+  LineCounter counter(120.0F);
+  counter.process(log);
+  EXPECT_EQ(counter.leftToRight(), 1U);
+  EXPECT_EQ(counter.rightToLeft(), 1U);
+  EXPECT_EQ(counter.total(), 2U);
+}
+
+TEST(LineCounterTest, NoCrossingNoCount) {
+  const TrackLog log = twoOpposingTracks(10, 230, 0.5F, 10);
+  LineCounter counter(120.0F);
+  counter.process(log);
+  EXPECT_EQ(counter.total(), 0U);
+}
+
+TEST(LineCounterTest, ReprocessingIsIdempotent) {
+  const TrackLog log = twoOpposingTracks(40, 200, 4, 30);
+  LineCounter counter(120.0F);
+  counter.process(log);
+  counter.process(log);
+  EXPECT_EQ(counter.total(), 2U);
+}
+
+TEST(LineCounterTest, OscillationCountsEachCrossing) {
+  TrackLog log;
+  const float xs[] = {100, 130, 100, 130};  // centre = x + 10
+  for (int f = 0; f < 4; ++f) {
+    log.addFrame(static_cast<TimeUs>(f + 1) * kDefaultFramePeriodUs,
+                 {makeTrack(1, xs[f], 50)});
+  }
+  LineCounter counter(120.0F);
+  counter.process(log);
+  EXPECT_EQ(counter.leftToRight(), 2U);
+  EXPECT_EQ(counter.rightToLeft(), 1U);
+}
+
+TEST(SpeedEstimatorTest, ConvertsToKmh) {
+  // 4 px/frame at 15.15 fps and 4 px/m -> 15.15 m/s... use exact math:
+  // px/s = 4 / 0.066; m/s = that / 4 = 1/0.066 = 15.15; km/h = 54.5.
+  TrackLog log;
+  for (int f = 1; f <= 20; ++f) {
+    log.addFrame(static_cast<TimeUs>(f) * kDefaultFramePeriodUs,
+                 {makeTrack(1, 4.0F * static_cast<float>(f), 50)});
+  }
+  SpeedEstimatorConfig config;
+  config.pixelsPerMeter = 4.0;
+  SpeedEstimator estimator(config);
+  const auto reports = estimator.estimate(log);
+  ASSERT_EQ(reports.size(), 1U);
+  EXPECT_EQ(reports[0].trackId, 1U);
+  EXPECT_NEAR(reports[0].pxPerFrame, 4.0, 1e-3);
+  EXPECT_NEAR(reports[0].kmPerHour, 4.0 / 0.066 / 4.0 * 3.6, 0.5);
+}
+
+TEST(SpeedEstimatorTest, ShortTracksSkipped) {
+  TrackLog log;
+  for (int f = 1; f <= 5; ++f) {  // below default minSamples = 10
+    log.addFrame(static_cast<TimeUs>(f) * kDefaultFramePeriodUs,
+                 {makeTrack(1, 4.0F * static_cast<float>(f), 50)});
+  }
+  SpeedEstimator estimator{SpeedEstimatorConfig{}};
+  EXPECT_TRUE(estimator.estimate(log).empty());
+  EXPECT_DOUBLE_EQ(estimator.meanKmPerHour(log), 0.0);
+}
+
+TEST(SpeedEstimatorTest, InvalidConfigRejected) {
+  SpeedEstimatorConfig bad;
+  bad.pixelsPerMeter = 0.0;
+  EXPECT_THROW(SpeedEstimator{bad}, LogicError);
+}
+
+TEST(AnalyzeZoneTest, DwellAccounting) {
+  TrackLog log;
+  // Track 1 inside the zone for 10 of 20 frames; track 2 never.
+  for (int f = 1; f <= 20; ++f) {
+    const float x = 4.0F * static_cast<float>(f);  // centre = x + 10
+    log.addFrame(static_cast<TimeUs>(f) * kDefaultFramePeriodUs,
+                 {makeTrack(1, x, 50), makeTrack(2, x, 150)});
+  }
+  // Zone over centre x in (30, 70], y around 55: frames 6..15 inside.
+  const ZoneReport report =
+      analyzeZone(log, BBox{30, 40, 40, 30}, kDefaultFramePeriodUs);
+  EXPECT_EQ(report.tracksSeen, 1U);
+  EXPECT_NEAR(usToSeconds(report.totalDwell), 10 * 0.066, 1e-6);
+  EXPECT_NEAR(report.meanDwellS, 0.66, 1e-6);
+}
+
+TEST(AnalyzeZoneTest, EmptyLog) {
+  const ZoneReport report =
+      analyzeZone(TrackLog{}, BBox{0, 0, 100, 100}, kDefaultFramePeriodUs);
+  EXPECT_EQ(report.tracksSeen, 0U);
+  EXPECT_DOUBLE_EQ(report.meanDwellS, 0.0);
+}
+
+TEST(SummarizeTrafficTest, EndToEnd) {
+  const TrackLog log = twoOpposingTracks(40, 200, 4, 30);
+  const TrafficSummary summary = summarizeTraffic(log, 120.0F);
+  EXPECT_EQ(summary.tracksTotal, 2U);
+  EXPECT_EQ(summary.countedLeftToRight, 1U);
+  EXPECT_EQ(summary.countedRightToLeft, 1U);
+  EXPECT_GT(summary.meanSpeedKmh, 0.0);
+  EXPECT_NEAR(summary.durationS, 30 * 0.066, 1e-3);
+  EXPECT_NEAR(summary.flowPerMinute, 2.0 * 60.0 / (30 * 0.066), 1.0);
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,81 @@
+#include "src/ebbi/two_timescale.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+EventPacket packetWithPixel(TimeUs t0, TimeUs t1, std::uint16_t x,
+                            std::uint16_t y) {
+  EventPacket p(t0, t1);
+  p.push(Event{x, y, Polarity::kOn, t0});
+  return p;
+}
+
+TEST(TwoTimescaleTest, FastFrameIsLatestWindowOnly) {
+  TwoTimescaleBuilder builder(16, 16, 3);
+  builder.addWindow(packetWithPixel(0, 100, 1, 1));
+  builder.addWindow(packetWithPixel(100, 200, 2, 2));
+  EXPECT_FALSE(builder.fastFrame().get(1, 1));
+  EXPECT_TRUE(builder.fastFrame().get(2, 2));
+}
+
+TEST(TwoTimescaleTest, SlowFrameIsUnionOfLastK) {
+  TwoTimescaleBuilder builder(16, 16, 3);
+  builder.addWindow(packetWithPixel(0, 100, 1, 1));
+  builder.addWindow(packetWithPixel(100, 200, 2, 2));
+  builder.addWindow(packetWithPixel(200, 300, 3, 3));
+  EXPECT_TRUE(builder.slowFrame().get(1, 1));
+  EXPECT_TRUE(builder.slowFrame().get(2, 2));
+  EXPECT_TRUE(builder.slowFrame().get(3, 3));
+}
+
+TEST(TwoTimescaleTest, SlowFrameSlidesForward) {
+  TwoTimescaleBuilder builder(16, 16, 2);
+  builder.addWindow(packetWithPixel(0, 100, 1, 1));
+  builder.addWindow(packetWithPixel(100, 200, 2, 2));
+  builder.addWindow(packetWithPixel(200, 300, 3, 3));
+  // Window 1 has fallen out of the 2-window ring.
+  EXPECT_FALSE(builder.slowFrame().get(1, 1));
+  EXPECT_TRUE(builder.slowFrame().get(2, 2));
+  EXPECT_TRUE(builder.slowFrame().get(3, 3));
+}
+
+TEST(TwoTimescaleTest, FactorOneMakesFramesIdentical) {
+  TwoTimescaleBuilder builder(16, 16, 1);
+  builder.addWindow(packetWithPixel(0, 100, 4, 4));
+  EXPECT_EQ(builder.fastFrame(), builder.slowFrame());
+  builder.addWindow(packetWithPixel(100, 200, 5, 5));
+  EXPECT_EQ(builder.fastFrame(), builder.slowFrame());
+  EXPECT_FALSE(builder.slowFrame().get(4, 4));
+}
+
+TEST(TwoTimescaleTest, WarmupCountsWindows) {
+  TwoTimescaleBuilder builder(16, 16, 4);
+  EXPECT_EQ(builder.windowsSeen(), 0U);
+  builder.addWindow(packetWithPixel(0, 100, 1, 1));
+  EXPECT_EQ(builder.windowsSeen(), 1U);
+  EXPECT_TRUE(builder.slowFrame().get(1, 1));
+}
+
+TEST(TwoTimescaleTest, SlowFrameAccumulatesSlowObject) {
+  // A slow object: one new pixel per window (sub-pixel-per-frame motion
+  // leaves single-pixel traces).  The slow frame accumulates a silhouette
+  // the fast frame never shows.
+  TwoTimescaleBuilder builder(32, 32, 5);
+  for (int i = 0; i < 5; ++i) {
+    builder.addWindow(packetWithPixel(i * 100, (i + 1) * 100,
+                                      static_cast<std::uint16_t>(10 + i), 10));
+  }
+  EXPECT_EQ(builder.fastFrame().popcount(), 1U);
+  EXPECT_EQ(builder.slowFrame().popcount(), 5U);
+}
+
+TEST(TwoTimescaleTest, InvalidFactorThrows) {
+  EXPECT_THROW(TwoTimescaleBuilder(16, 16, 0), LogicError);
+}
+
+}  // namespace
+}  // namespace ebbiot
