@@ -7,7 +7,6 @@
 //   2. histogram RPN vs the future-work CCA RPN (full resolution), same
 //      tracker behind both.
 #include <cstdio>
-#include <string>
 #include <utility>
 
 #include "src/core/runner.hpp"
@@ -50,10 +49,9 @@ int main() {
     pipe.rpn.s1 = s1;
     pipe.rpn.s2 = s2;
     const RunResult result = runEbbiot(pipe, kSeconds);
-    std::printf("%-12s %10.3f %10.3f %14.0f\n",
-                (std::string("(") + std::to_string(s1) + ", " +
-                 std::to_string(s2) + ")")
-                    .c_str(),
+    char label[24];
+    std::snprintf(label, sizeof label, "(%d, %d)", s1, s2);
+    std::printf("%-12s %10.3f %10.3f %14.0f\n", label,
                 result.ebbiot->counts[2].f1(),
                 result.ebbiot->counts[4].f1(),
                 result.ebbiot->meanOpsPerFrame());

@@ -1,0 +1,78 @@
+// Shared frame-domain front end of the paper's Fig. 1 block diagram:
+//
+//   latched EventPacket -> EBBI build -> median filter -> region proposal
+//                          (Sec. II-A)   (Sec. II-A)      (RPN or CCA)
+//
+// Both frame-domain pipelines (EBBIOT and EBBI+KF) consume exactly this
+// chain; only their tracker back ends differ.  Extracting it into one
+// class keeps the two byte-identical by construction and gives future
+// back ends (EBBINNOT-style NN region filters, hybrid trackers) a single
+// extension point.  Every stage's measured OpCounts are recorded for the
+// Fig. 5 resource comparison.
+#pragma once
+
+#include "src/common/op_counter.hpp"
+#include "src/detect/cca.hpp"
+#include "src/detect/histogram_rpn.hpp"
+#include "src/ebbi/ebbi_builder.hpp"
+#include "src/filters/median_filter.hpp"
+
+namespace ebbiot {
+
+/// Which region proposer the frame-domain front end uses.
+enum class RpnKind {
+  kHistogram,  ///< the paper's 1-D histogram RPN
+  kCca,        ///< the future-work connected-components RPN
+};
+
+struct FrontEndConfig {
+  int width = 240;
+  int height = 180;
+  int medianPatch = 3;  ///< p
+  RpnKind rpnKind = RpnKind::kHistogram;
+  HistogramRpnConfig rpn;
+  CcaConfig cca;
+};
+
+/// Measured per-stage operation counts of one front-end pass.
+struct FrontEndOps {
+  OpCounts ebbi;
+  OpCounts medianFilter;
+  OpCounts rpn;
+
+  [[nodiscard]] OpCounts total() const { return ebbi + medianFilter + rpn; }
+};
+
+/// EBBI -> median -> RPN/CCA over one latch-readout window.
+class FrameFrontEnd {
+ public:
+  explicit FrameFrontEnd(const FrontEndConfig& config);
+
+  /// Run the full chain on one latched packet; returns this window's
+  /// region proposals (valid until the next process() call).
+  const RegionProposals& process(const EventPacket& packet);
+
+  /// Intermediate products of the most recent window (for examples,
+  /// debugging and tests).
+  [[nodiscard]] const BinaryImage& lastEbbi() const { return ebbiImage_; }
+  [[nodiscard]] const BinaryImage& lastFiltered() const { return filtered_; }
+  [[nodiscard]] const RegionProposals& lastProposals() const {
+    return proposals_;
+  }
+  [[nodiscard]] const FrontEndOps& lastOps() const { return ops_; }
+
+  [[nodiscard]] const FrontEndConfig& config() const { return config_; }
+
+ private:
+  FrontEndConfig config_;
+  EbbiBuilder builder_;
+  MedianFilter median_;
+  HistogramRpn rpn_;
+  CcaLabeler cca_;
+  BinaryImage ebbiImage_;
+  BinaryImage filtered_;
+  RegionProposals proposals_;
+  FrontEndOps ops_;
+};
+
+}  // namespace ebbiot

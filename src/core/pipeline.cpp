@@ -1,81 +1,12 @@
 #include "src/core/pipeline.hpp"
 
-#include "src/common/error.hpp"
-
 namespace ebbiot {
-namespace {
 
-/// Shared front end of the two frame-domain pipelines.
-template <typename Rpn>
-RegionProposals runFrontEnd(const EventPacket& packet, EbbiBuilder& builder,
-                            MedianFilter& median, Rpn& rpn, CcaLabeler& cca,
-                            RpnKind kind, BinaryImage& ebbiImage,
-                            BinaryImage& filtered, StageOps& stageOps) {
-  builder.buildInto(packet, ebbiImage);
-  stageOps.ebbi = builder.lastOps();
-  median.applyInto(ebbiImage, filtered);
-  stageOps.medianFilter = median.lastOps();
-  RegionProposals proposals;
-  if (kind == RpnKind::kHistogram) {
-    proposals = rpn.propose(filtered);
-    stageOps.rpn = rpn.lastOps();
-  } else {
-    proposals = cca.propose(filtered);
-    stageOps.rpn = cca.lastOps();
-  }
-  return proposals;
-}
-
-}  // namespace
-
-EbbiotPipeline::EbbiotPipeline(const EbbiotPipelineConfig& config)
+EbmsPipeline::EbmsPipeline(const EbmsPipelineConfig& config, std::string name)
     : config_(config),
-      builder_(config.width, config.height),
-      median_(config.medianPatch),
-      rpn_(config.rpn),
-      cca_(config.cca),
-      tracker_([&config] {
-        OverlapTrackerConfig c = config.tracker;
-        c.frameWidth = config.width;
-        c.frameHeight = config.height;
-        return c;
-      }()),
-      ebbiImage_(config.width, config.height),
-      filtered_(config.width, config.height) {}
-
-Tracks EbbiotPipeline::processWindow(const EventPacket& packet) {
-  proposals_ = runFrontEnd(packet, builder_, median_, rpn_, cca_,
-                           config_.rpnKind, ebbiImage_, filtered_, stageOps_);
-  Tracks tracks = tracker_.update(proposals_);
-  stageOps_.tracker = tracker_.lastOps();
-  return tracks;
-}
-
-KalmanPipeline::KalmanPipeline(const KalmanPipelineConfig& config)
-    : config_(config),
-      builder_(config.width, config.height),
-      median_(config.medianPatch),
-      rpn_(config.rpn),
-      cca_(config.cca),
-      tracker_([&config] {
-        KalmanTrackerConfig c = config.tracker;
-        c.frameWidth = config.width;
-        c.frameHeight = config.height;
-        return c;
-      }()),
-      ebbiImage_(config.width, config.height),
-      filtered_(config.width, config.height) {}
-
-Tracks KalmanPipeline::processWindow(const EventPacket& packet) {
-  proposals_ = runFrontEnd(packet, builder_, median_, rpn_, cca_,
-                           config_.rpnKind, ebbiImage_, filtered_, stageOps_);
-  Tracks tracks = tracker_.update(proposals_);
-  stageOps_.tracker = tracker_.lastOps();
-  return tracks;
-}
-
-EbmsPipeline::EbmsPipeline(const EbmsPipelineConfig& config)
-    : config_(config), nnFilter_(config.nnFilter), tracker_(config.ebms) {}
+      name_(std::move(name)),
+      nnFilter_(config.nnFilter),
+      tracker_(config.ebms) {}
 
 Tracks EbmsPipeline::processWindow(const EventPacket& packet) {
   const EventPacket filtered = nnFilter_.filter(packet);

@@ -1,9 +1,16 @@
-// The three end-to-end pipelines compared in the paper.
+// The end-to-end pipelines compared in the paper, behind one interface.
 //
-//   EbbiotPipeline  (Fig. 1):  EBBI -> median filter -> histogram RPN
-//                              -> overlap tracker        [the contribution]
-//   KalmanPipeline  ("EBBI+KF"): same front end, Kalman tracker back end
+//   EbbiotPipeline  (Fig. 1):  FrameFrontEnd -> overlap tracker  [the paper]
+//   KalmanPipeline  ("EBBI+KF"): FrameFrontEnd -> Kalman tracker
 //   EbmsPipeline    (event-domain baseline): NN-filt -> EBMS clusters
+//
+// The frame-domain pipelines are instances of one `FramePipeline<Tracker>`
+// template over the shared `FrameFrontEnd` (src/core/front_end.hpp); a new
+// tracker back end plugs in by specialising `FramePipelineTraits` — no
+// front-end code is duplicated.  All pipelines implement the uniform
+// `Pipeline` interface (processWindow / lastOps / name / inputDomain) that
+// the runner iterates over, so adding a pipeline variant to an evaluation
+// is a one-line registration (see RunnerConfig::extraPipelines).
 //
 // The frame-domain pipelines consume latch-readout packets (one event per
 // pixel per window — the sensor-as-memory scheme of Fig. 2); the EBMS
@@ -11,13 +18,11 @@
 // Every stage's measured OpCounts are exposed for the Fig. 5 comparison.
 #pragma once
 
-#include <optional>
+#include <cstddef>
+#include <string>
+#include <utility>
 
-#include "src/common/op_counter.hpp"
-#include "src/detect/cca.hpp"
-#include "src/detect/histogram_rpn.hpp"
-#include "src/ebbi/ebbi_builder.hpp"
-#include "src/filters/median_filter.hpp"
+#include "src/core/front_end.hpp"
 #include "src/filters/nn_filter.hpp"
 #include "src/trackers/ebms.hpp"
 #include "src/trackers/kalman.hpp"
@@ -25,108 +30,152 @@
 
 namespace ebbiot {
 
-/// Which region proposer the frame-domain pipelines use.
-enum class RpnKind {
-  kHistogram,  ///< the paper's 1-D histogram RPN
-  kCca,        ///< the future-work connected-components RPN
+/// What a pipeline expects in processWindow().
+enum class InputDomain {
+  kLatchedFrame,  ///< latchReadout() packets (one event per pixel per window)
+  kEventStream,   ///< the raw event stream of the window
 };
 
-struct EbbiotPipelineConfig {
-  int width = 240;
-  int height = 180;
-  int medianPatch = 3;  ///< p
-  RpnKind rpnKind = RpnKind::kHistogram;
-  HistogramRpnConfig rpn;
-  CcaConfig cca;
-  OverlapTrackerConfig tracker;
+/// Uniform interface of every end-to-end pipeline.  The runner drives a
+/// vector of these; concrete classes keep richer typed accessors for
+/// tests, examples and benches.
+class Pipeline {
+ public:
+  virtual ~Pipeline() = default;
+
+  /// Process one window's packet; returns the reported tracks.
+  virtual Tracks processWindow(const EventPacket& packet) = 0;
+
+  /// Total measured ops of the most recent window (all stages).
+  [[nodiscard]] virtual OpCounts lastOps() const = 0;
+
+  /// Display/lookup name ("EBBIOT", "EBBI+KF", "EBMS", ...).  Stats in a
+  /// RunResult are keyed by this.
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  /// Which packet flavour processWindow() expects.
+  [[nodiscard]] virtual InputDomain inputDomain() const = 0;
+
+  /// Events surviving the pipeline's event-domain noise filter in the most
+  /// recent window; 0 for frame-domain pipelines (their denoising is the
+  /// pixel-domain median stage).
+  [[nodiscard]] virtual std::size_t lastFilteredEventCount() const {
+    return 0;
+  }
+
+ protected:
+  Pipeline() = default;
+  Pipeline(const Pipeline&) = default;
+  Pipeline& operator=(const Pipeline&) = default;
 };
 
-/// Per-stage measured operation counts for one frame.
+/// Per-stage measured operation counts of one frame-domain window.
 struct StageOps {
-  OpCounts ebbi;
-  OpCounts medianFilter;
-  OpCounts rpn;
+  FrontEndOps frontEnd;
   OpCounts tracker;
 
-  [[nodiscard]] OpCounts total() const {
-    return ebbi + medianFilter + rpn + tracker;
-  }
+  [[nodiscard]] OpCounts total() const { return frontEnd.total() + tracker; }
 };
 
-class EbbiotPipeline {
- public:
-  explicit EbbiotPipeline(const EbbiotPipelineConfig& config);
+/// Config of a frame-domain pipeline: the shared front end plus one
+/// tracker back end.  Inherits the front-end fields flat (width, height,
+/// medianPatch, rpnKind, rpn, cca) so call sites read naturally.
+template <typename TrackerConfig>
+struct FramePipelineConfig : FrontEndConfig {
+  TrackerConfig tracker;
+};
 
-  /// Process one latch-readout window; returns reported tracks.
-  Tracks processWindow(const EventPacket& packet);
+/// Compile-time registration of a tracker back end for FramePipeline:
+/// names the pipeline built on it.  Specialise this (and give the tracker
+/// a `Config` typedef) to plug a new back end into the frame-domain
+/// chain.
+template <typename Tracker>
+struct FramePipelineTraits;
+
+template <>
+struct FramePipelineTraits<OverlapTracker> {
+  static constexpr const char* kName = "EBBIOT";
+};
+
+template <>
+struct FramePipelineTraits<KalmanTracker> {
+  static constexpr const char* kName = "EBBI+KF";
+};
+
+/// Frame-domain pipeline: shared FrameFrontEnd plus a tracker back end.
+/// Tracker must provide `Tracks update(const RegionProposals&)` and
+/// `OpCounts lastOps()`, and its config `frameWidth`/`frameHeight` fields
+/// (filled from the front-end geometry here).
+template <typename Tracker>
+class FramePipeline final : public Pipeline {
+ public:
+  using Traits = FramePipelineTraits<Tracker>;
+  using TrackerConfig = typename Tracker::Config;
+  using Config = FramePipelineConfig<TrackerConfig>;
+
+  explicit FramePipeline(const Config& config,
+                         std::string name = Traits::kName)
+      : config_(config),
+        name_(std::move(name)),
+        frontEnd_(config),
+        tracker_([&config] {
+          TrackerConfig c = config.tracker;
+          c.frameWidth = config.width;
+          c.frameHeight = config.height;
+          return c;
+        }()) {}
+
+  Tracks processWindow(const EventPacket& packet) override {
+    const RegionProposals& proposals = frontEnd_.process(packet);
+    stageOps_.frontEnd = frontEnd_.lastOps();
+    Tracks tracks = tracker_.update(proposals);
+    stageOps_.tracker = tracker_.lastOps();
+    return tracks;
+  }
+
+  [[nodiscard]] OpCounts lastOps() const override { return stageOps_.total(); }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] InputDomain inputDomain() const override {
+    return InputDomain::kLatchedFrame;
+  }
 
   /// Intermediate products of the most recent window (for examples,
   /// debugging and tests).
-  [[nodiscard]] const BinaryImage& lastEbbi() const { return ebbiImage_; }
-  [[nodiscard]] const BinaryImage& lastFiltered() const { return filtered_; }
-  [[nodiscard]] const RegionProposals& lastProposals() const {
-    return proposals_;
+  [[nodiscard]] const BinaryImage& lastEbbi() const {
+    return frontEnd_.lastEbbi();
   }
-  [[nodiscard]] const StageOps& lastOps() const { return stageOps_; }
+  [[nodiscard]] const BinaryImage& lastFiltered() const {
+    return frontEnd_.lastFiltered();
+  }
+  [[nodiscard]] const RegionProposals& lastProposals() const {
+    return frontEnd_.lastProposals();
+  }
+  [[nodiscard]] const StageOps& stageOps() const { return stageOps_; }
 
-  [[nodiscard]] OverlapTracker& tracker() { return tracker_; }
-  [[nodiscard]] const EbbiotPipelineConfig& config() const { return config_; }
+  [[nodiscard]] const FrameFrontEnd& frontEnd() const { return frontEnd_; }
+  [[nodiscard]] Tracker& tracker() { return tracker_; }
+  [[nodiscard]] const Config& config() const { return config_; }
 
  private:
-  EbbiotPipelineConfig config_;
-  EbbiBuilder builder_;
-  MedianFilter median_;
-  HistogramRpn rpn_;
-  CcaLabeler cca_;
-  OverlapTracker tracker_;
-  BinaryImage ebbiImage_;
-  BinaryImage filtered_;
-  RegionProposals proposals_;
+  Config config_;
+  std::string name_;
+  FrameFrontEnd frontEnd_;
+  Tracker tracker_;
   StageOps stageOps_;
 };
 
-struct KalmanPipelineConfig {
-  int width = 240;
-  int height = 180;
-  int medianPatch = 3;
-  RpnKind rpnKind = RpnKind::kHistogram;
-  HistogramRpnConfig rpn;
-  CcaConfig cca;
-  KalmanTrackerConfig tracker;
-};
+using EbbiotPipelineConfig = FramePipelineConfig<OverlapTrackerConfig>;
+using KalmanPipelineConfig = FramePipelineConfig<KalmanTrackerConfig>;
 
-class KalmanPipeline {
- public:
-  explicit KalmanPipeline(const KalmanPipelineConfig& config);
-
-  Tracks processWindow(const EventPacket& packet);
-
-  [[nodiscard]] const RegionProposals& lastProposals() const {
-    return proposals_;
-  }
-  [[nodiscard]] const StageOps& lastOps() const { return stageOps_; }
-  [[nodiscard]] KalmanTracker& tracker() { return tracker_; }
-  [[nodiscard]] const KalmanPipelineConfig& config() const { return config_; }
-
- private:
-  KalmanPipelineConfig config_;
-  EbbiBuilder builder_;
-  MedianFilter median_;
-  HistogramRpn rpn_;
-  CcaLabeler cca_;
-  KalmanTracker tracker_;
-  BinaryImage ebbiImage_;
-  BinaryImage filtered_;
-  RegionProposals proposals_;
-  StageOps stageOps_;
-};
+using EbbiotPipeline = FramePipeline<OverlapTracker>;
+using KalmanPipeline = FramePipeline<KalmanTracker>;
 
 struct EbmsPipelineConfig {
   NnFilterConfig nnFilter;
   EbmsConfig ebms;
 };
 
-/// Per-frame ops of the event-domain pipeline.
+/// Per-window ops of the event-domain pipeline.
 struct EbmsStageOps {
   OpCounts nnFilter;
   OpCounts ebms;
@@ -134,23 +183,32 @@ struct EbmsStageOps {
   [[nodiscard]] OpCounts total() const { return nnFilter + ebms; }
 };
 
-class EbmsPipeline {
+/// Event-domain baseline: NN-filter -> EBMS mean-shift clusters.
+class EbmsPipeline final : public Pipeline {
  public:
-  explicit EbmsPipeline(const EbmsPipelineConfig& config);
+  explicit EbmsPipeline(const EbmsPipelineConfig& config,
+                        std::string name = "EBMS");
 
   /// Process one *stream-mode* window; returns visible clusters at the
   /// window end.
-  Tracks processWindow(const EventPacket& packet);
+  Tracks processWindow(const EventPacket& packet) override;
 
-  [[nodiscard]] const EbmsStageOps& lastOps() const { return stageOps_; }
-  [[nodiscard]] std::size_t lastFilteredEventCount() const {
+  [[nodiscard]] OpCounts lastOps() const override { return stageOps_.total(); }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] InputDomain inputDomain() const override {
+    return InputDomain::kEventStream;
+  }
+  [[nodiscard]] std::size_t lastFilteredEventCount() const override {
     return lastFilteredCount_;
   }
+
+  [[nodiscard]] const EbmsStageOps& stageOps() const { return stageOps_; }
   [[nodiscard]] EbmsTracker& tracker() { return tracker_; }
   [[nodiscard]] const EbmsPipelineConfig& config() const { return config_; }
 
  private:
   EbmsPipelineConfig config_;
+  std::string name_;
   NnFilter nnFilter_;
   EbmsTracker tracker_;
   EbmsStageOps stageOps_;

@@ -1,10 +1,18 @@
 #include "src/core/runner.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "src/common/error.hpp"
 
 namespace ebbiot {
+
+const PipelineRunStats* RunResult::stats(std::string_view name) const {
+  const auto it =
+      std::find_if(pipelines.begin(), pipelines.end(),
+                   [&](const PipelineRunStats& s) { return s.name == name; });
+  return it != pipelines.end() ? &*it : nullptr;
+}
 
 RecordingResult RunResult::toRecordingResult(
     const PipelineRunStats& stats, const std::string& recordingName) const {
@@ -27,6 +35,32 @@ RunnerConfig makeDefaultRunnerConfig(int width, int height) {
   return config;
 }
 
+std::vector<std::unique_ptr<Pipeline>> buildPipelines(
+    const RunnerConfig& config) {
+  std::vector<std::unique_ptr<Pipeline>> pipelines;
+  if (config.runEbbiot) {
+    pipelines.push_back(std::make_unique<EbbiotPipeline>(config.ebbiot));
+  }
+  if (config.runKalman) {
+    pipelines.push_back(std::make_unique<KalmanPipeline>(config.kalman));
+  }
+  if (config.runEbms) {
+    pipelines.push_back(std::make_unique<EbmsPipeline>(config.ebms));
+  }
+  for (const PipelineFactory& make : config.extraPipelines) {
+    EBBIOT_ASSERT(make != nullptr);
+    std::unique_ptr<Pipeline> pipeline = make();
+    EBBIOT_ASSERT(pipeline != nullptr);
+    pipelines.push_back(std::move(pipeline));
+  }
+  for (std::size_t i = 0; i < pipelines.size(); ++i) {
+    for (std::size_t j = i + 1; j < pipelines.size(); ++j) {
+      EBBIOT_ASSERT(pipelines[i]->name() != pipelines[j]->name());
+    }
+  }
+  return pipelines;
+}
+
 RunResult runRecording(EventSource& source, const SceneProvider& scene,
                        TimeUs duration, const RunnerConfig& config) {
   EBBIOT_ASSERT(duration > 0);
@@ -38,30 +72,26 @@ RunResult runRecording(EventSource& source, const SceneProvider& scene,
   RunResult result;
   result.thresholds = config.iouThresholds;
 
-  std::optional<EbbiotPipeline> ebbiotPipe;
-  std::optional<KalmanPipeline> kalmanPipe;
-  std::optional<EbmsPipeline> ebmsPipe;
-  if (config.runEbbiot) {
-    ebbiotPipe.emplace(config.ebbiot);
-    result.ebbiot = PipelineRunStats{
-        "EBBIOT", std::vector<PrCounts>(config.iouThresholds.size()), {}, 0};
+  const std::vector<std::unique_ptr<Pipeline>> pipelines =
+      buildPipelines(config);
+  const bool anyLatched = std::any_of(
+      pipelines.begin(), pipelines.end(), [](const auto& p) {
+        return p->inputDomain() == InputDomain::kLatchedFrame;
+      });
+
+  result.pipelines.reserve(pipelines.size());
+  for (const auto& pipeline : pipelines) {
+    PipelineRunStats stats;
+    stats.name = pipeline->name();
+    stats.counts.resize(config.iouThresholds.size());
+    result.pipelines.push_back(std::move(stats));
   }
-  if (config.runKalman) {
-    kalmanPipe.emplace(config.kalman);
-    result.kalman = PipelineRunStats{
-        "EBBI+KF", std::vector<PrCounts>(config.iouThresholds.size()), {}, 0};
-  }
-  if (config.runEbms) {
-    ebmsPipe.emplace(config.ebms);
-    result.ebms = PipelineRunStats{
-        "EBMS", std::vector<PrCounts>(config.iouThresholds.size()), {}, 0};
-  }
+  std::vector<double> filteredSums(pipelines.size(), 0.0);
 
   std::set<std::uint32_t> gtIds;
   double alphaSum = 0.0;
   double betaSum = 0.0;
   std::size_t activityFrames = 0;
-  double filteredSum = 0.0;
 
   const std::size_t totalFrames =
       static_cast<std::size_t>(duration / config.framePeriod);
@@ -82,7 +112,7 @@ RunResult runRecording(EventSource& source, const SceneProvider& scene,
 
     // Latched readout for the frame-domain pipelines.
     EventPacket latched;
-    if (config.runEbbiot || config.runKalman) {
+    if (anyLatched) {
       latched = latchReadout(streamPacket, source.width(), source.height());
       result.latchedEvents += latched.size();
       const FrameStats stats =
@@ -113,21 +143,16 @@ RunResult runRecording(EventSource& source, const SceneProvider& scene,
       ++stats.frames;
     };
 
-    if (ebbiotPipe) {
-      const Tracks tracks = ebbiotPipe->processWindow(latched);
-      result.ebbiot->totalOps += ebbiotPipe->lastOps().total();
-      evaluate(*result.ebbiot, tracks);
-    }
-    if (kalmanPipe) {
-      const Tracks tracks = kalmanPipe->processWindow(latched);
-      result.kalman->totalOps += kalmanPipe->lastOps().total();
-      evaluate(*result.kalman, tracks);
-    }
-    if (ebmsPipe) {
-      const Tracks tracks = ebmsPipe->processWindow(streamPacket);
-      result.ebms->totalOps += ebmsPipe->lastOps().total();
-      filteredSum += static_cast<double>(ebmsPipe->lastFilteredEventCount());
-      evaluate(*result.ebms, tracks);
+    for (std::size_t i = 0; i < pipelines.size(); ++i) {
+      Pipeline& pipeline = *pipelines[i];
+      const EventPacket& input =
+          pipeline.inputDomain() == InputDomain::kLatchedFrame ? latched
+                                                               : streamPacket;
+      const Tracks tracks = pipeline.processWindow(input);
+      result.pipelines[i].totalOps += pipeline.lastOps();
+      filteredSums[i] +=
+          static_cast<double>(pipeline.lastFilteredEventCount());
+      evaluate(result.pipelines[i], tracks);
     }
     ++result.frames;
   }
@@ -140,8 +165,22 @@ RunResult runRecording(EventSource& source, const SceneProvider& scene,
   if (result.frames > 0) {
     result.meanEventsPerFrame = static_cast<double>(result.streamEvents) /
                                 static_cast<double>(result.frames);
-    result.meanFilteredEventsPerFrame =
-        filteredSum / static_cast<double>(result.frames);
+    for (std::size_t i = 0; i < result.pipelines.size(); ++i) {
+      result.pipelines[i].filteredEventsPerFrame =
+          filteredSums[i] / static_cast<double>(result.frames);
+    }
+  }
+
+  // Convenience views of the built-ins.
+  if (const PipelineRunStats* s = result.stats("EBBIOT")) {
+    result.ebbiot = *s;
+  }
+  if (const PipelineRunStats* s = result.stats("EBBI+KF")) {
+    result.kalman = *s;
+  }
+  if (const PipelineRunStats* s = result.stats("EBMS")) {
+    result.ebms = *s;
+    result.meanFilteredEventsPerFrame = s->filteredEventsPerFrame;
   }
   return result;
 }

@@ -1,17 +1,30 @@
 // Frame-clocked evaluation runner.
 //
-// Drives an EventSource window by window (period tF), feeds
-//   * the latch readout of each window to the EBBIOT and EBBI+KF
-//     pipelines (the duty-cycled scheme of Fig. 2), and
-//   * the raw stream to the NN-filt + EBMS pipeline,
-// matches every pipeline's tracks against ground truth at each window
+// Drives an EventSource window by window (period tF) through a *vector of
+// pipelines* behind the uniform Pipeline interface:
+//   * frame-domain pipelines (InputDomain::kLatchedFrame) receive the
+//     latch readout of each window — the duty-cycled scheme of Fig. 2;
+//   * event-domain pipelines (InputDomain::kEventStream) receive the raw
+//     stream, as in the paper's EBMS comparison.
+// Every pipeline's tracks are matched against ground truth at each window
 // boundary across a sweep of IoU thresholds (Fig. 4's evaluation), and
-// accumulates measured per-stage operation counts and stream statistics
-// (the empirical side of Fig. 5 / Table I).
+// measured per-stage operation counts and stream statistics accumulate
+// per pipeline, keyed by Pipeline::name() (the empirical side of
+// Fig. 5 / Table I).
+//
+// The three paper pipelines are built-ins toggled by run* flags; any
+// further variant is a one-line registration:
+//
+//   config.extraPipelines.push_back([] {
+//     return std::make_unique<EbbiotPipeline>(myConfig, "EBBIOT-cca");
+//   });
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/pipeline.hpp"
@@ -21,6 +34,9 @@
 #include "src/sim/ground_truth.hpp"
 
 namespace ebbiot {
+
+/// Builds one pipeline instance; invoked once per runRecording() call.
+using PipelineFactory = std::function<std::unique_ptr<Pipeline>()>;
 
 struct RunnerConfig {
   TimeUs framePeriod = kDefaultFramePeriodUs;
@@ -32,6 +48,9 @@ struct RunnerConfig {
   EbbiotPipelineConfig ebbiot;
   KalmanPipelineConfig kalman;
   EbmsPipelineConfig ebms;
+  /// Pipeline variants beyond the three built-ins, evaluated under the
+  /// same protocol.  Names must be unique across the run.
+  std::vector<PipelineFactory> extraPipelines;
   /// Stop after this many frames even if the source has more (0 = run the
   /// full `duration` passed to runRecording).
   std::size_t maxFrames = 0;
@@ -43,6 +62,9 @@ struct PipelineRunStats {
   std::vector<PrCounts> counts;  ///< parallel to RunnerConfig thresholds
   OpCounts totalOps;
   std::size_t frames = 0;
+  /// Mean events surviving the pipeline's event-domain filter per window
+  /// (0 for frame-domain pipelines).
+  double filteredEventsPerFrame = 0.0;
 
   [[nodiscard]] double meanOpsPerFrame() const {
     return frames > 0 ? static_cast<double>(totalOps.total()) /
@@ -53,6 +75,10 @@ struct PipelineRunStats {
 
 struct RunResult {
   std::vector<float> thresholds;
+  /// One entry per pipeline, in run order, keyed by Pipeline::name().
+  std::vector<PipelineRunStats> pipelines;
+  /// The three built-ins, looked up by name — convenience views for the
+  /// paper's comparisons (absent when the pipeline was disabled).
   std::optional<PipelineRunStats> ebbiot;
   std::optional<PipelineRunStats> kalman;
   std::optional<PipelineRunStats> ebms;
@@ -66,11 +92,19 @@ struct RunResult {
   double meanEventsPerFrame = 0.0; ///< raw stream events per frame
   double meanFilteredEventsPerFrame = 0.0;  ///< after NN-filt (EBMS only)
 
+  /// Stats of the pipeline with this name, or nullptr if it did not run.
+  [[nodiscard]] const PipelineRunStats* stats(std::string_view name) const;
+
   /// Convert one pipeline's stats into a RecordingResult for weighted
   /// cross-recording averaging.
   [[nodiscard]] RecordingResult toRecordingResult(
       const PipelineRunStats& stats, const std::string& recordingName) const;
 };
+
+/// Instantiate every enabled pipeline of `config` (built-ins first, then
+/// extraPipelines, in order).
+[[nodiscard]] std::vector<std::unique_ptr<Pipeline>> buildPipelines(
+    const RunnerConfig& config);
 
 /// Run all enabled pipelines against a source+scene for `duration`.
 [[nodiscard]] RunResult runRecording(EventSource& source,

@@ -80,6 +80,9 @@ struct KalmanTrackerConfig {
 
 class KalmanTracker {
  public:
+  /// Config type consumed by this back end (used by FramePipeline).
+  using Config = KalmanTrackerConfig;
+
   explicit KalmanTracker(const KalmanTrackerConfig& config);
 
   /// Advance one frame with this frame's region proposals.

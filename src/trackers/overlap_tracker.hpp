@@ -89,6 +89,9 @@ struct OverlapTrackerConfig {
 
 class OverlapTracker {
  public:
+  /// Config type consumed by this back end (used by FramePipeline).
+  using Config = OverlapTrackerConfig;
+
   explicit OverlapTracker(const OverlapTrackerConfig& config);
 
   /// Advance one frame with this frame's region proposals; returns the

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "src/common/rng.hpp"
 #include "src/sim/davis.hpp"
 #include "src/sim/event_synth.hpp"
@@ -64,14 +67,14 @@ TEST(EbbiotPipelineTest, StageOpsPlausibleAgainstModels) {
   for (int f = 0; f < 5; ++f) {
     (void)pipeline.processWindow(fix.nextLatched());
   }
-  const StageOps& ops = pipeline.lastOps();
+  const StageOps& ops = pipeline.stageOps();
   // Median filter: ~(alpha*p^2 + 2)*A*B with small alpha: at least the
   // 2*A*B floor of comparisons+writes.
-  EXPECT_GE(ops.medianFilter.total(), 2U * 240U * 180U);
-  EXPECT_LT(ops.medianFilter.total(), 4U * 240U * 180U);
+  EXPECT_GE(ops.frontEnd.medianFilter.total(), 2U * 240U * 180U);
+  EXPECT_LT(ops.frontEnd.medianFilter.total(), 4U * 240U * 180U);
   // RPN: near A*B + 2*A*B/18.
-  EXPECT_GT(ops.rpn.total(), 45'000U);
-  EXPECT_LT(ops.rpn.total(), 55'000U);
+  EXPECT_GT(ops.frontEnd.rpn.total(), 45'000U);
+  EXPECT_LT(ops.frontEnd.rpn.total(), 55'000U);
   // Tracker: hundreds of ops, not thousands (Eq. (6) order).
   EXPECT_LT(ops.tracker.total(), 5'000U);
 }
@@ -132,9 +135,48 @@ TEST(EbmsPipelineTest, OpsDominatedByPerEventWork) {
   CarFixture fix;
   EbmsPipeline pipeline{EbmsPipelineConfig{}};
   (void)pipeline.processWindow(fix.nextStream());
-  const EbmsStageOps& ops = pipeline.lastOps();
+  const EbmsStageOps& ops = pipeline.stageOps();
   EXPECT_GT(ops.nnFilter.total(), 0U);
   EXPECT_GT(ops.ebms.total(), 0U);
+}
+
+TEST(PipelineInterfaceTest, AllThreePipelinesDriveUniformly) {
+  // The three paper pipelines behind one vtable: names, input domains,
+  // and processWindow all reachable through Pipeline*.
+  CarFixture fix;
+  std::vector<std::unique_ptr<Pipeline>> pipelines;
+  pipelines.push_back(
+      std::make_unique<EbbiotPipeline>(EbbiotPipelineConfig{}));
+  pipelines.push_back(
+      std::make_unique<KalmanPipeline>(KalmanPipelineConfig{}));
+  pipelines.push_back(std::make_unique<EbmsPipeline>(EbmsPipelineConfig{}));
+  EXPECT_EQ(pipelines[0]->name(), "EBBIOT");
+  EXPECT_EQ(pipelines[1]->name(), "EBBI+KF");
+  EXPECT_EQ(pipelines[2]->name(), "EBMS");
+  EXPECT_EQ(pipelines[0]->inputDomain(), InputDomain::kLatchedFrame);
+  EXPECT_EQ(pipelines[1]->inputDomain(), InputDomain::kLatchedFrame);
+  EXPECT_EQ(pipelines[2]->inputDomain(), InputDomain::kEventStream);
+
+  for (int f = 0; f < 5; ++f) {
+    const EventPacket stream = fix.nextStream();
+    const EventPacket latched = latchReadout(stream, 240, 180);
+    for (auto& p : pipelines) {
+      const EventPacket& input =
+          p->inputDomain() == InputDomain::kLatchedFrame ? latched : stream;
+      (void)p->processWindow(input);
+      EXPECT_GT(p->lastOps().total(), 0U) << p->name();
+    }
+  }
+  // Only the event-domain pipeline reports a filtered event count.
+  EXPECT_EQ(pipelines[0]->lastFilteredEventCount(), 0U);
+  EXPECT_GT(pipelines[2]->lastFilteredEventCount(), 0U);
+}
+
+TEST(PipelineInterfaceTest, CustomNameOverridesDefault) {
+  EbbiotPipelineConfig config;
+  config.rpnKind = RpnKind::kCca;
+  EbbiotPipeline pipeline(config, "EBBIOT-cca");
+  EXPECT_EQ(pipeline.name(), "EBBIOT-cca");
 }
 
 TEST(PipelineComparisonTest, EbbiotCheaperThanEbmsPerFrameWhenBusy) {
@@ -169,9 +211,9 @@ TEST(PipelineComparisonTest, EbbiotCheaperThanEbmsPerFrameWhenBusy) {
   for (int f = 0; f < 30; ++f) {
     const EventPacket stream = synthA.nextWindow(kDefaultFramePeriodUs);
     (void)ours.processWindow(latchReadout(stream, 240, 180));
-    oursOps += ours.lastOps().total().total();
+    oursOps += ours.lastOps().total();
     (void)theirs.processWindow(synthB.nextWindow(kDefaultFramePeriodUs));
-    theirsOps += theirs.lastOps().total().total();
+    theirsOps += theirs.lastOps().total();
   }
   EXPECT_LT(oursOps, theirsOps);
 }

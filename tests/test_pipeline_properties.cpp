@@ -62,7 +62,7 @@ TEST_P(PipelineConfigSweep, InvariantsHoldOverBusyTraffic) {
     }
     // Ops are measured every frame and bounded: the front end can't
     // exceed a few multiples of A*B even at p = 5.
-    const auto total = pipeline.lastOps().total().total();
+    const auto total = pipeline.lastOps().total();
     EXPECT_GT(total, 0U);
     EXPECT_LT(total, 20U * 240U * 180U);
     // Filtered image never has more pixels than the raw EBBI for p >= 3
@@ -92,7 +92,7 @@ TEST_P(PipelineConfigSweep, DeterministicAcrossRuns) {
     std::uint64_t opsTotal = 0;
     for (int f = 0; f < 30; ++f) {
       last = pipeline.processWindow(window(synth));
-      opsTotal += pipeline.lastOps().total().total();
+      opsTotal += pipeline.lastOps().total();
     }
     return std::pair{last, opsTotal};
   };

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/common/error.hpp"
 #include "src/sim/event_synth.hpp"
 #include "src/sim/scene.hpp"
@@ -65,6 +67,60 @@ TEST(RunnerTest, PipelinesCanBeDisabled) {
   EXPECT_TRUE(result.ebbiot.has_value());
   EXPECT_FALSE(result.kalman.has_value());
   EXPECT_FALSE(result.ebms.has_value());
+}
+
+TEST(RunnerTest, StatsKeyedByPipelineName) {
+  Fixture fix;
+  const RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+  const RunResult result =
+      runRecording(*fix.synth, fix.scene, secondsToUs(2.0), config);
+  ASSERT_EQ(result.pipelines.size(), 3U);
+  EXPECT_EQ(result.pipelines[0].name, "EBBIOT");
+  EXPECT_EQ(result.pipelines[1].name, "EBBI+KF");
+  EXPECT_EQ(result.pipelines[2].name, "EBMS");
+  ASSERT_NE(result.stats("EBBIOT"), nullptr);
+  ASSERT_NE(result.stats("EBBI+KF"), nullptr);
+  ASSERT_NE(result.stats("EBMS"), nullptr);
+  EXPECT_EQ(result.stats("nonesuch"), nullptr);
+  // The convenience views mirror the keyed entries.
+  EXPECT_EQ(result.ebbiot->totalOps, result.stats("EBBIOT")->totalOps);
+  EXPECT_EQ(result.kalman->totalOps, result.stats("EBBI+KF")->totalOps);
+  EXPECT_EQ(result.ebms->totalOps, result.stats("EBMS")->totalOps);
+  EXPECT_EQ(result.meanFilteredEventsPerFrame,
+            result.ebms->filteredEventsPerFrame);
+}
+
+TEST(RunnerTest, ExtraPipelineRegistersInOneLine) {
+  Fixture fix;
+  RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+  config.runKalman = false;
+  config.runEbms = false;
+  EbbiotPipelineConfig ccaVariant = config.ebbiot;
+  ccaVariant.rpnKind = RpnKind::kCca;
+  ccaVariant.cca.minComponentPixels = 6;
+  config.extraPipelines.push_back([ccaVariant] {
+    return std::make_unique<EbbiotPipeline>(ccaVariant, "EBBIOT-cca");
+  });
+  const RunResult result =
+      runRecording(*fix.synth, fix.scene, secondsToUs(4.0), config);
+  ASSERT_EQ(result.pipelines.size(), 2U);
+  const PipelineRunStats* cca = result.stats("EBBIOT-cca");
+  ASSERT_NE(cca, nullptr);
+  EXPECT_EQ(cca->frames, result.frames);
+  EXPECT_GT(cca->totalOps.total(), 0U);
+  // Both variants see the same recording; the CCA variant tracks too.
+  EXPECT_GT(cca->counts[0].recall(), 0.3);
+}
+
+TEST(RunnerTest, DuplicatePipelineNamesRejected) {
+  Fixture fix;
+  RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+  const EbbiotPipelineConfig dup = config.ebbiot;
+  config.extraPipelines.push_back(
+      [dup] { return std::make_unique<EbbiotPipeline>(dup); });
+  EXPECT_THROW(
+      (void)runRecording(*fix.synth, fix.scene, secondsToUs(1.0), config),
+      LogicError);
 }
 
 TEST(RunnerTest, MaxFramesLimitsWork) {
