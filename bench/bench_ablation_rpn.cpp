@@ -1,12 +1,15 @@
 // Ablation — region-proposal design (Section II-B + the paper's stated
-// future work).
+// future work), driven entirely through the variant registry.
 //
 // Sweeps:
-//   1. downsample factors (s1, s2): proposal quality (end-to-end EBBIOT
-//      F1) vs RPN compute, including the paper's (6, 3);
-//   2. histogram RPN vs the future-work CCA RPN (full resolution), same
-//      tracker behind both.
+//   1. downsample factors (s1, s2): each grid point registers as a named
+//      variant in a *local* registry and a single runRecording evaluates
+//      the whole grid on the same recording — proposal quality (end-to-end
+//      EBBIOT F1) vs RPN compute, including the paper's (6, 3);
+//   2. every pipeline in the *global* registry (histogram RPN, CCA,
+//      NN-filtered, hybrid back ends, ...), same recording, one run.
 #include <cstdio>
+#include <string>
 #include <utility>
 
 #include "src/core/runner.hpp"
@@ -14,16 +17,13 @@
 
 namespace {
 
-ebbiot::RunResult runEbbiot(const ebbiot::EbbiotPipelineConfig& pipeConfig,
-                            double seconds) {
+ebbiot::RunResult runVariants(const ebbiot::VariantRegistry* registry,
+                              double seconds) {
   using namespace ebbiot;
   RecordingSpec spec = makeSyntheticEng();
   spec.durationS = seconds;
   Recording rec = openRecording(spec);
-  RunnerConfig config = makeDefaultRunnerConfig(240, 180);
-  config.runKalman = false;
-  config.runEbms = false;
-  config.ebbiot = pipeConfig;
+  const RunnerConfig config = makeRegistryRunnerConfig(240, 180, registry);
   return runRecording(*rec.source, *rec.scenario,
                       secondsToUs(spec.durationS), config);
 }
@@ -33,56 +33,54 @@ ebbiot::RunResult runEbbiot(const ebbiot::EbbiotPipelineConfig& pipeConfig,
 int main() {
   using namespace ebbiot;
   constexpr double kSeconds = 45.0;
-  std::printf("RPN ablation — SyntheticENG, %.0f s per setting "
+  std::printf("RPN ablation — SyntheticENG, %.0f s "
               "(F1 at IoU 0.3 / 0.5)\n\n",
               kSeconds);
 
-  std::printf("Downsample factor sweep (histogram RPN):\n");
-  std::printf("%-12s %10s %10s %14s\n", "(s1, s2)", "F1@0.3", "F1@0.5",
-              "RPN+trk ops/fr");
-  std::printf("%.*s\n", 50,
-              "--------------------------------------------------");
+  std::printf("Downsample factor sweep (histogram RPN), one run over the "
+              "registered grid:\n");
+  std::printf("%-16s %10s %10s %14s\n", "variant", "F1@0.3", "F1@0.5",
+              "pipe ops/fr");
+  std::printf("%.*s\n", 54,
+              "------------------------------------------------------");
+  VariantRegistry grid;
   const std::pair<int, int> factors[] = {{1, 1}, {2, 2}, {4, 2}, {6, 3},
                                          {8, 4}, {12, 6}, {24, 12}};
   for (const auto& [s1, s2] : factors) {
-    EbbiotPipelineConfig pipe;
-    pipe.rpn.s1 = s1;
-    pipe.rpn.s2 = s2;
-    const RunResult result = runEbbiot(pipe, kSeconds);
-    char label[24];
-    std::snprintf(label, sizeof label, "(%d, %d)", s1, s2);
-    std::printf("%-12s %10.3f %10.3f %14.0f\n", label,
-                result.ebbiot->counts[2].f1(),
-                result.ebbiot->counts[4].f1(),
-                result.ebbiot->meanOpsPerFrame());
+    const std::string key =
+        "EBBIOT-s" + std::to_string(s1) + "x" + std::to_string(s2);
+    grid.add(key, "downsample grid point",
+             [key, s1 = s1, s2 = s2](const VariantContext& ctx) {
+               EbbiotPipelineConfig pipe;
+               pipe.width = ctx.width;
+               pipe.height = ctx.height;
+               pipe.rpn.s1 = s1;
+               pipe.rpn.s2 = s2;
+               return std::make_unique<EbbiotPipeline>(pipe, key);
+             });
+  }
+  const RunResult gridRun = runVariants(&grid, kSeconds);
+  for (const PipelineRunStats& stats : gridRun.pipelines) {
+    std::printf("%-16s %10.3f %10.3f %14.0f\n", stats.name.c_str(),
+                stats.counts[2].f1(), stats.counts[4].f1(),
+                stats.meanOpsPerFrame());
   }
 
-  std::printf("\nProposer comparison (same overlap tracker):\n");
-  std::printf("%-26s %10s %10s %14s\n", "proposer", "F1@0.3", "F1@0.5",
+  std::printf("\nRegistered pipeline variants (global registry), one "
+              "run:\n");
+  std::printf("%-18s %10s %10s %14s\n", "variant", "F1@0.3", "F1@0.5",
               "pipe ops/fr");
-  std::printf("%.*s\n", 64,
-              "----------------------------------------------------------"
-              "------");
-  {
-    EbbiotPipelineConfig pipe;  // paper default histogram RPN
-    const RunResult result = runEbbiot(pipe, kSeconds);
-    std::printf("%-26s %10.3f %10.3f %14.0f\n", "histogram (6,3) [paper]",
-                result.ebbiot->counts[2].f1(),
-                result.ebbiot->counts[4].f1(),
-                result.ebbiot->meanOpsPerFrame());
+  std::printf("%.*s\n", 56,
+              "--------------------------------------------------------");
+  const RunResult zoo = runVariants(nullptr, kSeconds);
+  for (const PipelineRunStats& stats : zoo.pipelines) {
+    std::printf("%-18s %10.3f %10.3f %14.0f\n", stats.name.c_str(),
+                stats.counts[2].f1(), stats.counts[4].f1(),
+                stats.meanOpsPerFrame());
   }
-  {
-    EbbiotPipelineConfig pipe;
-    pipe.rpnKind = RpnKind::kCca;
-    pipe.cca.minComponentPixels = 6;
-    const RunResult result = runEbbiot(pipe, kSeconds);
-    std::printf("%-26s %10.3f %10.3f %14.0f\n", "CCA full-res [future work]",
-                result.ebbiot->counts[2].f1(),
-                result.ebbiot->counts[4].f1(),
-                result.ebbiot->meanOpsPerFrame());
-  }
+
   std::printf("\n(The histogram RPN trades a little box tightness for a "
-              "large compute cut;\nCCA generalises beyond side views at "
-              "higher per-frame cost.)\n");
+              "large compute cut;\nregister new grid points or back ends "
+              "with variantRegistry().add(...) to\nextend either sweep.)\n");
   return 0;
 }

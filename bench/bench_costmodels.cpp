@@ -10,7 +10,9 @@
 //   C_EBMS    =  252 kops/frame        M_EBMS    = 3320 bits (Eq. 8)
 //   (* printed value; the Eq. (5) formula gives 48.0 kops — both shown.)
 #include <cstdio>
+#include <string>
 
+#include "src/core/variant_registry.hpp"
 #include "src/resource/cost_model.hpp"
 
 namespace {
@@ -71,13 +73,26 @@ int main() {
               "  compute vs OT", ebms.computesPerFrame / ot.computesPerFrame,
               "");
 
-  std::printf("\nPipeline totals\n");
+  std::printf("\nBack-end extensions (registry variants; models mirror "
+              "the measured\nimplementations, not paper equations)\n");
+  const CostEstimate rf = regionFilterCost();
+  row("NN region filter", rf.computesPerFrame, rf.memoryBits,
+      "EBBINNOT stage (arXiv:2006.00422)");
+  const CostEstimate ht = hybridTrackerCost();
+  row("Hybrid tracker", ht.computesPerFrame, ht.memoryBits,
+      "OT assoc + per-track KF (arXiv:2007.11404)");
+
+  std::printf("\nPipeline totals — every registered variant with a "
+              "closed-form model\n");
   const CostEstimate ours = ebbiotPipelineCost();
-  const CostEstimate kfPipe = ebbiKfPipelineCost();
   const CostEstimate theirs = ebmsPipelineCost();
-  row("EBBIOT", ours.computesPerFrame, ours.memoryBits, "");
-  row("EBBI + KF", kfPipe.computesPerFrame, kfPipe.memoryBits, "");
-  row("NN-filt + EBMS", theirs.computesPerFrame, theirs.memoryBits, "");
+  for (const VariantInfo& variant : variantRegistry().variants()) {
+    const CostEstimate est = costModelForVariant(variant.key);
+    if (est.computesPerFrame <= 0.0) {
+      continue;  // no closed form (e.g. EBBIOT-CCA) — measured-only
+    }
+    row(variant.key.c_str(), est.computesPerFrame, est.memoryBits, "");
+  }
   std::printf("\nEBMS-chain / EBBIOT: computes %.2fx (paper: ~3x), memory "
               "%.2fx (paper: ~7x)\n",
               theirs.computesPerFrame / ours.computesPerFrame,

@@ -9,7 +9,7 @@ namespace ebbiot {
 std::ostream& operator<<(std::ostream& os, const OpCounts& c) {
   return os << "OpCounts{cmp=" << c.compares << ", add=" << c.adds
             << ", mul=" << c.multiplies << ", wr=" << c.memWrites
-            << ", total=" << c.total() << "}";
+            << ", rd=" << c.memReads << ", total=" << c.total() << "}";
 }
 
 std::string formatKops(double ops) {

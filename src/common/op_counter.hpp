@@ -17,16 +17,25 @@ namespace ebbiot {
 
 /// Tally of abstract operations.  "Ops" follow the paper's accounting:
 /// comparisons, counter increments/additions, multiplications and memory
-/// writes all count as one op each; memory reads are ignored (Section II-A
-/// ignores them "due to lower energy requirement").
+/// writes all count as one op each; memory reads are *tracked* but excluded
+/// from total() (Section II-A ignores them "due to lower energy
+/// requirement").  memAccesses() exposes reads + writes for memory-traffic
+/// comparisons (the Fig. 5 memory column).
 struct OpCounts {
   std::uint64_t compares = 0;
   std::uint64_t adds = 0;
   std::uint64_t multiplies = 0;
   std::uint64_t memWrites = 0;
+  std::uint64_t memReads = 0;
 
+  /// Compute ops per the paper's convention: memory reads excluded.
   [[nodiscard]] std::uint64_t total() const {
     return compares + adds + multiplies + memWrites;
+  }
+
+  /// Memory traffic (reads + writes), for access-count comparisons.
+  [[nodiscard]] std::uint64_t memAccesses() const {
+    return memReads + memWrites;
   }
 
   OpCounts& operator+=(const OpCounts& o) {
@@ -34,6 +43,7 @@ struct OpCounts {
     adds += o.adds;
     multiplies += o.multiplies;
     memWrites += o.memWrites;
+    memReads += o.memReads;
     return *this;
   }
 

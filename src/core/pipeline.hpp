@@ -3,6 +3,13 @@
 //   EbbiotPipeline  (Fig. 1):  FrameFrontEnd -> overlap tracker  [the paper]
 //   KalmanPipeline  ("EBBI+KF"): FrameFrontEnd -> Kalman tracker
 //   EbmsPipeline    (event-domain baseline): NN-filt -> EBMS clusters
+//   HybridPipeline  ("Hybrid", arXiv:2007.11404): FrameFrontEnd ->
+//                   overlap association + Kalman coasting
+//
+// Any frame-domain pipeline can additionally enable the EBBINNOT-style
+// NN region filter (src/detect/region_filter.hpp) between the RPN and
+// the tracker via FramePipelineConfig::regionFilter; the named variants
+// live in src/core/variant_registry.hpp.
 //
 // The frame-domain pipelines are instances of one `FramePipeline<Tracker>`
 // template over the shared `FrameFrontEnd` (src/core/front_end.hpp); a new
@@ -19,12 +26,15 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "src/core/front_end.hpp"
+#include "src/detect/region_filter.hpp"
 #include "src/filters/nn_filter.hpp"
 #include "src/trackers/ebms.hpp"
+#include "src/trackers/hybrid_tracker.hpp"
 #include "src/trackers/kalman.hpp"
 #include "src/trackers/overlap_tracker.hpp"
 
@@ -72,9 +82,12 @@ class Pipeline {
 /// Per-stage measured operation counts of one frame-domain window.
 struct StageOps {
   FrontEndOps frontEnd;
+  OpCounts regionFilter;  ///< zero unless the NN region filter is enabled
   OpCounts tracker;
 
-  [[nodiscard]] OpCounts total() const { return frontEnd.total() + tracker; }
+  [[nodiscard]] OpCounts total() const {
+    return frontEnd.total() + regionFilter + tracker;
+  }
 };
 
 /// Config of a frame-domain pipeline: the shared front end plus one
@@ -82,6 +95,9 @@ struct StageOps {
 /// medianPatch, rpnKind, rpn, cca) so call sites read naturally.
 template <typename TrackerConfig>
 struct FramePipelineConfig : FrontEndConfig {
+  /// EBBINNOT-style NN region filter between the RPN and the tracker;
+  /// absent = proposals flow through untouched (the paper's chain).
+  std::optional<RegionFilterConfig> regionFilter;
   TrackerConfig tracker;
 };
 
@@ -100,6 +116,11 @@ struct FramePipelineTraits<OverlapTracker> {
 template <>
 struct FramePipelineTraits<KalmanTracker> {
   static constexpr const char* kName = "EBBI+KF";
+};
+
+template <>
+struct FramePipelineTraits<HybridTracker> {
+  static constexpr const char* kName = "Hybrid";
 };
 
 /// Frame-domain pipeline: shared FrameFrontEnd plus a tracker back end.
@@ -123,12 +144,23 @@ class FramePipeline final : public Pipeline {
           c.frameWidth = config.width;
           c.frameHeight = config.height;
           return c;
-        }()) {}
+        }()) {
+    if (config.regionFilter.has_value()) {
+      regionFilter_.emplace(*config.regionFilter);
+    }
+  }
 
   Tracks processWindow(const EventPacket& packet) override {
     const RegionProposals& proposals = frontEnd_.process(packet);
     stageOps_.frontEnd = frontEnd_.lastOps();
-    Tracks tracks = tracker_.update(proposals);
+    stageOps_.regionFilter = OpCounts{};
+    const RegionProposals* toTrack = &proposals;
+    if (regionFilter_.has_value()) {
+      accepted_ = regionFilter_->apply(frontEnd_.lastFiltered(), proposals);
+      stageOps_.regionFilter = regionFilter_->lastOps();
+      toTrack = &accepted_;
+    }
+    Tracks tracks = tracker_.update(*toTrack);
     stageOps_.tracker = tracker_.lastOps();
     return tracks;
   }
@@ -150,9 +182,18 @@ class FramePipeline final : public Pipeline {
   [[nodiscard]] const RegionProposals& lastProposals() const {
     return frontEnd_.lastProposals();
   }
+  /// Proposals that reached the tracker in the most recent window: the
+  /// region-filter survivors, or the raw RPN output when no filter is
+  /// configured.
+  [[nodiscard]] const RegionProposals& lastTrackedProposals() const {
+    return regionFilter_.has_value() ? accepted_ : frontEnd_.lastProposals();
+  }
   [[nodiscard]] const StageOps& stageOps() const { return stageOps_; }
 
   [[nodiscard]] const FrameFrontEnd& frontEnd() const { return frontEnd_; }
+  [[nodiscard]] const std::optional<RegionFilter>& regionFilter() const {
+    return regionFilter_;
+  }
   [[nodiscard]] Tracker& tracker() { return tracker_; }
   [[nodiscard]] const Config& config() const { return config_; }
 
@@ -160,15 +201,19 @@ class FramePipeline final : public Pipeline {
   Config config_;
   std::string name_;
   FrameFrontEnd frontEnd_;
+  std::optional<RegionFilter> regionFilter_;
+  RegionProposals accepted_;
   Tracker tracker_;
   StageOps stageOps_;
 };
 
 using EbbiotPipelineConfig = FramePipelineConfig<OverlapTrackerConfig>;
 using KalmanPipelineConfig = FramePipelineConfig<KalmanTrackerConfig>;
+using HybridPipelineConfig = FramePipelineConfig<HybridTrackerConfig>;
 
 using EbbiotPipeline = FramePipeline<OverlapTracker>;
 using KalmanPipeline = FramePipeline<KalmanTracker>;
+using HybridPipeline = FramePipeline<HybridTracker>;
 
 struct EbmsPipelineConfig {
   NnFilterConfig nnFilter;

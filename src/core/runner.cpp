@@ -35,6 +35,18 @@ RunnerConfig makeDefaultRunnerConfig(int width, int height) {
   return config;
 }
 
+RunnerConfig makeRegistryRunnerConfig(int width, int height,
+                                      const VariantRegistry* registry) {
+  RunnerConfig config = makeDefaultRunnerConfig(width, height);
+  config.runEbbiot = false;
+  config.runKalman = false;
+  config.runEbms = false;
+  config.registry = registry;
+  config.variants =
+      (registry != nullptr ? *registry : variantRegistry()).keys();
+  return config;
+}
+
 std::vector<std::unique_ptr<Pipeline>> buildPipelines(
     const RunnerConfig& config) {
   std::vector<std::unique_ptr<Pipeline>> pipelines;
@@ -46,6 +58,17 @@ std::vector<std::unique_ptr<Pipeline>> buildPipelines(
   }
   if (config.runEbms) {
     pipelines.push_back(std::make_unique<EbmsPipeline>(config.ebms));
+  }
+  if (!config.variants.empty()) {
+    const VariantRegistry& registry =
+        config.registry != nullptr ? *config.registry : variantRegistry();
+    // Variants share the recording's geometry; the built-in configs carry
+    // it (makeDefaultRunnerConfig / makeRegistryRunnerConfig set all
+    // three consistently).
+    const VariantContext context{config.ebbiot.width, config.ebbiot.height};
+    for (const std::string& key : config.variants) {
+      pipelines.push_back(registry.build(key, context));
+    }
   }
   for (const PipelineFactory& make : config.extraPipelines) {
     EBBIOT_ASSERT(make != nullptr);

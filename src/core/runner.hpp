@@ -12,12 +12,15 @@
 // per pipeline, keyed by Pipeline::name() (the empirical side of
 // Fig. 5 / Table I).
 //
-// The three paper pipelines are built-ins toggled by run* flags; any
-// further variant is a one-line registration:
-//
-//   config.extraPipelines.push_back([] {
-//     return std::make_unique<EbbiotPipeline>(myConfig, "EBBIOT-cca");
-//   });
+// The three paper pipelines are built-ins toggled by run* flags; further
+// variants come in two flavours:
+//   * named variants from the registry (src/core/variant_registry.hpp) —
+//     `config.variants = {"EBBINNOT", "Hybrid"}`, or every registered one
+//     at once via makeRegistryRunnerConfig();
+//   * ad-hoc one-offs through a factory:
+//       config.extraPipelines.push_back([] {
+//         return std::make_unique<EbbiotPipeline>(myConfig, "EBBIOT-cca");
+//       });
 #pragma once
 
 #include <functional>
@@ -28,6 +31,7 @@
 #include <vector>
 
 #include "src/core/pipeline.hpp"
+#include "src/core/variant_registry.hpp"
 #include "src/eval/metrics.hpp"
 #include "src/events/stats.hpp"
 #include "src/sim/davis.hpp"
@@ -48,8 +52,16 @@ struct RunnerConfig {
   EbbiotPipelineConfig ebbiot;
   KalmanPipelineConfig kalman;
   EbmsPipelineConfig ebms;
-  /// Pipeline variants beyond the three built-ins, evaluated under the
-  /// same protocol.  Names must be unique across the run.
+  /// Registry keys of named variants to evaluate alongside the built-ins
+  /// (resolved against `registry`).  A key that duplicates an enabled
+  /// built-in's name is rejected — disable the built-in flag instead.
+  std::vector<std::string> variants;
+  /// Registry the `variants` keys resolve against; nullptr = the global
+  /// variantRegistry().  Benches sweeping ad-hoc grids point this at a
+  /// local registry.
+  const VariantRegistry* registry = nullptr;
+  /// Pipeline variants beyond the named ones, evaluated under the same
+  /// protocol.  Names must be unique across the run.
   std::vector<PipelineFactory> extraPipelines;
   /// Stop after this many frames even if the source has more (0 = run the
   /// full `duration` passed to runRecording).
@@ -115,5 +127,16 @@ struct RunResult {
 /// Convenience: a RunnerConfig with all pipeline geometries set for the
 /// given sensor size and the paper's default parameters.
 [[nodiscard]] RunnerConfig makeDefaultRunnerConfig(int width, int height);
+
+/// A RunnerConfig that evaluates *every variant registered* in `registry`
+/// (default: the global registry) in one runRecording() call.  The
+/// built-in flags are turned off — with the global registry the
+/// built-ins still participate through their registry entries, so stats
+/// stay keyed by the same names and the RunResult convenience views
+/// (ebbiot/kalman/ebms) still populate.  With a *local* registry only
+/// its own keys run: the convenience optionals stay empty unless the
+/// registry defines those names, so look results up via stats().
+[[nodiscard]] RunnerConfig makeRegistryRunnerConfig(
+    int width, int height, const VariantRegistry* registry = nullptr);
 
 }  // namespace ebbiot

@@ -1,0 +1,133 @@
+#include "src/core/variant_registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+void VariantRegistry::add(std::string key, std::string description,
+                          VariantBuilder build) {
+  EBBIOT_ASSERT(!key.empty());
+  EBBIOT_ASSERT(build != nullptr);
+  EBBIOT_ASSERT(!contains(key));
+  variants_.push_back(
+      VariantInfo{std::move(key), std::move(description), std::move(build)});
+}
+
+bool VariantRegistry::contains(std::string_view key) const {
+  return find(key) != nullptr;
+}
+
+const VariantInfo* VariantRegistry::find(std::string_view key) const {
+  const auto it =
+      std::find_if(variants_.begin(), variants_.end(),
+                   [&](const VariantInfo& v) { return v.key == key; });
+  return it != variants_.end() ? &*it : nullptr;
+}
+
+std::vector<std::string> VariantRegistry::keys() const {
+  std::vector<std::string> out;
+  out.reserve(variants_.size());
+  for (const VariantInfo& v : variants_) {
+    out.push_back(v.key);
+  }
+  return out;
+}
+
+std::unique_ptr<Pipeline> VariantRegistry::build(
+    std::string_view key, const VariantContext& context) const {
+  const VariantInfo* info = find(key);
+  EBBIOT_ASSERT(info != nullptr && "unknown variant key");
+  std::unique_ptr<Pipeline> pipeline = info->build(context);
+  EBBIOT_ASSERT(pipeline != nullptr);
+  EBBIOT_ASSERT(pipeline->name() == info->key &&
+                "variant pipeline name must equal its registry key");
+  return pipeline;
+}
+
+namespace {
+
+EbbiotPipelineConfig ebbiotConfigFor(const VariantContext& ctx) {
+  EbbiotPipelineConfig config;
+  config.width = ctx.width;
+  config.height = ctx.height;
+  return config;
+}
+
+HybridPipelineConfig hybridConfigFor(const VariantContext& ctx) {
+  HybridPipelineConfig config;
+  config.width = ctx.width;
+  config.height = ctx.height;
+  return config;
+}
+
+}  // namespace
+
+void registerBuiltinVariants(VariantRegistry& registry) {
+  registry.add(
+      "EBBIOT", "the paper: EBBI -> median -> RPN -> overlap tracker",
+      [](const VariantContext& ctx) {
+        return std::make_unique<EbbiotPipeline>(ebbiotConfigFor(ctx));
+      });
+  registry.add(
+      "EBBI+KF", "comparison tracker: same front end, Kalman back end",
+      [](const VariantContext& ctx) {
+        KalmanPipelineConfig config;
+        config.width = ctx.width;
+        config.height = ctx.height;
+        return std::make_unique<KalmanPipeline>(config);
+      });
+  registry.add(
+      "EBMS", "event-domain baseline: NN-filter -> mean-shift clusters",
+      [](const VariantContext& ctx) {
+        EbmsPipelineConfig config;
+        config.nnFilter.width = ctx.width;
+        config.nnFilter.height = ctx.height;
+        return std::make_unique<EbmsPipeline>(config);
+      });
+  registry.add(
+      "EBBINNOT",
+      "EBBIOT + NN region filter rejecting distractor proposals "
+      "(arXiv:2006.00422)",
+      [](const VariantContext& ctx) {
+        EbbiotPipelineConfig config = ebbiotConfigFor(ctx);
+        config.regionFilter = RegionFilterConfig{};
+        return std::make_unique<EbbiotPipeline>(config, "EBBINNOT");
+      });
+  registry.add(
+      "Hybrid",
+      "overlap association + Kalman coasting back end (arXiv:2007.11404)",
+      [](const VariantContext& ctx) {
+        return std::make_unique<HybridPipeline>(hybridConfigFor(ctx));
+      });
+  registry.add(
+      "EBBINNOT-Hybrid",
+      "NN region filter + hybrid tracker (the full Ussa et al. chain)",
+      [](const VariantContext& ctx) {
+        HybridPipelineConfig config = hybridConfigFor(ctx);
+        config.regionFilter = RegionFilterConfig{};
+        return std::make_unique<HybridPipeline>(config, "EBBINNOT-Hybrid");
+      });
+  registry.add(
+      "EBBIOT-CCA",
+      "future-work proposer: full-res connected components, paper tracker",
+      [](const VariantContext& ctx) {
+        EbbiotPipelineConfig config = ebbiotConfigFor(ctx);
+        config.rpnKind = RpnKind::kCca;
+        config.cca.minComponentPixels = 6;
+        return std::make_unique<EbbiotPipeline>(config, "EBBIOT-CCA");
+      });
+}
+
+VariantRegistry& variantRegistry() {
+  static VariantRegistry registry = [] {
+    VariantRegistry seeded;
+    registerBuiltinVariants(seeded);
+    return seeded;
+  }();
+  return registry;
+}
+
+}  // namespace ebbiot

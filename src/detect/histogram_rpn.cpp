@@ -20,6 +20,7 @@ BBox tightenToPixels(const BinaryImage& image, const BBox& box,
   int maxY = y0 - 1;
   for (int y = y0; y < y1; ++y) {
     for (int x = x0; x < x1; ++x) {
+      ops.memReads += 1;  // pixel fetch, like every other stage's scan
       ops.compares += 1;
       if (!image.get(x, y)) {
         continue;

@@ -23,7 +23,10 @@ FrameMatchResult matchFrame(const Tracks& predictions,
   for (std::size_t i = 0; i < predictions.size(); ++i) {
     for (std::size_t j = 0; j < groundTruth.size(); ++j) {
       const float v = iou(predictions[i].box, groundTruth[j].box);
-      if (v >= iouThreshold && v > 0.0F) {
+      // Positive overlap is required even at threshold 0.0: the zero
+      // point of a sweep means "match any overlapping pair", never
+      // "match everything" (see the header contract).
+      if (v > 0.0F && v >= iouThreshold) {
         candidates.push_back(Candidate{v, i, j});
       }
     }

@@ -41,6 +41,13 @@ struct FrameMatchResult {
 };
 
 /// Greedy one-to-one matching at the given IoU threshold.
+///
+/// Threshold semantics: a pair is a match candidate iff its IoU is
+/// *strictly positive* and >= `iouThreshold`.  A sweep point at threshold
+/// 0.0 therefore means "any positive overlap" — disjoint (or merely
+/// touching, zero-area-intersection) boxes never match at any threshold,
+/// so the 0.0 point of a Fig. 4 sweep reports overlap-detection quality
+/// rather than degenerating to "every pair matches".
 [[nodiscard]] FrameMatchResult matchFrame(const Tracks& predictions,
                                           const std::vector<GtBox>& groundTruth,
                                           float iouThreshold);

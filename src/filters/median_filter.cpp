@@ -32,9 +32,15 @@ void MedianFilter::applyInto(const BinaryImage& input, BinaryImage& output) {
       int count = 0;
       for (int yy = y0; yy <= y1; ++yy) {
         for (int xx = x0; xx <= x1; ++xx) {
+          // Every patch pixel is fetched and tested whether or not it is
+          // set — one fused read-and-count, charged to memReads (Section
+          // II-A keeps reads out of the op budget).  The compute total is
+          // therefore Eq. (1)'s fixed 2*A*B floor (majority compare +
+          // write per pixel below) and no longer scales with scene
+          // activity, which the pre-fix per-set-pixel `adds` did.
+          ++ops_.memReads;
           if (input.get(xx, yy)) {
             ++count;
-            ++ops_.adds;  // counter increment per 1-pixel, Eq. (1)
           }
         }
       }

@@ -89,6 +89,45 @@ CostEstimate ebmsCost(const EbmsCostParams& params) {
   return est;
 }
 
+CostEstimate regionFilterCost(const RegionFilterCostParams& params) {
+  EBBIOT_ASSERT(params.nProposals >= 0.0 && params.patchPixels >= 0.0);
+  EBBIOT_ASSERT(params.patchGrid >= 1 && params.hiddenUnits >= 1);
+  const double g2 =
+      static_cast<double>(params.patchGrid) * params.patchGrid;
+  const double f = g2 + 3.0;  // grid cells + density + area + aspect
+  const double h = params.hiddenUnits;
+  CostEstimate est;
+  // Per proposal: patch accumulation (1 add per patch pixel), feature
+  // normalisations, the two MAC layers (mult+add each), ReLUs and the
+  // accept compare — matching the measured instrumentation.
+  est.computesPerFrame =
+      params.nProposals *
+      (params.patchPixels + 2.0 * h * f + 3.0 * h + g2 + 4.0);
+  // Q7 weights (int16) + Q15 biases (int32) + feature/hidden buffers.
+  est.memoryBits = (h * f + h) * 16.0 + (h + 1.0) * 32.0 + (f + h) * 32.0;
+  return est;
+}
+
+CostEstimate hybridTrackerCost(const HybridTrackerCostParams& params) {
+  EBBIOT_ASSERT(params.nT >= 0.0 && params.nProposals >= 0.0);
+  EBBIOT_ASSERT(params.maxTrackers >= 1);
+  // Eq. (7)'s matrix-op accounting at the per-track sizes n = 4 (state),
+  // m = 2 (measurement) instead of the joint 2*NT filter.
+  const double n = 4.0;
+  const double m = 2.0;
+  const double kf4 = 4.0 * m * m * m + 6.0 * m * m * n + 4.0 * m * n * n +
+                     4.0 * n * n * n + 3.0 * n * n;
+  CostEstimate est;
+  est.computesPerFrame = params.nT * kf4 +
+                         6.0 * params.nT * params.nProposals +
+                         params.nProposals;
+  // Per slot: KF state/covariance/model matrices (~80 doubles) + the
+  // track register fields (8 x 16 bits), times the NT slot bound.
+  est.memoryBits = static_cast<double>(params.maxTrackers) *
+                   (80.0 * 64.0 + 8.0 * 16.0);
+  return est;
+}
+
 CostEstimate ebbiotPipelineCost(const PipelineCostParams& params) {
   return ebbiCost(params.ebbi) + rpnCost(params.rpn) + otCost(params.ot);
 }
@@ -99,6 +138,39 @@ CostEstimate ebbiKfPipelineCost(const PipelineCostParams& params) {
 
 CostEstimate ebmsPipelineCost(const PipelineCostParams& params) {
   return nnFiltCost(params.nnFilt) + ebmsCost(params.ebms);
+}
+
+CostEstimate ebbinnotPipelineCost(const PipelineCostParams& params) {
+  return ebbiCost(params.ebbi) + rpnCost(params.rpn) +
+         regionFilterCost(params.regionFilter) + otCost(params.ot);
+}
+
+CostEstimate hybridPipelineCost(const PipelineCostParams& params) {
+  return ebbiCost(params.ebbi) + rpnCost(params.rpn) +
+         hybridTrackerCost(params.hybrid);
+}
+
+CostEstimate costModelForVariant(std::string_view variantKey,
+                                 const PipelineCostParams& params) {
+  if (variantKey == "EBBIOT") {
+    return ebbiotPipelineCost(params);
+  }
+  if (variantKey == "EBBI+KF") {
+    return ebbiKfPipelineCost(params);
+  }
+  if (variantKey == "EBMS") {
+    return ebmsPipelineCost(params);
+  }
+  if (variantKey == "EBBINNOT") {
+    return ebbinnotPipelineCost(params);
+  }
+  if (variantKey == "Hybrid") {
+    return hybridPipelineCost(params);
+  }
+  if (variantKey == "EBBINNOT-Hybrid") {
+    return hybridPipelineCost(params) + regionFilterCost(params.regionFilter);
+  }
+  return CostEstimate{};  // measured-only variant (e.g. "EBBIOT-CCA")
 }
 
 CostEstimate frameBasedDetectorReference() {

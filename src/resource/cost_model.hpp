@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace ebbiot {
 
@@ -119,6 +120,34 @@ struct EbmsCostParams {
 /// M_EBMS = 408*CLmax + 56 bits (as the equation is stated).
 [[nodiscard]] CostEstimate ebmsCost(const EbmsCostParams& params = {});
 
+// ----------------------------------------- back-end extensions (not in
+// the paper; closed forms mirror the measured implementations so the
+// registry variants can be priced next to Eqs. (1)-(8))
+
+/// EBBINNOT-style NN region filter (src/detect/region_filter.hpp).
+struct RegionFilterCostParams {
+  double nProposals = 2.0;   ///< average proposals per frame reaching it
+  double patchPixels = 800.0;  ///< average proposal patch area (px)
+  int patchGrid = 4;         ///< G (features = G^2 + 3)
+  int hiddenUnits = 8;       ///< H
+};
+/// C_RF = NP * (A_patch + 2*H*F + 3*H + G^2 + 4) with F = G^2 + 3;
+/// memory: Q7 weights + Q15 biases + feature/hidden buffers.
+[[nodiscard]] CostEstimate regionFilterCost(
+    const RegionFilterCostParams& params = {});
+
+/// Hybrid tracker (src/trackers/hybrid_tracker.hpp): overlap association
+/// + one 4-state/2-measurement KF per track.
+struct HybridTrackerCostParams {
+  double nT = 2.0;          ///< average live tracks
+  double nProposals = 2.0;  ///< average proposals per frame
+  int maxTrackers = 8;      ///< NT slots for the memory bound
+};
+/// C_HT = NT * c_kf(4,2) + 6*NT*NP + NP, where c_kf(4,2) follows the
+/// Eq. (7) matrix-op accounting at fixed state/measurement sizes.
+[[nodiscard]] CostEstimate hybridTrackerCost(
+    const HybridTrackerCostParams& params = {});
+
 // ------------------------------------------------------------- pipelines
 struct PipelineCostParams {
   EbbiCostParams ebbi;
@@ -127,6 +156,8 @@ struct PipelineCostParams {
   OtCostParams ot;
   KfCostParams kf;
   EbmsCostParams ebms;
+  RegionFilterCostParams regionFilter;
+  HybridTrackerCostParams hybrid;
 };
 
 /// EBBIOT = EBBI+median (Eq. 1) + RPN (Eq. 5) + OT (Eq. 6).
@@ -138,10 +169,24 @@ struct PipelineCostParams {
 /// EBMS pipeline = NN-filt (Eq. 2) + EBMS (Eq. 8).
 [[nodiscard]] CostEstimate ebmsPipelineCost(
     const PipelineCostParams& params = {});
+/// EBBINNOT = EBBI+median + RPN + NN region filter + OT.
+[[nodiscard]] CostEstimate ebbinnotPipelineCost(
+    const PipelineCostParams& params = {});
+/// Hybrid = EBBI+median + RPN + hybrid (OT-association + KF) tracker.
+[[nodiscard]] CostEstimate hybridPipelineCost(
+    const PipelineCostParams& params = {});
 
 /// Frame-based detector reference for the "> 1000X" claim (Section II-B):
 /// a real-time CNN detector (YOLO-class) needs ~5.6 GFLOPs/frame and
 /// > 1 GB of RAM.
 [[nodiscard]] CostEstimate frameBasedDetectorReference();
+
+/// Closed-form pipeline cost of the registry variant with this key, or
+/// a zero CostEstimate when no model exists (e.g. "EBBIOT-CCA" is
+/// measured-only).  The single source of truth for benches that print
+/// model columns next to measured ones — keys match
+/// registerBuiltinVariants().
+[[nodiscard]] CostEstimate costModelForVariant(
+    std::string_view variantKey, const PipelineCostParams& params = {});
 
 }  // namespace ebbiot

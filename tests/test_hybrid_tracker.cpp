@@ -1,0 +1,168 @@
+#include "src/trackers/hybrid_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/sim/davis.hpp"
+#include "src/sim/event_synth.hpp"
+#include "src/sim/scene.hpp"
+
+namespace ebbiot {
+namespace {
+
+HybridTrackerConfig testConfig() {
+  HybridTrackerConfig c;
+  c.minHitsToReport = 1;
+  c.minSeedArea = 4.0F;
+  return c;
+}
+
+RegionProposals props(std::initializer_list<BBox> boxes) {
+  RegionProposals out;
+  for (const BBox& b : boxes) {
+    out.push_back(RegionProposal{b, static_cast<std::uint64_t>(b.area())});
+  }
+  return out;
+}
+
+TEST(HybridTrackerTest, SeedsAndReportsAfterMinHits) {
+  HybridTrackerConfig config = testConfig();
+  config.minHitsToReport = 3;
+  HybridTracker tracker(config);
+  EXPECT_TRUE(tracker.update(props({BBox{50, 50, 30, 20}})).empty());
+  EXPECT_TRUE(tracker.update(props({BBox{52, 50, 30, 20}})).empty());
+  const Tracks t = tracker.update(props({BBox{54, 50, 30, 20}}));
+  ASSERT_EQ(t.size(), 1U);
+  EXPECT_EQ(t[0].hits, 3);
+  EXPECT_EQ(tracker.activeCount(), 1);
+}
+
+TEST(HybridTrackerTest, EstimatesVelocityThroughKalman) {
+  HybridTracker tracker(testConfig());
+  Tracks t;
+  for (int f = 0; f < 12; ++f) {
+    t = tracker.update(
+        props({BBox{50.0F + 4.0F * static_cast<float>(f), 50, 30, 20}}));
+  }
+  ASSERT_EQ(t.size(), 1U);
+  EXPECT_NEAR(t[0].velocity.x, 4.0F, 1.0F);
+  EXPECT_NEAR(t[0].velocity.y, 0.0F, 1.0F);
+}
+
+TEST(HybridTrackerTest, CoastsOnKalmanPredictionWithVelocityRetained) {
+  HybridTracker tracker(testConfig());
+  Tracks t;
+  for (int f = 0; f < 12; ++f) {
+    t = tracker.update(
+        props({BBox{50.0F + 4.0F * static_cast<float>(f), 50, 30, 20}}));
+  }
+  ASSERT_EQ(t.size(), 1U);
+  const float xBefore = t[0].box.center().x;
+  // Proposal dropout: the track must keep moving at its learned velocity.
+  t = tracker.update({});
+  ASSERT_EQ(t.size(), 1U);
+  EXPECT_TRUE(t[0].occluded);
+  EXPECT_EQ(t[0].misses, 1);
+  EXPECT_NEAR(t[0].box.center().x - xBefore, 4.0F, 1.5F);
+  EXPECT_NEAR(t[0].velocity.x, 4.0F, 1.5F);
+  const float xOneMiss = t[0].box.center().x;
+  t = tracker.update({});
+  ASSERT_EQ(t.size(), 1U);
+  EXPECT_NEAR(t[0].box.center().x - xOneMiss, 4.0F, 1.5F);
+  // Reacquire: the coasted prediction still overlaps the object.
+  t = tracker.update(props({BBox{50.0F + 4.0F * 14.0F, 50, 30, 20}}));
+  ASSERT_EQ(t.size(), 1U);
+  EXPECT_EQ(t[0].misses, 0);
+  EXPECT_FALSE(t[0].occluded);
+}
+
+TEST(HybridTrackerTest, DiesAfterMaxMissesOrOffFrame) {
+  HybridTrackerConfig config = testConfig();
+  config.maxMisses = 2;
+  HybridTracker tracker(config);
+  for (int f = 0; f < 5; ++f) {
+    (void)tracker.update(props({BBox{50, 50, 30, 20}}));
+  }
+  ASSERT_EQ(tracker.activeCount(), 1);
+  (void)tracker.update({});
+  (void)tracker.update({});
+  EXPECT_EQ(tracker.activeCount(), 1);  // misses == maxMisses: still alive
+  (void)tracker.update({});
+  EXPECT_EQ(tracker.activeCount(), 0);  // exceeded the coast budget
+}
+
+TEST(HybridTrackerTest, AbsorbsFragmentsIntoOneMeasurement) {
+  HybridTracker tracker(testConfig());
+  for (int f = 0; f < 4; ++f) {
+    (void)tracker.update(props({BBox{50, 50, 60, 24}}));
+  }
+  ASSERT_EQ(tracker.activeCount(), 1);
+  // The object fragments into two proposals; both overlap the prediction
+  // and their union stays within the growth guard -> one track follows
+  // the full extent, no second track is seeded.
+  const Tracks t =
+      tracker.update(props({BBox{50, 50, 26, 24}, BBox{82, 50, 28, 24}}));
+  ASSERT_EQ(t.size(), 1U);
+  EXPECT_EQ(tracker.activeCount(), 1);
+  EXPECT_GT(t[0].box.w, 40.0F);
+}
+
+TEST(HybridTrackerTest, SlotBoundHonoured) {
+  HybridTrackerConfig config = testConfig();
+  config.maxTrackers = 3;
+  HybridTracker tracker(config);
+  RegionProposals many;
+  for (int i = 0; i < 6; ++i) {
+    many.push_back(RegionProposal{
+        BBox{10.0F + 40.0F * static_cast<float>(i), 20, 20, 16}, 320});
+  }
+  (void)tracker.update(many);
+  EXPECT_EQ(tracker.activeCount(), 3);
+}
+
+TEST(HybridTrackerTest, OpsMetered) {
+  HybridTracker tracker(testConfig());
+  (void)tracker.update(props({BBox{50, 50, 30, 20}}));
+  EXPECT_GT(tracker.lastOps().total(), 0U);  // seed writes
+  (void)tracker.update(props({BBox{52, 50, 30, 20}}));
+  // Predict + associate + KF update all metered.
+  EXPECT_GT(tracker.lastOps().multiplies, 100U);
+  EXPECT_GT(tracker.lastOps().adds, 100U);
+}
+
+TEST(HybridTrackerTest, InvalidConfigRejected) {
+  HybridTrackerConfig bad = testConfig();
+  bad.maxTrackers = 0;
+  EXPECT_THROW(HybridTracker{bad}, LogicError);
+  HybridTrackerConfig bad2 = testConfig();
+  bad2.matchFraction = 0.0F;
+  EXPECT_THROW(HybridTracker{bad2}, LogicError);
+}
+
+// --- End-to-end behind the shared front end.
+
+TEST(HybridPipelineTest, TracksScriptedCar) {
+  ScriptedScene scene(240, 180);
+  scene.addLinear(ObjectClass::kCar, BBox{10, 60, 48, 22}, Vec2f{60, 0}, 0,
+                  secondsToUs(10.0));
+  EventSynthConfig synthConfig;
+  synthConfig.backgroundActivityHz = 0.3;
+  synthConfig.seed = 21;
+  FastEventSynth synth(scene, synthConfig);
+  HybridPipeline pipeline{HybridPipelineConfig{}};
+  EXPECT_EQ(pipeline.name(), "Hybrid");
+  EXPECT_EQ(pipeline.inputDomain(), InputDomain::kLatchedFrame);
+  Tracks tracks;
+  for (int f = 0; f < 20; ++f) {
+    tracks = pipeline.processWindow(
+        latchReadout(synth.nextWindow(kDefaultFramePeriodUs), 240, 180));
+  }
+  ASSERT_GE(tracks.size(), 1U);
+  const BBox carBox{10.0F + 60.0F * 1.32F, 60, 48, 22};
+  EXPECT_GT(iou(tracks[0].box, carBox), 0.3F);
+  EXPECT_GT(pipeline.stageOps().tracker.total(), 0U);
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -89,6 +89,36 @@ TEST(MatchFrameTest, EmptyInputs) {
   EXPECT_EQ(r3.truePositives(), 0U);
 }
 
+TEST(MatchFrameTest, ZeroThresholdMeansAnyPositiveOverlap) {
+  // A sweep point at threshold 0.0 must not degenerate to "every pair
+  // matches": disjoint boxes stay unmatched, any positive overlap counts.
+  const Tracks pred = makeTracks({BBox{0, 0, 10, 10}});
+  // Sliver overlap: IoU = 9/(191) ~ 0.047 > 0.
+  EXPECT_EQ(matchFrame(pred, makeGt({BBox{9, 1, 10, 10}}), 0.0F)
+                .truePositives(),
+            1U);
+  // Disjoint: no match even at 0.0.
+  EXPECT_EQ(matchFrame(pred, makeGt({BBox{50, 50, 10, 10}}), 0.0F)
+                .truePositives(),
+            0U);
+  // Touching edges (zero-area intersection, IoU == 0): still no match.
+  EXPECT_EQ(matchFrame(pred, makeGt({BBox{10, 0, 10, 10}}), 0.0F)
+                .truePositives(),
+            0U);
+}
+
+TEST(MatchFrameTest, ZeroThresholdConsistentWithEpsilonThreshold) {
+  // Threshold 0.0 and a vanishingly small positive threshold agree: the
+  // zero point of the sweep is the limit of the curve, not a special case.
+  const Tracks pred = makeTracks({BBox{0, 0, 10, 10}, BBox{30, 30, 4, 4}});
+  const auto gt = makeGt({BBox{8, 8, 10, 10}, BBox{100, 100, 4, 4}});
+  const auto atZero = matchFrame(pred, gt, 0.0F);
+  const auto atEps = matchFrame(pred, gt, 1e-6F);
+  EXPECT_EQ(atZero.truePositives(), atEps.truePositives());
+  EXPECT_EQ(atZero.falsePositives(), atEps.falsePositives());
+  EXPECT_EQ(atZero.falseNegatives(), atEps.falseNegatives());
+}
+
 TEST(MatchFrameTest, InvalidThresholdRejected) {
   EXPECT_THROW((void)matchFrame({}, {}, -0.1F), LogicError);
   EXPECT_THROW((void)matchFrame({}, {}, 1.5F), LogicError);

@@ -16,6 +16,22 @@ TEST(OpCountsTest, TotalSumsAllCategories) {
   EXPECT_EQ(c.total(), 10U);
 }
 
+TEST(OpCountsTest, MemReadsTrackedButExcludedFromTotal) {
+  // Section II-A ignores reads in the op budget; they still accumulate
+  // for the memory-access comparison.
+  OpCounts c;
+  c.compares = 2;
+  c.memWrites = 3;
+  c.memReads = 100;
+  EXPECT_EQ(c.total(), 5U);
+  EXPECT_EQ(c.memAccesses(), 103U);
+  OpCounts d;
+  d.memReads = 7;
+  c += d;
+  EXPECT_EQ(c.memReads, 107U);
+  EXPECT_NE(c, OpCounts{});
+}
+
 TEST(OpCountsTest, PlusEqualsAccumulates) {
   OpCounts a;
   a.adds = 5;
