@@ -1,12 +1,21 @@
 // Wall-clock microbenchmarks of every pipeline stage (google-benchmark).
 //
 // The paper's resource argument is in abstract ops; this binary grounds
-// it in time on the host CPU: EBBI build, median filter, downsample +
-// histograms, RPN, CCA, the three trackers and the NN-filter, all on a
-// realistic ENG-like frame.
+// it in time on the host CPU: EBBI build, median filter (word-parallel
+// and scalar reference), downsample + histograms, RPN, CCA, the three
+// trackers and the NN-filter, all on a realistic ENG-like frame.
+//
+// Two extra counters per stage feed the perf trajectory (BENCH_micro.json
+// in CI, via tools/bench_micro_json.py):
+//   * ops_frame    — the stage's measured abstract OpCounts::total() per
+//                    frame (the paper's metric; independent of the host);
+//   * allocs_frame — heap allocations per frame, counted by replacing the
+//                    global operator new; steady-state stages must show 0.
 #include <benchmark/benchmark.h>
 
-#include "src/core/pipeline.hpp"
+#include "src/common/alloc_counter.hpp"
+#include "src/core/runner.hpp"
+#include "src/filters/median_filter_reference.hpp"
 #include "src/sim/davis.hpp"
 #include "src/sim/event_synth.hpp"
 #include "src/sim/recording.hpp"
@@ -14,6 +23,8 @@
 namespace {
 
 using namespace ebbiot;
+
+std::atomic<std::uint64_t>& gAllocations = gAllocationCount;
 
 /// Pre-generated packets of ENG-like traffic shared by all benchmarks.
 class FrameBank {
@@ -67,15 +78,44 @@ class FrameBank {
   std::vector<RegionProposals> proposals_;
 };
 
+/// Tracks the per-frame counters over a benchmark run: call frame() with
+/// each frame's measured ops, then report() once after the timing loop.
+class StageCounters {
+ public:
+  explicit StageCounters(benchmark::State& state)
+      : state_(state), allocsBefore_(gAllocations.load()) {}
+
+  void frame(const OpCounts& ops) { totalOps_ += ops.total(); }
+
+  void report() {
+    const auto iters = static_cast<double>(state_.iterations());
+    if (iters <= 0) {
+      return;
+    }
+    state_.counters["ops_frame"] =
+        static_cast<double>(totalOps_) / iters;
+    state_.counters["allocs_frame"] =
+        static_cast<double>(gAllocations.load() - allocsBefore_) / iters;
+  }
+
+ private:
+  benchmark::State& state_;
+  std::uint64_t allocsBefore_ = 0;
+  std::uint64_t totalOps_ = 0;
+};
+
 void BM_EbbiBuild(benchmark::State& state) {
   FrameBank& bank = FrameBank::instance();
   EbbiBuilder builder(240, 180);
   BinaryImage img(240, 180);
   std::size_t i = 0;
+  StageCounters counters(state);
   for (auto _ : state) {
     builder.buildInto(bank.latched(i++), img);
     benchmark::DoNotOptimize(img);
+    counters.frame(builder.lastOps());
   }
+  counters.report();
 }
 BENCHMARK(BM_EbbiBuild);
 
@@ -84,23 +124,49 @@ void BM_MedianFilter(benchmark::State& state) {
   MedianFilter median(3);
   BinaryImage out(240, 180);
   std::size_t i = 0;
+  StageCounters counters(state);
   for (auto _ : state) {
     median.applyInto(bank.ebbi(i++), out);
     benchmark::DoNotOptimize(out);
+    counters.frame(median.lastOps());
   }
+  counters.report();
 }
 BENCHMARK(BM_MedianFilter);
+
+void BM_MedianFilterReference(benchmark::State& state) {
+  // The scalar pixel-at-a-time baseline the word-parallel filter is
+  // pinned against — kept benchmarked so the speedup stays visible in
+  // the perf trajectory.
+  FrameBank& bank = FrameBank::instance();
+  MedianFilterReference median(3);
+  BinaryImage out(240, 180);
+  std::size_t i = 0;
+  StageCounters counters(state);
+  for (auto _ : state) {
+    median.applyInto(bank.ebbi(i++), out);
+    benchmark::DoNotOptimize(out);
+    counters.frame(median.lastOps());
+  }
+  counters.report();
+}
+BENCHMARK(BM_MedianFilterReference);
 
 void BM_DownsampleAndHistogram(benchmark::State& state) {
   FrameBank& bank = FrameBank::instance();
   Downsampler down(6, 3);
   HistogramBuilder hist;
+  CountImage c;
+  HistogramPair h;
   std::size_t i = 0;
+  StageCounters counters(state);
   for (auto _ : state) {
-    const CountImage c = down.downsample(bank.filtered(i++));
-    const HistogramPair h = hist.build(c);
+    down.downsampleInto(bank.filtered(i++), c);
+    hist.buildInto(c, h);
     benchmark::DoNotOptimize(h);
+    counters.frame(down.lastOps() + hist.lastOps());
   }
+  counters.report();
 }
 BENCHMARK(BM_DownsampleAndHistogram);
 
@@ -108,10 +174,13 @@ void BM_HistogramRpn(benchmark::State& state) {
   FrameBank& bank = FrameBank::instance();
   HistogramRpn rpn{HistogramRpnConfig{}};
   std::size_t i = 0;
+  StageCounters counters(state);
   for (auto _ : state) {
-    const RegionProposals p = rpn.propose(bank.filtered(i++));
+    const RegionProposals& p = rpn.propose(bank.filtered(i++));
     benchmark::DoNotOptimize(p);
+    counters.frame(rpn.lastOps());
   }
+  counters.report();
 }
 BENCHMARK(BM_HistogramRpn);
 
@@ -119,10 +188,13 @@ void BM_CcaRpn(benchmark::State& state) {
   FrameBank& bank = FrameBank::instance();
   CcaLabeler cca{CcaConfig{}};
   std::size_t i = 0;
+  StageCounters counters(state);
   for (auto _ : state) {
-    const RegionProposals p = cca.propose(bank.filtered(i++));
+    const RegionProposals& p = cca.propose(bank.filtered(i++));
     benchmark::DoNotOptimize(p);
+    counters.frame(cca.lastOps());
   }
+  counters.report();
 }
 BENCHMARK(BM_CcaRpn);
 
@@ -130,10 +202,13 @@ void BM_OverlapTracker(benchmark::State& state) {
   FrameBank& bank = FrameBank::instance();
   OverlapTracker tracker{OverlapTrackerConfig{}};
   std::size_t i = 0;
+  StageCounters counters(state);
   for (auto _ : state) {
     const Tracks t = tracker.update(bank.proposals(i++));
     benchmark::DoNotOptimize(t);
+    counters.frame(tracker.lastOps());
   }
+  counters.report();
 }
 BENCHMARK(BM_OverlapTracker);
 
@@ -141,10 +216,13 @@ void BM_KalmanTracker(benchmark::State& state) {
   FrameBank& bank = FrameBank::instance();
   KalmanTracker tracker{KalmanTrackerConfig{}};
   std::size_t i = 0;
+  StageCounters counters(state);
   for (auto _ : state) {
     const Tracks t = tracker.update(bank.proposals(i++));
     benchmark::DoNotOptimize(t);
+    counters.frame(tracker.lastOps());
   }
+  counters.report();
 }
 BENCHMARK(BM_KalmanTracker);
 
@@ -152,10 +230,13 @@ void BM_NnFilter(benchmark::State& state) {
   FrameBank& bank = FrameBank::instance();
   NnFilter filter{NnFilterConfig{}};
   std::size_t i = 0;
+  StageCounters counters(state);
   for (auto _ : state) {
     const EventPacket p = filter.filter(bank.stream(i++));
     benchmark::DoNotOptimize(p);
+    counters.frame(filter.lastOps());
   }
+  counters.report();
 }
 BENCHMARK(BM_NnFilter);
 
@@ -163,10 +244,13 @@ void BM_EbmsTracker(benchmark::State& state) {
   FrameBank& bank = FrameBank::instance();
   EbmsTracker tracker{EbmsConfig{}};
   std::size_t i = 0;
+  StageCounters counters(state);
   for (auto _ : state) {
     tracker.processPacket(bank.stream(i++));
     benchmark::DoNotOptimize(tracker.activeCount());
+    counters.frame(tracker.lastOps());
   }
+  counters.report();
 }
 BENCHMARK(BM_EbmsTracker);
 
@@ -174,10 +258,13 @@ void BM_FullEbbiotPipeline(benchmark::State& state) {
   FrameBank& bank = FrameBank::instance();
   EbbiotPipeline pipeline{EbbiotPipelineConfig{}};
   std::size_t i = 0;
+  StageCounters counters(state);
   for (auto _ : state) {
     const Tracks t = pipeline.processWindow(bank.latched(i++));
     benchmark::DoNotOptimize(t);
+    counters.frame(pipeline.lastOps());
   }
+  counters.report();
 }
 BENCHMARK(BM_FullEbbiotPipeline);
 
@@ -185,10 +272,13 @@ void BM_FullEbmsPipeline(benchmark::State& state) {
   FrameBank& bank = FrameBank::instance();
   EbmsPipeline pipeline{EbmsPipelineConfig{}};
   std::size_t i = 0;
+  StageCounters counters(state);
   for (auto _ : state) {
     const Tracks t = pipeline.processWindow(bank.stream(i++));
     benchmark::DoNotOptimize(t);
+    counters.frame(pipeline.lastOps());
   }
+  counters.report();
 }
 BENCHMARK(BM_FullEbmsPipeline);
 
@@ -201,6 +291,27 @@ void BM_LatchReadout(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LatchReadout);
+
+void BM_RunRecordingRegistry(benchmark::State& state) {
+  // The full evaluation harness: all registered variants over a short
+  // synthetic ENG slice, at the thread count given by the benchmark arg.
+  // threads=1 is the serial loop; compare against higher counts for the
+  // per-frame pipeline fan-out (needs spare hardware threads to win).
+  const auto threads = static_cast<int>(state.range(0));
+  RecordingSpec spec = makeSyntheticEng();
+  spec.durationS = 5.0;
+  for (auto _ : state) {
+    Recording rec = openRecording(spec);
+    RunnerConfig config = makeRegistryRunnerConfig(240, 180);
+    config.threads = threads;
+    config.maxFrames = 45;
+    const RunResult result =
+        runRecording(*rec.source, *rec.scenario, secondsToUs(5.0), config);
+    benchmark::DoNotOptimize(result.frames);
+  }
+}
+BENCHMARK(BM_RunRecordingRegistry)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

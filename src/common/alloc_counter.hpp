@@ -1,0 +1,55 @@
+// Heap-allocation counter for diagnostic binaries (tests, benches).
+//
+// Replaces the global operator new/delete with malloc/free-backed
+// versions that bump an atomic counter, so a test or benchmark can pin
+// "this loop allocates nothing in steady state".  Under AddressSanitizer
+// the replacement would collide with ASan's own new/delete interceptors
+// (alloc-dealloc-mismatch), so the counter degrades to always-zero and
+// EBBIOT_ALLOC_COUNTER_DISABLED is defined for consumers to skip their
+// assertions.
+//
+// IMPORTANT: this header *defines* the replacement operators — include it
+// from exactly ONE translation unit of a diagnostic executable, never
+// from library code.  The including TU needs -Wno-mismatched-new-delete
+// (GCC's heuristic false-positives on the malloc/free pairing).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define EBBIOT_ALLOC_COUNTER_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define EBBIOT_ALLOC_COUNTER_DISABLED 1
+#endif
+#endif
+
+namespace ebbiot {
+
+/// Allocations observed since process start (0 forever when disabled).
+inline std::atomic<std::uint64_t> gAllocationCount{0};
+
+}  // namespace ebbiot
+
+#ifndef EBBIOT_ALLOC_COUNTER_DISABLED
+
+void* operator new(std::size_t size) {
+  ebbiot::gAllocationCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#endif  // EBBIOT_ALLOC_COUNTER_DISABLED

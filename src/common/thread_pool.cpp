@@ -1,0 +1,113 @@
+#include "src/common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+ThreadPool::ThreadPool(int threads) {
+  EBBIOT_ASSERT(threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+int ThreadPool::resolveThreadCount(int configured) {
+  if (configured >= 1) {
+    return configured;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::size_t seenJob = 0;
+  while (true) {
+    wake_.wait(lock, [&] {
+      return shutdown_ || (fn_ != nullptr && jobId_ != seenJob);
+    });
+    if (shutdown_) {
+      return;
+    }
+    seenJob = jobId_;
+    while (fn_ != nullptr && next_ < end_) {
+      const std::size_t i = next_++;
+      ++pending_;
+      const auto* fn = fn_;
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      if (error && !firstError_) {
+        firstError_ = error;
+      }
+      if (--pending_ == 0 && next_ >= end_) {
+        done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  EBBIOT_ASSERT(fn_ == nullptr);  // not reentrant
+  fn_ = &fn;
+  next_ = 0;
+  end_ = n;
+  pending_ = 0;
+  firstError_ = nullptr;
+  ++jobId_;
+  lock.unlock();
+  wake_.notify_all();
+
+  // The caller contributes instead of idling.
+  lock.lock();
+  while (next_ < end_) {
+    const std::size_t i = next_++;
+    ++pending_;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      fn(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !firstError_) {
+      firstError_ = error;
+    }
+    --pending_;
+  }
+  done_.wait(lock, [&] { return pending_ == 0 && next_ >= end_; });
+  fn_ = nullptr;
+  const std::exception_ptr error = firstError_;
+  firstError_ = nullptr;
+  lock.unlock();
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,70 @@
+// Minimal persistent worker pool for deterministic fan-out.
+//
+// The evaluation harness parallelises *independent* units — one pipeline
+// per task within a frame (runRecording), one recording per task across a
+// dataset sweep (bench_table1_datasets).  Each unit owns all of its
+// mutable state and writes results into its own pre-allocated slot, so
+// which worker runs which index never changes the result: determinism is
+// by construction, and the pool needs no ordering guarantees beyond
+// "parallelFor returns after every index ran".
+//
+// The calling thread participates in the work, so ThreadPool(1) spawns no
+// workers and parallelFor degenerates to a plain loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ebbiot {
+
+class ThreadPool {
+ public:
+  /// A pool that runs work on up to `threads` threads (>= 1; the caller
+  /// counts as one, so `threads - 1` workers are spawned).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Invoke fn(i) once for every i in [0, n), distributed over the pool;
+  /// blocks until all invocations finished.  fn must be safe to call
+  /// concurrently for distinct i.  If any invocation throws, one of the
+  /// exceptions is rethrown here after all indices completed or were
+  /// abandoned.  Not reentrant: one parallelFor at a time per pool.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Total threads contributing work (workers + the calling thread).
+  [[nodiscard]] int threadCount() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// `threads` config values <= 0 mean "one per hardware thread".
+  [[nodiscard]] static int resolveThreadCount(int configured);
+
+ private:
+  void workerLoop();
+  /// Run queued indices until none are left; returns after contributing.
+  void drainCurrentJob();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;      ///< workers wait for a new job
+  std::condition_variable done_;      ///< parallelFor waits for completion
+  std::vector<std::thread> workers_;
+  // Job state (guarded by mutex_; indices are handed out under the lock —
+  // the per-index work dominates, so contention is irrelevant here).
+  std::size_t jobId_ = 0;             ///< bumped per parallelFor call
+  std::size_t next_ = 0;              ///< next index to hand out
+  std::size_t end_ = 0;               ///< one past the last index
+  std::size_t pending_ = 0;           ///< indices handed out, not finished
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::exception_ptr firstError_;
+  bool shutdown_ = false;
+};
+
+}  // namespace ebbiot

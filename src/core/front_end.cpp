@@ -17,13 +17,13 @@ const RegionProposals& FrameFrontEnd::process(const EventPacket& packet) {
   median_.applyInto(ebbiImage_, filtered_);
   ops_.medianFilter = median_.lastOps();
   if (config_.rpnKind == RpnKind::kHistogram) {
-    proposals_ = rpn_.propose(filtered_);
+    proposals_ = &rpn_.propose(filtered_);
     ops_.rpn = rpn_.lastOps();
   } else {
-    proposals_ = cca_.propose(filtered_);
+    proposals_ = &cca_.propose(filtered_);
     ops_.rpn = cca_.lastOps();
   }
-  return proposals_;
+  return *proposals_;
 }
 
 }  // namespace ebbiot

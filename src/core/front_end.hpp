@@ -48,6 +48,11 @@ class FrameFrontEnd {
  public:
   explicit FrameFrontEnd(const FrontEndConfig& config);
 
+  // The proposals view points into this instance's own proposer members;
+  // copying would alias the source object, so front ends don't copy.
+  FrameFrontEnd(const FrameFrontEnd&) = delete;
+  FrameFrontEnd& operator=(const FrameFrontEnd&) = delete;
+
   /// Run the full chain on one latched packet; returns this window's
   /// region proposals (valid until the next process() call).
   const RegionProposals& process(const EventPacket& packet);
@@ -57,7 +62,7 @@ class FrameFrontEnd {
   [[nodiscard]] const BinaryImage& lastEbbi() const { return ebbiImage_; }
   [[nodiscard]] const BinaryImage& lastFiltered() const { return filtered_; }
   [[nodiscard]] const RegionProposals& lastProposals() const {
-    return proposals_;
+    return *proposals_;
   }
   [[nodiscard]] const FrontEndOps& lastOps() const { return ops_; }
 
@@ -71,7 +76,10 @@ class FrameFrontEnd {
   CcaLabeler cca_;
   BinaryImage ebbiImage_;
   BinaryImage filtered_;
-  RegionProposals proposals_;
+  /// View of the active proposer's reused output vector (empty_ before the
+  /// first window) — no per-frame copy or allocation.
+  const RegionProposals* proposals_ = &empty_;
+  RegionProposals empty_;
   FrontEndOps ops_;
 };
 

@@ -1,9 +1,11 @@
 #include "src/core/runner.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 #include "src/common/error.hpp"
+#include "src/common/thread_pool.hpp"
 
 namespace ebbiot {
 
@@ -122,24 +124,82 @@ RunResult runRecording(EventSource& source, const SceneProvider& scene,
       config.maxFrames > 0 ? std::min(config.maxFrames, totalFrames)
                            : totalFrames;
 
-  for (std::size_t frame = 0; frame < frameLimit; ++frame) {
-    const EventPacket streamPacket = source.nextWindow(config.framePeriod);
-    result.streamEvents += streamPacket.size();
+  // Worker pool for the per-frame pipeline fan-out.  More threads than
+  // pipelines is pointless — a frame has at most one task per pipeline.
+  const int threadCount =
+      std::min(ThreadPool::resolveThreadCount(config.threads),
+               std::max(1, static_cast<int>(pipelines.size())));
+  std::unique_ptr<ThreadPool> pool;
+  if (threadCount > 1) {
+    pool = std::make_unique<ThreadPool>(threadCount);
+  }
 
-    const GtFrame gt = annotateScene(scene, streamPacket.tEnd(),
-                                     config.gtOptions);
-    for (const GtBox& b : gt.boxes) {
+  // Per-frame inputs, re-pointed every iteration so the fan-out closure —
+  // and its one-time std::function conversion for the pool — can live
+  // outside the frame loop instead of heap-allocating per frame.
+  const EventPacket* streamPacket = nullptr;
+  const EventPacket* latched = nullptr;
+  const GtFrame* gt = nullptr;
+
+  auto evaluate = [&](PipelineRunStats& stats, const Tracks& rawTracks) {
+    // Ground truth is frame-clipped; clip reported boxes the same way
+    // so objects straddling the frame edge are scored fairly.
+    Tracks tracks;
+    tracks.reserve(rawTracks.size());
+    for (const Track& t : rawTracks) {
+      Track clipped = t;
+      clipped.box = clampToFrame(t.box, source.width(), source.height());
+      if (!clipped.box.empty()) {
+        tracks.push_back(clipped);
+      }
+    }
+    for (std::size_t i = 0; i < config.iouThresholds.size(); ++i) {
+      stats.counts[i].add(
+          matchFrame(tracks, gt->boxes, config.iouThresholds[i]));
+    }
+    ++stats.frames;
+  };
+
+  // One task per pipeline: pipeline i's state, stats slot and GT match
+  // are touched only by whichever worker drew index i, and each
+  // pipeline's accumulation order over frames is unchanged — the
+  // RunResult is identical for every thread count.
+  const std::function<void(std::size_t)> processPipeline =
+      [&](std::size_t i) {
+        Pipeline& pipeline = *pipelines[i];
+        const EventPacket& input =
+            pipeline.inputDomain() == InputDomain::kLatchedFrame
+                ? *latched
+                : *streamPacket;
+        const Tracks tracks = pipeline.processWindow(input);
+        result.pipelines[i].totalOps += pipeline.lastOps();
+        filteredSums[i] +=
+            static_cast<double>(pipeline.lastFilteredEventCount());
+        evaluate(result.pipelines[i], tracks);
+      };
+
+  for (std::size_t frame = 0; frame < frameLimit; ++frame) {
+    const EventPacket frameStream = source.nextWindow(config.framePeriod);
+    streamPacket = &frameStream;
+    result.streamEvents += frameStream.size();
+
+    const GtFrame frameGt = annotateScene(scene, frameStream.tEnd(),
+                                          config.gtOptions);
+    gt = &frameGt;
+    for (const GtBox& b : frameGt.boxes) {
       gtIds.insert(b.trackId);
     }
-    result.gtBoxes += gt.boxes.size();
+    result.gtBoxes += frameGt.boxes.size();
 
     // Latched readout for the frame-domain pipelines.
-    EventPacket latched;
+    EventPacket frameLatched;
+    latched = &frameLatched;
     if (anyLatched) {
-      latched = latchReadout(streamPacket, source.width(), source.height());
-      result.latchedEvents += latched.size();
+      frameLatched =
+          latchReadout(frameStream, source.width(), source.height());
+      result.latchedEvents += frameLatched.size();
       const FrameStats stats =
-          computeFrameStats(streamPacket, source.width(), source.height());
+          computeFrameStats(frameStream, source.width(), source.height());
       if (stats.activePixels > 0) {
         alphaSum += stats.alpha;
         betaSum += stats.beta;
@@ -147,35 +207,12 @@ RunResult runRecording(EventSource& source, const SceneProvider& scene,
       }
     }
 
-    auto evaluate = [&](PipelineRunStats& stats, const Tracks& rawTracks) {
-      // Ground truth is frame-clipped; clip reported boxes the same way
-      // so objects straddling the frame edge are scored fairly.
-      Tracks tracks;
-      tracks.reserve(rawTracks.size());
-      for (const Track& t : rawTracks) {
-        Track clipped = t;
-        clipped.box = clampToFrame(t.box, source.width(), source.height());
-        if (!clipped.box.empty()) {
-          tracks.push_back(clipped);
-        }
+    if (pool != nullptr) {
+      pool->parallelFor(pipelines.size(), processPipeline);
+    } else {
+      for (std::size_t i = 0; i < pipelines.size(); ++i) {
+        processPipeline(i);
       }
-      for (std::size_t i = 0; i < config.iouThresholds.size(); ++i) {
-        stats.counts[i].add(
-            matchFrame(tracks, gt.boxes, config.iouThresholds[i]));
-      }
-      ++stats.frames;
-    };
-
-    for (std::size_t i = 0; i < pipelines.size(); ++i) {
-      Pipeline& pipeline = *pipelines[i];
-      const EventPacket& input =
-          pipeline.inputDomain() == InputDomain::kLatchedFrame ? latched
-                                                               : streamPacket;
-      const Tracks tracks = pipeline.processWindow(input);
-      result.pipelines[i].totalOps += pipeline.lastOps();
-      filteredSums[i] +=
-          static_cast<double>(pipeline.lastFilteredEventCount());
-      evaluate(result.pipelines[i], tracks);
     }
     ++result.frames;
   }

@@ -66,6 +66,14 @@ struct RunnerConfig {
   /// Stop after this many frames even if the source has more (0 = run the
   /// full `duration` passed to runRecording).
   std::size_t maxFrames = 0;
+  /// Worker threads for the per-frame pipeline fan-out: each window's
+  /// packet is latched once, then the pipelines (which own all their
+  /// state) are processed and ground-truth-matched concurrently, one task
+  /// per pipeline, with stats written to per-pipeline slots.  The
+  /// RunResult is bit-identical for every thread count; run order of the
+  /// reported pipelines is unchanged.  1 = the serial loop (default);
+  /// 0 = one thread per hardware thread.
+  int threads = 1;
 };
 
 /// Result of one pipeline over one recording.

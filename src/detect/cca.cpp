@@ -33,15 +33,13 @@ void CcaLabeler::UnionFind::unite(std::uint32_t a, std::uint32_t b) {
 }
 
 template <typename IsSetFn>
-std::vector<ConnectedComponent> CcaLabeler::labelGrid(int width, int height,
-                                                      IsSetFn isSet,
-                                                      float scaleX,
-                                                      float scaleY) {
+void CcaLabeler::labelGrid(int width, int height, IsSetFn isSet, float scaleX,
+                           float scaleY) {
   constexpr std::uint32_t kNoLabel = std::numeric_limits<std::uint32_t>::max();
-  std::vector<std::uint32_t> labels(
+  labels_.assign(
       static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
       kNoLabel);
-  UnionFind uf;
+  uf_.parent.clear();
   const bool eight = config_.connectivity == Connectivity::kEight;
 
   // Pass 1: provisional labels from already-visited neighbours
@@ -58,7 +56,7 @@ std::vector<ConnectedComponent> CcaLabeler::labelGrid(int width, int height,
           return;
         }
         const std::uint32_t l =
-            labels[static_cast<std::size_t>(ny) * width + nx];
+            labels_[static_cast<std::size_t>(ny) * width + nx];
         ++ops_.compares;
         if (l == kNoLabel) {
           return;
@@ -66,7 +64,7 @@ std::vector<ConnectedComponent> CcaLabeler::labelGrid(int width, int height,
         if (best == kNoLabel) {
           best = l;
         } else {
-          uf.unite(best, l);
+          uf_.unite(best, l);
           ++ops_.adds;
         }
       };
@@ -77,32 +75,29 @@ std::vector<ConnectedComponent> CcaLabeler::labelGrid(int width, int height,
         consider(x + 1, y - 1);
       }
       if (best == kNoLabel) {
-        best = uf.make();
+        best = uf_.make();
       }
-      labels[static_cast<std::size_t>(y) * width + x] = best;
+      labels_[static_cast<std::size_t>(y) * width + x] = best;
       ++ops_.memWrites;
     }
   }
 
   // Pass 2: resolve labels to roots and accumulate per-component extents.
-  struct Extent {
-    int minX = std::numeric_limits<int>::max();
-    int maxX = std::numeric_limits<int>::min();
-    int minY = std::numeric_limits<int>::max();
-    int maxY = std::numeric_limits<int>::min();
-    std::size_t count = 0;
-    std::size_t order = 0;  // scan order of first pixel, for stable output
-  };
-  std::vector<Extent> extents(uf.parent.size());
+  extents_.clear();
+  extents_.resize(uf_.parent.size(),
+                  Extent{std::numeric_limits<int>::max(),
+                         std::numeric_limits<int>::min(),
+                         std::numeric_limits<int>::max(),
+                         std::numeric_limits<int>::min(), 0, 0});
   std::size_t nextOrder = 0;
   for (int y = 0; y < height; ++y) {
     for (int x = 0; x < width; ++x) {
-      const std::uint32_t l = labels[static_cast<std::size_t>(y) * width + x];
+      const std::uint32_t l = labels_[static_cast<std::size_t>(y) * width + x];
       if (l == kNoLabel) {
         continue;
       }
-      const std::uint32_t root = uf.find(l);
-      Extent& e = extents[root];
+      const std::uint32_t root = uf_.find(l);
+      Extent& e = extents_[root];
       if (e.count == 0) {
         e.order = nextOrder++;
       }
@@ -115,12 +110,12 @@ std::vector<ConnectedComponent> CcaLabeler::labelGrid(int width, int height,
     }
   }
 
-  std::vector<ConnectedComponent> components;
-  for (const Extent& e : extents) {
+  components_.clear();
+  for (const Extent& e : extents_) {
     if (e.count < config_.minComponentPixels) {
       continue;
     }
-    components.push_back(ConnectedComponent{
+    components_.push_back(ConnectedComponent{
         BBox{static_cast<float>(e.minX) * scaleX,
              static_cast<float>(e.minY) * scaleY,
              static_cast<float>(e.maxX - e.minX + 1) * scaleX,
@@ -130,41 +125,43 @@ std::vector<ConnectedComponent> CcaLabeler::labelGrid(int width, int height,
   // extents is indexed by root label which is already scan-ordered for
   // roots (min label wins in unite), but orders can interleave; sort by
   // first-appearance for deterministic output.
-  std::sort(components.begin(), components.end(),
+  std::sort(components_.begin(), components_.end(),
             [](const ConnectedComponent& a, const ConnectedComponent& b) {
               if (a.box.y != b.box.y) {
                 return a.box.y < b.box.y;
               }
               return a.box.x < b.box.x;
             });
-  return components;
 }
 
-std::vector<ConnectedComponent> CcaLabeler::label(const BinaryImage& image) {
+const std::vector<ConnectedComponent>& CcaLabeler::label(
+    const BinaryImage& image) {
   ops_.reset();
-  return labelGrid(
+  labelGrid(
       image.width(), image.height(),
       [&image](int x, int y) { return image.get(x, y); }, 1.0F, 1.0F);
+  return components_;
 }
 
-std::vector<ConnectedComponent> CcaLabeler::labelDownsampled(
+const std::vector<ConnectedComponent>& CcaLabeler::labelDownsampled(
     const CountImage& image, int s1, int s2) {
   EBBIOT_ASSERT(s1 >= 1 && s2 >= 1);
   ops_.reset();
-  return labelGrid(
+  labelGrid(
       image.width(), image.height(),
       [&image](int x, int y) { return image.at(x, y) > 0; },
       static_cast<float>(s1), static_cast<float>(s2));
+  return components_;
 }
 
-RegionProposals CcaLabeler::propose(const BinaryImage& image) {
-  const auto components = label(image);
-  RegionProposals proposals;
-  proposals.reserve(components.size());
-  for (const ConnectedComponent& c : components) {
-    proposals.push_back(RegionProposal{c.box, c.pixelCount});
+const RegionProposals& CcaLabeler::propose(const BinaryImage& image) {
+  (void)label(image);
+  proposals_.clear();
+  proposals_.reserve(components_.size());
+  for (const ConnectedComponent& c : components_) {
+    proposals_.push_back(RegionProposal{c.box, c.pixelCount});
   }
-  return proposals;
+  return proposals_;
 }
 
 }  // namespace ebbiot

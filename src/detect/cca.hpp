@@ -43,17 +43,21 @@ class CcaLabeler {
   explicit CcaLabeler(const CcaConfig& config);
 
   /// Label the binary image; returns components of at least
-  /// minComponentPixels pixels, in scan order of first appearance.
-  [[nodiscard]] std::vector<ConnectedComponent> label(
+  /// minComponentPixels pixels, in scan order of first appearance.  The
+  /// reference is valid until the next label*/propose call — the labeler
+  /// reuses its scratch (labels grid, union-find, extents) across calls so
+  /// steady-state loops allocate nothing once warm.
+  [[nodiscard]] const std::vector<ConnectedComponent>& label(
       const BinaryImage& image);
 
   /// Label a downsampled count image (cell > 0 counts as foreground);
   /// boxes are scaled back to full resolution by (s1, s2).
-  [[nodiscard]] std::vector<ConnectedComponent> labelDownsampled(
+  [[nodiscard]] const std::vector<ConnectedComponent>& labelDownsampled(
       const CountImage& image, int s1, int s2);
 
-  /// Region proposals from full-resolution labelling.
-  [[nodiscard]] RegionProposals propose(const BinaryImage& image);
+  /// Region proposals from full-resolution labelling (reference valid
+  /// until the next call, like label()).
+  [[nodiscard]] const RegionProposals& propose(const BinaryImage& image);
 
   /// Ops of the most recent call (per-pixel neighbour checks + union-find).
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
@@ -68,13 +72,27 @@ class CcaLabeler {
     void unite(std::uint32_t a, std::uint32_t b);
   };
 
+  struct Extent {
+    int minX = 0;
+    int maxX = 0;
+    int minY = 0;
+    int maxY = 0;
+    std::size_t count = 0;
+    std::size_t order = 0;  // scan order of first pixel, for stable output
+  };
+
   template <typename IsSetFn>
-  std::vector<ConnectedComponent> labelGrid(int width, int height,
-                                            IsSetFn isSet, float scaleX,
-                                            float scaleY);
+  void labelGrid(int width, int height, IsSetFn isSet, float scaleX,
+                 float scaleY);
 
   CcaConfig config_;
   OpCounts ops_;
+  // Reused scratch + outputs (see label()).
+  std::vector<std::uint32_t> labels_;
+  UnionFind uf_;
+  std::vector<Extent> extents_;
+  std::vector<ConnectedComponent> components_;
+  RegionProposals proposals_;
 };
 
 }  // namespace ebbiot

@@ -8,35 +8,20 @@ namespace ebbiot {
 namespace {
 
 /// Tight bounding box of the set pixels inside `box` (empty if none).
+/// Word-parallel via BinaryImage::tightBoundingBoxInRegion; the charged
+/// ops stay the abstract per-pixel scan of the original formulation (one
+/// fetch + one compare per pixel of the box), in closed form.
 BBox tightenToPixels(const BinaryImage& image, const BBox& box,
                      OpCounts& ops) {
   const int x0 = static_cast<int>(std::floor(box.left()));
   const int x1 = static_cast<int>(std::ceil(box.right()));
   const int y0 = static_cast<int>(std::floor(box.bottom()));
   const int y1 = static_cast<int>(std::ceil(box.top()));
-  int minX = x1;
-  int maxX = x0 - 1;
-  int minY = y1;
-  int maxY = y0 - 1;
-  for (int y = y0; y < y1; ++y) {
-    for (int x = x0; x < x1; ++x) {
-      ops.memReads += 1;  // pixel fetch, like every other stage's scan
-      ops.compares += 1;
-      if (!image.get(x, y)) {
-        continue;
-      }
-      minX = std::min(minX, x);
-      maxX = std::max(maxX, x);
-      minY = std::min(minY, y);
-      maxY = std::max(maxY, y);
-    }
-  }
-  if (maxX < minX) {
-    return {};
-  }
-  return {static_cast<float>(minX), static_cast<float>(minY),
-          static_cast<float>(maxX - minX + 1),
-          static_cast<float>(maxY - minY + 1)};
+  const auto pixels = static_cast<std::uint64_t>(x1 - x0) *
+                      static_cast<std::uint64_t>(y1 - y0);
+  ops.memReads += pixels;  // pixel fetch, like every other stage's scan
+  ops.compares += pixels;
+  return image.tightBoundingBoxInRegion(x0, y0, x1, y1);
 }
 
 }  // namespace
@@ -47,22 +32,22 @@ HistogramRpn::HistogramRpn(const HistogramRpnConfig& config)
   EBBIOT_ASSERT(config.minValidPixels >= 1);
 }
 
-RegionProposals HistogramRpn::propose(const BinaryImage& ebbi) {
+const RegionProposals& HistogramRpn::propose(const BinaryImage& ebbi) {
   ops_.reset();
-  down_ = downsampler_.downsample(ebbi);
+  downsampler_.downsampleInto(ebbi, down_);
   ops_ += downsampler_.lastOps();
-  hist_ = histogramBuilder_.build(down_);
+  histogramBuilder_.buildInto(down_, hist_);
   ops_ += histogramBuilder_.lastOps();
 
-  runsX_ = findRuns(hist_.hx, config_.threshold, config_.maxGap);
-  runsY_ = findRuns(hist_.hy, config_.threshold, config_.maxGap);
+  findRunsInto(hist_.hx, config_.threshold, config_.maxGap, runsX_);
+  findRunsInto(hist_.hy, config_.threshold, config_.maxGap, runsY_);
   ops_.compares += hist_.hx.size() + hist_.hy.size();
 
   const bool ambiguous = runsX_.size() > 1 && runsY_.size() > 1;
   const bool validate = config_.alwaysValidate || ambiguous;
 
-  RegionProposals proposals;
-  proposals.reserve(runsX_.size() * runsY_.size());
+  proposals_.clear();
+  proposals_.reserve(runsX_.size() * runsY_.size());
   const float s1 = static_cast<float>(config_.s1);
   const float s2 = static_cast<float>(config_.s2);
   for (const HistogramRun& rx : runsX_) {
@@ -91,10 +76,10 @@ RegionProposals HistogramRpn::propose(const BinaryImage& ebbi) {
           continue;
         }
       }
-      proposals.push_back(RegionProposal{box, support});
+      proposals_.push_back(RegionProposal{box, support});
     }
   }
-  return proposals;
+  return proposals_;
 }
 
 }  // namespace ebbiot

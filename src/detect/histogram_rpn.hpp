@@ -45,8 +45,10 @@ class HistogramRpn {
  public:
   explicit HistogramRpn(const HistogramRpnConfig& config);
 
-  /// Propose regions for one frame.
-  [[nodiscard]] RegionProposals propose(const BinaryImage& ebbi);
+  /// Propose regions for one frame.  The returned reference is valid until
+  /// the next propose() call; the backing vector (like every intermediate
+  /// product) is a reused member, so steady-state loops allocate nothing.
+  [[nodiscard]] const RegionProposals& propose(const BinaryImage& ebbi);
 
   /// Intermediate products of the most recent propose() call, exposed for
   /// tests, visualisation and the examples.
@@ -73,6 +75,7 @@ class HistogramRpn {
   HistogramPair hist_;
   std::vector<HistogramRun> runsX_;
   std::vector<HistogramRun> runsY_;
+  RegionProposals proposals_;
   OpCounts ops_;
 };
 

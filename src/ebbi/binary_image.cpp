@@ -7,12 +7,23 @@
 #include "src/common/error.hpp"
 
 namespace ebbiot {
+namespace {
+
+/// Mask with bits [0, n) set; n in [1, 64].
+std::uint64_t lowBits(int n) {
+  return n >= 64 ? ~std::uint64_t{0}
+                 : (std::uint64_t{1} << static_cast<unsigned>(n)) - 1;
+}
+
+}  // namespace
 
 BinaryImage::BinaryImage(int width, int height)
     : width_(width),
       height_(height),
       wordsPerRow_((static_cast<std::size_t>(width) + 63) / 64),
-      words_(wordsPerRow_ * static_cast<std::size_t>(height), 0) {
+      tailMask_(lowBits(width - static_cast<int>(wordsPerRow_ - 1) * 64)),
+      words_(wordsPerRow_ * static_cast<std::size_t>(height), 0),
+      rowOcc_((static_cast<std::size_t>(height) + 63) / 64, 0) {
   EBBIOT_ASSERT(width > 0 && height > 0);
 }
 
@@ -29,6 +40,28 @@ void BinaryImage::checkBounds(int x, int y) const {
   EBBIOT_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_);
 }
 
+void BinaryImage::markRowOccupied(int y) {
+  rowOcc_[static_cast<std::size_t>(y) / 64] |=
+      std::uint64_t{1} << (static_cast<unsigned>(y) % 64);
+}
+
+bool BinaryImage::rowMayHaveSetPixels(int y) const {
+  checkBounds(0, y);
+  return (rowOcc_[static_cast<std::size_t>(y) / 64] &
+          (std::uint64_t{1} << (static_cast<unsigned>(y) % 64))) != 0;
+}
+
+const std::uint64_t* BinaryImage::wordRow(int y) const {
+  checkBounds(0, y);
+  return words_.data() + static_cast<std::size_t>(y) * wordsPerRow_;
+}
+
+std::uint64_t* BinaryImage::mutableWordRow(int y) {
+  checkBounds(0, y);
+  markRowOccupied(y);
+  return words_.data() + static_cast<std::size_t>(y) * wordsPerRow_;
+}
+
 bool BinaryImage::get(int x, int y) const {
   checkBounds(x, y);
   return (words_[wordIndex(x, y)] & bitMask(x)) != 0;
@@ -38,12 +71,17 @@ void BinaryImage::set(int x, int y, bool value) {
   checkBounds(x, y);
   if (value) {
     words_[wordIndex(x, y)] |= bitMask(x);
+    markRowOccupied(y);
   } else {
     words_[wordIndex(x, y)] &= ~bitMask(x);
+    // Occupancy stays set: it is a conservative "may have pixels" cache.
   }
 }
 
-void BinaryImage::clear() { std::fill(words_.begin(), words_.end(), 0); }
+void BinaryImage::clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+  std::fill(rowOcc_.begin(), rowOcc_.end(), 0);
+}
 
 std::size_t BinaryImage::popcount() const {
   std::size_t n = 0;
@@ -51,6 +89,46 @@ std::size_t BinaryImage::popcount() const {
     n += static_cast<std::size_t>(std::popcount(w));
   }
   return n;
+}
+
+std::size_t BinaryImage::popcountRowRange(int y, int x0, int x1) const {
+  const std::uint64_t* row = wordRow(y);
+  const std::size_t w0 = static_cast<std::size_t>(x0) / 64;
+  const std::size_t w1 = static_cast<std::size_t>(x1 - 1) / 64;
+  const std::uint64_t headMask = ~std::uint64_t{0}
+                                 << (static_cast<unsigned>(x0) % 64);
+  const std::uint64_t tailMask = lowBits(x1 - static_cast<int>(w1) * 64);
+  if (w0 == w1) {
+    return static_cast<std::size_t>(
+        std::popcount(row[w0] & headMask & tailMask));
+  }
+  std::size_t n = static_cast<std::size_t>(std::popcount(row[w0] & headMask));
+  for (std::size_t w = w0 + 1; w < w1; ++w) {
+    n += static_cast<std::size_t>(std::popcount(row[w]));
+  }
+  n += static_cast<std::size_t>(std::popcount(row[w1] & tailMask));
+  return n;
+}
+
+bool BinaryImage::anySetRowRange(int y, int x0, int x1) const {
+  const std::uint64_t* row = wordRow(y);
+  const std::size_t w0 = static_cast<std::size_t>(x0) / 64;
+  const std::size_t w1 = static_cast<std::size_t>(x1 - 1) / 64;
+  const std::uint64_t headMask = ~std::uint64_t{0}
+                                 << (static_cast<unsigned>(x0) % 64);
+  const std::uint64_t tailMask = lowBits(x1 - static_cast<int>(w1) * 64);
+  if (w0 == w1) {
+    return (row[w0] & headMask & tailMask) != 0;
+  }
+  if ((row[w0] & headMask) != 0) {
+    return true;
+  }
+  for (std::size_t w = w0 + 1; w < w1; ++w) {
+    if (row[w] != 0) {
+      return true;
+    }
+  }
+  return (row[w1] & tailMask) != 0;
 }
 
 std::size_t BinaryImage::popcountInRegion(const BBox& region) const {
@@ -64,11 +142,10 @@ std::size_t BinaryImage::popcountInRegion(const BBox& region) const {
   const int y1 = static_cast<int>(std::ceil(r.top()));
   std::size_t n = 0;
   for (int y = y0; y < y1; ++y) {
-    for (int x = x0; x < x1; ++x) {
-      if (get(x, y)) {
-        ++n;
-      }
+    if (!rowMayHaveSetPixels(y)) {
+      continue;
     }
+    n += popcountRowRange(y, x0, x1);
   }
   return n;
 }
@@ -83,10 +160,11 @@ bool BinaryImage::anySetInRegion(const BBox& region) const {
   const int y0 = static_cast<int>(std::floor(r.bottom()));
   const int y1 = static_cast<int>(std::ceil(r.top()));
   for (int y = y0; y < y1; ++y) {
-    for (int x = x0; x < x1; ++x) {
-      if (get(x, y)) {
-        return true;
-      }
+    if (!rowMayHaveSetPixels(y)) {
+      continue;
+    }
+    if (anySetRowRange(y, x0, x1)) {
+      return true;
     }
   }
   return false;
@@ -97,17 +175,43 @@ void BinaryImage::orWith(const BinaryImage& o) {
   for (std::size_t i = 0; i < words_.size(); ++i) {
     words_[i] |= o.words_[i];
   }
+  for (std::size_t i = 0; i < rowOcc_.size(); ++i) {
+    rowOcc_[i] |= o.rowOcc_[i];
+  }
 }
 
 BBox BinaryImage::boundingBoxOfSetPixels() const {
+  return tightBoundingBoxInRegion(0, 0, width_, height_);
+}
+
+BBox BinaryImage::tightBoundingBoxInRegion(int x0, int y0, int x1,
+                                           int y1) const {
+  EBBIOT_ASSERT(x0 >= 0 && y0 >= 0 && x1 <= width_ && y1 <= height_);
+  if (x0 >= x1 || y0 >= y1) {
+    return {};
+  }
+  const std::size_t w0 = static_cast<std::size_t>(x0) / 64;
+  const std::size_t w1 = static_cast<std::size_t>(x1 - 1) / 64;
+  const std::uint64_t headMask = ~std::uint64_t{0}
+                                 << (static_cast<unsigned>(x0) % 64);
+  const std::uint64_t tailMask = lowBits(x1 - static_cast<int>(w1) * 64);
   int minX = width_;
   int maxX = -1;
   int minY = height_;
   int maxY = -1;
-  for (int y = 0; y < height_; ++y) {
-    for (std::size_t w = 0; w < wordsPerRow_; ++w) {
-      const std::uint64_t word =
-          words_[static_cast<std::size_t>(y) * wordsPerRow_ + w];
+  for (int y = y0; y < y1; ++y) {
+    if (!rowMayHaveSetPixels(y)) {
+      continue;  // occupancy early-out: row is guaranteed blank
+    }
+    const std::uint64_t* row = wordRow(y);
+    for (std::size_t w = w0; w <= w1; ++w) {
+      std::uint64_t word = row[w];
+      if (w == w0) {
+        word &= headMask;
+      }
+      if (w == w1) {
+        word &= tailMask;
+      }
       if (word == 0) {
         continue;
       }

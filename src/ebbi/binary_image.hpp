@@ -4,7 +4,19 @@
 // one bit per pixel ("only one possible event per pixel, ignoring polarity",
 // Section II-A).  1 bit/pixel is also what Eq. (1)'s memory model assumes
 // (M_EBBI = 2*A*B bits), so this class stores exactly A*B bits in 64-bit
-// words, with popcount and word-level row access for the downsampler.
+// words.
+//
+// The word layout is part of the public interface: rows are independent
+// word arrays (wordRow / wordsPerRow / tailMask), which is what lets the
+// median filter, the downsampler and the region scans process 64 pixels
+// per iteration instead of calling get() pixel by pixel.  Invariant: bits
+// at x >= width in the last word of each row are always zero, so word-level
+// consumers get zero padding on the right for free.
+//
+// The image also keeps a *conservative* row-occupancy bitset: a cleared
+// bit guarantees the row is all-zero; a set bit means the row may contain
+// set pixels (set(x, y, false) does not clear it).  Scans use it to skip
+// blank rows — on an EBBI only the active band of the scene survives.
 #pragma once
 
 #include <cstddef>
@@ -34,6 +46,26 @@ class BinaryImage {
   /// Set every pixel to 0 without reallocating.
   void clear();
 
+  /// Number of 64-bit words per row (= ceil(width/64)).
+  [[nodiscard]] std::size_t wordsPerRow() const { return wordsPerRow_; }
+
+  /// Words of row y (wordsPerRow() of them, bit i of word k = pixel
+  /// x = 64*k + i).  Bits at x >= width are guaranteed zero.
+  [[nodiscard]] const std::uint64_t* wordRow(int y) const;
+
+  /// Mutable words of row y.  Marks the row as possibly occupied; the
+  /// caller must keep the padding bits (x >= width) zero — mask the last
+  /// word with tailMask().
+  [[nodiscard]] std::uint64_t* mutableWordRow(int y);
+
+  /// Mask of the valid bits in the *last* word of a row (all-ones when
+  /// width is a multiple of 64).
+  [[nodiscard]] std::uint64_t tailMask() const { return tailMask_; }
+
+  /// Conservative row-occupancy test: false guarantees row y is all-zero;
+  /// true means it may contain set pixels.  O(1).
+  [[nodiscard]] bool rowMayHaveSetPixels(int y) const;
+
   /// Number of set pixels.
   [[nodiscard]] std::size_t popcount() const;
 
@@ -51,23 +83,42 @@ class BinaryImage {
   /// Tight bounding box of the set pixels (empty when image is blank).
   [[nodiscard]] BBox boundingBoxOfSetPixels() const;
 
+  /// Tight bounding box of the set pixels inside the half-open pixel rect
+  /// [x0, x1) x [y0, y1), which must lie within the frame (empty box when
+  /// none are set).  Word-parallel; used by the RPN box tightening.
+  [[nodiscard]] BBox tightBoundingBoxInRegion(int x0, int y0, int x1,
+                                              int y1) const;
+
   /// Memory footprint of the pixel payload in bits (= width*height as
   /// allocated, for the Eq. (1) style accounting).
   [[nodiscard]] std::size_t payloadBits() const {
     return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
   }
 
-  friend bool operator==(const BinaryImage&, const BinaryImage&) = default;
+  /// Pixel equality (the conservative occupancy cache is not observable).
+  friend bool operator==(const BinaryImage& a, const BinaryImage& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ &&
+           a.words_ == b.words_;
+  }
 
  private:
   [[nodiscard]] std::size_t wordIndex(int x, int y) const;
   [[nodiscard]] std::uint64_t bitMask(int x) const;
   void checkBounds(int x, int y) const;
+  void markRowOccupied(int y);
+  /// Masked popcount of row y over columns [x0, x1).
+  [[nodiscard]] std::size_t popcountRowRange(int y, int x0, int x1) const;
+  /// True if any bit of row y in [x0, x1) is set (first-nonzero-word
+  /// early-out; cheaper than popcountRowRange when only existence
+  /// matters).
+  [[nodiscard]] bool anySetRowRange(int y, int x0, int x1) const;
 
   int width_ = 0;
   int height_ = 0;
   std::size_t wordsPerRow_ = 0;
+  std::uint64_t tailMask_ = ~std::uint64_t{0};
   std::vector<std::uint64_t> words_;
+  std::vector<std::uint64_t> rowOcc_;  ///< 1 bit per row, conservative
 };
 
 }  // namespace ebbiot

@@ -7,6 +7,14 @@
 // first term of the M_RPN memory model in Eq. (5)).  Trailing pixels that
 // do not fill a whole block are dropped, matching the floor() bounds of
 // Eq. (3).
+//
+// The block sums are evaluated word-parallel: each source row is read as
+// 64-bit words and every output cell's s1-bit slice is extracted with two
+// shifts and a masked popcount, so a row costs outW popcounts instead of
+// outW*s1 pixel fetches; rows whose occupancy bit is clear are skipped.
+// The reported OpCounts stay the abstract per-pixel model (one add per
+// block pixel, one write per cell), computed in closed form — identical
+// to what the scalar scan metered.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +37,9 @@ class CountImage {
   [[nodiscard]] std::uint16_t at(int x, int y) const;
   std::uint16_t& at(int x, int y);
 
+  /// Reshape to width x height, zero-filled; reuses capacity when it can.
+  void reset(int width, int height);
+
   /// Sum of all cells (equals popcount of the covered source area).
   [[nodiscard]] std::uint64_t totalMass() const;
 
@@ -50,6 +61,11 @@ class Downsampler {
 
   /// Downsample per Eq. (3).  Output size is floor(W/s1) x floor(H/s2).
   [[nodiscard]] CountImage downsample(const BinaryImage& image);
+
+  /// Downsample into a reusable output image (reshaped as needed); avoids
+  /// the per-frame allocation of the by-value overload in steady-state
+  /// loops.
+  void downsampleInto(const BinaryImage& image, CountImage& out);
 
   /// Ops performed by the most recent call (one add per source pixel read
   /// that lands in a block, one write per output cell).

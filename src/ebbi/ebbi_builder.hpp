@@ -20,6 +20,9 @@ class EbbiBuilder {
 
   /// Build an EBBI from one frame-window packet.  Every event sets its
   /// pixel; duplicates are idempotent (the latch semantics of the sensor).
+  /// The writes also populate the image's conservative row-occupancy
+  /// bitset, which downstream word-parallel stages (median filter band
+  /// skip, downsampler, region scans) use to skip blank rows.
   [[nodiscard]] BinaryImage build(const EventPacket& packet);
 
   /// Build into an existing image (cleared first); avoids reallocation in

@@ -5,8 +5,13 @@
 namespace ebbiot {
 
 HistogramPair HistogramBuilder::build(const CountImage& image) {
-  ops_.reset();
   HistogramPair out;
+  buildInto(image, out);
+  return out;
+}
+
+void HistogramBuilder::buildInto(const CountImage& image, HistogramPair& out) {
+  ops_.reset();
   out.hx.assign(static_cast<std::size_t>(image.width()), 0);
   out.hy.assign(static_cast<std::size_t>(image.height()), 0);
   for (int y = 0; y < image.height(); ++y) {
@@ -18,13 +23,20 @@ HistogramPair HistogramBuilder::build(const CountImage& image) {
     }
   }
   ops_.memWrites += out.hx.size() + out.hy.size();
-  return out;
 }
 
 std::vector<HistogramRun> findRuns(const std::vector<std::uint32_t>& histogram,
                                    std::uint32_t threshold, int maxGap) {
-  EBBIOT_ASSERT(maxGap >= 0);
   std::vector<HistogramRun> runs;
+  findRunsInto(histogram, threshold, maxGap, runs);
+  return runs;
+}
+
+void findRunsInto(const std::vector<std::uint32_t>& histogram,
+                  std::uint32_t threshold, int maxGap,
+                  std::vector<HistogramRun>& runs) {
+  EBBIOT_ASSERT(maxGap >= 0);
+  runs.clear();
   HistogramRun current;
   bool open = false;
   int gap = 0;
@@ -53,7 +65,6 @@ std::vector<HistogramRun> findRuns(const std::vector<std::uint32_t>& histogram,
   if (open) {
     runs.push_back(current);
   }
-  return runs;
 }
 
 }  // namespace ebbiot

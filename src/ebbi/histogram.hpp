@@ -26,6 +26,10 @@ class HistogramBuilder {
   /// Column/row sums of the count image.
   [[nodiscard]] HistogramPair build(const CountImage& image);
 
+  /// Column/row sums into a reusable pair (steady-state loops reuse the
+  /// bin vectors' capacity instead of allocating per frame).
+  void buildInto(const CountImage& image, HistogramPair& out);
+
   /// Ops of the most recent build (two adds per cell + one write per bin).
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
@@ -50,5 +54,10 @@ struct HistogramRun {
 [[nodiscard]] std::vector<HistogramRun> findRuns(
     const std::vector<std::uint32_t>& histogram, std::uint32_t threshold,
     int maxGap = 0);
+
+/// findRuns into a reusable output vector (cleared first).
+void findRunsInto(const std::vector<std::uint32_t>& histogram,
+                  std::uint32_t threshold, int maxGap,
+                  std::vector<HistogramRun>& out);
 
 }  // namespace ebbiot

@@ -1,0 +1,55 @@
+#include "src/filters/median_filter_reference.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+MedianFilterReference::MedianFilterReference(int patchSize)
+    : patchSize_(patchSize) {
+  EBBIOT_ASSERT(patchSize >= 1 && patchSize % 2 == 1);
+}
+
+BinaryImage MedianFilterReference::apply(const BinaryImage& input) {
+  BinaryImage output(input.width(), input.height());
+  applyInto(input, output);
+  return output;
+}
+
+void MedianFilterReference::applyInto(const BinaryImage& input,
+                                      BinaryImage& output) {
+  EBBIOT_ASSERT(input.sameShape(output));
+  ops_.reset();
+  const int r = patchSize_ / 2;
+  const int majority = (patchSize_ * patchSize_) / 2;  // floor(p^2/2)
+  const int w = input.width();
+  const int h = input.height();
+  for (int y = 0; y < h; ++y) {
+    const int y0 = std::max(0, y - r);
+    const int y1 = std::min(h - 1, y + r);
+    for (int x = 0; x < w; ++x) {
+      const int x0 = std::max(0, x - r);
+      const int x1 = std::min(w - 1, x + r);
+      int count = 0;
+      for (int yy = y0; yy <= y1; ++yy) {
+        for (int xx = x0; xx <= x1; ++xx) {
+          // Every patch pixel is fetched and tested whether or not it is
+          // set — one fused read-and-count, charged to memReads (Section
+          // II-A keeps reads out of the op budget).  The compute total is
+          // therefore Eq. (1)'s fixed 2*A*B floor (majority compare +
+          // write per pixel below) and does not scale with scene activity.
+          ++ops_.memReads;
+          if (input.get(xx, yy)) {
+            ++count;
+          }
+        }
+      }
+      output.set(x, y, count > majority);
+      ++ops_.compares;
+      ++ops_.memWrites;
+    }
+  }
+}
+
+}  // namespace ebbiot

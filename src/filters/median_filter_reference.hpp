@@ -1,0 +1,39 @@
+// Scalar reference implementation of the binary median filter.
+//
+// This is the original pixel-at-a-time formulation of Section II-A: for
+// every output pixel, fetch the clamped p x p patch with get(), count the
+// ones and compare against floor(p^2/2).  It *meters* its operations as it
+// goes (one memRead per patch pixel, one compare + one write per output
+// pixel), which makes it the ground truth the word-parallel MedianFilter
+// is pinned against: the fast path must produce bit-identical images and
+// OpCounts equal to these metered values (see tests/test_median_filter_word
+// .cpp).  It is not used in the steady-state pipelines.
+#pragma once
+
+#include "src/common/op_counter.hpp"
+#include "src/ebbi/binary_image.hpp"
+
+namespace ebbiot {
+
+class MedianFilterReference {
+ public:
+  /// `patchSize` = p, odd and >= 1 (paper: 3).
+  explicit MedianFilterReference(int patchSize);
+
+  [[nodiscard]] int patchSize() const { return patchSize_; }
+
+  /// Filtered copy of the image.
+  [[nodiscard]] BinaryImage apply(const BinaryImage& input);
+
+  /// Filter into a preallocated output of the same shape.
+  void applyInto(const BinaryImage& input, BinaryImage& output);
+
+  /// Metered ops of the most recent apply (Eq. (1) accounting).
+  [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
+
+ private:
+  int patchSize_;
+  OpCounts ops_;
+};
+
+}  // namespace ebbiot

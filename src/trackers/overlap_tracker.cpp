@@ -36,7 +36,8 @@ Tracks OverlapTracker::update(const RegionProposals& rawProposals) {
   ops_.reset();
 
   // --- Region of exclusion: mask distractor proposals up front.
-  RegionProposals proposals;
+  RegionProposals& proposals = scratch_.proposals;
+  proposals.clear();
   proposals.reserve(rawProposals.size());
   for (const RegionProposal& p : rawProposals) {
     ops_.compares += config_.regionsOfExclusion.size();
@@ -46,13 +47,15 @@ Tracks OverlapTracker::update(const RegionProposals& rawProposals) {
   }
 
   // --- Step 1: predictions for all valid trackers.
-  std::vector<int> live;
+  std::vector<int>& live = scratch_.live;
+  live.clear();
   for (int i = 0; i < config_.maxTrackers; ++i) {
     if (slots_[static_cast<std::size_t>(i)].valid) {
       live.push_back(i);
     }
   }
-  std::vector<BBox> pred(live.size());
+  std::vector<BBox>& pred = scratch_.pred;
+  pred.assign(live.size(), BBox{});
   for (std::size_t k = 0; k < live.size(); ++k) {
     pred[k] = predictBox(slots_[static_cast<std::size_t>(live[k])], 1);
     ops_.adds += 2;  // x += vx, y += vy
@@ -61,8 +64,19 @@ Tracks OverlapTracker::update(const RegionProposals& rawProposals) {
   // --- Step 2: overlap matches (tracker k <-> proposal j).
   const std::size_t nT = live.size();
   const std::size_t nP = proposals.size();
-  std::vector<std::vector<int>> matchesOfTracker(nT);
-  std::vector<std::vector<int>> matchesOfProposal(nP);
+  auto resetAdjacency = [](std::vector<std::vector<int>>& adj, std::size_t n) {
+    if (adj.size() < n) {
+      adj.resize(n);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      adj[i].clear();  // keeps each inner vector's capacity warm
+    }
+  };
+  std::vector<std::vector<int>>& matchesOfTracker = scratch_.matchesOfTracker;
+  std::vector<std::vector<int>>& matchesOfProposal =
+      scratch_.matchesOfProposal;
+  resetAdjacency(matchesOfTracker, nT);
+  resetAdjacency(matchesOfProposal, nP);
   for (std::size_t k = 0; k < nT; ++k) {
     for (std::size_t j = 0; j < nP; ++j) {
       // Overlap test: ~4 interval comparisons + area arithmetic.
@@ -77,9 +91,12 @@ Tracks OverlapTracker::update(const RegionProposals& rawProposals) {
 
   // --- Connected components of the match graph; each resolves to one of
   // the paper's cases.
-  std::vector<bool> trackerDone(nT, false);
-  std::vector<bool> proposalDone(nP, false);
-  std::vector<bool> releasedProposal(nP, false);
+  std::vector<bool>& trackerDone = scratch_.trackerDone;
+  std::vector<bool>& proposalDone = scratch_.proposalDone;
+  std::vector<bool>& releasedProposal = scratch_.releasedProposal;
+  trackerDone.assign(nT, false);
+  proposalDone.assign(nP, false);
+  releasedProposal.assign(nP, false);
 
   // Fragment-absorption rule (Section II-C step 4): starting from the
   // best-overlapping proposal, absorb further fragments only while the

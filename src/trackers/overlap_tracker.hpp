@@ -127,6 +127,22 @@ class OverlapTracker {
   std::vector<Slot> slots_;
   std::uint32_t nextId_ = 1;
   OpCounts ops_;
+
+  /// Per-frame working storage, reused across update() calls so the
+  /// steady-state loop does not allocate (component-local vectors inside
+  /// the case-5 resolution still may; they only exist when trackers
+  /// interact).
+  struct Scratch {
+    std::vector<RegionProposal> proposals;     ///< after ROE masking
+    std::vector<int> live;                     ///< occupied slot indices
+    std::vector<BBox> pred;                    ///< 1-step predictions
+    std::vector<std::vector<int>> matchesOfTracker;
+    std::vector<std::vector<int>> matchesOfProposal;
+    std::vector<bool> trackerDone;
+    std::vector<bool> proposalDone;
+    std::vector<bool> releasedProposal;
+  };
+  Scratch scratch_;
 };
 
 }  // namespace ebbiot

@@ -1,0 +1,85 @@
+// Steady-state allocation audit of the frame-domain front end.
+//
+// The per-frame hot path (EBBI build -> median filter -> RPN) reuses its
+// buffers — images, count image, histogram bins, run and proposal vectors
+// are all members with stable capacity.  This test pins that: after one
+// warm-up window, processing further windows performs *zero* heap
+// allocations.  Allocations are counted by replacing the global operator
+// new/delete for this test binary (they forward to malloc/free, so every
+// other test is unaffected beyond a relaxed atomic increment).
+#include <gtest/gtest.h>
+
+#include "src/common/alloc_counter.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/front_end.hpp"
+
+namespace ebbiot {
+namespace {
+
+std::atomic<std::uint64_t>& gAllocations = gAllocationCount;
+
+EventPacket denseTrafficWindow(std::uint64_t seed) {
+  Rng rng(seed);
+  EventPacket packet(0, 66000);
+  // A vehicle-sized blob plus salt noise, enough to drive every front-end
+  // stage (median, downsample, histograms, runs, validation, tightening).
+  for (int y = 60; y < 90; ++y) {
+    for (int x = 40; x < 110; ++x) {
+      if (rng.chance(0.6)) {
+        packet.push(Event{static_cast<std::uint16_t>(x),
+                          static_cast<std::uint16_t>(y), Polarity::kOn,
+                          1000});
+      }
+    }
+  }
+  for (int i = 0; i < 150; ++i) {
+    packet.push(Event{static_cast<std::uint16_t>(rng.uniformInt(0, 239)),
+                      static_cast<std::uint16_t>(rng.uniformInt(0, 179)),
+                      Polarity::kOn, 2000});
+  }
+  return packet;
+}
+
+TEST(AllocationAuditTest, FrontEndSteadyStateAllocatesNothing) {
+#ifdef EBBIOT_ALLOC_COUNTER_DISABLED
+  GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#endif
+  for (RpnKind kind : {RpnKind::kHistogram, RpnKind::kCca}) {
+    FrontEndConfig config;
+    config.rpnKind = kind;
+    FrameFrontEnd frontEnd(config);
+    const EventPacket packet = denseTrafficWindow(5);
+    (void)frontEnd.process(packet);  // warm-up: capacities grow here
+    const std::uint64_t before = gAllocations.load();
+    for (int i = 0; i < 10; ++i) {
+      (void)frontEnd.process(packet);
+    }
+    const std::uint64_t after = gAllocations.load();
+    EXPECT_EQ(after - before, 0U)
+        << (kind == RpnKind::kHistogram ? "histogram" : "cca")
+        << " front end allocated in steady state";
+  }
+}
+
+TEST(AllocationAuditTest, MedianFilterApplyIntoAllocatesNothing) {
+#ifdef EBBIOT_ALLOC_COUNTER_DISABLED
+  GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#endif
+  MedianFilter median(3);
+  BinaryImage in(240, 180);
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    in.set(static_cast<int>(rng.uniformInt(0, 239)),
+           static_cast<int>(rng.uniformInt(0, 179)), true);
+  }
+  BinaryImage out(240, 180);
+  median.applyInto(in, out);  // warm-up
+  const std::uint64_t before = gAllocations.load();
+  for (int i = 0; i < 10; ++i) {
+    median.applyInto(in, out);
+  }
+  EXPECT_EQ(gAllocations.load() - before, 0U);
+}
+
+}  // namespace
+}  // namespace ebbiot

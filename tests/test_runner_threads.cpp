@@ -1,0 +1,109 @@
+// Determinism of the multithreaded runner: runRecording with threads = 4
+// must reproduce the threads = 1 RunResult *exactly* (counts, ops, stream
+// stats, every pipeline of the full variant registry), because each
+// pipeline's work and accumulation order is unchanged — only which OS
+// thread executes it varies.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/runner.hpp"
+#include "src/sim/event_synth.hpp"
+#include "src/sim/scene.hpp"
+
+namespace ebbiot {
+namespace {
+
+struct Fixture {
+  Fixture() : scene(240, 180) {
+    scene.addLinear(ObjectClass::kCar, BBox{-48, 60, 48, 22}, Vec2f{60, 0},
+                    0, secondsToUs(20.0));
+    scene.addLinear(ObjectClass::kVan, BBox{240, 100, 60, 28},
+                    Vec2f{-45, 0}, secondsToUs(1.0), secondsToUs(20.0));
+    EventSynthConfig config;
+    config.backgroundActivityHz = 0.3;
+    config.seed = 31;
+    synth = std::make_unique<FastEventSynth>(scene, config);
+  }
+  ScriptedScene scene;
+  std::unique_ptr<FastEventSynth> synth;
+};
+
+void expectPipelineStatsEqual(const PipelineRunStats& a,
+                              const PipelineRunStats& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.frames, b.frames);
+  EXPECT_EQ(a.totalOps, b.totalOps);
+  EXPECT_EQ(a.filteredEventsPerFrame, b.filteredEventsPerFrame);
+  ASSERT_EQ(a.counts.size(), b.counts.size());
+  for (std::size_t t = 0; t < a.counts.size(); ++t) {
+    EXPECT_EQ(a.counts[t].truePositives, b.counts[t].truePositives);
+    EXPECT_EQ(a.counts[t].predictions, b.counts[t].predictions);
+    EXPECT_EQ(a.counts[t].groundTruths, b.counts[t].groundTruths);
+  }
+}
+
+void expectRunResultsEqual(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.thresholds, b.thresholds);
+  EXPECT_EQ(a.frames, b.frames);
+  EXPECT_EQ(a.gtTracks, b.gtTracks);
+  EXPECT_EQ(a.gtBoxes, b.gtBoxes);
+  EXPECT_EQ(a.streamEvents, b.streamEvents);
+  EXPECT_EQ(a.latchedEvents, b.latchedEvents);
+  EXPECT_EQ(a.meanAlpha, b.meanAlpha);
+  EXPECT_EQ(a.meanBeta, b.meanBeta);
+  EXPECT_EQ(a.meanEventsPerFrame, b.meanEventsPerFrame);
+  ASSERT_EQ(a.pipelines.size(), b.pipelines.size());
+  for (std::size_t i = 0; i < a.pipelines.size(); ++i) {
+    expectPipelineStatsEqual(a.pipelines[i], b.pipelines[i]);
+  }
+}
+
+TEST(RunnerThreadsTest, FourThreadsReproduceSerialResultExactly) {
+  // Full registry: all 7 named variants run in one call, maximising the
+  // chance any cross-pipeline interference would surface.
+  RunnerConfig serial = makeRegistryRunnerConfig(240, 180);
+  serial.threads = 1;
+  RunnerConfig threaded = serial;
+  threaded.threads = 4;
+
+  Fixture fixSerial;
+  const RunResult a =
+      runRecording(*fixSerial.synth, fixSerial.scene, secondsToUs(3.0),
+                   serial);
+  Fixture fixThreaded;
+  const RunResult b =
+      runRecording(*fixThreaded.synth, fixThreaded.scene, secondsToUs(3.0),
+                   threaded);
+
+  ASSERT_GT(a.pipelines.size(), 1U);
+  expectRunResultsEqual(a, b);
+}
+
+TEST(RunnerThreadsTest, ThreadsZeroMeansHardwareConcurrency) {
+  Fixture fixA;
+  RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+  config.threads = 0;  // resolves to >= 1 without changing results
+  const RunResult a =
+      runRecording(*fixA.synth, fixA.scene, secondsToUs(1.0), config);
+  Fixture fixB;
+  config.threads = 1;
+  const RunResult b =
+      runRecording(*fixB.synth, fixB.scene, secondsToUs(1.0), config);
+  expectRunResultsEqual(a, b);
+}
+
+TEST(RunnerThreadsTest, MoreThreadsThanPipelinesIsFine) {
+  Fixture fix;
+  RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+  config.runKalman = false;
+  config.runEbms = false;
+  config.threads = 16;  // 1 pipeline; the fan-out clamps to useful width
+  const RunResult result =
+      runRecording(*fix.synth, fix.scene, secondsToUs(1.0), config);
+  ASSERT_TRUE(result.ebbiot.has_value());
+  EXPECT_GT(result.ebbiot->frames, 0U);
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -1,0 +1,73 @@
+#include "src/common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace ebbiot {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threadCount(), 4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threadCount(), 1);
+  std::vector<int> order;
+  pool.parallelFor(5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // no data race: no workers
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ZeroTasksIsANoOp) {
+  ThreadPool pool(3);
+  bool ran = false;
+  pool.parallelFor(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallelFor(10, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 45U);
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallelFor(8,
+                       [](std::size_t i) {
+                         if (i == 3) {
+                           throw std::runtime_error("boom");
+                         }
+                       }),
+      std::runtime_error);
+  // The pool survives a throwing job.
+  std::atomic<int> count{0};
+  pool.parallelFor(4, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::resolveThreadCount(3), 3);
+  EXPECT_EQ(ThreadPool::resolveThreadCount(1), 1);
+  EXPECT_GE(ThreadPool::resolveThreadCount(0), 1);
+  EXPECT_GE(ThreadPool::resolveThreadCount(-2), 1);
+}
+
+}  // namespace
+}  // namespace ebbiot

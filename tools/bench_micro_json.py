@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Convert google-benchmark JSON output of bench_micro_stages into the
+compact perf-trajectory record BENCH_micro.json.
+
+Usage:
+    bench_micro_stages --benchmark_format=json > raw.json
+    tools/bench_micro_json.py raw.json BENCH_micro.json
+
+Each benchmark becomes {"name", "ns_per_frame", "ops_per_frame",
+"allocs_per_frame"} (the latter two are null for benchmarks without the
+counters).  CI runs this every build so the history of the word-parallel
+hot path stays measurable; stdlib only, no dependencies.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        raw = json.load(f)
+
+    records = []
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        # google-benchmark reports real_time in the benchmark's time_unit;
+        # normalise to nanoseconds per iteration (= per frame here).
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        records.append(
+            {
+                "name": bench["name"],
+                "ns_per_frame": bench["real_time"] * scale,
+                "ops_per_frame": bench.get("ops_frame"),
+                "allocs_per_frame": bench.get("allocs_frame"),
+            }
+        )
+
+    context = raw.get("context", {})
+    out = {
+        "schema": "ebbiot-bench-micro/1",
+        "date": context.get("date"),
+        "host_cpus": context.get("num_cpus"),
+        "build_type": context.get("library_build_type"),
+        "benchmarks": records,
+    }
+    with open(sys.argv[2], "w", encoding="utf-8") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {sys.argv[2]} with {len(records)} benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
