@@ -9,10 +9,12 @@ EbmsPipeline::EbmsPipeline(const EbmsPipelineConfig& config, std::string name)
       tracker_(config.ebms) {}
 
 Tracks EbmsPipeline::processWindow(const EventPacket& packet) {
-  const EventPacket filtered = nnFilter_.filter(packet);
+  // The filtered packet is a reused member: after one warm-up window the
+  // event-domain steady state allocates nothing (like the frame path).
+  nnFilter_.filterInto(packet, filtered_);
   stageOps_.nnFilter = nnFilter_.lastOps();
-  lastFilteredCount_ = filtered.size();
-  tracker_.processPacket(filtered);
+  lastFilteredCount_ = filtered_.size();
+  tracker_.processPacket(filtered_);
   stageOps_.ebms = tracker_.lastOps();
   return tracker_.visibleTracks();
 }

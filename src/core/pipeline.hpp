@@ -257,6 +257,7 @@ class EbmsPipeline final : public Pipeline {
   NnFilter nnFilter_;
   EbmsTracker tracker_;
   EbmsStageOps stageOps_;
+  EventPacket filtered_;  ///< reused per window (zero-alloc steady state)
   std::size_t lastFilteredCount_ = 0;
 };
 

@@ -1,11 +1,18 @@
 #include "src/detect/cca.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "src/common/error.hpp"
+#include "src/ebbi/runs.hpp"
 
 namespace ebbiot {
+namespace {
+
+constexpr std::uint32_t kNoLabel = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
 
 CcaLabeler::CcaLabeler(const CcaConfig& config) : config_(config) {
   EBBIOT_ASSERT(config.minComponentPixels >= 1);
@@ -32,86 +39,158 @@ void CcaLabeler::UnionFind::unite(std::uint32_t a, std::uint32_t b) {
   }
 }
 
-template <typename IsSetFn>
-void CcaLabeler::labelGrid(int width, int height, IsSetFn isSet, float scaleX,
-                           float scaleY) {
-  constexpr std::uint32_t kNoLabel = std::numeric_limits<std::uint32_t>::max();
-  labels_.assign(
-      static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
-      kNoLabel);
-  uf_.parent.clear();
+void CcaLabeler::meterRow(const std::uint64_t* cur, const std::uint64_t* prev,
+                          std::size_t nWords, int width) {
+  // Closed-form per-pixel accounting of the reference's pass 1 + pass 2
+  // for one row, from word-parallel popcounts.  Per set pixel the
+  // reference charges one compare per in-bounds preceding neighbour (W,
+  // and S/SW/SE against the previous row), one add per *labelled*
+  // preceding neighbour beyond the first (the redundant unite calls), one
+  // label write, and one pass-2 accumulate add.  A preceding neighbour is
+  // labelled iff it is set, so both terms reduce to popcounts of the
+  // neighbour bit-planes ANDed with the current row.
+  std::uint64_t cnt = 0;
+  for (std::size_t k = 0; k < nWords; ++k) {
+    cnt += static_cast<std::uint64_t>(std::popcount(cur[k]));
+  }
+  if (cnt == 0) {
+    return;  // a blank row contributes only the base per-pixel scan
+  }
+  const std::uint64_t b0 = cur[0] & 1;  // pixel at x = 0 set?
+  const std::size_t lastWord = static_cast<std::size_t>(width - 1) / 64;
+  const unsigned lastBit = static_cast<unsigned>(width - 1) % 64;
+  const std::uint64_t bl = (cur[lastWord] >> lastBit) & 1;  // x = W-1 set?
   const bool eight = config_.connectivity == Connectivity::kEight;
 
-  // Pass 1: provisional labels from already-visited neighbours
-  // (W, SW, S, SE in bottom-up scan order; S row is y-1).
-  for (int y = 0; y < height; ++y) {
-    for (int x = 0; x < width; ++x) {
-      ++ops_.compares;
-      if (!isSet(x, y)) {
-        continue;
-      }
-      std::uint32_t best = kNoLabel;
-      auto consider = [&](int nx, int ny) {
-        if (nx < 0 || nx >= width || ny < 0) {
-          return;
-        }
-        const std::uint32_t l =
-            labels_[static_cast<std::size_t>(ny) * width + nx];
-        ++ops_.compares;
-        if (l == kNoLabel) {
-          return;
-        }
-        if (best == kNoLabel) {
-          best = l;
-        } else {
-          uf_.unite(best, l);
-          ++ops_.adds;
-        }
-      };
-      consider(x - 1, y);
-      consider(x, y - 1);
-      if (eight) {
-        consider(x - 1, y - 1);
-        consider(x + 1, y - 1);
-      }
-      if (best == kNoLabel) {
-        best = uf_.make();
-      }
-      labels_[static_cast<std::size_t>(y) * width + x] = best;
-      ++ops_.memWrites;
+  ops_.compares += cnt - b0;  // W probe: every set pixel with x > 0
+  if (prev != nullptr) {
+    ops_.compares += cnt;  // S probe
+    if (eight) {
+      ops_.compares += (cnt - b0) + (cnt - bl);  // SW, SE probes
     }
   }
 
-  // Pass 2: resolve labels to roots and accumulate per-component extents.
-  extents_.clear();
-  extents_.resize(uf_.parent.size(),
-                  Extent{std::numeric_limits<int>::max(),
-                         std::numeric_limits<int>::min(),
-                         std::numeric_limits<int>::max(),
-                         std::numeric_limits<int>::min(), 0, 0});
-  std::size_t nextOrder = 0;
-  for (int y = 0; y < height; ++y) {
-    for (int x = 0; x < width; ++x) {
-      const std::uint32_t l = labels_[static_cast<std::size_t>(y) * width + x];
-      if (l == kNoLabel) {
-        continue;
-      }
-      const std::uint32_t root = uf_.find(l);
-      Extent& e = extents_[root];
-      if (e.count == 0) {
-        e.order = nextOrder++;
-      }
-      e.minX = std::min(e.minX, x);
-      e.maxX = std::max(e.maxX, x);
-      e.minY = std::min(e.minY, y);
-      e.maxY = std::max(e.maxY, y);
-      ++e.count;
-      ++ops_.adds;
+  std::uint64_t nSum = 0;  // total set preceding neighbours over the row
+  std::uint64_t any = 0;   // set pixels with at least one such neighbour
+  for (std::size_t k = 0; k < nWords; ++k) {
+    const std::uint64_t c = cur[k];
+    if (c == 0) {
+      continue;
     }
+    const std::uint64_t west = (c << 1) | (k > 0 ? cur[k - 1] >> 63 : 0);
+    std::uint64_t planes = west;
+    nSum += static_cast<std::uint64_t>(std::popcount(west & c));
+    if (prev != nullptr) {
+      const std::uint64_t s = prev[k];
+      nSum += static_cast<std::uint64_t>(std::popcount(s & c));
+      planes |= s;
+      if (eight) {
+        const std::uint64_t sw =
+            (prev[k] << 1) | (k > 0 ? prev[k - 1] >> 63 : 0);
+        const std::uint64_t se =
+            (prev[k] >> 1) | (k + 1 < nWords ? prev[k + 1] << 63 : 0);
+        nSum += static_cast<std::uint64_t>(std::popcount(sw & c)) +
+                static_cast<std::uint64_t>(std::popcount(se & c));
+        planes |= sw | se;
+      }
+    }
+    any += static_cast<std::uint64_t>(std::popcount(planes & c));
+  }
+  ops_.adds += nSum - any;  // unite per labelled neighbour beyond the first
+  ops_.memWrites += cnt;    // one label write per set pixel
+  ops_.adds += cnt;         // pass-2 extent accumulate per labelled pixel
+}
+
+void CcaLabeler::labelWords(const BinaryImage& image, float scaleX,
+                            float scaleY) {
+  const int width = image.width();
+  const int height = image.height();
+  const std::size_t nWords = image.wordsPerRow();
+  uf_.parent.clear();
+  extents_.clear();
+  prevRuns_.clear();
+
+  // Base of the reference accounting: pass 1 probes every pixel once.
+  ops_.compares += static_cast<std::uint64_t>(width) *
+                   static_cast<std::uint64_t>(height);
+
+  // 8-connectivity lets a run touch the previous row's runs one column
+  // past either end; 4-connectivity needs strict column overlap.
+  const int slack = config_.connectivity == Connectivity::kEight ? 1 : 0;
+
+  const RowSpan span = image.occupiedRowSpan();
+  int prevRowY = span.begin - 2;  // no row adjacency before the first row
+  for (int y = span.begin; y < span.end; ++y) {
+    if (!image.rowMayHaveSetPixels(y)) {
+      continue;  // guaranteed blank: contributes only the base scan
+    }
+    const std::uint64_t* cur = image.wordRow(y);
+    meterRow(cur, y > 0 ? image.wordRow(y - 1) : nullptr, nWords, width);
+    if (prevRowY != y - 1) {
+      prevRuns_.clear();  // the row below was blank: nothing to merge with
+    }
+    curRuns_.clear();
+    std::size_t pi = 0;  // two-pointer into the previous row's runs
+    forEachSetRunInWords(cur, nWords, [&](int begin, int end) {
+      // Skip previous-row runs ending before this run's reach; they cannot
+      // touch any later run of this row either (both lists are sorted).
+      while (pi < prevRuns_.size() &&
+             prevRuns_[pi].end + slack <= begin) {
+        ++pi;
+      }
+      std::uint32_t label = kNoLabel;
+      for (std::size_t j = pi;
+           j < prevRuns_.size() && prevRuns_[j].begin < end + slack; ++j) {
+        if (label == kNoLabel) {
+          label = prevRuns_[j].label;
+        } else {
+          uf_.unite(label, prevRuns_[j].label);
+        }
+      }
+      if (label == kNoLabel) {
+        label = uf_.make();
+        extents_.push_back(
+            Extent{begin, end - 1, y, y,
+                   static_cast<std::size_t>(end - begin)});
+      } else {
+        // Accumulate at the provisional label; aliases are folded into
+        // their union-find roots after the scan.
+        Extent& e = extents_[label];
+        e.minX = std::min(e.minX, begin);
+        e.maxX = std::max(e.maxX, end - 1);
+        e.maxY = y;  // rows ascend, so minY never changes here
+        e.count += static_cast<std::size_t>(end - begin);
+      }
+      curRuns_.push_back(Run{begin, end, label});
+    });
+    if (!curRuns_.empty()) {
+      std::swap(prevRuns_, curRuns_);
+      prevRowY = y;
+    }
+  }
+
+  // Fold every provisional label's extent into its root.  Roots are label
+  // minima (unite keeps the smaller id), so one ascending pass suffices.
+  for (std::uint32_t l = 0; l < uf_.parent.size(); ++l) {
+    const std::uint32_t root = uf_.find(l);
+    if (root == l) {
+      continue;
+    }
+    const Extent& src = extents_[l];
+    Extent& dst = extents_[root];
+    dst.minX = std::min(dst.minX, src.minX);
+    dst.maxX = std::max(dst.maxX, src.maxX);
+    dst.minY = std::min(dst.minY, src.minY);
+    dst.maxY = std::max(dst.maxY, src.maxY);
+    dst.count += src.count;
   }
 
   components_.clear();
-  for (const Extent& e : extents_) {
+  for (std::uint32_t l = 0; l < uf_.parent.size(); ++l) {
+    if (uf_.parent[l] != l) {
+      continue;  // merged into its root above
+    }
+    const Extent& e = extents_[l];
     if (e.count < config_.minComponentPixels) {
       continue;
     }
@@ -122,24 +201,13 @@ void CcaLabeler::labelGrid(int width, int height, IsSetFn isSet, float scaleX,
              static_cast<float>(e.maxY - e.minY + 1) * scaleY},
         e.count});
   }
-  // extents is indexed by root label which is already scan-ordered for
-  // roots (min label wins in unite), but orders can interleave; sort by
-  // first-appearance for deterministic output.
-  std::sort(components_.begin(), components_.end(),
-            [](const ConnectedComponent& a, const ConnectedComponent& b) {
-              if (a.box.y != b.box.y) {
-                return a.box.y < b.box.y;
-              }
-              return a.box.x < b.box.x;
-            });
+  std::sort(components_.begin(), components_.end(), componentScanOrderLess);
 }
 
 const std::vector<ConnectedComponent>& CcaLabeler::label(
     const BinaryImage& image) {
   ops_.reset();
-  labelGrid(
-      image.width(), image.height(),
-      [&image](int x, int y) { return image.get(x, y); }, 1.0F, 1.0F);
+  labelWords(image, 1.0F, 1.0F);
   return components_;
 }
 
@@ -147,10 +215,22 @@ const std::vector<ConnectedComponent>& CcaLabeler::labelDownsampled(
     const CountImage& image, int s1, int s2) {
   EBBIOT_ASSERT(s1 >= 1 && s2 >= 1);
   ops_.reset();
-  labelGrid(
-      image.width(), image.height(),
-      [&image](int x, int y) { return image.at(x, y) > 0; },
-      static_cast<float>(s1), static_cast<float>(s2));
+  // Binarise (cell > 0) into the scratch word image so the count-image
+  // path reuses the run-based labelling; reallocates only on shape change.
+  if (binarized_.width() != image.width() ||
+      binarized_.height() != image.height()) {
+    binarized_ = BinaryImage(image.width(), image.height());
+  } else {
+    binarized_.clear();
+  }
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      if (image.at(x, y) > 0) {
+        binarized_.set(x, y, true);
+      }
+    }
+  }
+  labelWords(binarized_, static_cast<float>(s1), static_cast<float>(s2));
   return components_;
 }
 

@@ -51,6 +51,25 @@ bool BinaryImage::rowMayHaveSetPixels(int y) const {
           (std::uint64_t{1} << (static_cast<unsigned>(y) % 64))) != 0;
 }
 
+RowSpan BinaryImage::occupiedRowSpan() const {
+  std::size_t first = 0;
+  while (first < rowOcc_.size() && rowOcc_[first] == 0) {
+    ++first;
+  }
+  if (first == rowOcc_.size()) {
+    return {};  // every occupancy bit clear: frame guaranteed blank
+  }
+  std::size_t last = rowOcc_.size() - 1;
+  while (rowOcc_[last] == 0) {
+    --last;
+  }
+  const int begin =
+      static_cast<int>(first) * 64 + std::countr_zero(rowOcc_[first]);
+  const int end =
+      static_cast<int>(last) * 64 + 64 - std::countl_zero(rowOcc_[last]);
+  return {begin, std::min(end, height_)};
+}
+
 const std::uint64_t* BinaryImage::wordRow(int y) const {
   checkBounds(0, y);
   return words_.data() + static_cast<std::size_t>(y) * wordsPerRow_;

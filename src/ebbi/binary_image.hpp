@@ -21,11 +21,27 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/common/geometry.hpp"
+#include "src/ebbi/runs.hpp"
 
 namespace ebbiot {
+
+/// Half-open row interval [begin, end); empty when begin >= end.  Returned
+/// by BinaryImage::occupiedRowSpan as the conservative dirty band of a
+/// frame: EbbiBuilder's writes mark exactly the rows touched by events, so
+/// the span *is* the active band seed that MedianFilter, Downsampler and
+/// the CCA labeller use to skip untouched rows without rediscovering
+/// occupancy (quiet scenes cost O(height/64) instead of O(height)).
+struct RowSpan {
+  int begin = 0;
+  int end = 0;
+
+  [[nodiscard]] bool empty() const { return begin >= end; }
+  friend bool operator==(const RowSpan&, const RowSpan&) = default;
+};
 
 class BinaryImage {
  public:
@@ -65,6 +81,20 @@ class BinaryImage {
   /// Conservative row-occupancy test: false guarantees row y is all-zero;
   /// true means it may contain set pixels.  O(1).
   [[nodiscard]] bool rowMayHaveSetPixels(int y) const;
+
+  /// Conservative span of possibly-occupied rows: rows outside it are
+  /// guaranteed all-zero (empty span = whole frame guaranteed blank).
+  /// O(height/64) over the occupancy words — the "dirty row band" seed the
+  /// word-parallel stages use to bound their row loops.
+  [[nodiscard]] RowSpan occupiedRowSpan() const;
+
+  /// Emit the maximal horizontal runs of set pixels in row y as
+  /// fn(beginX, endX), half-open, ascending (ctz/clz word scan; see
+  /// src/ebbi/runs.hpp).
+  template <typename Fn>
+  void forEachRunInRow(int y, Fn&& fn) const {
+    forEachSetRunInWords(wordRow(y), wordsPerRow_, std::forward<Fn>(fn));
+  }
 
   /// Number of set pixels.
   [[nodiscard]] std::size_t popcount() const;

@@ -87,7 +87,15 @@ void Downsampler::downsampleInto(const BinaryImage& image, CountImage& out) {
   const std::uint64_t blockMask =
       s1_ == 64 ? ~std::uint64_t{0}
                 : (std::uint64_t{1} << static_cast<unsigned>(s1_)) - 1;
-  for (int j = 0; j < outH; ++j) {
+  // Only block rows intersecting the dirty row span can be non-zero; the
+  // per-row occupancy check below still skips blank rows inside the band.
+  const RowSpan span = image.occupiedRowSpan();
+  if (span.empty()) {
+    return;  // reset() above already zeroed every cell
+  }
+  const int jBegin = span.begin / s2_;
+  const int jEnd = std::min(outH, (span.end + s2_ - 1) / s2_);
+  for (int j = jBegin; j < jEnd; ++j) {
     for (int n = 0; n < s2_; ++n) {
       const int y = j * s2_ + n;
       if (!image.rowMayHaveSetPixels(y)) {

@@ -1,6 +1,7 @@
 #include "src/ebbi/histogram.hpp"
 
 #include "src/common/error.hpp"
+#include "src/ebbi/runs.hpp"
 
 namespace ebbiot {
 
@@ -37,34 +38,23 @@ void findRunsInto(const std::vector<std::uint32_t>& histogram,
                   std::vector<HistogramRun>& runs) {
   EBBIOT_ASSERT(maxGap >= 0);
   runs.clear();
-  HistogramRun current;
-  bool open = false;
-  int gap = 0;
-  for (int i = 0; i < static_cast<int>(histogram.size()); ++i) {
-    const std::uint32_t v = histogram[static_cast<std::size_t>(i)];
-    if (v >= threshold) {
-      if (!open) {
-        current = HistogramRun{i, i + 1, v};
-        open = true;
-      } else {
-        // Close the gap we skipped over (its bins carry below-threshold
-        // mass we deliberately ignore).
-        current.end = i + 1;
-        current.mass += v;
-      }
-      gap = 0;
-    } else if (open) {
-      ++gap;
-      if (gap > maxGap) {
-        runs.push_back(current);
-        open = false;
-        gap = 0;
-      }
-    }
-  }
-  if (open) {
-    runs.push_back(current);
-  }
+  // The interval scan is the shared run scanner (src/ebbi/runs.hpp) the
+  // CCA labeller also builds on; mass sums the above-threshold bins of
+  // each emitted run (bridged gap bins carry below-threshold mass we
+  // deliberately ignore).
+  forEachRun(
+      static_cast<int>(histogram.size()),
+      [&](int i) { return histogram[static_cast<std::size_t>(i)] >= threshold; },
+      maxGap, [&](int begin, int end) {
+        HistogramRun run{begin, end, 0};
+        for (int i = begin; i < end; ++i) {
+          const std::uint32_t v = histogram[static_cast<std::size_t>(i)];
+          if (v >= threshold) {
+            run.mass += v;
+          }
+        }
+        runs.push_back(run);
+      });
 }
 
 }  // namespace ebbiot

@@ -31,7 +31,10 @@ class TwoTimescaleBuilder {
   /// Fast frame = EBBI of the most recent window only.
   [[nodiscard]] const BinaryImage& fastFrame() const { return fast_; }
 
-  /// Slow frame = OR of the last k windows (fewer while warming up).
+  /// Slow frame = OR of the last k windows (fewer while warming up).  Its
+  /// row-occupancy (and hence occupiedRowSpan()) is the union of the fast
+  /// frames' dirty bands, so the downstream stages' band seeding stays
+  /// exact for the long-exposure frame too.
   [[nodiscard]] const BinaryImage& slowFrame() const { return slow_; }
 
   /// Number of windows consumed so far.

@@ -25,6 +25,13 @@ const Event& EventPacket::operator[](std::size_t i) const {
   return events_[i];
 }
 
+void EventPacket::reset(TimeUs tStart, TimeUs tEnd) {
+  EBBIOT_ASSERT(tStart <= tEnd);
+  tStart_ = tStart;
+  tEnd_ = tEnd;
+  events_.clear();
+}
+
 void EventPacket::push(const Event& e) {
   EBBIOT_ASSERT(e.t >= tStart_ && e.t < tEnd_);
   events_.push_back(e);

@@ -43,6 +43,11 @@ class EventPacket {
   /// Append one event; throws LogicError if outside the packet window.
   void push(const Event& e);
 
+  /// Drop all events and retarget the window to [tStart, tEnd), keeping
+  /// the storage capacity — lets streaming stages reuse one packet per
+  /// window without per-call allocation (see NnFilter::filterInto).
+  void reset(TimeUs tStart, TimeUs tEnd);
+
   /// Append all events of another packet (windows must be compatible:
   /// other's window must lie within this packet's window).
   void append(const EventPacket& other);

@@ -73,7 +73,17 @@ void MedianFilter::applyMajority3(const BinaryImage& input,
   const std::size_t nw = input.wordsPerRow();
   const std::uint64_t tail = input.tailMask();
   output.clear();
-  for (int y = 0; y < h; ++y) {
+  // The input's dirty row span (maintained by EbbiBuilder's writes, or the
+  // OR of them for the two-timescale slow frame) seeds the active band:
+  // rows whose ±1 halo lies entirely outside it are guaranteed blank, so a
+  // quiet scene skips them without re-checking per-row occupancy.
+  const RowSpan span = input.occupiedRowSpan();
+  if (span.empty()) {
+    return;  // blank frame: the clear() above is the whole answer
+  }
+  const int yBegin = std::max(0, span.begin - 1);
+  const int yEnd = std::min(h, span.end + 1);
+  for (int y = yBegin; y < yEnd; ++y) {
     // Active-row band with a +/-1 halo: the output row is blank unless
     // some input row of the 3-row band may hold pixels.
     const bool bandActive =

@@ -21,28 +21,44 @@ void NnFilter::reset() {
 }
 
 EventPacket NnFilter::filter(const EventPacket& packet) {
+  EventPacket out;
+  filterInto(packet, out);
+  return out;
+}
+
+void NnFilter::filterInto(const EventPacket& packet, EventPacket& out) {
+  EBBIOT_ASSERT(&packet != &out);  // reset() below would clear the input
   EBBIOT_ASSERT(packet.isTimeSorted());
   ops_.reset();
-  EventPacket out(packet.tStart(), packet.tEnd());
+  out.reset(packet.tStart(), packet.tEnd());
   const int r = config_.neighbourhood / 2;
   for (const Event& e : packet) {
     EBBIOT_ASSERT(e.x < config_.width && e.y < config_.height);
-    bool supported = false;
     const int x0 = std::max(0, e.x - r);
     const int x1 = std::min(config_.width - 1, e.x + r);
     const int y0 = std::max(0, e.y - r);
     const int y1 = std::min(config_.height - 1, e.y + r);
-    for (int yy = y0; yy <= y1; ++yy) {
+    // Eq. (2) in closed form from the clamped patch bounds: one comparison
+    // + one counter increment per neighbourhood cell (centre excluded),
+    // whether or not the scan below short-circuits.
+    const auto cells = static_cast<std::uint64_t>(x1 - x0 + 1) *
+                           static_cast<std::uint64_t>(y1 - y0 + 1) -
+                       1;
+    ops_.compares += cells;
+    ops_.adds += cells;
+    // Existence scan with early exit on the first supporting neighbour.
+    bool supported = false;
+    for (int yy = y0; yy <= y1 && !supported; ++yy) {
+      const TimeUs* row =
+          lastTimestamp_.data() + static_cast<std::size_t>(yy) * config_.width;
       for (int xx = x0; xx <= x1; ++xx) {
         if (xx == e.x && yy == e.y) {
           continue;  // support must come from a *neighbouring* pixel
         }
-        const TimeUs ts =
-            lastTimestamp_[static_cast<std::size_t>(yy) * config_.width + xx];
-        ++ops_.compares;
-        ++ops_.adds;  // Eq. (2): comparison + counter increment per cell
+        const TimeUs ts = row[xx];
         if (ts != kNever && e.t - ts <= config_.supportWindow) {
           supported = true;
+          break;
         }
       }
     }
@@ -53,7 +69,6 @@ EventPacket NnFilter::filter(const EventPacket& packet) {
       out.push(e);
     }
   }
-  return out;
 }
 
 std::size_t NnFilter::memoryBits() const {

@@ -9,9 +9,14 @@
 // other test is unaffected beyond a relaxed atomic increment).
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "src/common/alloc_counter.hpp"
 #include "src/common/rng.hpp"
 #include "src/core/front_end.hpp"
+#include "src/detect/cca_reference.hpp"
+#include "src/filters/nn_filter.hpp"
 
 namespace ebbiot {
 namespace {
@@ -59,6 +64,85 @@ TEST(AllocationAuditTest, FrontEndSteadyStateAllocatesNothing) {
         << (kind == RpnKind::kHistogram ? "histogram" : "cca")
         << " front end allocated in steady state";
   }
+}
+
+TEST(AllocationAuditTest, CcaLabelerSteadyStateAllocatesNothing) {
+#ifdef EBBIOT_ALLOC_COUNTER_DISABLED
+  GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#endif
+  // The run-based labeller's scratch (run lists, union-find, extents,
+  // components, proposals, binarisation image) is all reused members;
+  // cycling different frames after warm-up must not allocate.  The scalar
+  // reference reuses its scratch the same way.
+  Rng rng(11);
+  std::vector<BinaryImage> frames;
+  std::vector<CountImage> downs;
+  for (int f = 0; f < 4; ++f) {
+    BinaryImage img(240, 180);
+    for (int i = 0; i < 3000; ++i) {
+      img.set(static_cast<int>(rng.uniformInt(0, 239)),
+              static_cast<int>(rng.uniformInt(0, 179)), true);
+    }
+    frames.push_back(std::move(img));
+    CountImage down(40, 60);
+    for (int i = 0; i < 400; ++i) {
+      down.at(static_cast<int>(rng.uniformInt(0, 39)),
+              static_cast<int>(rng.uniformInt(0, 59))) = 1;
+    }
+    downs.push_back(std::move(down));
+  }
+  CcaConfig config;
+  config.minComponentPixels = 1;
+  CcaLabeler cca(config);
+  CcaLabelerReference reference(config);
+  for (int f = 0; f < 4; ++f) {  // warm-up: capacities grow here
+    (void)cca.propose(frames[static_cast<std::size_t>(f)]);
+    (void)cca.labelDownsampled(downs[static_cast<std::size_t>(f)], 6, 3);
+    (void)reference.propose(frames[static_cast<std::size_t>(f)]);
+  }
+  const std::uint64_t before = gAllocations.load();
+  for (int i = 0; i < 12; ++i) {
+    (void)cca.propose(frames[static_cast<std::size_t>(i % 4)]);
+    (void)cca.labelDownsampled(downs[static_cast<std::size_t>(i % 4)], 6, 3);
+    (void)reference.propose(frames[static_cast<std::size_t>(i % 4)]);
+  }
+  EXPECT_EQ(gAllocations.load() - before, 0U)
+      << "CCA labelling allocated in steady state";
+}
+
+TEST(AllocationAuditTest, NnFilterFilterIntoAllocatesNothing) {
+#ifdef EBBIOT_ALLOC_COUNTER_DISABLED
+  GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#endif
+  NnFilterConfig config;
+  NnFilter filter(config);
+  Rng rng(23);
+  std::vector<EventPacket> windows;
+  for (int w = 0; w < 4; ++w) {
+    EventPacket p(w * 66'000, (w + 1) * 66'000);
+    for (int i = 0; i < 800; ++i) {
+      const int x = 40 + static_cast<int>(rng.uniformInt(0, 69));
+      const int y = 60 + static_cast<int>(rng.uniformInt(0, 29));
+      p.push(Event{static_cast<std::uint16_t>(x),
+                   static_cast<std::uint16_t>(y), Polarity::kOn,
+                   static_cast<TimeUs>(w * 66'000 + i * 80)});
+    }
+    windows.push_back(std::move(p));
+  }
+  EventPacket out;
+  for (const EventPacket& p : windows) {
+    filter.filterInto(p, out);  // warm-up: output capacity grows here
+  }
+  filter.reset();
+  const std::uint64_t before = gAllocations.load();
+  for (int rep = 0; rep < 3; ++rep) {
+    filter.reset();  // replaying the same windows keeps timestamps sane
+    for (const EventPacket& p : windows) {
+      filter.filterInto(p, out);
+    }
+  }
+  EXPECT_EQ(gAllocations.load() - before, 0U)
+      << "NnFilter::filterInto allocated in steady state";
 }
 
 TEST(AllocationAuditTest, MedianFilterApplyIntoAllocatesNothing) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/common/error.hpp"
 #include "src/common/rng.hpp"
 
@@ -110,6 +112,83 @@ TEST(BinaryImageTest, BoundingBoxOfSetPixels) {
 TEST(BinaryImageTest, PayloadBitsMatchesGeometry) {
   const BinaryImage img(240, 180);
   EXPECT_EQ(img.payloadBits(), 240U * 180U);
+}
+
+TEST(BinaryImageTest, OccupiedRowSpanTracksDirtyBand) {
+  BinaryImage img(100, 200);
+  EXPECT_TRUE(img.occupiedRowSpan().empty());  // fresh frame: blank
+  img.set(3, 70, true);
+  EXPECT_EQ(img.occupiedRowSpan(), (RowSpan{70, 71}));
+  img.set(50, 131, true);
+  EXPECT_EQ(img.occupiedRowSpan(), (RowSpan{70, 132}));
+  // Clearing a pixel keeps the conservative span (occupancy never shrinks
+  // short of clear()).
+  img.set(3, 70, false);
+  EXPECT_EQ(img.occupiedRowSpan(), (RowSpan{70, 132}));
+  img.clear();
+  EXPECT_TRUE(img.occupiedRowSpan().empty());
+}
+
+TEST(BinaryImageTest, OccupiedRowSpanAtFrameEdges) {
+  BinaryImage img(10, 130);  // > 2 occupancy words
+  img.set(0, 0, true);
+  img.set(9, 129, true);
+  EXPECT_EQ(img.occupiedRowSpan(), (RowSpan{0, 130}));
+}
+
+TEST(BinaryImageTest, ForEachRunInRowFindsWordBoundaryRuns) {
+  BinaryImage img(200, 4);
+  // Runs: [5, 8), one straddling the first word boundary [60, 70), a
+  // single pixel at 199 (last column).
+  for (int x = 5; x < 8; ++x) {
+    img.set(x, 1, true);
+  }
+  for (int x = 60; x < 70; ++x) {
+    img.set(x, 1, true);
+  }
+  img.set(199, 1, true);
+  std::vector<PixelRun> runs;
+  img.forEachRunInRow(1, [&](int b, int e) { runs.push_back({b, e}); });
+  ASSERT_EQ(runs.size(), 3U);
+  EXPECT_EQ(runs[0], (PixelRun{5, 8}));
+  EXPECT_EQ(runs[1], (PixelRun{60, 70}));
+  EXPECT_EQ(runs[2], (PixelRun{199, 200}));
+  // Blank row: no runs.
+  runs.clear();
+  img.forEachRunInRow(0, [&](int b, int e) { runs.push_back({b, e}); });
+  EXPECT_TRUE(runs.empty());
+}
+
+TEST(BinaryImageTest, ForEachRunInRowFullRowAcrossWords) {
+  for (int w : {63, 64, 65, 130, 192}) {
+    BinaryImage img(w, 2);
+    for (int x = 0; x < w; ++x) {
+      img.set(x, 0, true);
+    }
+    std::vector<PixelRun> runs;
+    img.forEachRunInRow(0, [&](int b, int e) { runs.push_back({b, e}); });
+    ASSERT_EQ(runs.size(), 1U) << "width " << w;
+    EXPECT_EQ(runs[0], (PixelRun{0, w})) << "width " << w;
+  }
+}
+
+TEST(BinaryImageTest, ForEachRunInRowMatchesScalarScanRandomly) {
+  Rng rng(77);
+  for (int w : {1, 63, 64, 65, 240}) {
+    BinaryImage img(w, 1);
+    for (int x = 0; x < w; ++x) {
+      if (rng.chance(0.5)) {
+        img.set(x, 0, true);
+      }
+    }
+    std::vector<PixelRun> got;
+    img.forEachRunInRow(0, [&](int b, int e) { got.push_back({b, e}); });
+    std::vector<PixelRun> want;
+    forEachRun(
+        w, [&](int x) { return img.get(x, 0); }, 0,
+        [&](int b, int e) { want.push_back({b, e}); });
+    EXPECT_EQ(got, want) << "width " << w;
+  }
 }
 
 // Property: popcount equals number of sets over random patterns.

@@ -69,6 +69,38 @@ TEST(DownsamplerTest, IdentityFactorsPreserveImage) {
   EXPECT_EQ(out.totalMass(), 2U);
 }
 
+TEST(DownsamplerTest, SparseSceneDirtyBandMatchesDenseScan) {
+  // The dirty-row-span seed bounds the block-row loop; cells outside the
+  // band must still come out zero and cells inside exact, including a
+  // band in the trailing rows that no complete block covers.
+  Downsampler down(6, 3);
+  BinaryImage img(240, 181);  // one trailing row beyond the last block
+  for (int x = 30; x < 45; ++x) {
+    img.set(x, 90, true);
+    img.set(x, 91, true);
+  }
+  img.set(10, 180, true);  // dropped by Eq. (3)'s floor bounds
+  const CountImage got = down.downsample(img);
+  CountImage want(40, 60);
+  for (int j = 0; j < 60; ++j) {
+    for (int i = 0; i < 40; ++i) {
+      std::uint16_t acc = 0;
+      for (int n = 0; n < 3; ++n) {
+        for (int m = 0; m < 6; ++m) {
+          acc = static_cast<std::uint16_t>(
+              acc + (img.get(i * 6 + m, j * 3 + n) ? 1 : 0));
+        }
+      }
+      want.at(i, j) = acc;
+    }
+  }
+  EXPECT_EQ(got, want);
+  // A guaranteed-blank frame downsamples to all-zero cells.
+  const BinaryImage blank(240, 180);
+  const CountImage zero = down.downsample(blank);
+  EXPECT_EQ(zero.totalMass(), 0U);
+}
+
 TEST(DownsamplerTest, OpsScaleWithSourcePixels) {
   BinaryImage img(240, 180);
   Downsampler down(6, 3);

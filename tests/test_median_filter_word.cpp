@@ -6,6 +6,8 @@
 // frames, and the active-row band skip.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/common/rng.hpp"
 #include "src/filters/median_filter.hpp"
 #include "src/filters/median_filter_reference.hpp"
@@ -158,6 +160,28 @@ TEST(MedianFilterWordTest, ScalarFallbackPatchSizesMatchReference) {
     expectIdentical(randomImage(97, 33, 0.4, seed++), patch);
     expectIdentical(randomImage(64, 16, 0.2, seed++), patch);
   }
+}
+
+TEST(MedianFilterWordTest, QuietSceneDirtyBandSeedStaysIdentical) {
+  // The dirty-row-span seed (BinaryImage::occupiedRowSpan, maintained by
+  // the builder's writes) lets a quiet scene skip every untouched row;
+  // the result must stay bit-identical to the scalar reference, including
+  // bands hugging the top and bottom frame edges.
+  expectIdentical(BinaryImage(240, 180), 3);  // fully quiet frame
+  for (int bandStart : {0, 1, 88, 176, 178}) {
+    BinaryImage img(240, 180);
+    for (int y = bandStart; y < std::min(180, bandStart + 2); ++y) {
+      for (int x = 200; x < 230; ++x) {
+        img.set(x, y, true);
+      }
+    }
+    expectIdentical(img, 3);
+  }
+  // A two-pixel speck: the narrowest possible dirty band.
+  BinaryImage speck(240, 180);
+  speck.set(120, 0, true);
+  speck.set(121, 0, true);
+  expectIdentical(speck, 3);
 }
 
 TEST(MedianFilterWordTest, TwoTimescaleStyleOrWithImagesMatch) {

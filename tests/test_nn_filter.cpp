@@ -2,10 +2,97 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "src/common/error.hpp"
+#include "src/common/rng.hpp"
 
 namespace ebbiot {
 namespace {
+
+/// Scalar reference NN filter: the original full-neighbourhood scan with
+/// per-cell metering (one compare + one increment per visited cell, one
+/// Bt-bit write per event).  NnFilter early-exits its scan but must keep
+/// both the kept-event stream and the reported Eq. (2) ops identical to
+/// this exhaustive run.
+class NnFilterFullScanReference {
+ public:
+  explicit NnFilterFullScanReference(const NnFilterConfig& config)
+      : config_(config),
+        lastTimestamp_(static_cast<std::size_t>(config.width) *
+                           static_cast<std::size_t>(config.height),
+                       kNever) {}
+
+  EventPacket filter(const EventPacket& packet) {
+    ops_.reset();
+    EventPacket out(packet.tStart(), packet.tEnd());
+    const int r = config_.neighbourhood / 2;
+    for (const Event& e : packet) {
+      bool supported = false;
+      const int x0 = std::max(0, e.x - r);
+      const int x1 = std::min(config_.width - 1, e.x + r);
+      const int y0 = std::max(0, e.y - r);
+      const int y1 = std::min(config_.height - 1, e.y + r);
+      for (int yy = y0; yy <= y1; ++yy) {
+        for (int xx = x0; xx <= x1; ++xx) {
+          if (xx == e.x && yy == e.y) {
+            continue;
+          }
+          const TimeUs ts =
+              lastTimestamp_[static_cast<std::size_t>(yy) * config_.width +
+                             xx];
+          ++ops_.compares;
+          ++ops_.adds;
+          if (ts != kNever && e.t - ts <= config_.supportWindow) {
+            supported = true;
+          }
+        }
+      }
+      lastTimestamp_[static_cast<std::size_t>(e.y) * config_.width + e.x] =
+          e.t;
+      ops_.memWrites += static_cast<std::uint64_t>(config_.timestampBits);
+      if (supported) {
+        out.push(e);
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
+
+ private:
+  static constexpr TimeUs kNever = -1;
+  NnFilterConfig config_;
+  std::vector<TimeUs> lastTimestamp_;
+  OpCounts ops_;
+};
+
+EventPacket randomStream(const NnFilterConfig& c, std::size_t n,
+                         double clusterChance, std::uint64_t seed) {
+  Rng rng(seed);
+  EventPacket p(0, static_cast<TimeUs>(n) * 100 + 1);
+  int cx = c.width / 2;
+  int cy = c.height / 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(clusterChance)) {
+      // Walk a cluster centre so bursts land within support range.
+      cx = std::clamp(cx + static_cast<int>(rng.uniformInt(0, 2)) - 1, 0,
+                      c.width - 1);
+      cy = std::clamp(cy + static_cast<int>(rng.uniformInt(0, 2)) - 1, 0,
+                      c.height - 1);
+      p.push(Event{static_cast<std::uint16_t>(cx),
+                   static_cast<std::uint16_t>(cy), Polarity::kOn,
+                   static_cast<TimeUs>(i * 100)});
+    } else {
+      p.push(Event{
+          static_cast<std::uint16_t>(rng.uniformInt(0, c.width - 1)),
+          static_cast<std::uint16_t>(rng.uniformInt(0, c.height - 1)),
+          Polarity::kOn, static_cast<TimeUs>(i * 100)});
+    }
+  }
+  return p;
+}
 
 NnFilterConfig smallConfig() {
   NnFilterConfig c;
@@ -130,6 +217,51 @@ TEST(NnFilterTest, MemoryBitsMatchesEq2) {
   NnFilterConfig davis;  // defaults: 240x180, Bt=16
   NnFilter davisFilter(davis);
   EXPECT_EQ(davisFilter.memoryBits(), 16U * 240U * 180U);  // 86.4 kB
+}
+
+TEST(NnFilterTest, EarlyExitMatchesFullScanReferenceRun) {
+  // The early-exit scan must keep the same events AND report the same
+  // Eq. (2) full-neighbourhood ops as a metered exhaustive reference run
+  // — including border events (clamped patches) and multi-packet state.
+  for (int neighbourhood : {3, 5}) {
+    NnFilterConfig c = smallConfig();
+    c.width = 64;
+    c.height = 48;
+    c.neighbourhood = neighbourhood;
+    c.supportWindow = 700;
+    NnFilter fast(c);
+    NnFilterFullScanReference reference(c);
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const EventPacket p = randomStream(c, 400, 0.7, seed);
+      const EventPacket got = fast.filter(p);
+      const EventPacket want = reference.filter(p);
+      ASSERT_EQ(got.size(), want.size()) << "seed " << seed;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], want[i]) << "event " << i;
+      }
+      EXPECT_EQ(fast.lastOps(), reference.lastOps())
+          << "closed-form ops diverge from metered reference, seed " << seed;
+    }
+  }
+}
+
+TEST(NnFilterTest, FilterIntoReusesPacketAndMatchesFilter) {
+  NnFilterConfig c = smallConfig();
+  NnFilter a(c);
+  NnFilter b(c);
+  EventPacket out;
+  for (std::uint64_t seed = 10; seed < 13; ++seed) {
+    const EventPacket p = randomStream(c, 200, 0.6, seed);
+    a.filterInto(p, out);
+    const EventPacket byValue = b.filter(p);
+    EXPECT_EQ(out.tStart(), byValue.tStart());
+    EXPECT_EQ(out.tEnd(), byValue.tEnd());
+    ASSERT_EQ(out.size(), byValue.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], byValue[i]);
+    }
+    EXPECT_EQ(a.lastOps(), b.lastOps());
+  }
 }
 
 TEST(NnFilterTest, NoiseRejectionRate) {

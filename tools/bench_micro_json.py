@@ -4,22 +4,47 @@ compact perf-trajectory record BENCH_micro.json.
 
 Usage:
     bench_micro_stages --benchmark_format=json > raw.json
-    tools/bench_micro_json.py raw.json BENCH_micro.json
+    tools/bench_micro_json.py raw.json BENCH_micro.json [--fail-on-steady-allocs]
 
 Each benchmark becomes {"name", "ns_per_frame", "ops_per_frame",
 "allocs_per_frame"} (the latter two are null for benchmarks without the
 counters).  CI runs this every build so the history of the word-parallel
 hot path stays measurable; stdlib only, no dependencies.
+
+With --fail-on-steady-allocs the script exits non-zero (after writing the
+JSON) if any stage pinned allocation-free in steady state reports
+allocs_per_frame above zero — the benchmarks warm those stages up before
+taking the allocation baseline, so any non-zero value is a regression of
+the reuse discipline, not warm-up noise.
 """
 import json
 import sys
 
+# Stages whose per-frame loop must not allocate once warm (reused member
+# buffers; pinned by tests/test_allocation.cpp).  The tracker and
+# whole-pipeline benchmarks return Tracks by value and are excluded.
+STEADY_STATE_BENCHES = frozenset(
+    {
+        "BM_EbbiBuild",
+        "BM_MedianFilter",
+        "BM_MedianFilterReference",
+        "BM_DownsampleAndHistogram",
+        "BM_HistogramRpn",
+        "BM_CcaRpn",
+        "BM_CcaRpnReference",
+        "BM_NnFilter",
+    }
+)
+
 
 def main() -> int:
-    if len(sys.argv) != 3:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    flags = {a for a in sys.argv[1:] if a.startswith("--")}
+    unknown = flags - {"--fail-on-steady-allocs"}
+    if len(args) != 2 or unknown:
         print(__doc__, file=sys.stderr)
         return 2
-    with open(sys.argv[1], encoding="utf-8") as f:
+    with open(args[0], encoding="utf-8") as f:
         raw = json.load(f)
 
     records = []
@@ -47,10 +72,32 @@ def main() -> int:
         "build_type": context.get("library_build_type"),
         "benchmarks": records,
     }
-    with open(sys.argv[2], "w", encoding="utf-8") as f:
+    with open(args[1], "w", encoding="utf-8") as f:
         json.dump(out, f, indent=2)
         f.write("\n")
-    print(f"wrote {sys.argv[2]} with {len(records)} benchmarks")
+    print(f"wrote {args[1]} with {len(records)} benchmarks")
+
+    if "--fail-on-steady-allocs" in flags:
+        # The gate must stay self-verifying: a pinned benchmark that was
+        # renamed, or that lost its allocs_frame counter, is itself a
+        # failure — otherwise the check silently stops applying.
+        by_name = {r["name"]: r for r in records}
+        failures = []
+        for name in sorted(STEADY_STATE_BENCHES):
+            record = by_name.get(name)
+            if record is None:
+                failures.append(f"pinned benchmark {name} missing from output")
+            elif record["allocs_per_frame"] is None:
+                failures.append(f"{name} reports no allocs_frame counter")
+            elif record["allocs_per_frame"] > 0:
+                failures.append(
+                    f"steady-state stage {name} allocates "
+                    f"{record['allocs_per_frame']:.6f} times/frame (expected 0)"
+                )
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        if failures:
+            return 1
     return 0
 
 
