@@ -9,14 +9,17 @@ EbmsPipeline::EbmsPipeline(const EbmsPipelineConfig& config, std::string name)
       tracker_(config.ebms) {}
 
 Tracks EbmsPipeline::processWindow(const EventPacket& packet) {
-  // The filtered packet is a reused member: after one warm-up window the
-  // event-domain steady state allocates nothing (like the frame path).
+  // The filtered packet and the tracks vector are reused members: after
+  // one warm-up window the event-domain steady state allocates nothing
+  // internally (like the frame path) — the only remaining allocation is
+  // the by-value copy the uniform Pipeline interface returns.
   nnFilter_.filterInto(packet, filtered_);
   stageOps_.nnFilter = nnFilter_.lastOps();
   lastFilteredCount_ = filtered_.size();
   tracker_.processPacket(filtered_);
   stageOps_.ebms = tracker_.lastOps();
-  return tracker_.visibleTracks();
+  tracker_.visibleTracksInto(tracks_);
+  return tracks_;
 }
 
 }  // namespace ebbiot

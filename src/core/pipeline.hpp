@@ -251,6 +251,10 @@ class EbmsPipeline final : public Pipeline {
   [[nodiscard]] EbmsTracker& tracker() { return tracker_; }
   [[nodiscard]] const EbmsPipelineConfig& config() const { return config_; }
 
+  /// Tracks of the most recent window without the interface's by-value
+  /// copy (valid until the next processWindow call).
+  [[nodiscard]] const Tracks& lastTracks() const { return tracks_; }
+
  private:
   EbmsPipelineConfig config_;
   std::string name_;
@@ -258,6 +262,7 @@ class EbmsPipeline final : public Pipeline {
   EbmsTracker tracker_;
   EbmsStageOps stageOps_;
   EventPacket filtered_;  ///< reused per window (zero-alloc steady state)
+  Tracks tracks_;         ///< reused per window (visibleTracksInto)
   std::size_t lastFilteredCount_ = 0;
 };
 

@@ -3,12 +3,33 @@
 #include "src/common/error.hpp"
 
 namespace ebbiot {
+namespace {
+
+/// OR `src` into `dst`, visiting only src's dirty row band (the rest of
+/// src is guaranteed blank).  mutableWordRow marks the touched rows
+/// occupied, so dst's conservative occupancy stays a superset of its
+/// content — exactly what orWith maintains, at band cost.
+void orDirtyRows(BinaryImage& dst, const BinaryImage& src) {
+  const RowSpan span = src.occupiedRowSpan();
+  const std::size_t nw = src.wordsPerRow();
+  for (int y = span.begin; y < span.end; ++y) {
+    if (!src.rowMayHaveSetPixels(y)) {
+      continue;
+    }
+    const std::uint64_t* s = src.wordRow(y);
+    std::uint64_t* d = dst.mutableWordRow(y);
+    for (std::size_t k = 0; k < nw; ++k) {
+      d[k] |= s[k];
+    }
+  }
+}
+
+}  // namespace
 
 TwoTimescaleBuilder::TwoTimescaleBuilder(int width, int height,
                                          int slowFactor)
     : builder_(width, height),
       slowFactor_(slowFactor),
-      fast_(width, height),
       slow_(width, height) {
   EBBIOT_ASSERT(slowFactor >= 1);
   ring_.reserve(static_cast<std::size_t>(slowFactor));
@@ -18,18 +39,31 @@ TwoTimescaleBuilder::TwoTimescaleBuilder(int width, int height,
 }
 
 void TwoTimescaleBuilder::addWindow(const EventPacket& packet) {
-  builder_.buildInto(packet, ring_[ringNext_]);
-  fast_ = ring_[ringNext_];
+  const std::size_t slot = ringNext_;
+  // Whether the frame about to be evicted may hold pixels decides the
+  // slow-frame update: a blank (or still warming-up) slot means the new
+  // window only *adds* bits, so OR-ing it in suffices; a non-blank
+  // eviction can remove bits, which needs the full k-way re-OR.  The
+  // occupancy test is conservative (a cleared-then-stale row reads as
+  // content), which at worst rebuilds unnecessarily — never stales.
+  const bool evictedMayHaveContent =
+      ringFill_ == ring_.size() && !ring_[slot].occupiedRowSpan().empty();
+  builder_.buildInto(packet, ring_[slot]);
+  fastSlot_ = slot;
   ringNext_ = (ringNext_ + 1) % ring_.size();
   ringFill_ = std::min(ringFill_ + 1, ring_.size());
   ++windowsSeen_;
-  rebuildSlow();
+  if (evictedMayHaveContent) {
+    rebuildSlow();
+  } else {
+    orDirtyRows(slow_, ring_[slot]);
+  }
 }
 
 void TwoTimescaleBuilder::rebuildSlow() {
   slow_.clear();
   for (std::size_t i = 0; i < ringFill_; ++i) {
-    slow_.orWith(ring_[i]);
+    orDirtyRows(slow_, ring_[i]);
   }
 }
 

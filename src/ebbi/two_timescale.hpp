@@ -9,6 +9,13 @@
 // slow frame that is the bitwise OR of the most recent k fast frames — an
 // exposure of k*tF without a second sensor readout.  A ring of the k fast
 // frames makes the slow frame a sliding (not tumbling) window.
+//
+// Steady-state costs: the fast frame is built directly into its ring slot
+// and exposed by reference (no per-window full-image copy), and the slow
+// frame is updated *incrementally* — the new window is OR-ed in over its
+// dirty row band only; the full k-way re-OR runs just when the evicted
+// ring slot may have held pixels, which on sparse scenes (most windows
+// blank) is the exception rather than the rule.
 #pragma once
 
 #include <cstddef>
@@ -28,8 +35,12 @@ class TwoTimescaleBuilder {
   /// Consume one fast-window packet; updates both frames.
   void addWindow(const EventPacket& packet);
 
-  /// Fast frame = EBBI of the most recent window only.
-  [[nodiscard]] const BinaryImage& fastFrame() const { return fast_; }
+  /// Fast frame = EBBI of the most recent window only.  A reference into
+  /// the ring slot the window was built into (no copy); valid until the
+  /// next addWindow() call.
+  [[nodiscard]] const BinaryImage& fastFrame() const {
+    return ring_[fastSlot_];
+  }
 
   /// Slow frame = OR of the last k windows (fewer while warming up).  Its
   /// row-occupancy (and hence occupiedRowSpan()) is the union of the fast
@@ -50,7 +61,7 @@ class TwoTimescaleBuilder {
   std::vector<BinaryImage> ring_;  ///< last k fast frames
   std::size_t ringNext_ = 0;
   std::size_t ringFill_ = 0;
-  BinaryImage fast_;
+  std::size_t fastSlot_ = 0;  ///< slot holding the most recent window
   BinaryImage slow_;
   std::size_t windowsSeen_ = 0;
 };

@@ -5,32 +5,9 @@
 
 #include "src/common/error.hpp"
 #include "src/filters/median_filter_reference.hpp"
+#include "src/filters/median_majority.hpp"
 
 namespace ebbiot {
-namespace {
-
-/// Sum over all n positions of the clamped 1-D patch width
-/// min(n-1, i+r) - max(0, i-r) + 1.  The 2-D clamped patch-pixel total
-/// factorises into the product of the two per-axis sums, which gives the
-/// closed-form memRead count matching the scalar reference's metering.
-std::uint64_t clampedPatchSum(int n, int r) {
-  std::uint64_t sum = 0;
-  for (int i = 0; i < n; ++i) {
-    sum += static_cast<std::uint64_t>(std::min(n - 1, i + r) -
-                                      std::max(0, i - r) + 1);
-  }
-  return sum;
-}
-
-/// Full adder over bit-planes: s = parity, carry = majority.
-inline void fullAdd(std::uint64_t a, std::uint64_t b, std::uint64_t c,
-                    std::uint64_t& s, std::uint64_t& carry) {
-  const std::uint64_t ab = a ^ b;
-  s = ab ^ c;
-  carry = (a & b) | (c & ab);
-}
-
-}  // namespace
 
 MedianFilter::MedianFilter(int patchSize) : patchSize_(patchSize) {
   EBBIOT_ASSERT(patchSize >= 1 && patchSize % 2 == 1);
@@ -47,14 +24,8 @@ void MedianFilter::applyInto(const BinaryImage& input, BinaryImage& output) {
   // Closed-form Eq. (1) accounting (identical to the metered values of
   // MedianFilterReference): the abstract cost model is fixed by A, B and
   // p — the word-parallel evaluation below only changes wall-clock.
-  ops_.reset();
-  const int r = patchSize_ / 2;
-  const auto pixels = static_cast<std::uint64_t>(input.width()) *
-                      static_cast<std::uint64_t>(input.height());
-  ops_.memReads =
-      clampedPatchSum(input.width(), r) * clampedPatchSum(input.height(), r);
-  ops_.compares = pixels;
-  ops_.memWrites = pixels;
+  ops_ = median_detail::closedFormOps(input.width(), input.height(),
+                                      patchSize_);
 
   if (patchSize_ == 1) {
     output = input;  // 1x1 median is the identity
@@ -93,48 +64,10 @@ void MedianFilter::applyMajority3(const BinaryImage& input,
     if (!bandActive) {
       continue;  // output row stays all-zero from the clear()
     }
-    const std::uint64_t* rowC = input.wordRow(y);
-    const std::uint64_t* rowN = y > 0 ? input.wordRow(y - 1) : nullptr;
-    const std::uint64_t* rowS = y + 1 < h ? input.wordRow(y + 1) : nullptr;
-    std::uint64_t* out = output.mutableWordRow(y);
-    for (std::size_t k = 0; k < nw; ++k) {
-      // The 9 neighbour bit-planes of this word: each row contributes its
-      // centre plus left/right shifts with cross-word carry (carry-in 0 at
-      // the frame edge = the zero-padding border policy; the right edge is
-      // covered by the invariant that tail bits beyond width are zero).
-      std::uint64_t planeS[3];
-      std::uint64_t planeC[3];
-      int planes = 0;
-      auto addRow = [&](const std::uint64_t* row) {
-        std::uint64_t c = 0;
-        std::uint64_t west = 0;
-        std::uint64_t east = 0;
-        if (row != nullptr) {
-          c = row[k];
-          west = (c << 1) | (k > 0 ? row[k - 1] >> 63 : 0);
-          east = (c >> 1) | (k + 1 < nw ? row[k + 1] << 63 : 0);
-        }
-        fullAdd(west, c, east, planeS[planes], planeC[planes]);
-        ++planes;
-      };
-      addRow(rowN);
-      addRow(rowC);
-      addRow(rowS);
-      // Carry-save reduction of the three (sum, carry) pairs:
-      // count = w1 + 2*(w2a + w2b) + 4*w4, and count > 4 iff
-      // (w4 and any other bit) or (w1 and both weight-2 bits).
-      std::uint64_t w1 = 0;
-      std::uint64_t w2a = 0;
-      std::uint64_t w2b = 0;
-      std::uint64_t w4 = 0;
-      fullAdd(planeS[0], planeS[1], planeS[2], w1, w2a);
-      fullAdd(planeC[0], planeC[1], planeC[2], w2b, w4);
-      std::uint64_t word = (w4 & (w1 | w2a | w2b)) | (w1 & w2a & w2b);
-      if (k + 1 == nw) {
-        word &= tail;  // keep the padding-bit invariant of BinaryImage
-      }
-      out[k] = word;
-    }
+    median_detail::majority3Row(y > 0 ? input.wordRow(y - 1) : nullptr,
+                                input.wordRow(y),
+                                y + 1 < h ? input.wordRow(y + 1) : nullptr,
+                                output.mutableWordRow(y), nw, tail);
   }
 }
 

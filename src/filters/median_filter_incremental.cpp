@@ -1,0 +1,124 @@
+#include "src/filters/median_filter_incremental.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+#include "src/filters/median_majority.hpp"
+
+namespace ebbiot {
+
+MedianFilterIncremental::MedianFilterIncremental(int patchSize)
+    : patchSize_(patchSize), full_(patchSize) {
+  EBBIOT_ASSERT(patchSize >= 1 && patchSize % 2 == 1);
+}
+
+bool MedianFilterIncremental::rowChanged(int y) const {
+  return (changed_[static_cast<std::size_t>(y) / 64] &
+          (std::uint64_t{1} << (static_cast<unsigned>(y) % 64))) != 0;
+}
+
+void MedianFilterIncremental::markRowChanged(int y) {
+  changed_[static_cast<std::size_t>(y) / 64] |=
+      std::uint64_t{1} << (static_cast<unsigned>(y) % 64);
+}
+
+const BinaryImage& MedianFilterIncremental::apply(const BinaryImage& input) {
+  if (patchSize_ != 3) {
+    // No row-diffing kernel: run the full filter every window.
+    if (!out_.sameShape(input)) {
+      out_ = BinaryImage(input.width(), input.height());
+    }
+    full_.applyInto(input, out_);
+    ops_ = full_.lastOps();
+    return out_;
+  }
+  ops_ = median_detail::closedFormOps(input.width(), input.height(), 3);
+  const int h = input.height();
+  const std::size_t nw = input.wordsPerRow();
+  if (!warm_ || !prev_.sameShape(input)) {
+    // Cold start (or shape change): full pass, snapshot the input.
+    prev_ = input;
+    if (!out_.sameShape(input)) {
+      out_ = BinaryImage(input.width(), input.height());
+    }
+    full_.applyInto(input, out_);
+    changed_.assign((static_cast<std::size_t>(h) + 63) / 64, 0);
+    // Tighten the conservative span to actual content so later diffs
+    // scan only rows that can differ.
+    const RowSpan conservative = input.occupiedRowSpan();
+    int lo = h;
+    int hi = -1;
+    for (int y = conservative.begin; y < conservative.end; ++y) {
+      const std::uint64_t* row = input.wordRow(y);
+      std::uint64_t acc = 0;
+      for (std::size_t k = 0; k < nw; ++k) {
+        acc |= row[k];
+      }
+      if (acc != 0) {
+        lo = std::min(lo, y);
+        hi = std::max(hi, y);
+      }
+    }
+    prevSpan_ = hi < 0 ? RowSpan{} : RowSpan{lo, hi + 1};
+    warm_ = true;
+    return out_;
+  }
+  // Diff band: rows outside both the cached content band and the new
+  // frame's dirty span are blank in both frames, hence unchanged.
+  const RowSpan cur = input.occupiedRowSpan();
+  RowSpan scan = prevSpan_;
+  if (scan.empty()) {
+    scan = cur;
+  } else if (!cur.empty()) {
+    scan.begin = std::min(scan.begin, cur.begin);
+    scan.end = std::max(scan.end, cur.end);
+  }
+  if (scan.empty()) {
+    return out_;  // both frames blank: output already blank
+  }
+  std::fill(changed_.begin(), changed_.end(), 0);
+  bool any = false;
+  int lo = h;
+  int hi = -1;
+  for (int y = scan.begin; y < scan.end; ++y) {
+    const std::uint64_t* c = input.wordRow(y);
+    const std::uint64_t* p = prev_.wordRow(y);
+    std::uint64_t diff = 0;
+    std::uint64_t acc = 0;
+    for (std::size_t k = 0; k < nw; ++k) {
+      diff |= c[k] ^ p[k];
+      acc |= c[k];
+    }
+    if (acc != 0) {
+      lo = std::min(lo, y);
+      hi = std::max(hi, y);
+    }
+    if (diff != 0) {
+      std::copy(c, c + nw, prev_.mutableWordRow(y));
+      markRowChanged(y);
+      any = true;
+    }
+  }
+  prevSpan_ = hi < 0 ? RowSpan{} : RowSpan{lo, hi + 1};
+  if (!any) {
+    return out_;  // bit-identical input: previous output stands
+  }
+  // Recompute exactly the output rows whose 3-row input band changed.
+  const std::uint64_t tail = input.tailMask();
+  const int yBegin = std::max(0, scan.begin - 1);
+  const int yEnd = std::min(h, scan.end + 1);
+  for (int y = yBegin; y < yEnd; ++y) {
+    const bool dirty = (y > 0 && rowChanged(y - 1)) || rowChanged(y) ||
+                       (y + 1 < h && rowChanged(y + 1));
+    if (!dirty) {
+      continue;
+    }
+    median_detail::majority3Row(y > 0 ? input.wordRow(y - 1) : nullptr,
+                                input.wordRow(y),
+                                y + 1 < h ? input.wordRow(y + 1) : nullptr,
+                                out_.mutableWordRow(y), nw, tail);
+  }
+  return out_;
+}
+
+}  // namespace ebbiot

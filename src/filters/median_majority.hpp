@@ -1,0 +1,100 @@
+// Bit-sliced 3x3 majority kernel and Eq. (1) closed-form accounting,
+// shared by the full-frame MedianFilter and the row-diffing
+// MedianFilterIncremental (both must produce bit-identical rows, so the
+// kernel lives in exactly one place).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/op_counter.hpp"
+
+namespace ebbiot {
+namespace median_detail {
+
+/// Full adder over bit-planes: s = parity, carry = majority.
+inline void fullAdd(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                    std::uint64_t& s, std::uint64_t& carry) {
+  const std::uint64_t ab = a ^ b;
+  s = ab ^ c;
+  carry = (a & b) | (c & ab);
+}
+
+/// One output row of the 3x3 binary median: the majority (> 4 of 9) over
+/// the word rows rowN/rowC/rowS (north/centre/south; null at a frame
+/// edge = the zero-padding border policy).  The 9 neighbour bit-planes of
+/// each word are formed by shifts with cross-word carry, reduced by a
+/// carry-save adder network to weight-1/2/2/4 bits, and the majority is
+///     out = (w4 & (w1 | w2a | w2b)) | (w1 & w2a & w2b).
+/// `tail` masks the last word so the caller keeps BinaryImage's
+/// guaranteed-zero padding-bit invariant.
+inline void majority3Row(const std::uint64_t* rowN, const std::uint64_t* rowC,
+                         const std::uint64_t* rowS, std::uint64_t* out,
+                         std::size_t nw, std::uint64_t tail) {
+  for (std::size_t k = 0; k < nw; ++k) {
+    std::uint64_t planeS[3];
+    std::uint64_t planeC[3];
+    int planes = 0;
+    auto addRow = [&](const std::uint64_t* row) {
+      std::uint64_t c = 0;
+      std::uint64_t west = 0;
+      std::uint64_t east = 0;
+      if (row != nullptr) {
+        c = row[k];
+        west = (c << 1) | (k > 0 ? row[k - 1] >> 63 : 0);
+        east = (c >> 1) | (k + 1 < nw ? row[k + 1] << 63 : 0);
+      }
+      fullAdd(west, c, east, planeS[planes], planeC[planes]);
+      ++planes;
+    };
+    addRow(rowN);
+    addRow(rowC);
+    addRow(rowS);
+    // Carry-save reduction of the three (sum, carry) pairs:
+    // count = w1 + 2*(w2a + w2b) + 4*w4, and count > 4 iff
+    // (w4 and any other bit) or (w1 and both weight-2 bits).
+    std::uint64_t w1 = 0;
+    std::uint64_t w2a = 0;
+    std::uint64_t w2b = 0;
+    std::uint64_t w4 = 0;
+    fullAdd(planeS[0], planeS[1], planeS[2], w1, w2a);
+    fullAdd(planeC[0], planeC[1], planeC[2], w2b, w4);
+    std::uint64_t word = (w4 & (w1 | w2a | w2b)) | (w1 & w2a & w2b);
+    if (k + 1 == nw) {
+      word &= tail;
+    }
+    out[k] = word;
+  }
+}
+
+/// Sum over all n positions of the clamped 1-D patch width
+/// min(n-1, i+r) - max(0, i-r) + 1.  The 2-D clamped patch-pixel total
+/// factorises into the product of the two per-axis sums, which gives the
+/// closed-form memRead count matching the scalar reference's metering.
+inline std::uint64_t clampedPatchSum(int n, int r) {
+  std::uint64_t sum = 0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<std::uint64_t>(std::min(n - 1, i + r) -
+                                      std::max(0, i - r) + 1);
+  }
+  return sum;
+}
+
+/// Eq. (1)'s abstract per-frame cost of a p x p binary median over an
+/// A x B frame: one memRead per clamped patch pixel, one comparison and
+/// one write per pixel — identical to the metered values of the scalar
+/// MedianFilterReference, independent of how the filter is evaluated.
+inline OpCounts closedFormOps(int width, int height, int patchSize) {
+  const int r = patchSize / 2;
+  const auto pixels = static_cast<std::uint64_t>(width) *
+                      static_cast<std::uint64_t>(height);
+  OpCounts ops;
+  ops.memReads = clampedPatchSum(width, r) * clampedPatchSum(height, r);
+  ops.compares = pixels;
+  ops.memWrites = pixels;
+  return ops;
+}
+
+}  // namespace median_detail
+}  // namespace ebbiot

@@ -5,9 +5,10 @@
 //
 // Operation per event (after NN-filt denoising):
 //   * find the nearest cluster whose capture region contains the event;
-//   * if found, mean-shift the cluster toward the event with a small
-//     mixing factor, update its running size estimate (mean absolute
-//     deviation of recent events) and support count;
+//   * if found, update its running size estimate (mean absolute deviation
+//     of event offsets, measured against the centroid *before* the step),
+//     mean-shift the cluster toward the event with a small mixing factor
+//     and bump its support count;
 //   * otherwise seed a *potential* cluster in a free slot (CLmax bound);
 //     potential clusters become visible once they accumulate enough
 //     support events.
@@ -17,15 +18,38 @@
 //     gamma_merge probability of Eq. (8));
 //   * recompute velocity by least-squares regression over the last 10
 //     sampled positions (the paper's stated velocity estimator).
+//
+// This class is the *batched structure-of-arrays fast path*: cluster
+// state lives in parallel arrays sized CLmax at construction (positions,
+// MADs, support, timestamps, velocity), and the per-event scan runs over
+// those small arrays with the config hoisted into registers.  A coarse
+// *capture grid* (32 px cells -> bitmask of clusters whose capture
+// region, padded by a drift slack, can reach the cell) turns the
+// capture-region early-exit into a per-cell candidate set: an event
+// whose cell mask is empty can be captured by nothing and skips the
+// scan entirely; otherwise only the masked clusters are tested — the
+// argmin over that conservative superset equals the reference's full
+// scan, bit for bit.  The position history is a fixed-capacity ring per
+// cluster with running regression sums (see ebms_common.hpp), so the
+// velocity fit is O(1) per sample and per maintain instead of
+// O(window) per maintain — and the whole tracker allocates nothing
+// after construction.
+//
+// The scalar deque-based formulation is kept as EbmsTrackerReference
+// (ebms_reference.hpp); differential tests pin this class bit-identical
+// to it in clusters, visible tracks *and* OpCounts — the reference
+// meters its ops as it runs, this class charges the same counts in
+// closed form from per-packet tallies (the MedianFilter / CcaLabeler
+// reference-pinning convention of PRs 3-4).
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "src/common/op_counter.hpp"
 #include "src/common/time.hpp"
 #include "src/events/event_packet.hpp"
+#include "src/trackers/ebms_common.hpp"
 #include "src/trackers/track.hpp"
 
 namespace ebbiot {
@@ -43,6 +67,9 @@ struct EbmsConfig {
   float minBoxSide = 6.0F;        ///< floor on reported box sides, px
 };
 
+/// Initial MAD of a freshly seeded cluster, px (both implementations).
+inline constexpr float kEbmsInitialMad = 4.0F;
+
 class EbmsTracker {
  public:
   explicit EbmsTracker(const EbmsConfig& config);
@@ -55,16 +82,22 @@ class EbmsTracker {
   void processPacket(const EventPacket& packet);
 
   /// Clusters that have reached visibility, as tracks (box = estimated
-  /// extent around the cluster centre).
-  [[nodiscard]] Tracks visibleTracks() const;
+  /// extent around the cluster centre), into a reused vector — the
+  /// steady-state path allocates nothing once `out` has capacity.
+  void visibleTracksInto(Tracks& out) const;
 
-  /// All clusters including potential ones (tests).
+  /// All clusters including potential ones, into a reused vector.
+  void allClustersInto(Tracks& out) const;
+
+  /// Convenience by-value variants of the Into accessors.
+  [[nodiscard]] Tracks visibleTracks() const;
   [[nodiscard]] Tracks allClusters() const;
 
-  [[nodiscard]] int activeCount() const;
+  [[nodiscard]] int activeCount() const { return count_; }
 
   /// Ops across the most recent processPacket call, comparable to the
-  /// per-frame C_EBMS of Eq. (8).
+  /// per-frame C_EBMS of Eq. (8).  Charged in closed form; pinned equal
+  /// to EbmsTrackerReference's metered counts by differential tests.
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
   /// Number of cluster merges performed so far (drives the measured
@@ -74,25 +107,108 @@ class EbmsTracker {
   [[nodiscard]] const EbmsConfig& config() const { return config_; }
 
  private:
-  struct Cluster {
-    std::uint32_t id = 0;
-    Vec2f position;
-    Vec2f velocity;          ///< px/us * 1e6 stored as px/s, see report
-    float madX = 4.0F;       ///< mean abs deviation of event x offsets
-    float madY = 4.0F;
-    std::uint64_t support = 0;
-    TimeUs lastEventT = 0;
-    TimeUs lastSampleT = 0;
-    TimeUs bornT = 0;
-    std::deque<std::pair<TimeUs, Vec2f>> history;  ///< sampled positions
+  /// Config fields of the per-event hot loop, copied into a local so the
+  /// compiler can keep them in registers across the packet (stores into
+  /// the SoA arrays cannot alias a stack copy).
+  struct HotConfig {
+    float radius;
+    float mixing;
+    float smoothing;
+    float driftLimit;  ///< gridSlack_ - 1 px: re-anchor beyond this drift
+    TimeUs sampleInterval;
+    int maxClusters;
   };
 
+  [[nodiscard]] HotConfig hotConfig() const {
+    return {config_.captureRadius,          config_.mixingFactor,
+            config_.sizeSmoothing,          gridSlack_ - 1.0F,
+            config_.positionSampleInterval, config_.maxClusters};
+  }
+
+  /// Per-packet tallies of the event loop, kept in the caller's frame so
+  /// the hot path updates registers, not member memory.
+  struct Tally {
+    std::uint64_t scanned = 0;
+    std::uint64_t captured = 0;
+  };
+
+  // always_inline: GCC's size heuristics refuse to inline the event body
+  // into the packet loop on their own, leaving a per-event call (and the
+  // tally in memory instead of registers) that costs more than the
+  // candidate scan itself.
+  [[gnu::always_inline]] inline void eventStep(const Event& event,
+                                               const HotConfig& hot,
+                                               Tally& tally);
+  void chargeEventOps(const Tally& tally);
+  void capturedSlowPath(int b, TimeUs t, float nx, float ny, bool sample,
+                        bool rebuild);
+  void seedCluster(float px, float py, TimeUs t);
+  void pushSample(int i, TimeUs t, float x, float y);
   void maintain(TimeUs now);
-  void fitVelocity(Cluster& cluster);
-  [[nodiscard]] BBox clusterBox(const Cluster& cluster) const;
+  void mergePass();
+  void refreshVelocity(int i);
+  void eraseCluster(int i);
+  void copyClusterIdentity(int from, int to);
+  void rebuildGrid();
+  [[nodiscard]] static int cellIndex(float v);
+  [[nodiscard]] BBox boxOf(int i) const;
+  [[nodiscard]] Track trackOf(int i) const;
 
   EbmsConfig config_;
-  std::vector<Cluster> clusters_;
+  int count_ = 0;  ///< live clusters; arrays below are packed [0, count_)
+
+  // Hot SoA state, sized maxClusters at construction.
+  std::vector<float> posX_;
+  std::vector<float> posY_;
+  std::vector<float> madX_;
+  std::vector<float> madY_;
+  std::vector<float> velX_;
+  std::vector<float> velY_;
+  std::vector<std::uint64_t> support_;
+  std::vector<std::uint32_t> id_;
+  std::vector<TimeUs> lastEventT_;
+  std::vector<TimeUs> lastSampleT_;
+  std::vector<TimeUs> bornT_;
+
+  // Velocity-fit state: per cluster a fixed-capacity ring of quantised
+  // samples (slab of velocityWindow entries) plus running sums.
+  std::vector<ebms_detail::VelocitySums> sums_;
+  std::vector<TimeUs> histOrigin_;
+  std::vector<int> histBegin_;
+  std::vector<int> histCount_;
+  std::vector<TimeUs> histT_;
+  std::vector<std::int64_t> histQx_;
+  std::vector<std::int64_t> histQy_;
+
+  std::vector<BBox> boxes_;  ///< merge-pass box cache (reused scratch)
+
+  // Capture grid: 32-px cells over [0, 2048)^2 px (coordinates beyond
+  // clamp into the edge cells on both the cluster and the event side, so
+  // the candidate masks stay conservative for any uint16 coordinate).
+  // Cell masks hold clusters whose capture region padded by gridSlack_
+  // can reach the cell at *grid-build* positions (anchors); the grid is
+  // rebuilt whenever a cluster drifts within 1 px of the slack, on
+  // seeding, and after each maintain — so between rebuilds a cluster
+  // missing from a cell's mask provably cannot capture events there.
+  // Disabled (full scan fallback) when maxClusters exceeds the 64-bit
+  // mask width.
+  static constexpr int kGridShift = 5;
+  static constexpr int kGridDim = 64;
+  bool gridEnabled_ = false;
+  /// Drift slack of the cell masks, px: half the capture radius (floored
+  /// at 8) trades registration reach against rebuild rate.
+  float gridSlack_ = 8.0F;
+  std::vector<std::uint64_t> grid_;  ///< kGridDim^2 cell masks
+  std::vector<float> anchorX_;       ///< positions at the last rebuild
+  std::vector<float> anchorY_;
+  // Cell rectangle registered by the last rebuild — the only part of the
+  // grid that needs clearing on the next one (clusters cover a small
+  // corner of the 2048-px grid range on real sensors).
+  int dirtyX0_ = 0;
+  int dirtyX1_ = -1;
+  int dirtyY0_ = 0;
+  int dirtyY1_ = -1;
+
   std::uint32_t nextId_ = 1;
   std::uint64_t mergeCount_ = 0;
   OpCounts ops_;

@@ -1,0 +1,111 @@
+// Arithmetic shared by the two EBMS implementations (the batched SoA
+// fast path in ebms.hpp and the scalar deque-based reference in
+// ebms_reference.hpp): the least-squares velocity fit over the sampled
+// position history.
+//
+// The fit is formulated over *exact integers* so that the reference's
+// per-maintain O(window) recompute and the fast path's O(1) running sums
+// produce bit-identical velocities:
+//
+//   * positions are quantised to 1/1024 px (quantizePosition) — far below
+//     any physical localisation accuracy, and small enough that every sum
+//     below stays exact;
+//   * sample times enter as integer microsecond offsets dt_i from an
+//     arbitrary per-cluster origin;
+//   * all six regression sums are kept in uint64 with two's-complement
+//     wraparound.  The slope numerator n·Σ(dt·q) − Σdt·Σq and denominator
+//     n·Σdt² − (Σdt)² are *shift-invariant*: re-deriving them with any
+//     other time origin yields the same integers, exactly, because the
+//     identity holds in the ring Z/2^64 term by term.  The true
+//     (window-origin) values fit comfortably in int64 for any sane
+//     sampling config, so the final cast recovers them regardless of the
+//     origin each implementation happened to use.
+//
+// Consequence: the reference may sum over its deque with the window's
+// first sample as origin while the fast path maintains running sums
+// against a fixed per-cluster origin — the solved velocity is the same
+// float either way, which is what lets the differential tests pin the
+// two trackers bit-identical.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/geometry.hpp"
+#include "src/common/time.hpp"
+
+namespace ebbiot {
+namespace ebms_detail {
+
+/// Position quantisation step of the velocity fit: 1/1024 px.
+inline constexpr double kPosScale = 1024.0;
+
+/// Converts the integer LSQ slope (quantised px per us) to px/s.
+inline constexpr double kSlopeToPxPerSecond =
+    static_cast<double>(kMicrosPerSecond) / kPosScale;
+
+/// Quantise one position coordinate for the fit.  Deterministic for any
+/// float input; exact (no double rounding) for coordinates below ~2^43 px.
+inline std::int64_t quantizePosition(float v) {
+  return static_cast<std::int64_t>(
+      std::llround(static_cast<double>(v) * kPosScale));
+}
+
+/// Running regression sums of one cluster's sampled (dt, qx, qy) history.
+/// add/remove are exact inverses (uint64 wraparound), so a sliding window
+/// maintained incrementally equals a fresh summation over its contents.
+struct VelocitySums {
+  std::uint64_t n = 0;
+  std::uint64_t dt = 0;    ///< sum dt_i
+  std::uint64_t dtDt = 0;  ///< sum dt_i^2
+  std::uint64_t qx = 0;    ///< sum qx_i
+  std::uint64_t qy = 0;    ///< sum qy_i
+  std::uint64_t dtQx = 0;  ///< sum dt_i * qx_i
+  std::uint64_t dtQy = 0;  ///< sum dt_i * qy_i
+
+  void add(std::uint64_t dtI, std::int64_t qxI, std::int64_t qyI) {
+    ++n;
+    dt += dtI;
+    dtDt += dtI * dtI;
+    qx += static_cast<std::uint64_t>(qxI);
+    qy += static_cast<std::uint64_t>(qyI);
+    dtQx += dtI * static_cast<std::uint64_t>(qxI);
+    dtQy += dtI * static_cast<std::uint64_t>(qyI);
+  }
+
+  void remove(std::uint64_t dtI, std::int64_t qxI, std::int64_t qyI) {
+    --n;
+    dt -= dtI;
+    dtDt -= dtI * dtI;
+    qx -= static_cast<std::uint64_t>(qxI);
+    qy -= static_cast<std::uint64_t>(qyI);
+    dtQx -= dtI * static_cast<std::uint64_t>(qxI);
+    dtQy -= dtI * static_cast<std::uint64_t>(qyI);
+  }
+};
+
+/// Result of solveVelocity: `fitted` is false when the determinant is zero
+/// (all samples at one timestamp), in which case velocity is {0, 0}.
+struct VelocityFit {
+  bool fitted = false;
+  Vec2f velocity;
+};
+
+/// Solve the LSQ slope from the sums; requires n >= 2.  Velocity in px/s.
+inline VelocityFit solveVelocity(const VelocitySums& s) {
+  const auto den = static_cast<std::int64_t>(s.n * s.dtDt - s.dt * s.dt);
+  if (den == 0) {
+    return {};
+  }
+  const auto numX = static_cast<std::int64_t>(s.n * s.dtQx - s.dt * s.qx);
+  const auto numY = static_cast<std::int64_t>(s.n * s.dtQy - s.dt * s.qy);
+  const double d = static_cast<double>(den);
+  return {true,
+          Vec2f{static_cast<float>(static_cast<double>(numX) / d *
+                                   kSlopeToPxPerSecond),
+                static_cast<float>(static_cast<double>(numY) / d *
+                                   kSlopeToPxPerSecond)}};
+}
+
+}  // namespace ebms_detail
+}  // namespace ebbiot

@@ -1,0 +1,235 @@
+#include "src/trackers/ebms_reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "src/common/error.hpp"
+#include "src/trackers/ebms_common.hpp"
+
+namespace ebbiot {
+
+EbmsTrackerReference::EbmsTrackerReference(const EbmsConfig& config)
+    : config_(config) {
+  EBBIOT_ASSERT(config.maxClusters >= 1);
+  EBBIOT_ASSERT(config.captureRadius > 0.0F);
+  EBBIOT_ASSERT(config.mixingFactor > 0.0F && config.mixingFactor <= 1.0F);
+  EBBIOT_ASSERT(config.velocityWindow >= 2);
+}
+
+BBox EbmsTrackerReference::clusterBox(const Cluster& c) const {
+  // Rectangular extent from the mean absolute deviation of recent events:
+  // for a uniform box profile, full width ~= 4 * MAD.
+  const float w = std::max(config_.minBoxSide, 4.0F * c.madX);
+  const float h = std::max(config_.minBoxSide, 4.0F * c.madY);
+  return BBox{c.position.x - w / 2.0F, c.position.y - h / 2.0F, w, h};
+}
+
+void EbmsTrackerReference::processEvent(const Event& event) {
+  const Vec2f p{static_cast<float>(event.x) + 0.5F,
+                static_cast<float>(event.y) + 0.5F};
+  // Nearest cluster whose capture region contains the event.
+  Cluster* best = nullptr;
+  float bestDist = std::numeric_limits<float>::max();
+  float bestDx = 0.0F;
+  float bestDy = 0.0F;
+  for (Cluster& c : clusters_) {
+    const float dx = std::abs(p.x - c.position.x);
+    const float dy = std::abs(p.y - c.position.y);
+    ops_.compares += 2;
+    ops_.adds += 2;
+    if (dx <= config_.captureRadius && dy <= config_.captureRadius) {
+      const float d = dx + dy;  // L1 is fine for the argmin
+      if (d < bestDist) {
+        bestDist = d;
+        best = &c;
+        bestDx = dx;
+        bestDy = dy;
+      }
+    }
+  }
+  if (best != nullptr) {
+    Cluster& c = *best;
+    // Size estimate first: the deviation is measured against the centroid
+    // *before* the mean-shift step (measuring after it shrank the MAD by
+    // (1 - mixingFactor) and biased the reported box small).  The scan
+    // already computed |p - position| for the pre-update centroid.
+    const float s = config_.sizeSmoothing;
+    c.madX = s * c.madX + (1.0F - s) * bestDx;
+    c.madY = s * c.madY + (1.0F - s) * bestDy;
+    const float m = config_.mixingFactor;
+    c.position.x = (1.0F - m) * c.position.x + m * p.x;
+    c.position.y = (1.0F - m) * c.position.y + m * p.y;
+    ops_.multiplies += 8;
+    ops_.adds += 4;
+    ++c.support;
+    c.lastEventT = event.t;
+    if (event.t - c.lastSampleT >= config_.positionSampleInterval) {
+      c.history.emplace_back(event.t, c.position);
+      c.lastSampleT = event.t;
+      while (static_cast<int>(c.history.size()) > config_.velocityWindow) {
+        c.history.pop_front();
+      }
+      ops_.memWrites += 3;
+    }
+    return;
+  }
+  // Seed a potential cluster if a slot is free.
+  if (static_cast<int>(clusters_.size()) < config_.maxClusters) {
+    Cluster c;
+    c.id = nextId_++;
+    c.position = p;
+    c.support = 1;
+    c.lastEventT = event.t;
+    c.lastSampleT = event.t;
+    c.bornT = event.t;
+    c.history.emplace_back(event.t, p);
+    clusters_.push_back(std::move(c));
+    ops_.memWrites += 6;
+  }
+}
+
+void EbmsTrackerReference::processPacket(const EventPacket& packet) {
+  ops_.reset();
+  for (const Event& e : packet) {
+    processEvent(e);
+  }
+  maintain(packet.tEnd());
+}
+
+void EbmsTrackerReference::maintain(TimeUs now) {
+  // Prune silent clusters; the scan visits every live cluster, so the
+  // comparison count is charged on the *pre*-erase size.
+  ops_.compares += clusters_.size();
+  std::erase_if(clusters_, [&](const Cluster& c) {
+    return now - c.lastEventT > config_.clusterLifetime;
+  });
+
+  mergePass();
+
+  for (Cluster& c : clusters_) {
+    fitVelocity(c);
+  }
+  lastMaintain_ = now;
+}
+
+void EbmsTrackerReference::mergePass() {
+  // Merge overlapping clusters: keep the better-supported one, pull it
+  // slightly toward the victim (support-weighted), absorb the support.
+  // Boxes are computed once per cluster and cached for the pass; after a
+  // merge the scan continues in place, re-checking only the survivor's
+  // row against its updated box instead of restarting the full O(n^2)
+  // sweep.  Ops are charged for exactly the boxes and overlap tests
+  // evaluated.
+  boxes_.clear();
+  for (const Cluster& c : clusters_) {
+    boxes_.push_back(clusterBox(c));
+    ops_.multiplies += 2;
+    ops_.compares += 2;
+  }
+  std::size_t i = 0;
+  while (i < clusters_.size()) {
+    std::size_t j = i + 1;
+    while (j < clusters_.size()) {
+      ops_.compares += 4;
+      if (!overlapMatches(boxes_[i], boxes_[j],
+                          config_.mergeOverlapFraction)) {
+        ++j;
+        continue;
+      }
+      Cluster& a = clusters_[i];
+      Cluster& b = clusters_[j];
+      const bool keepA = a.support >= b.support;
+      Cluster& k = keepA ? a : b;
+      const Cluster& d = keepA ? b : a;
+      const float wK = static_cast<float>(k.support) /
+                       static_cast<float>(k.support + d.support);
+      k.position.x = wK * k.position.x + (1.0F - wK) * d.position.x;
+      k.position.y = wK * k.position.y + (1.0F - wK) * d.position.y;
+      k.madX = std::max(k.madX, d.madX);
+      k.madY = std::max(k.madY, d.madY);
+      k.support += d.support;
+      k.lastEventT = std::max(k.lastEventT, d.lastEventT);
+      ops_.multiplies += 4;
+      ops_.adds += 6;
+      if (!keepA) {
+        a = std::move(b);  // survivor always lives at the lower slot
+      }
+      clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(j));
+      boxes_.erase(boxes_.begin() + static_cast<std::ptrdiff_t>(j));
+      boxes_[i] = clusterBox(clusters_[i]);
+      ops_.multiplies += 2;
+      ops_.compares += 2;
+      ++mergeCount_;
+      j = i + 1;  // the survivor's box changed: re-scan its row
+    }
+    ++i;
+  }
+}
+
+void EbmsTrackerReference::fitVelocity(Cluster& cluster) {
+  // Least-squares line fit of position vs time over the sampled history
+  // (the paper: "past 10 positions ... using least square regression"),
+  // over the exact-integer sums of ebms_common.hpp so the SoA fast path's
+  // incrementally-maintained fit is bit-identical.
+  const std::size_t n = cluster.history.size();
+  if (n < 2) {
+    cluster.velocity = Vec2f{};
+    return;
+  }
+  ebms_detail::VelocitySums sums;
+  const TimeUs t0 = cluster.history.front().first;
+  for (const auto& [t, p] : cluster.history) {
+    sums.add(static_cast<std::uint64_t>(t - t0),
+             ebms_detail::quantizePosition(p.x),
+             ebms_detail::quantizePosition(p.y));
+    ops_.multiplies += 3;
+    ops_.adds += 6;
+  }
+  const ebms_detail::VelocityFit fit = ebms_detail::solveVelocity(sums);
+  cluster.velocity = fit.velocity;
+  if (fit.fitted) {
+    ops_.multiplies += 8;
+    ops_.adds += 4;
+  }
+}
+
+Tracks EbmsTrackerReference::visibleTracks() const {
+  Tracks out;
+  for (const Cluster& c : clusters_) {
+    if (c.support < static_cast<std::uint64_t>(config_.visibilitySupport)) {
+      continue;
+    }
+    Track t;
+    t.id = c.id;
+    t.box = clusterBox(c);
+    t.velocity = c.velocity;  // px/s
+    t.hits = static_cast<int>(
+        std::min<std::uint64_t>(c.support,
+                                std::numeric_limits<int>::max()));
+    out.push_back(t);
+  }
+  return out;
+}
+
+Tracks EbmsTrackerReference::allClusters() const {
+  Tracks out;
+  for (const Cluster& c : clusters_) {
+    Track t;
+    t.id = c.id;
+    t.box = clusterBox(c);
+    t.velocity = c.velocity;
+    t.hits = static_cast<int>(
+        std::min<std::uint64_t>(c.support,
+                                std::numeric_limits<int>::max()));
+    out.push_back(t);
+  }
+  return out;
+}
+
+int EbmsTrackerReference::activeCount() const {
+  return static_cast<int>(clusters_.size());
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,89 @@
+// Scalar reference implementation of the EBMS cluster tracker.
+//
+// This is the original one-cluster-struct-at-a-time formulation (deque
+// history, per-event metered ops) that the batched SoA fast path in
+// ebms.hpp is pinned against: the fast path must produce bit-identical
+// clusters, visible tracks *and* OpCounts (its closed-form accounting
+// must equal the values this class meters as it runs) — see
+// tests/test_ebms_soa.cpp, following the MedianFilterReference /
+// CcaLabelerReference convention.  It is not used in the steady-state
+// pipelines.
+//
+// Both implementations carry the PR 5 metering/geometry fixes:
+//   * the prune scan charges the *pre*-erase cluster count;
+//   * the MAD update measures the event's deviation against the
+//     centroid *before* the mean-shift step (the old order shrank the
+//     size estimate by (1 - mixingFactor));
+//   * the merge pass caches cluster boxes, continues in place after a
+//     merge (re-scanning only the survivor's row) instead of restarting
+//     the full O(n^2) sweep, and meters exactly the boxes and overlap
+//     tests it evaluates.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/common/op_counter.hpp"
+#include "src/common/time.hpp"
+#include "src/events/event_packet.hpp"
+#include "src/trackers/ebms.hpp"
+#include "src/trackers/track.hpp"
+
+namespace ebbiot {
+
+class EbmsTrackerReference {
+ public:
+  explicit EbmsTrackerReference(const EbmsConfig& config);
+
+  /// Feed one denoised event.
+  void processEvent(const Event& event);
+
+  /// Feed a whole packet, then run maintenance (prune/merge/velocity) at
+  /// the packet boundary.
+  void processPacket(const EventPacket& packet);
+
+  /// Clusters that have reached visibility, as tracks.
+  [[nodiscard]] Tracks visibleTracks() const;
+
+  /// All clusters including potential ones (tests).
+  [[nodiscard]] Tracks allClusters() const;
+
+  [[nodiscard]] int activeCount() const;
+
+  /// Metered ops across the most recent processPacket call.
+  [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
+
+  [[nodiscard]] std::uint64_t mergeCount() const { return mergeCount_; }
+
+  [[nodiscard]] const EbmsConfig& config() const { return config_; }
+
+ private:
+  struct Cluster {
+    std::uint32_t id = 0;
+    Vec2f position;
+    Vec2f velocity;          ///< px/s
+    float madX = kEbmsInitialMad;  ///< mean abs deviation of event x offsets
+    float madY = kEbmsInitialMad;
+    std::uint64_t support = 0;
+    TimeUs lastEventT = 0;
+    TimeUs lastSampleT = 0;
+    TimeUs bornT = 0;
+    std::deque<std::pair<TimeUs, Vec2f>> history;  ///< sampled positions
+  };
+
+  void maintain(TimeUs now);
+  void mergePass();
+  void fitVelocity(Cluster& cluster);
+  [[nodiscard]] BBox clusterBox(const Cluster& cluster) const;
+
+  EbmsConfig config_;
+  std::vector<Cluster> clusters_;
+  std::vector<BBox> boxes_;  ///< merge-pass box cache (reused scratch)
+  std::uint32_t nextId_ = 1;
+  std::uint64_t mergeCount_ = 0;
+  OpCounts ops_;
+  TimeUs lastMaintain_ = 0;
+};
+
+}  // namespace ebbiot

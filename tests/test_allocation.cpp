@@ -16,7 +16,9 @@
 #include "src/common/rng.hpp"
 #include "src/core/front_end.hpp"
 #include "src/detect/cca_reference.hpp"
+#include "src/filters/median_filter_incremental.hpp"
 #include "src/filters/nn_filter.hpp"
+#include "src/trackers/ebms.hpp"
 
 namespace ebbiot {
 namespace {
@@ -50,20 +52,102 @@ TEST(AllocationAuditTest, FrontEndSteadyStateAllocatesNothing) {
   GTEST_SKIP() << "allocation counting disabled under sanitizers";
 #endif
   for (RpnKind kind : {RpnKind::kHistogram, RpnKind::kCca}) {
-    FrontEndConfig config;
-    config.rpnKind = kind;
-    FrameFrontEnd frontEnd(config);
-    const EventPacket packet = denseTrafficWindow(5);
-    (void)frontEnd.process(packet);  // warm-up: capacities grow here
-    const std::uint64_t before = gAllocations.load();
-    for (int i = 0; i < 10; ++i) {
-      (void)frontEnd.process(packet);
+    for (bool incremental : {false, true}) {
+      FrontEndConfig config;
+      config.rpnKind = kind;
+      config.incrementalMedian = incremental;
+      FrameFrontEnd frontEnd(config);
+      // Two distinct windows so the incremental median's diff path (not
+      // just its identical-frame early-out) runs in the measured loop.
+      const EventPacket packetA = denseTrafficWindow(5);
+      const EventPacket packetB = denseTrafficWindow(6);
+      (void)frontEnd.process(packetA);  // warm-up: capacities grow here
+      (void)frontEnd.process(packetB);
+      const std::uint64_t before = gAllocations.load();
+      for (int i = 0; i < 10; ++i) {
+        (void)frontEnd.process(i % 2 == 0 ? packetA : packetB);
+      }
+      const std::uint64_t after = gAllocations.load();
+      EXPECT_EQ(after - before, 0U)
+          << (kind == RpnKind::kHistogram ? "histogram" : "cca")
+          << (incremental ? " (incremental median)" : "")
+          << " front end allocated in steady state";
     }
-    const std::uint64_t after = gAllocations.load();
-    EXPECT_EQ(after - before, 0U)
-        << (kind == RpnKind::kHistogram ? "histogram" : "cca")
-        << " front end allocated in steady state";
   }
+}
+
+TEST(AllocationAuditTest, EbmsTracksPathSteadyStateAllocatesNothing) {
+#ifdef EBBIOT_ALLOC_COUNTER_DISABLED
+  GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#endif
+  // The full event-domain tracks path: NN filter -> SoA EBMS tracker ->
+  // visibleTracksInto/allClustersInto.  The tracker's SoA state and
+  // history rings are sized at construction and the track vectors are
+  // reused, so after warm-up the whole chain performs zero allocations
+  // per window (EbmsPipeline drives exactly this chain internally).
+  EbmsConfig ebmsConfig;
+  ebmsConfig.positionSampleInterval = 2'000;  // exercise the history ring
+  EbmsTracker tracker(ebmsConfig);
+  NnFilter filter{NnFilterConfig{}};
+  Rng rng(31);
+  std::vector<EventPacket> windows;
+  for (int w = 0; w < 4; ++w) {
+    EventPacket p(w * 66'000, (w + 1) * 66'000);
+    for (int i = 0; i < 600; ++i) {
+      const int x = 60 + static_cast<int>(rng.uniformInt(0, 59));
+      const int y = 70 + static_cast<int>(rng.uniformInt(0, 29));
+      p.push(Event{static_cast<std::uint16_t>(x),
+                   static_cast<std::uint16_t>(y), Polarity::kOn,
+                   static_cast<TimeUs>(w * 66'000 + i * 100)});
+    }
+    windows.push_back(std::move(p));
+  }
+  EventPacket filtered;
+  Tracks visible;
+  Tracks all;
+  for (const EventPacket& p : windows) {  // warm-up: capacities grow here
+    filter.filterInto(p, filtered);
+    tracker.processPacket(filtered);
+    tracker.visibleTracksInto(visible);
+    tracker.allClustersInto(all);
+  }
+  const std::uint64_t before = gAllocations.load();
+  for (int rep = 0; rep < 3; ++rep) {
+    filter.reset();  // replaying the same windows keeps timestamps sane
+    for (const EventPacket& p : windows) {
+      filter.filterInto(p, filtered);
+      tracker.processPacket(filtered);
+      tracker.visibleTracksInto(visible);
+      tracker.allClustersInto(all);
+    }
+  }
+  EXPECT_EQ(gAllocations.load() - before, 0U)
+      << "EBMS tracks path allocated in steady state";
+}
+
+TEST(AllocationAuditTest, IncrementalMedianSteadyStateAllocatesNothing) {
+#ifdef EBBIOT_ALLOC_COUNTER_DISABLED
+  GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#endif
+  MedianFilterIncremental median(3);
+  Rng rng(17);
+  std::vector<BinaryImage> frames;
+  for (int f = 0; f < 3; ++f) {
+    BinaryImage img(240, 180);
+    for (int i = 0; i < 2000; ++i) {
+      img.set(static_cast<int>(rng.uniformInt(0, 239)),
+              static_cast<int>(rng.uniformInt(0, 179)), true);
+    }
+    frames.push_back(std::move(img));
+  }
+  for (const BinaryImage& f : frames) {
+    (void)median.apply(f);  // warm-up
+  }
+  const std::uint64_t before = gAllocations.load();
+  for (int i = 0; i < 12; ++i) {
+    (void)median.apply(frames[static_cast<std::size_t>(i % 3)]);
+  }
+  EXPECT_EQ(gAllocations.load() - before, 0U);
 }
 
 TEST(AllocationAuditTest, CcaLabelerSteadyStateAllocatesNothing) {

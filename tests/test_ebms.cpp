@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/common/error.hpp"
 #include "src/common/rng.hpp"
 
@@ -160,6 +163,102 @@ TEST(EbmsTrackerTest, OpsAccumulatePerPacket) {
   // Cost scales with event count (Eq. (8): proportional to NF).
   tracker.processPacket(burst(BBox{40, 50, 20, 20}, 66'000, 132'000, 400, 6));
   EXPECT_GT(tracker.lastOps().total(), ops * 2);
+}
+
+TEST(EbmsTrackerTest, PruneScanChargesPreEraseCount) {
+  // The prune scan visits every live cluster; its comparisons must be
+  // charged on the *pre*-erase size (the old code charged the post-erase
+  // count, reporting zero ops for a maintain that pruned everything).
+  EbmsConfig config = testConfig();
+  config.clusterLifetime = 50'000;
+  EbmsTracker tracker(config);
+  EventPacket p(0, 66'000);
+  p.push(Event{30, 40, Polarity::kOn, 60'000});
+  p.push(Event{200, 140, Polarity::kOn, 61'000});
+  tracker.processPacket(p);
+  ASSERT_EQ(tracker.activeCount(), 2);
+  // An empty window beyond the lifetime prunes both clusters; the only
+  // work of that packet is the 2-cluster prune scan (no boxes, no merge
+  // pairs, no velocity fits remain).
+  tracker.processPacket(EventPacket(66'000, 132'000));
+  EXPECT_EQ(tracker.activeCount(), 0);
+  OpCounts expected;
+  expected.compares = 2;
+  EXPECT_EQ(tracker.lastOps(), expected);
+}
+
+TEST(EbmsTrackerTest, MadMeasuresDeviationBeforePositionUpdate) {
+  // The size estimate must use the event's deviation from the centroid
+  // *before* the mean-shift step.  (Measuring after it shrank every
+  // deviation by (1 - mixingFactor), biasing the reported box small — at
+  // the large mixing factor below, by half.)  The test replays the exact
+  // recurrence and pins the reported box to it.
+  EbmsConfig config = testConfig();
+  config.mixingFactor = 0.5F;
+  config.sizeSmoothing = 0.9F;
+  config.positionSampleInterval = 10'000'000;  // history stays at 1 sample
+  EbmsTracker tracker(config);
+  EventPacket p(0, 66'000);
+  float pos = 0.0F;
+  float mad = kEbmsInitialMad;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint16_t x = i % 2 == 0 ? 92 : 108;
+    p.push(Event{x, 48, Polarity::kOn, static_cast<TimeUs>(i * 100)});
+    const float px = static_cast<float>(x) + 0.5F;
+    if (i == 0) {
+      pos = px;  // seeds the cluster
+      continue;
+    }
+    const float dev = std::abs(px - pos);  // deviation pre-update
+    mad = 0.9F * mad + (1.0F - 0.9F) * dev;
+    pos = (1.0F - 0.5F) * pos + 0.5F * px;
+  }
+  tracker.processPacket(p);
+  const Tracks t = tracker.visibleTracks();
+  ASSERT_EQ(t.size(), 1U);
+  const float expectedW = std::max(config.minBoxSide, 4.0F * mad);
+  EXPECT_FLOAT_EQ(t[0].box.w, expectedW);
+  // Events alternate +-8 px around the centre: an unbiased MAD sits near
+  // 10 px and the box near 40 px.  The old post-update measurement gave
+  // roughly half that — pin the fix coarsely too.
+  EXPECT_GT(t[0].box.w, 30.0F);
+  // y never deviates: madY decays and the height floors at minBoxSide.
+  EXPECT_FLOAT_EQ(t[0].box.h, config.minBoxSide);
+}
+
+TEST(EbmsTrackerTest, MergePassMetersCachedBoxesAndScan) {
+  // Two clusters seeded 8 px apart with the default 4 px MAD produce
+  // 16x16 boxes overlapping by half, so one merge fires at the packet
+  // boundary.  The expected counts below are the *cached-box* merge pass:
+  // one box per cluster plus one recompute for the survivor, one overlap
+  // test for the single pair — not the old restart-the-world accounting
+  // that recomputed both boxes per pair per sweep.
+  EbmsConfig config = testConfig();
+  config.captureRadius = 6.0F;
+  config.mergeOverlapFraction = 0.05F;
+  EbmsTracker tracker(config);
+  EventPacket p(0, 66'000);
+  p.push(Event{50, 48, Polarity::kOn, 0});
+  p.push(Event{58, 48, Polarity::kOn, 100});
+  tracker.processPacket(p);
+  EXPECT_EQ(tracker.activeCount(), 1);
+  EXPECT_EQ(tracker.mergeCount(), 1U);
+  OpCounts expected;
+  // Event 1 scans no clusters and seeds; event 2 scans one cluster
+  // (2 compares + 2 adds), finds it out of capture range, and seeds.
+  expected.memWrites = 6 + 6;
+  expected.compares = 2;
+  expected.adds = 2;
+  // Maintain: prune scan over 2 clusters.
+  expected.compares += 2;
+  // Merge pass: 2 cached boxes (2 multiplies + 2 compares each), one
+  // overlap test (4 compares), the merge arithmetic (4 multiplies +
+  // 6 adds), and the survivor's box recompute (2 multiplies +
+  // 2 compares).  Velocity: the survivor's 1-sample history fits nothing.
+  expected.multiplies = 2 * 2 + 4 + 2;
+  expected.compares += 2 * 2 + 4 + 2;
+  expected.adds += 6;
+  EXPECT_EQ(tracker.lastOps(), expected);
 }
 
 TEST(EbmsTrackerTest, InvalidConfigRejected) {

@@ -1,0 +1,208 @@
+// Differential tests pinning the row-diffing MedianFilterIncremental
+// against the full-frame word-parallel MedianFilter: bit-identical
+// filtered images and identical (closed-form Eq. (1)) OpCounts across
+// frame *sequences* — dense random scenes, sparse bands, moving objects,
+// blank frames, appearing/disappearing content — since correctness of
+// the incremental path depends on the history, not one frame.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/core/front_end.hpp"
+#include "src/filters/median_filter.hpp"
+#include "src/filters/median_filter_incremental.hpp"
+
+namespace ebbiot {
+namespace {
+
+BinaryImage randomImage(int w, int h, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  BinaryImage img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (rng.chance(density)) {
+        img.set(x, y, true);
+      }
+    }
+  }
+  return img;
+}
+
+BinaryImage bandImage(int w, int h, int y0, int y1, int x0, int x1) {
+  BinaryImage img(w, h);
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      img.set(x, y, true);
+    }
+  }
+  return img;
+}
+
+/// Feed the sequence through both filters; every frame must match in
+/// image bits and OpCounts.
+void expectSequenceIdentical(const std::vector<BinaryImage>& frames,
+                             int patch = 3) {
+  MedianFilter full(patch);
+  MedianFilterIncremental incremental(patch);
+  BinaryImage want(frames.front().width(), frames.front().height());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    full.applyInto(frames[i], want);
+    const BinaryImage& got = incremental.apply(frames[i]);
+    ASSERT_EQ(got, want) << "frame " << i << " diverged";
+    EXPECT_EQ(incremental.lastOps(), full.lastOps())
+        << "ops diverged at frame " << i;
+  }
+}
+
+TEST(MedianFilterIncrementalTest, DenseRandomSequences) {
+  std::vector<BinaryImage> frames;
+  std::uint64_t seed = 1;
+  for (int i = 0; i < 8; ++i) {
+    frames.push_back(randomImage(240, 180, 0.3, seed++));
+  }
+  expectSequenceIdentical(frames);
+}
+
+TEST(MedianFilterIncrementalTest, RepeatedIdenticalFrames) {
+  // Zero changed rows: the cached output must be returned untouched.
+  const BinaryImage img = randomImage(240, 180, 0.2, 42);
+  expectSequenceIdentical({img, img, img, img});
+}
+
+TEST(MedianFilterIncrementalTest, SparseMovingBand) {
+  // A narrow band marching down the frame: each step changes a handful
+  // of rows at the old and new locations; everything else is reused.
+  std::vector<BinaryImage> frames;
+  for (int step = 0; step < 20; ++step) {
+    const int y0 = 10 + 6 * step;
+    frames.push_back(bandImage(240, 180, y0, y0 + 4, 80, 160));
+  }
+  expectSequenceIdentical(frames);
+}
+
+TEST(MedianFilterIncrementalTest, ContentAppearsAndDisappears) {
+  std::vector<BinaryImage> frames;
+  frames.emplace_back(240, 180);                        // blank
+  frames.push_back(bandImage(240, 180, 60, 90, 40, 110));  // appears
+  frames.push_back(bandImage(240, 180, 60, 90, 40, 110));  // unchanged
+  frames.emplace_back(240, 180);                        // disappears
+  frames.emplace_back(240, 180);                        // stays blank
+  frames.push_back(bandImage(240, 180, 0, 3, 0, 240));  // top edge band
+  frames.push_back(bandImage(240, 180, 177, 180, 0, 240));  // bottom edge
+  expectSequenceIdentical(frames);
+}
+
+TEST(MedianFilterIncrementalTest, DisjointBandsSwap) {
+  // Content jumping between distant bands: the diff must cover the union
+  // of the old and new content spans, not just the new dirty band.
+  std::vector<BinaryImage> frames;
+  for (int i = 0; i < 6; ++i) {
+    frames.push_back(i % 2 == 0 ? bandImage(240, 180, 5, 12, 10, 60)
+                                : bandImage(240, 180, 150, 160, 180, 230));
+  }
+  expectSequenceIdentical(frames);
+}
+
+TEST(MedianFilterIncrementalTest, WordBoundaryWidthsAndDensities) {
+  for (int w : {63, 64, 65, 130}) {
+    std::vector<BinaryImage> frames;
+    std::uint64_t seed = 100 + static_cast<std::uint64_t>(w);
+    for (double density : {0.05, 0.5, 0.9, 0.0, 0.3}) {
+      frames.push_back(randomImage(w, 40, density, seed++));
+    }
+    expectSequenceIdentical(frames);
+  }
+}
+
+TEST(MedianFilterIncrementalTest, SinglePixelFlips) {
+  // Minimal diffs: one pixel toggling on/off near a word boundary and at
+  // frame corners.
+  BinaryImage base = randomImage(240, 180, 0.1, 7);
+  std::vector<BinaryImage> frames;
+  frames.push_back(base);
+  BinaryImage f1 = base;
+  f1.set(64, 90, !f1.get(64, 90));
+  frames.push_back(f1);
+  BinaryImage f2 = f1;
+  f2.set(0, 0, true);
+  frames.push_back(f2);
+  BinaryImage f3 = f2;
+  f3.set(239, 179, true);
+  frames.push_back(f3);
+  frames.push_back(base);  // revert everything
+  expectSequenceIdentical(frames);
+}
+
+TEST(MedianFilterIncrementalTest, ResetForgetsHistory) {
+  MedianFilter full(3);
+  MedianFilterIncremental incremental(3);
+  const BinaryImage a = randomImage(240, 180, 0.4, 11);
+  const BinaryImage b = randomImage(240, 180, 0.4, 12);
+  (void)incremental.apply(a);
+  incremental.reset();
+  const BinaryImage& got = incremental.apply(b);
+  BinaryImage want(240, 180);
+  full.applyInto(b, want);
+  EXPECT_EQ(got, want);
+}
+
+TEST(MedianFilterIncrementalTest, ShapeChangeRestartsCleanly) {
+  MedianFilter full3(3);
+  MedianFilterIncremental incremental(3);
+  (void)incremental.apply(randomImage(240, 180, 0.3, 21));
+  const BinaryImage small = randomImage(65, 40, 0.3, 22);
+  BinaryImage want(65, 40);
+  full3.applyInto(small, want);
+  EXPECT_EQ(incremental.apply(small), want);
+}
+
+TEST(MedianFilterIncrementalTest, NonThreePatchFallsBackToFullFilter) {
+  for (int patch : {1, 5}) {
+    std::vector<BinaryImage> frames;
+    std::uint64_t seed = 300 + static_cast<std::uint64_t>(patch);
+    for (int i = 0; i < 3; ++i) {
+      frames.push_back(randomImage(97, 33, 0.4, seed++));
+    }
+    expectSequenceIdentical(frames, patch);
+  }
+}
+
+TEST(MedianFilterIncrementalTest, FrontEndVariantMatchesClassicByteForByte) {
+  // The FrontEndConfig::incrementalMedian flag must be invisible to the
+  // pipeline output: filtered image, proposals and per-stage ops all
+  // identical, window after window.
+  FrontEndConfig classicConfig;
+  FrontEndConfig incConfig;
+  incConfig.incrementalMedian = true;
+  for (RpnKind kind : {RpnKind::kHistogram, RpnKind::kCca}) {
+    classicConfig.rpnKind = kind;
+    incConfig.rpnKind = kind;
+    FrameFrontEnd classic(classicConfig);
+    FrameFrontEnd inc(incConfig);
+    Rng rng(55);
+    for (int f = 0; f < 6; ++f) {
+      EventPacket packet(f * 66'000, (f + 1) * 66'000);
+      const int blobX = 40 + 10 * f;
+      for (int y = 70; y < 95; ++y) {
+        for (int x = blobX; x < blobX + 50; ++x) {
+          if (rng.chance(0.55)) {
+            packet.push(Event{static_cast<std::uint16_t>(x),
+                              static_cast<std::uint16_t>(y), Polarity::kOn,
+                              f * 66'000 + 100});
+          }
+        }
+      }
+      const RegionProposals& a = classic.process(packet);
+      const RegionProposals& b = inc.process(packet);
+      ASSERT_EQ(classic.lastFiltered(), inc.lastFiltered())
+          << "filtered image diverged at frame " << f;
+      EXPECT_EQ(a, b);
+      EXPECT_EQ(classic.lastOps().medianFilter, inc.lastOps().medianFilter);
+      EXPECT_EQ(classic.lastOps().rpn.total(), inc.lastOps().rpn.total());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ebbiot

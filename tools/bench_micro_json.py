@@ -4,7 +4,10 @@ compact perf-trajectory record BENCH_micro.json.
 
 Usage:
     bench_micro_stages --benchmark_format=json > raw.json
-    tools/bench_micro_json.py raw.json BENCH_micro.json [--fail-on-steady-allocs]
+    tools/bench_micro_json.py raw.json BENCH_micro.json \
+        [--fail-on-steady-allocs] \
+        [--fail-on-ops-regression=BASELINE.json] \
+        [--update-ops-baseline=BASELINE.json]
 
 Each benchmark becomes {"name", "ns_per_frame", "ops_per_frame",
 "allocs_per_frame"} (the latter two are null for benchmarks without the
@@ -16,32 +19,165 @@ JSON) if any stage pinned allocation-free in steady state reports
 allocs_per_frame above zero — the benchmarks warm those stages up before
 taking the allocation baseline, so any non-zero value is a regression of
 the reuse discipline, not warm-up noise.
+
+With --fail-on-ops-regression=BASELINE.json the script additionally
+compares each pinned stage's ops_per_frame against the recorded baseline
+and exits non-zero on drift beyond the baseline's tolerance.  The
+reported ops are the paper's closed-form models over a *deterministic*
+synthetic workload, so they are host-independent: any drift means the
+abstract cost model changed (deliberately — then regenerate the baseline
+with --update-ops-baseline — or by accident, which is exactly what the
+gate exists to catch).  A pinned stage missing from the run, or missing
+its counter, is itself a failure, keeping the gate self-verifying.
 """
 import json
 import sys
 
 # Stages whose per-frame loop must not allocate once warm (reused member
-# buffers; pinned by tests/test_allocation.cpp).  The tracker and
-# whole-pipeline benchmarks return Tracks by value and are excluded.
+# buffers; pinned by tests/test_allocation.cpp).  The reference trackers
+# and whole-pipeline benchmarks return Tracks by value (or keep deque
+# histories) and are excluded.
 STEADY_STATE_BENCHES = frozenset(
     {
         "BM_EbbiBuild",
         "BM_MedianFilter",
         "BM_MedianFilterReference",
+        "BM_MedianFilterIncremental",
+        "BM_MedianFilterStableScene",
+        "BM_MedianFilterIncrementalStableScene",
         "BM_DownsampleAndHistogram",
         "BM_HistogramRpn",
         "BM_CcaRpn",
         "BM_CcaRpnReference",
         "BM_NnFilter",
+        "BM_EbmsTracker",
+        "BM_EbmsTrackerCrowded",
     }
 )
+
+# Stages whose ops_per_frame is a closed-form model over the
+# deterministic synthetic workload: recorded in the ops baseline and
+# gated by --fail-on-ops-regression.
+OPS_PINNED_BENCHES = (
+    "BM_EbbiBuild",
+    "BM_MedianFilter",
+    "BM_MedianFilterReference",
+    "BM_MedianFilterIncremental",
+    "BM_MedianFilterStableScene",
+    "BM_MedianFilterIncrementalStableScene",
+    "BM_DownsampleAndHistogram",
+    "BM_HistogramRpn",
+    "BM_CcaRpn",
+    "BM_CcaRpnReference",
+    "BM_NnFilter",
+    "BM_EbmsTracker",
+    "BM_EbmsTrackerReference",
+    "BM_EbmsTrackerCrowded",
+    "BM_EbmsTrackerCrowdedReference",
+)
+
+# Averages over benchmark iterations include partial passes over the
+# cycling frame banks, so a small relative wobble is expected; anything
+# beyond this means the closed form itself moved.
+DEFAULT_TOLERANCE = 0.05
+
+
+def check_steady_allocs(records):
+    by_name = {r["name"]: r for r in records}
+    failures = []
+    for name in sorted(STEADY_STATE_BENCHES):
+        record = by_name.get(name)
+        if record is None:
+            failures.append(f"pinned benchmark {name} missing from output")
+        elif record["allocs_per_frame"] is None:
+            failures.append(f"{name} reports no allocs_frame counter")
+        elif record["allocs_per_frame"] > 0:
+            failures.append(
+                f"steady-state stage {name} allocates "
+                f"{record['allocs_per_frame']:.6f} times/frame (expected 0)"
+            )
+    return failures
+
+
+def check_ops_regression(records, baseline_path):
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    tolerance = baseline.get("tolerance", DEFAULT_TOLERANCE)
+    pinned = baseline.get("ops_per_frame", {})
+    by_name = {r["name"]: r for r in records}
+    failures = []
+    # Self-verification both ways: a stage added to OPS_PINNED_BENCHES
+    # without regenerating the baseline (or removed from the code but
+    # still recorded) must fail loudly, not silently stop being gated.
+    for name in OPS_PINNED_BENCHES:
+        if name not in pinned:
+            failures.append(
+                f"{name} is ops-pinned in code but missing from the "
+                f"baseline — regenerate with --update-ops-baseline"
+            )
+    for name in sorted(pinned):
+        if name not in OPS_PINNED_BENCHES:
+            failures.append(
+                f"baseline records {name}, which is no longer in "
+                f"OPS_PINNED_BENCHES — regenerate with --update-ops-baseline"
+            )
+    for name, want in sorted(pinned.items()):
+        record = by_name.get(name)
+        if record is None:
+            failures.append(f"ops-pinned benchmark {name} missing from output")
+            continue
+        got = record["ops_per_frame"]
+        if got is None:
+            failures.append(f"{name} reports no ops_frame counter")
+            continue
+        drift = abs(got - want) / want if want else abs(got)
+        if drift > tolerance:
+            failures.append(
+                f"{name} ops/frame drifted {drift:.1%} from baseline "
+                f"({got:.1f} vs {want:.1f}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def write_ops_baseline(records, baseline_path):
+    by_name = {r["name"]: r for r in records}
+    ops = {}
+    for name in OPS_PINNED_BENCHES:
+        record = by_name.get(name)
+        if record is None or record["ops_per_frame"] is None:
+            print(f"cannot baseline {name}: no ops_frame in run",
+                  file=sys.stderr)
+            return 1
+        ops[name] = round(record["ops_per_frame"], 1)
+    out = {
+        "schema": "ebbiot-bench-ops-baseline/1",
+        "tolerance": DEFAULT_TOLERANCE,
+        "ops_per_frame": ops,
+    }
+    with open(baseline_path, "w", encoding="utf-8") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote ops baseline {baseline_path} with {len(ops)} stages")
+    return 0
 
 
 def main() -> int:
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
-    flags = {a for a in sys.argv[1:] if a.startswith("--")}
-    unknown = flags - {"--fail-on-steady-allocs"}
-    if len(args) != 2 or unknown:
+    flags = [a for a in sys.argv[1:] if a.startswith("--")]
+    fail_allocs = False
+    ops_baseline = None
+    update_baseline = None
+    for flag in flags:
+        if flag == "--fail-on-steady-allocs":
+            fail_allocs = True
+        elif flag.startswith("--fail-on-ops-regression="):
+            ops_baseline = flag.split("=", 1)[1]
+        elif flag.startswith("--update-ops-baseline="):
+            update_baseline = flag.split("=", 1)[1]
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+    if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
     with open(args[0], encoding="utf-8") as f:
@@ -77,28 +213,19 @@ def main() -> int:
         f.write("\n")
     print(f"wrote {args[1]} with {len(records)} benchmarks")
 
-    if "--fail-on-steady-allocs" in flags:
-        # The gate must stay self-verifying: a pinned benchmark that was
-        # renamed, or that lost its allocs_frame counter, is itself a
-        # failure — otherwise the check silently stops applying.
-        by_name = {r["name"]: r for r in records}
-        failures = []
-        for name in sorted(STEADY_STATE_BENCHES):
-            record = by_name.get(name)
-            if record is None:
-                failures.append(f"pinned benchmark {name} missing from output")
-            elif record["allocs_per_frame"] is None:
-                failures.append(f"{name} reports no allocs_frame counter")
-            elif record["allocs_per_frame"] > 0:
-                failures.append(
-                    f"steady-state stage {name} allocates "
-                    f"{record['allocs_per_frame']:.6f} times/frame (expected 0)"
-                )
-        for failure in failures:
-            print(failure, file=sys.stderr)
-        if failures:
-            return 1
-    return 0
+    if update_baseline is not None:
+        status = write_ops_baseline(records, update_baseline)
+        if status != 0:
+            return status
+
+    failures = []
+    if fail_allocs:
+        failures += check_steady_allocs(records)
+    if ops_baseline is not None:
+        failures += check_ops_regression(records, ops_baseline)
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":
