@@ -574,23 +574,33 @@ BENCHMARK(BM_LatchReadout);
 
 void BM_RunRecordingRegistry(benchmark::State& state) {
   // The full evaluation harness: all registered variants over a short
-  // synthetic ENG slice, at the thread count given by the benchmark arg.
-  // threads=1 is the serial loop; compare against higher counts for the
-  // per-frame pipeline fan-out (needs spare hardware threads to win).
+  // synthetic ENG slice, at {threads, pipelined} given by the benchmark
+  // args.  threads=1 is the serial loop; higher counts exercise the
+  // stage-graph (pipelined=1) or per-frame barrier (pipelined=0) paths —
+  // tools/bench_micro_json.py turns this grid into the thread-scaling
+  // section of BENCH_micro.json.
   const auto threads = static_cast<int>(state.range(0));
+  const bool pipelined = state.range(1) != 0;
   RecordingSpec spec = makeSyntheticEng();
   spec.durationS = 5.0;
   for (auto _ : state) {
     Recording rec = openRecording(spec);
     RunnerConfig config = makeRegistryRunnerConfig(240, 180);
     config.threads = threads;
+    config.pipelined = pipelined;
     config.maxFrames = 45;
     const RunResult result =
         runRecording(*rec.source, *rec.scenario, secondsToUs(5.0), config);
     benchmark::DoNotOptimize(result.frames);
   }
 }
-BENCHMARK(BM_RunRecordingRegistry)->Arg(1)->Arg(4)
+BENCHMARK(BM_RunRecordingRegistry)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -76,15 +76,13 @@ int main() {
               "Events(extrap)", "ev/frame", "tracks", "alpha", "beta");
 
   // Each recording is an independent synthesis + measurement, so the
-  // dataset sweep batches across threads (one task per recording);
-  // results land in per-recording slots and print in fixed order, so the
-  // output is identical to the serial sweep.
+  // dataset sweep shards recordings across the shared scheduler (one
+  // task per recording); results land in per-recording slots and print
+  // in fixed order, so the output is identical to the serial sweep.
   const std::vector<RecordingSpec> specs{makeSyntheticEng(),
                                          makeSyntheticLt4()};
   std::vector<MeasuredRecording> measured(specs.size());
-  ThreadPool pool(std::min(ThreadPool::resolveThreadCount(0),
-                           static_cast<int>(specs.size())));
-  pool.parallelFor(specs.size(), [&](std::size_t i) {
+  globalThreadPool().parallelFor(specs.size(), [&](std::size_t i) {
     measured[i] = measure(specs[i], scale);
   });
   for (std::size_t i = 0; i < specs.size(); ++i) {

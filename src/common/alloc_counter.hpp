@@ -3,8 +3,9 @@
 // Replaces the global operator new/delete with malloc/free-backed
 // versions that bump an atomic counter, so a test or benchmark can pin
 // "this loop allocates nothing in steady state".  Under AddressSanitizer
-// the replacement would collide with ASan's own new/delete interceptors
-// (alloc-dealloc-mismatch), so the counter degrades to always-zero and
+// or ThreadSanitizer the replacement would collide with the sanitizer's
+// own new/delete interceptors (alloc-dealloc-mismatch / unmodelled
+// frees), so the counter degrades to always-zero and
 // EBBIOT_ALLOC_COUNTER_DISABLED is defined for consumers to skip their
 // assertions.
 //
@@ -20,10 +21,10 @@
 #include <cstdlib>
 #include <new>
 
-#if defined(__SANITIZE_ADDRESS__)
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
 #define EBBIOT_ALLOC_COUNTER_DISABLED 1
 #elif defined(__has_feature)
-#if __has_feature(address_sanitizer)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
 #define EBBIOT_ALLOC_COUNTER_DISABLED 1
 #endif
 #endif

@@ -1,27 +1,202 @@
 #include "src/common/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/common/error.hpp"
 
 namespace ebbiot {
 
+namespace {
+
+/// Identifies the pool (if any) whose worker the current thread is, so
+/// enqueue() can target the worker's own deque and findTask() can skip
+/// stealing from itself.  A worker of pool A touching pool B counts as
+/// external for B.
+struct WorkerTls {
+  ThreadPool* pool = nullptr;
+  std::size_t index = 0;
+};
+thread_local WorkerTls tlsWorker;
+/// Rotating victim cursor so concurrent thieves spread over the deques.
+thread_local std::size_t tlsVictimCursor = 0;
+
+}  // namespace
+
+namespace detail {
+
+TaskNode::~TaskNode() {
+  // Only non-empty when the pool shut down with this task still queued:
+  // the successors were never dispatched, so drop their references here
+  // (cascades through abandoned chains).
+  for (TaskNode* successor : successors) {
+    release(successor);
+  }
+}
+
+StealDeque::Slab::Slab(std::size_t capacity)
+    : capacity(capacity), slots(capacity) {}
+
+StealDeque::StealDeque() : slab_(new Slab(64)) {}
+
+StealDeque::~StealDeque() {
+  delete slab_.load(std::memory_order_relaxed);
+  for (Slab* slab : retired_) {
+    delete slab;
+  }
+}
+
+void StealDeque::push(TaskNode* task) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  Slab* slab = slab_.load(std::memory_order_relaxed);
+  if (b - t >= static_cast<std::int64_t>(slab->capacity)) {
+    slab = grow(slab, b, t);
+  }
+  slab->at(b).store(task, std::memory_order_relaxed);
+  // seq_cst (⊇ release) publishes the slot to thieves; steal()'s bottom
+  // load is the other half of the payload's happens-before edge.
+  bottom_.store(b + 1, std::memory_order_seq_cst);
+}
+
+TaskNode* StealDeque::pop() {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  Slab* slab = slab_.load(std::memory_order_relaxed);
+  // The reservation of slot b must be globally visible before top is
+  // read (a store->load ordering only seq_cst provides): otherwise a
+  // concurrent thief and this pop could both take the last element.
+  bottom_.store(b, std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  TaskNode* task = nullptr;
+  if (t <= b) {
+    task = slab->at(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it via top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        task = nullptr;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+  } else {
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+  return task;
+}
+
+TaskNode* StealDeque::steal() {
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+  if (t >= b) {
+    return nullptr;
+  }
+  Slab* slab = slab_.load(std::memory_order_acquire);
+  TaskNode* task = slab->at(t).load(std::memory_order_relaxed);
+  // top is monotonic, so success means slot t was still live when read
+  // (the owner only reuses a physical slot after growing past it).
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return nullptr;  // lost the race; the caller tries another victim
+  }
+  return task;
+}
+
+StealDeque::Slab* StealDeque::grow(Slab* old, std::int64_t bottom,
+                                   std::int64_t top) {
+  auto* bigger = new Slab(old->capacity * 2);
+  for (std::int64_t i = top; i < bottom; ++i) {
+    bigger->at(i).store(old->at(i).load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  }
+  // Thieves may still hold the old slab pointer; retire it until the
+  // deque dies instead of freeing under them.
+  retired_.push_back(old);
+  slab_.store(bigger, std::memory_order_release);
+  return bigger;
+}
+
+}  // namespace detail
+
+TaskHandle::~TaskHandle() {
+  if (node_ != nullptr) {
+    detail::TaskNode::release(node_);
+  }
+}
+
+TaskHandle::TaskHandle(const TaskHandle& other) : node_(other.node_) {
+  if (node_ != nullptr) {
+    detail::TaskNode::retain(node_);
+  }
+}
+
+TaskHandle& TaskHandle::operator=(const TaskHandle& other) {
+  if (this != &other) {
+    if (other.node_ != nullptr) {
+      detail::TaskNode::retain(other.node_);
+    }
+    if (node_ != nullptr) {
+      detail::TaskNode::release(node_);
+    }
+    node_ = other.node_;
+  }
+  return *this;
+}
+
+TaskHandle::TaskHandle(TaskHandle&& other) noexcept : node_(other.node_) {
+  other.node_ = nullptr;
+}
+
+TaskHandle& TaskHandle::operator=(TaskHandle&& other) noexcept {
+  if (this != &other) {
+    if (node_ != nullptr) {
+      detail::TaskNode::release(node_);
+    }
+    node_ = other.node_;
+    other.node_ = nullptr;
+  }
+  return *this;
+}
+
+bool TaskHandle::done() const {
+  return node_ == nullptr || node_->done.load(std::memory_order_acquire);
+}
+
 ThreadPool::ThreadPool(int threads) {
   EBBIOT_ASSERT(threads >= 1);
-  workers_.reserve(static_cast<std::size_t>(threads - 1));
-  for (int i = 1; i < threads; ++i) {
-    workers_.emplace_back([this] { workerLoop(); });
+  const auto workerCount = static_cast<std::size_t>(threads - 1);
+  deques_.reserve(workerCount);
+  for (std::size_t i = 0; i < workerCount; ++i) {
+    deques_.push_back(std::make_unique<detail::StealDeque>());
+  }
+  workers_.reserve(workerCount);
+  for (std::size_t i = 0; i < workerCount; ++i) {
+    workers_.emplace_back([this, i] { workerLoop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
+  shutdown_.store(true, std::memory_order_release);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    shutdown_ = true;
+    // Pair with the sleep path so no worker re-checks the predicate
+    // between our store and the notify and then parks un-notified (the
+    // timed wait bounds that anyway; this removes the 2 ms tail).
+    const std::lock_guard<std::mutex> lock(sleepMutex_);
   }
-  wake_.notify_all();
-  for (std::thread& w : workers_) {
-    w.join();
+  sleepCv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  // Abandon whatever is still queued (no waiters can exist by contract:
+  // destroying a pool with un-waited tasks abandons them).  Releasing
+  // the scheduler references frees the nodes; a node's destructor drops
+  // its never-dispatched successor references in turn.
+  for (auto& deque : deques_) {
+    while (detail::TaskNode* task = deque->steal()) {
+      detail::TaskNode::release(task);
+    }
+  }
+  for (detail::TaskNode* task : injector_) {
+    detail::TaskNode::release(task);
   }
 }
 
@@ -33,81 +208,264 @@ int ThreadPool::resolveThreadCount(int configured) {
   return std::max(1, static_cast<int>(hw));
 }
 
-void ThreadPool::workerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  std::size_t seenJob = 0;
-  while (true) {
-    wake_.wait(lock, [&] {
-      return shutdown_ || (fn_ != nullptr && jobId_ != seenJob);
-    });
-    if (shutdown_) {
+void ThreadPool::workerLoop(std::size_t worker) {
+  tlsWorker = WorkerTls{this, worker};
+  int idle = 0;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (helpOnce()) {
+      idle = 0;
+      continue;
+    }
+    if (++idle < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleepMutex_);
+    if (shutdown_.load(std::memory_order_acquire)) {
+      break;
+    }
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    // The timed wait bounds the cost of the benign lost-wakeup window
+    // (enqueue reads sleepers_ == 0 just before we registered).
+    sleepCv_.wait_for(lock, std::chrono::milliseconds(2));
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    idle = 0;
+  }
+  tlsWorker = WorkerTls{};
+}
+
+void ThreadPool::notifySleepers() {
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    const std::lock_guard<std::mutex> lock(sleepMutex_);
+    sleepCv_.notify_all();
+  }
+}
+
+void ThreadPool::enqueue(detail::TaskNode* node) {
+  if (tlsWorker.pool == this) {
+    deques_[tlsWorker.index]->push(node);
+  } else {
+    const std::lock_guard<std::mutex> lock(injectorMutex_);
+    injector_.push_back(node);
+  }
+  notifySleepers();
+}
+
+void ThreadPool::makeRunnable(detail::TaskNode* node) {
+  if (node->unmet.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    enqueue(node);
+  }
+}
+
+void ThreadPool::execute(detail::TaskNode* node) {
+  try {
+    node->fn();
+  } catch (...) {
+    node->error = std::current_exception();
+  }
+  node->fn = nullptr;  // drop captures before waiters resume
+  std::vector<detail::TaskNode*> successors;
+  {
+    const std::lock_guard<std::mutex> lock(node->mutex);
+    node->completed = true;
+    successors.swap(node->successors);
+  }
+  node->done.store(true, std::memory_order_release);
+  notifySleepers();
+  for (detail::TaskNode* successor : successors) {
+    makeRunnable(successor);
+    detail::TaskNode::release(successor);  // the successor-list reference
+  }
+  detail::TaskNode::release(node);  // the scheduler reference
+}
+
+detail::TaskNode* ThreadPool::findTask(std::size_t victimStart) {
+  const bool isWorker = tlsWorker.pool == this;
+  if (isWorker) {
+    if (detail::TaskNode* task = deques_[tlsWorker.index]->pop()) {
+      return task;
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(injectorMutex_);
+    if (!injector_.empty()) {
+      detail::TaskNode* task = injector_.front();
+      injector_.pop_front();
+      return task;
+    }
+  }
+  const std::size_t count = deques_.size();
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t victim = (victimStart + k) % count;
+    if (isWorker && victim == tlsWorker.index) {
+      continue;
+    }
+    if (detail::TaskNode* task = deques_[victim]->steal()) {
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+bool ThreadPool::helpOnce() {
+  detail::TaskNode* task = findTask(tlsVictimCursor++);
+  if (task == nullptr) {
+    return false;
+  }
+  execute(task);
+  return true;
+}
+
+TaskHandle ThreadPool::submit(std::function<void()> fn) {
+  return submit(std::move(fn), nullptr, 0);
+}
+
+TaskHandle ThreadPool::submit(std::function<void()> fn,
+                              std::initializer_list<TaskHandle> deps) {
+  return submit(std::move(fn), deps.begin(), deps.size());
+}
+
+TaskHandle ThreadPool::submit(std::function<void()> fn,
+                              const TaskHandle* deps, std::size_t depCount) {
+  EBBIOT_ASSERT(fn != nullptr);
+  auto* node = new detail::TaskNode;
+  node->fn = std::move(fn);
+  node->pool = this;
+  // One reference for the returned handle, one for the scheduler (held
+  // from here until execute() dispatched the successors).
+  node->refs.store(2, std::memory_order_relaxed);
+  // node->unmet starts at 1: a guard that keeps the task from becoming
+  // runnable while dependencies are still being wired up.
+  for (std::size_t i = 0; i < depCount; ++i) {
+    detail::TaskNode* dep = deps[i].node_;
+    if (dep == nullptr) {
+      continue;
+    }
+    const std::lock_guard<std::mutex> lock(dep->mutex);
+    if (!dep->completed) {
+      detail::TaskNode::retain(node);
+      dep->successors.push_back(node);
+      node->unmet.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  makeRunnable(node);  // drop the guard; enqueues if all deps were met
+  return TaskHandle(node);
+}
+
+void ThreadPool::wait(const TaskHandle& handle) {
+  detail::TaskNode* node = handle.node_;
+  if (node == nullptr) {
+    return;
+  }
+  EBBIOT_ASSERT(node->pool == this);
+  int idle = 0;
+  while (!node->done.load(std::memory_order_acquire)) {
+    if (helpOnce()) {
+      idle = 0;
+      continue;
+    }
+    if (++idle < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleepMutex_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    sleepCv_.wait_for(lock, std::chrono::milliseconds(1));
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    idle = 0;
+  }
+  if (node->error) {
+    std::rethrow_exception(node->error);
+  }
+}
+
+namespace {
+
+/// Shared state of one parallelFor call; lives on the caller's stack
+/// (every drainer is waited on before parallelFor returns).
+struct ParallelJob {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t chunkDivisor = 1;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex errorMutex;
+  std::exception_ptr firstError;
+};
+
+/// Claim guided chunks off the shared counter until the range (or the
+/// job, on error) is exhausted.  Chunks shrink as the range drains so
+/// skewed per-index costs still balance across thieves.
+void drainJob(ParallelJob& job) {
+  for (;;) {
+    if (job.abort.load(std::memory_order_relaxed)) {
       return;
     }
-    seenJob = jobId_;
-    while (fn_ != nullptr && next_ < end_) {
-      const std::size_t i = next_++;
-      ++pending_;
-      const auto* fn = fn_;
-      lock.unlock();
-      std::exception_ptr error;
-      try {
-        (*fn)(i);
-      } catch (...) {
-        error = std::current_exception();
+    const std::size_t seen = job.next.load(std::memory_order_relaxed);
+    if (seen >= job.n) {
+      return;
+    }
+    const std::size_t chunk =
+        std::max<std::size_t>(1, (job.n - seen) / job.chunkDivisor);
+    const std::size_t begin =
+        job.next.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= job.n) {
+      return;
+    }
+    const std::size_t end = std::min(job.n, begin + chunk);
+    try {
+      for (std::size_t i = begin; i < end; ++i) {
+        (*job.fn)(i);
       }
-      lock.lock();
-      if (error && !firstError_) {
-        firstError_ = error;
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(job.errorMutex);
+      if (!job.firstError) {
+        job.firstError = std::current_exception();
       }
-      if (--pending_ == 0 && next_ >= end_) {
-        done_.notify_all();
-      }
+      job.abort.store(true, std::memory_order_relaxed);
     }
   }
 }
+
+}  // namespace
 
 void ThreadPool::parallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) {
     return;
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  EBBIOT_ASSERT(fn_ == nullptr);  // not reentrant
-  fn_ = &fn;
-  next_ = 0;
-  end_ = n;
-  pending_ = 0;
-  firstError_ = nullptr;
-  ++jobId_;
-  lock.unlock();
-  wake_.notify_all();
-
-  // The caller contributes instead of idling.
-  lock.lock();
-  while (next_ < end_) {
-    const std::size_t i = next_++;
-    ++pending_;
-    lock.unlock();
-    std::exception_ptr error;
-    try {
+  if (threadCount() == 1) {
+    // No workers and no thieves: a plain in-order loop with the same
+    // contract (the first exception propagates, the rest of the range is
+    // abandoned).
+    for (std::size_t i = 0; i < n; ++i) {
       fn(i);
-    } catch (...) {
-      error = std::current_exception();
     }
-    lock.lock();
-    if (error && !firstError_) {
-      firstError_ = error;
-    }
-    --pending_;
+    return;
   }
-  done_.wait(lock, [&] { return pending_ == 0 && next_ >= end_; });
-  fn_ = nullptr;
-  const std::exception_ptr error = firstError_;
-  firstError_ = nullptr;
-  lock.unlock();
-  if (error) {
-    std::rethrow_exception(error);
+  ParallelJob job;
+  job.n = n;
+  job.fn = &fn;
+  const std::size_t width =
+      std::min(static_cast<std::size_t>(threadCount()), n);
+  job.chunkDivisor = 4 * width;
+  std::vector<TaskHandle> drainers;
+  drainers.reserve(width - 1);
+  for (std::size_t i = 1; i < width; ++i) {
+    drainers.push_back(submit([&job] { drainJob(job); }));
   }
+  drainJob(job);
+  for (const TaskHandle& drainer : drainers) {
+    wait(drainer);  // never throws: drainJob catches everything
+  }
+  if (job.firstError) {
+    std::rethrow_exception(job.firstError);
+  }
+}
+
+ThreadPool& globalThreadPool() {
+  static ThreadPool pool(ThreadPool::resolveThreadCount(0));
+  return pool;
 }
 
 }  // namespace ebbiot

@@ -1,26 +1,146 @@
-// Minimal persistent worker pool for deterministic fan-out.
+// Work-stealing scheduler for deterministic fan-out and stage graphs.
 //
 // The evaluation harness parallelises *independent* units — one pipeline
 // per task within a frame (runRecording), one recording per task across a
-// dataset sweep (bench_table1_datasets).  Each unit owns all of its
-// mutable state and writes results into its own pre-allocated slot, so
-// which worker runs which index never changes the result: determinism is
-// by construction, and the pool needs no ordering guarantees beyond
-// "parallelFor returns after every index ran".
+// dataset sweep (the bench grids).  Each unit owns all of its mutable
+// state and writes results into its own pre-allocated slot, so which
+// worker runs which task never changes the result: determinism is by
+// construction, and the scheduler needs no ordering guarantees beyond the
+// dependency edges the caller declares.
 //
-// The calling thread participates in the work, so ThreadPool(1) spawns no
-// workers and parallelFor degenerates to a plain loop.
+// Two layers share one pool of workers:
+//   * parallelFor(n, fn) — the historical data-parallel API, now handed
+//     out in guided chunks through an atomic counter instead of
+//     one-index-per-lock; reentrant (a task body may call parallelFor or
+//     submit again — the waiting thread helps run queued tasks).
+//   * submit(fn, deps) / wait(handle) — a task-graph API: a task becomes
+//     runnable when every dependency has *completed* (succeeded or
+//     threw), so a pipeline of unevenly-priced stages keeps every worker
+//     busy instead of idling at a per-stage barrier.
+//
+// Scheduling: each worker owns a Chase–Lev deque (lock-free push/pop at
+// the bottom, lock-free steal at the top).  Tasks made runnable by a
+// worker — dependency-successor dispatch, nested submits — go to that
+// worker's own deque; tasks submitted from outside the pool land in a
+// small mutex-guarded injector queue.  An idle worker drains its own
+// deque, then the injector, then steals from the other workers.
+//
+// The calling thread participates in the work while waiting, so
+// ThreadPool(1) spawns no workers, parallelFor degenerates to a plain
+// in-order loop and submitted tasks run inline inside wait().
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <initializer_list>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace ebbiot {
+
+class ThreadPool;
+
+namespace detail {
+
+/// One node of the task graph.  Intrusively refcounted: the returned
+/// TaskHandle, the scheduler (from submit until the task finished and its
+/// successors were dispatched) and every predecessor's successor list
+/// each hold one reference.
+struct TaskNode {
+  std::function<void()> fn;
+  ThreadPool* pool = nullptr;
+  std::atomic<std::uint32_t> refs{1};
+  /// Unmet dependencies + 1 submission guard; the task is enqueued when
+  /// this reaches zero.
+  std::atomic<std::uint32_t> unmet{1};
+  /// Set (release) after fn ran and `error` is in place; wait() spins /
+  /// helps until it observes this (acquire).
+  std::atomic<bool> done{false};
+  std::exception_ptr error;
+
+  std::mutex mutex;                   ///< guards the two fields below
+  bool completed = false;             ///< mirrors `done` for registration
+  std::vector<TaskNode*> successors;  ///< each entry holds a reference
+
+  ~TaskNode();
+  static void retain(TaskNode* node) {
+    node->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void release(TaskNode* node) {
+    if (node->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete node;
+    }
+  }
+};
+
+/// Chase–Lev work-stealing deque (Chase & Lev, SPAA'05, with the C11
+/// orderings of Lê et al., PPoPP'13).  The owner pushes/pops at the
+/// bottom; thieves race on `top` with a CAS.  Orderings that the
+/// literature relaxes through standalone fences are folded into seq_cst
+/// operations on top/bottom instead — ThreadSanitizer does not model
+/// fences, and the happens-before edge thieves need for the task payload
+/// is carried by the bottom store/load pair.  Retired grow() arrays stay
+/// alive until destruction so a racing thief never reads freed memory.
+class StealDeque {
+ public:
+  StealDeque();
+  ~StealDeque();
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// Owner only: push one task at the bottom.
+  void push(TaskNode* task);
+  /// Owner only: pop the most recently pushed task, or nullptr.
+  TaskNode* pop();
+  /// Any thread: steal the oldest task, or nullptr (empty or lost race).
+  TaskNode* steal();
+
+ private:
+  struct Slab {
+    explicit Slab(std::size_t capacity);
+    std::size_t capacity;  ///< power of two
+    std::vector<std::atomic<TaskNode*>> slots;
+    std::atomic<TaskNode*>& at(std::int64_t i) {
+      return slots[static_cast<std::size_t>(i) & (capacity - 1)];
+    }
+  };
+  Slab* grow(Slab* old, std::int64_t bottom, std::int64_t top);
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Slab*> slab_;
+  std::vector<Slab*> retired_;  ///< owner-only; freed in the destructor
+};
+
+}  // namespace detail
+
+/// Shared handle to a submitted task; cheap to copy.  A default-
+/// constructed handle is empty and is ignored as a dependency.
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+  ~TaskHandle();
+  TaskHandle(const TaskHandle& other);
+  TaskHandle& operator=(const TaskHandle& other);
+  TaskHandle(TaskHandle&& other) noexcept;
+  TaskHandle& operator=(TaskHandle&& other) noexcept;
+
+  [[nodiscard]] bool valid() const { return node_ != nullptr; }
+  /// True once the task ran to completion (or threw).
+  [[nodiscard]] bool done() const;
+
+ private:
+  friend class ThreadPool;
+  explicit TaskHandle(detail::TaskNode* node) : node_(node) {}
+  detail::TaskNode* node_ = nullptr;
+};
 
 class ThreadPool {
  public:
@@ -34,10 +154,28 @@ class ThreadPool {
 
   /// Invoke fn(i) once for every i in [0, n), distributed over the pool;
   /// blocks until all invocations finished.  fn must be safe to call
-  /// concurrently for distinct i.  If any invocation throws, one of the
-  /// exceptions is rethrown here after all indices completed or were
-  /// abandoned.  Not reentrant: one parallelFor at a time per pool.
+  /// concurrently for distinct i.  If any invocation throws, the first
+  /// recorded exception is rethrown here after every index either
+  /// completed or was abandoned (indices not yet started when the
+  /// exception surfaced are skipped).  Reentrant: fn may call
+  /// parallelFor or submit on the same pool.
   void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Enqueue fn to run once every handle in `deps` has completed (empty
+  /// or invalid handles are ignored; a dependency that already completed
+  /// counts as met).  Dependencies express *completion*, not success: a
+  /// throwing dependency still releases its successors, and its
+  /// exception surfaces from wait() on its own handle.
+  TaskHandle submit(std::function<void()> fn);
+  TaskHandle submit(std::function<void()> fn,
+                    std::initializer_list<TaskHandle> deps);
+  TaskHandle submit(std::function<void()> fn, const TaskHandle* deps,
+                    std::size_t depCount);
+
+  /// Block until the task completed, contributing to queued work while
+  /// waiting (safe to call from inside a task).  Rethrows the task's
+  /// exception if it threw; safe to call repeatedly and on empty handles.
+  void wait(const TaskHandle& handle);
 
   /// Total threads contributing work (workers + the calling thread).
   [[nodiscard]] int threadCount() const {
@@ -48,23 +186,35 @@ class ThreadPool {
   [[nodiscard]] static int resolveThreadCount(int configured);
 
  private:
-  void workerLoop();
-  /// Run queued indices until none are left; returns after contributing.
-  void drainCurrentJob();
+  friend struct detail::TaskNode;
 
-  std::mutex mutex_;
-  std::condition_variable wake_;      ///< workers wait for a new job
-  std::condition_variable done_;      ///< parallelFor waits for completion
+  void workerLoop(std::size_t worker);
+  void enqueue(detail::TaskNode* node);
+  /// Called by task execution when a dependency count hits zero.
+  void makeRunnable(detail::TaskNode* node);
+  void execute(detail::TaskNode* node);
+  /// Next runnable task for this thread (worker or helper), or nullptr.
+  detail::TaskNode* findTask(std::size_t preferredVictim);
+  /// Run one queued task if any is available; returns whether one ran.
+  bool helpOnce();
+  void notifySleepers();
+
   std::vector<std::thread> workers_;
-  // Job state (guarded by mutex_; indices are handed out under the lock —
-  // the per-index work dominates, so contention is irrelevant here).
-  std::size_t jobId_ = 0;             ///< bumped per parallelFor call
-  std::size_t next_ = 0;              ///< next index to hand out
-  std::size_t end_ = 0;               ///< one past the last index
-  std::size_t pending_ = 0;           ///< indices handed out, not finished
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::exception_ptr firstError_;
-  bool shutdown_ = false;
+  std::vector<std::unique_ptr<detail::StealDeque>> deques_;  ///< per worker
+
+  std::mutex injectorMutex_;
+  std::deque<detail::TaskNode*> injector_;  ///< FIFO from external threads
+
+  std::atomic<bool> shutdown_{false};
+  std::atomic<int> sleepers_{0};
+  std::mutex sleepMutex_;
+  std::condition_variable sleepCv_;
 };
+
+/// Process-wide pool sized to the hardware, for sharding coarse
+/// independent jobs (dataset sweeps, bench grids) without every binary
+/// re-growing its own batching scaffold.  Lazily constructed on first
+/// use; lives for the remainder of the process.
+ThreadPool& globalThreadPool();
 
 }  // namespace ebbiot

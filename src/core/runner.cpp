@@ -1,6 +1,7 @@
 #include "src/core/runner.hpp"
 
 #include <algorithm>
+#include <array>
 #include <memory>
 #include <set>
 
@@ -124,97 +125,174 @@ RunResult runRecording(EventSource& source, const SceneProvider& scene,
       config.maxFrames > 0 ? std::min(config.maxFrames, totalFrames)
                            : totalFrames;
 
-  // Worker pool for the per-frame pipeline fan-out.  More threads than
-  // pipelines is pointless — a frame has at most one task per pipeline.
-  const int threadCount =
-      std::min(ThreadPool::resolveThreadCount(config.threads),
-               std::max(1, static_cast<int>(pipelines.size())));
-  std::unique_ptr<ThreadPool> pool;
-  if (threadCount > 1) {
-    pool = std::make_unique<ThreadPool>(threadCount);
-  }
+  const std::size_t pipelineCount = pipelines.size();
 
-  // Per-frame inputs, re-pointed every iteration so the fan-out closure —
-  // and its one-time std::function conversion for the pool — can live
-  // outside the frame loop instead of heap-allocating per frame.
-  const EventPacket* streamPacket = nullptr;
-  const EventPacket* latched = nullptr;
-  const GtFrame* gt = nullptr;
+  // Sensor geometry snapshot: under the stage graph the evaluation tasks
+  // run concurrently with the front-end chain drawing the next window,
+  // so they must not touch the (stateful) source at all.
+  const int width = source.width();
+  const int height = source.height();
 
-  auto evaluate = [&](PipelineRunStats& stats, const Tracks& rawTracks) {
-    // Ground truth is frame-clipped; clip reported boxes the same way
-    // so objects straddling the frame edge are scored fairly.
-    Tracks tracks;
-    tracks.reserve(rawTracks.size());
-    for (const Track& t : rawTracks) {
-      Track clipped = t;
-      clipped.box = clampToFrame(t.box, source.width(), source.height());
-      if (!clipped.box.empty()) {
-        tracks.push_back(clipped);
-      }
-    }
-    for (std::size_t i = 0; i < config.iouThresholds.size(); ++i) {
-      stats.counts[i].add(
-          matchFrame(tracks, gt->boxes, config.iouThresholds[i]));
-    }
-    ++stats.frames;
+  // One window's shared inputs.  The serial and barrier modes reuse a
+  // single slot; the stage graph keeps a small ring of them so the front
+  // end can run ahead of the evaluations.
+  struct FrameSlot {
+    EventPacket stream;
+    EventPacket latched;
+    GtFrame gt;
   };
 
-  // One task per pipeline: pipeline i's state, stats slot and GT match
-  // are touched only by whichever worker drew index i, and each
-  // pipeline's accumulation order over frames is unchanged — the
-  // RunResult is identical for every thread count.
-  const std::function<void(std::size_t)> processPipeline =
-      [&](std::size_t i) {
-        Pipeline& pipeline = *pipelines[i];
-        const EventPacket& input =
-            pipeline.inputDomain() == InputDomain::kLatchedFrame
-                ? *latched
-                : *streamPacket;
-        const Tracks tracks = pipeline.processWindow(input);
-        result.pipelines[i].totalOps += pipeline.lastOps();
-        filteredSums[i] +=
-            static_cast<double>(pipeline.lastFilteredEventCount());
-        evaluate(result.pipelines[i], tracks);
-      };
+  // Front end of one window: stream draw, GT annotation, latch readout,
+  // stream-stat accumulation.  Strictly sequential along frames (the
+  // source is stateful), so every accumulator it touches is updated in
+  // frame order regardless of which worker runs it.
+  auto frontEnd = [&](FrameSlot& slot) {
+    slot.stream = source.nextWindow(config.framePeriod);
+    result.streamEvents += slot.stream.size();
 
-  for (std::size_t frame = 0; frame < frameLimit; ++frame) {
-    const EventPacket frameStream = source.nextWindow(config.framePeriod);
-    streamPacket = &frameStream;
-    result.streamEvents += frameStream.size();
-
-    const GtFrame frameGt = annotateScene(scene, frameStream.tEnd(),
-                                          config.gtOptions);
-    gt = &frameGt;
-    for (const GtBox& b : frameGt.boxes) {
+    slot.gt = annotateScene(scene, slot.stream.tEnd(), config.gtOptions);
+    for (const GtBox& b : slot.gt.boxes) {
       gtIds.insert(b.trackId);
     }
-    result.gtBoxes += frameGt.boxes.size();
+    result.gtBoxes += slot.gt.boxes.size();
 
     // Latched readout for the frame-domain pipelines.
-    EventPacket frameLatched;
-    latched = &frameLatched;
     if (anyLatched) {
-      frameLatched =
-          latchReadout(frameStream, source.width(), source.height());
-      result.latchedEvents += frameLatched.size();
-      const FrameStats stats =
-          computeFrameStats(frameStream, source.width(), source.height());
+      slot.latched = latchReadout(slot.stream, width, height);
+      result.latchedEvents += slot.latched.size();
+      const FrameStats stats = computeFrameStats(slot.stream, width, height);
       if (stats.activePixels > 0) {
         alphaSum += stats.alpha;
         betaSum += stats.beta;
         ++activityFrames;
       }
     }
+    ++result.frames;
+  };
 
-    if (pool != nullptr) {
-      pool->parallelFor(pipelines.size(), processPipeline);
-    } else {
-      for (std::size_t i = 0; i < pipelines.size(); ++i) {
-        processPipeline(i);
+  auto evaluate = [&](PipelineRunStats& stats, const Tracks& rawTracks,
+                      const GtFrame& gt) {
+    // Ground truth is frame-clipped; clip reported boxes the same way
+    // so objects straddling the frame edge are scored fairly.
+    Tracks tracks;
+    tracks.reserve(rawTracks.size());
+    for (const Track& t : rawTracks) {
+      Track clipped = t;
+      clipped.box = clampToFrame(t.box, width, height);
+      if (!clipped.box.empty()) {
+        tracks.push_back(clipped);
       }
     }
-    ++result.frames;
+    for (std::size_t i = 0; i < config.iouThresholds.size(); ++i) {
+      stats.counts[i].add(
+          matchFrame(tracks, gt.boxes, config.iouThresholds[i]));
+    }
+    ++stats.frames;
+  };
+
+  // One task per pipeline per window: pipeline i's state, stats slot and
+  // GT match are touched only by this task, tasks of the same pipeline
+  // are chained in frame order, and the window inputs they read are
+  // frozen until every evaluation of that window finished — the
+  // RunResult is identical for every thread count and schedule.
+  auto processPipeline = [&](std::size_t i, const FrameSlot& slot) {
+    Pipeline& pipeline = *pipelines[i];
+    const EventPacket& input =
+        pipeline.inputDomain() == InputDomain::kLatchedFrame ? slot.latched
+                                                             : slot.stream;
+    const Tracks tracks = pipeline.processWindow(input);
+    result.pipelines[i].totalOps += pipeline.lastOps();
+    filteredSums[i] +=
+        static_cast<double>(pipeline.lastFilteredEventCount());
+    evaluate(result.pipelines[i], tracks, slot.gt);
+  };
+
+  // More threads than stages is pointless: a window has one task per
+  // pipeline, plus the overlapped front end of the next window when
+  // pipelining.
+  const int threadCount = std::min(
+      ThreadPool::resolveThreadCount(config.threads),
+      std::max(1, static_cast<int>(pipelineCount) + (config.pipelined ? 1 : 0)));
+
+  if (threadCount <= 1) {
+    // Serial reference order: front end, then pipelines 0..P-1, per frame.
+    FrameSlot slot;
+    for (std::size_t frame = 0; frame < frameLimit; ++frame) {
+      frontEnd(slot);
+      for (std::size_t i = 0; i < pipelineCount; ++i) {
+        processPipeline(i, slot);
+      }
+    }
+  } else if (!config.pipelined) {
+    // Per-frame fan-out with a barrier between windows.
+    ThreadPool pool(threadCount);
+    FrameSlot slot;
+    const std::function<void(std::size_t)> task = [&](std::size_t i) {
+      processPipeline(i, slot);
+    };
+    for (std::size_t frame = 0; frame < frameLimit; ++frame) {
+      frontEnd(slot);
+      pool.parallelFor(pipelineCount, task);
+    }
+  } else {
+    // Stage graph: the front-end chain F(0) -> F(1) -> ... runs
+    // concurrently with the per-pipeline chains B_i; B_i(f) depends on
+    // F(f) (its inputs) and B_i(f-1) (the pipeline's own state).  A
+    // ring of frame slots decouples the chains: slot f % kSlots is
+    // reused only after every evaluation of frame f - kSlots completed,
+    // which also bounds how far the front end runs ahead.
+    ThreadPool pool(threadCount);
+    constexpr std::size_t kSlots = 3;
+    std::array<FrameSlot, kSlots> slots;
+    std::array<std::vector<TaskHandle>, kSlots> slotUsers;
+    TaskHandle frontPrev;
+    std::vector<TaskHandle> pipePrev(pipelineCount);
+    std::exception_ptr error;
+    auto drain = [&](const TaskHandle& handle) {
+      try {
+        pool.wait(handle);
+      } catch (...) {
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+    };
+    for (std::size_t frame = 0; frame < frameLimit && !error; ++frame) {
+      const std::size_t s = frame % kSlots;
+      for (const TaskHandle& user : slotUsers[s]) {
+        drain(user);
+      }
+      slotUsers[s].clear();
+      if (error) {
+        break;  // abandon remaining windows; outstanding tasks drain below
+      }
+      FrameSlot& slot = slots[s];
+      TaskHandle front = pool.submit([&frontEnd, &slot] { frontEnd(slot); },
+                                     {frontPrev});
+      for (std::size_t i = 0; i < pipelineCount; ++i) {
+        TaskHandle task = pool.submit(
+            [&processPipeline, i, &slot] { processPipeline(i, slot); },
+            {front, pipePrev[i]});
+        pipePrev[i] = task;
+        slotUsers[s].push_back(std::move(task));
+      }
+      frontPrev = std::move(front);
+    }
+    // Every submitted task references stack state; drain them all before
+    // leaving the scope (dependencies complete regardless of errors, so
+    // this cannot deadlock), then surface the first failure.
+    drain(frontPrev);
+    for (const TaskHandle& task : pipePrev) {
+      drain(task);
+    }
+    for (const auto& users : slotUsers) {
+      for (const TaskHandle& user : users) {
+        drain(user);
+      }
+    }
+    if (error) {
+      std::rethrow_exception(error);
+    }
   }
 
   result.gtTracks = gtIds.size();

@@ -66,14 +66,24 @@ struct RunnerConfig {
   /// Stop after this many frames even if the source has more (0 = run the
   /// full `duration` passed to runRecording).
   std::size_t maxFrames = 0;
-  /// Worker threads for the per-frame pipeline fan-out: each window's
-  /// packet is latched once, then the pipelines (which own all their
-  /// state) are processed and ground-truth-matched concurrently, one task
-  /// per pipeline, with stats written to per-pipeline slots.  The
-  /// RunResult is bit-identical for every thread count; run order of the
-  /// reported pipelines is unchanged.  1 = the serial loop (default);
-  /// 0 = one thread per hardware thread.
+  /// Worker threads for the pipeline fan-out: each window's packet is
+  /// latched once, then the pipelines (which own all their state) are
+  /// processed and ground-truth-matched concurrently, one task per
+  /// pipeline, with stats written to per-pipeline slots.  The RunResult
+  /// is bit-identical for every thread count; run order of the reported
+  /// pipelines is unchanged.  1 = the serial loop (default); 0 = one
+  /// thread per hardware thread.
   int threads = 1;
+  /// Stage-graph execution (effective only when threads resolve to > 1):
+  /// the front end of window N+1 — stream draw, GT annotation, latch
+  /// readout — overlaps the pipeline evaluation and GT matching of
+  /// window N instead of idling at a per-frame barrier.  Every
+  /// accumulator is still owned by exactly one task chain (front-end
+  /// chain or one pipeline's chain) and updated in frame order, so the
+  /// RunResult stays bit-identical to the serial loop; pinned by
+  /// tests/test_runner_threads.cpp.  false falls back to the per-frame
+  /// fan-out with a barrier between windows.
+  bool pipelined = true;
 };
 
 /// Result of one pipeline over one recording.

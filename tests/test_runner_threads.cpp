@@ -1,8 +1,9 @@
-// Determinism of the multithreaded runner: runRecording with threads = 4
-// must reproduce the threads = 1 RunResult *exactly* (counts, ops, stream
-// stats, every pipeline of the full variant registry), because each
-// pipeline's work and accumulation order is unchanged — only which OS
-// thread executes it varies.
+// Determinism of the multithreaded runner: runRecording must reproduce
+// the serial RunResult *exactly* (counts, ops, stream stats, every
+// pipeline of the full variant registry) for every thread count and for
+// pipelined (stage-graph) and barrier execution alike, because each
+// accumulator is owned by exactly one task chain and updated in frame
+// order — only which OS thread executes a task varies.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -59,25 +60,34 @@ void expectRunResultsEqual(const RunResult& a, const RunResult& b) {
   }
 }
 
-TEST(RunnerThreadsTest, FourThreadsReproduceSerialResultExactly) {
-  // Full registry: all 7 named variants run in one call, maximising the
-  // chance any cross-pipeline interference would surface.
+TEST(RunnerThreadsTest, EveryThreadCountAndModeReproducesSerialExactly) {
+  // Full registry: all named variants run in one call, maximising the
+  // chance any cross-pipeline interference would surface.  Sweep
+  // {pipelined off/on} x {1, 2, 4, 0 = hardware} threads against the
+  // serial baseline — every cell must be bit-identical.
+  constexpr double kSeconds = 2.0;
   RunnerConfig serial = makeRegistryRunnerConfig(240, 180);
   serial.threads = 1;
-  RunnerConfig threaded = serial;
-  threaded.threads = 4;
+  serial.pipelined = false;
 
   Fixture fixSerial;
-  const RunResult a =
-      runRecording(*fixSerial.synth, fixSerial.scene, secondsToUs(3.0),
-                   serial);
-  Fixture fixThreaded;
-  const RunResult b =
-      runRecording(*fixThreaded.synth, fixThreaded.scene, secondsToUs(3.0),
-                   threaded);
+  const RunResult baseline = runRecording(*fixSerial.synth, fixSerial.scene,
+                                          secondsToUs(kSeconds), serial);
+  ASSERT_GT(baseline.pipelines.size(), 1U);
 
-  ASSERT_GT(a.pipelines.size(), 1U);
-  expectRunResultsEqual(a, b);
+  for (const bool pipelined : {false, true}) {
+    for (const int threads : {1, 2, 4, 0}) {
+      RunnerConfig config = serial;
+      config.threads = threads;
+      config.pipelined = pipelined;
+      Fixture fix;
+      const RunResult run = runRecording(*fix.synth, fix.scene,
+                                         secondsToUs(kSeconds), config);
+      SCOPED_TRACE(::testing::Message()
+                   << "threads=" << threads << " pipelined=" << pipelined);
+      expectRunResultsEqual(baseline, run);
+    }
+  }
 }
 
 TEST(RunnerThreadsTest, ThreadsZeroMeansHardwareConcurrency) {

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace ebbiot {
@@ -67,6 +69,193 @@ TEST(ThreadPoolTest, ResolveThreadCount) {
   EXPECT_EQ(ThreadPool::resolveThreadCount(1), 1);
   EXPECT_GE(ThreadPool::resolveThreadCount(0), 1);
   EXPECT_GE(ThreadPool::resolveThreadCount(-2), 1);
+}
+
+TEST(ThreadPoolTest, MultiThrowRethrowsFirstRecordedAndAbandonsRest) {
+  // Every index throws a distinct exception.  Contract: the first
+  // *recorded* exception is rethrown after every index either completed
+  // or was abandoned — single-threaded that is deterministically index
+  // 0, and abandonment means not all 64 indices ran.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  std::string message;
+  try {
+    pool.parallelFor(64, [&](std::size_t i) {
+      ++ran;
+      throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected parallelFor to throw";
+  } catch (const std::runtime_error& e) {
+    message = e.what();
+  }
+  EXPECT_EQ(message, "0");
+  EXPECT_EQ(ran.load(), 1);  // indices 1..63 abandoned
+}
+
+TEST(ThreadPoolTest, MultiThrowAcrossThreadsSurvivesAndRethrowsOne) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 8; ++round) {
+    std::atomic<int> ran{0};
+    std::string message;
+    try {
+      pool.parallelFor(128, [&](std::size_t i) {
+        ++ran;
+        throw std::runtime_error(std::to_string(i));
+      });
+      FAIL() << "expected parallelFor to throw";
+    } catch (const std::runtime_error& e) {
+      message = e.what();
+    }
+    // The rethrown exception is one of the thrown ones, and at least one
+    // index ran; the abandoned remainder never started.
+    const int thrown = std::stoi(message);
+    EXPECT_GE(thrown, 0);
+    EXPECT_LT(thrown, 128);
+    EXPECT_GE(ran.load(), 1);
+    EXPECT_LE(ran.load(), 128);
+  }
+  // The pool survives repeated throwing jobs.
+  std::atomic<int> count{0};
+  pool.parallelFor(16, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, StealHeavyStressSkewedCosts) {
+  // Heavily skewed per-index costs: a handful of indices dominate, so
+  // the guided chunks of the fast indices must migrate to idle workers
+  // through the steal path for the pool to finish at all promptly.
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 512;
+  std::vector<std::uint64_t> out(kTasks, 0);
+  pool.parallelFor(kTasks, [&](std::size_t i) {
+    std::uint64_t acc = i;
+    const int spins = (i % 64 == 0) ? 20000 : 20;
+    for (int s = 0; s < spins; ++s) {
+      acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+    }
+    out[i] = acc | 1;  // every slot written exactly once, nonzero
+  });
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    ASSERT_NE(out[i], 0U) << "index " << i << " never ran";
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromTasks) {
+  // parallelFor is reentrant: task bodies fan out again on the same
+  // pool, and the waiting thread helps instead of deadlocking.
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallelFor(8, [&](std::size_t) {
+    pool.parallelFor(32, [&](std::size_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 8 * 32);
+}
+
+TEST(ThreadPoolTest, NestedSubmitRecursiveTree) {
+  // Tasks submit subtasks and block on them: a binary tree of depth 6,
+  // counted at every node.  Waiting inside a worker must help-execute
+  // queued tasks (its own deque or steals) for the tree to complete.
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::function<void(int)> node = [&](int depth) {
+    ++count;
+    if (depth == 0) {
+      return;
+    }
+    const TaskHandle left = pool.submit([&node, depth] { node(depth - 1); });
+    const TaskHandle right = pool.submit([&node, depth] { node(depth - 1); });
+    pool.wait(left);
+    pool.wait(right);
+  };
+  const TaskHandle root = pool.submit([&node] { node(6); });
+  pool.wait(root);
+  EXPECT_EQ(count.load(), (1 << 7) - 1);
+}
+
+TEST(TaskGraphTest, DependenciesOrderDiamond) {
+  for (const int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    std::mutex mutex;
+    std::vector<char> order;
+    auto record = [&](char who) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(who);
+    };
+    const TaskHandle a = pool.submit([&] { record('a'); });
+    const TaskHandle b = pool.submit([&] { record('b'); }, {a});
+    const TaskHandle c = pool.submit([&] { record('c'); }, {a});
+    const TaskHandle d = pool.submit([&] { record('d'); }, {b, c});
+    pool.wait(d);
+    ASSERT_EQ(order.size(), 4U);
+    EXPECT_EQ(order.front(), 'a');
+    EXPECT_EQ(order.back(), 'd');
+    EXPECT_TRUE(a.done() && b.done() && c.done() && d.done());
+  }
+}
+
+TEST(TaskGraphTest, DependencyOnCompletedTaskRunsImmediately) {
+  ThreadPool pool(2);
+  const TaskHandle first = pool.submit([] {});
+  pool.wait(first);
+  ASSERT_TRUE(first.done());
+  std::atomic<bool> ran{false};
+  const TaskHandle second = pool.submit([&] { ran = true; }, {first});
+  pool.wait(second);
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(TaskGraphTest, EmptyHandleDependencyIsIgnored) {
+  ThreadPool pool(2);
+  const TaskHandle empty;
+  EXPECT_TRUE(empty.done());
+  pool.wait(empty);  // no-op
+  std::atomic<bool> ran{false};
+  const TaskHandle task = pool.submit([&] { ran = true; }, {empty});
+  pool.wait(task);
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(TaskGraphTest, ThrowingTaskStillReleasesSuccessors) {
+  ThreadPool pool(2);
+  std::atomic<bool> successorRan{false};
+  const TaskHandle bad =
+      pool.submit([] { throw std::runtime_error("stage failed"); });
+  const TaskHandle after = pool.submit([&] { successorRan = true; }, {bad});
+  pool.wait(after);  // dependencies express completion, not success
+  EXPECT_TRUE(successorRan.load());
+  EXPECT_THROW(pool.wait(bad), std::runtime_error);
+  EXPECT_THROW(pool.wait(bad), std::runtime_error);  // rethrows repeatedly
+}
+
+TEST(TaskGraphTest, LongChainCompletesInOrder) {
+  // A frame-chain shape: each link depends on its predecessor and bumps
+  // a sequence counter; any reordering would break the equality.
+  ThreadPool pool(4);
+  constexpr int kLinks = 200;
+  std::vector<int> sequence;
+  sequence.reserve(kLinks);
+  TaskHandle prev;
+  for (int i = 0; i < kLinks; ++i) {
+    prev = pool.submit([&sequence, i] { sequence.push_back(i); }, {prev});
+  }
+  pool.wait(prev);
+  ASSERT_EQ(sequence.size(), static_cast<std::size_t>(kLinks));
+  for (int i = 0; i < kLinks; ++i) {
+    EXPECT_EQ(sequence[i], i);
+  }
+}
+
+TEST(TaskGraphTest, GlobalPoolShardsIndependentJobs) {
+  ThreadPool& pool = globalThreadPool();
+  EXPECT_GE(pool.threadCount(), 1);
+  std::vector<int> slots(64, 0);
+  pool.parallelFor(slots.size(),
+                   [&](std::size_t i) { slots[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i], static_cast<int>(i));
+  }
+  // Same instance on every call.
+  EXPECT_EQ(&globalThreadPool(), &pool);
 }
 
 }  // namespace

@@ -14,6 +14,12 @@ Each benchmark becomes {"name", "ns_per_frame", "ops_per_frame",
 counters).  CI runs this every build so the history of the word-parallel
 hot path stays measurable; stdlib only, no dependencies.
 
+The BM_RunRecordingRegistry/<threads>/<pipelined> grid is additionally
+summarised into a "thread_scaling" section: one row per (threads,
+pipelined) cell with its speedup over the serial threads=1 /
+pipelined=0 cell, plus the host CPU count so a 1.0x row on a
+single-core host reads as parity, not a regression.
+
 With --fail-on-steady-allocs the script exits non-zero (after writing the
 JSON) if any stage pinned allocation-free in steady state reports
 allocs_per_frame above zero — the benchmarks warm those stages up before
@@ -161,6 +167,43 @@ def write_ops_baseline(records, baseline_path):
     return 0
 
 
+def thread_scaling_section(records, host_cpus):
+    """Summarise the BM_RunRecordingRegistry/<threads>/<pipelined> grid.
+
+    Speedups are relative to the serial threads=1 / pipelined=0 cell.
+    On a single-core host every cell sits near 1.0x (the runner clamps
+    to the hardware) — host_cpus is recorded so readers can tell parity
+    from regression.
+    """
+    cells = []
+    for record in records:
+        parts = record["name"].split("/")
+        if parts[0] != "BM_RunRecordingRegistry" or len(parts) != 3:
+            continue
+        cells.append(
+            {
+                "threads": int(parts[1]),
+                "pipelined": bool(int(parts[2])),
+                "ns_per_run": record["ns_per_frame"],
+            }
+        )
+    if not cells:
+        return None
+    serial = next(
+        (c for c in cells if c["threads"] == 1 and not c["pipelined"]), None
+    )
+    for cell in cells:
+        cell["speedup_vs_serial"] = (
+            round(serial["ns_per_run"] / cell["ns_per_run"], 3)
+            if serial
+            else None
+        )
+    cells.sort(key=lambda c: (c["threads"], c["pipelined"]))
+    return {"benchmark": "BM_RunRecordingRegistry",
+            "host_cpus": host_cpus,
+            "cells": cells}
+
+
 def main() -> int:
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     flags = [a for a in sys.argv[1:] if a.startswith("--")]
@@ -208,6 +251,9 @@ def main() -> int:
         "build_type": context.get("library_build_type"),
         "benchmarks": records,
     }
+    scaling = thread_scaling_section(records, context.get("num_cpus"))
+    if scaling is not None:
+        out["thread_scaling"] = scaling
     with open(args[1], "w", encoding="utf-8") as f:
         json.dump(out, f, indent=2)
         f.write("\n")
