@@ -31,7 +31,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -39,9 +38,10 @@
 #include <functional>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/thread_annotations.hpp"
 
 namespace ebbiot {
 
@@ -65,11 +65,15 @@ struct TaskNode {
   std::atomic<bool> done{false};
   std::exception_ptr error;
 
-  std::mutex mutex;                   ///< guards the two fields below
-  bool completed = false;             ///< mirrors `done` for registration
-  std::vector<TaskNode*> successors;  ///< each entry holds a reference
+  Mutex mutex;
+  /// Mirrors `done` for successor registration.
+  bool completed EBBIOT_GUARDED_BY(mutex) = false;
+  /// Each entry holds a reference.
+  std::vector<TaskNode*> successors EBBIOT_GUARDED_BY(mutex);
 
-  ~TaskNode();
+  // Runs only when the last reference dies, so `successors` has a single
+  // owner and needs no lock — which the analysis cannot see.
+  ~TaskNode() EBBIOT_NO_THREAD_SAFETY_ANALYSIS;
   static void retain(TaskNode* node) {
     node->refs.fetch_add(1, std::memory_order_relaxed);
   }
@@ -189,26 +193,30 @@ class ThreadPool {
   friend struct detail::TaskNode;
 
   void workerLoop(std::size_t worker);
-  void enqueue(detail::TaskNode* node);
+  void enqueue(detail::TaskNode* node) EBBIOT_EXCLUDES(injectorMutex_);
   /// Called by task execution when a dependency count hits zero.
   void makeRunnable(detail::TaskNode* node);
   void execute(detail::TaskNode* node);
   /// Next runnable task for this thread (worker or helper), or nullptr.
-  detail::TaskNode* findTask(std::size_t preferredVictim);
+  detail::TaskNode* findTask(std::size_t preferredVictim)
+      EBBIOT_EXCLUDES(injectorMutex_);
   /// Run one queued task if any is available; returns whether one ran.
   bool helpOnce();
-  void notifySleepers();
+  void notifySleepers() EBBIOT_EXCLUDES(sleepMutex_);
 
   std::vector<std::thread> workers_;
   std::vector<std::unique_ptr<detail::StealDeque>> deques_;  ///< per worker
 
-  std::mutex injectorMutex_;
-  std::deque<detail::TaskNode*> injector_;  ///< FIFO from external threads
+  Mutex injectorMutex_;
+  /// FIFO of tasks submitted from outside the pool's own workers.
+  std::deque<detail::TaskNode*> injector_ EBBIOT_GUARDED_BY(injectorMutex_);
 
   std::atomic<bool> shutdown_{false};
   std::atomic<int> sleepers_{0};
-  std::mutex sleepMutex_;
-  std::condition_variable sleepCv_;
+  /// Pairs with sleepCv_: no fields are guarded (the sleep predicate is
+  /// the atomics above); the lock only closes the check-then-park race.
+  Mutex sleepMutex_;
+  CondVar sleepCv_;
 };
 
 /// Process-wide pool sized to the hardware, for sharding coarse

@@ -73,6 +73,7 @@ class FrameFrontEnd {
   [[nodiscard]] const RegionProposals& lastProposals() const {
     return *proposals_;
   }
+  /// ops-model: composite — sum of the stage records below, each with its own model.
   [[nodiscard]] const FrontEndOps& lastOps() const { return ops_; }
 
   [[nodiscard]] const FrontEndConfig& config() const { return config_; }

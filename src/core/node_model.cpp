@@ -1,5 +1,7 @@
 #include "src/core/node_model.hpp"
 
+#include <algorithm>
+
 #include "src/common/error.hpp"
 
 namespace ebbiot {

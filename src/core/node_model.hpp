@@ -17,6 +17,13 @@
 // Defaults are a Cortex-M-class microcontroller with a BLE-class radio —
 // the platform the paper's "FPGA and microprocessors commonly used in
 // IoT" remark points at.
+//
+// Thread compatibility: everything here is a plain value type and
+// estimateNodeBudget() is a pure function of its arguments — no locks,
+// no shared mutable state, nothing for -Wthread-safety to guard.  The
+// planned IoVT node fleet may evaluate budgets from many worker threads
+// concurrently; keep it that way (state added here would need a
+// GUARDED_BY'd ebbiot::Mutex from src/common/thread_annotations.hpp).
 #pragma once
 
 #include "src/common/time.hpp"

@@ -57,6 +57,7 @@ class Pipeline {
   virtual Tracks processWindow(const EventPacket& packet) = 0;
 
   /// Total measured ops of the most recent window (all stages).
+  /// ops-model: composite — sum of per-stage records, each with its own model.
   [[nodiscard]] virtual OpCounts lastOps() const = 0;
 
   /// Display/lookup name ("EBBIOT", "EBBI+KF", "EBMS", ...).  Stats in a

@@ -105,19 +105,35 @@ RunResult runRecording(EventSource& source, const SceneProvider& scene,
         return p->inputDomain() == InputDomain::kLatchedFrame;
       });
 
-  result.pipelines.reserve(pipelines.size());
-  for (const auto& pipeline : pipelines) {
+  // Chain-owned accumulators, promoted from comments to types.  The stage
+  // graph runs without locks, so every mutable accumulator must belong to
+  // exactly ONE serial task chain: FrontEndAccum is written only by the
+  // front-end chain F(0) -> F(1) -> ..., chains[i] only by pipeline i's
+  // chain B_i(0) -> B_i(1) -> ...  The chains synchronise through task
+  // dependencies alone; the fold into the shared RunResult happens after
+  // every chain has drained.  (Lock-free ownership is not expressible as
+  // a GUARDED_BY annotation — the structs make it structural instead, and
+  // tests/test_runner_threads.cpp pins the resulting determinism.)
+  struct FrontEndAccum {
+    std::uint64_t streamEvents = 0;
+    std::uint64_t latchedEvents = 0;
+    std::set<std::uint32_t> gtIds;
+    std::size_t gtBoxes = 0;
+    std::size_t frames = 0;
+    double alphaSum = 0.0;
+    double betaSum = 0.0;
+    std::size_t activityFrames = 0;
+  };
+  struct PipelineAccum {
     PipelineRunStats stats;
-    stats.name = pipeline->name();
-    stats.counts.resize(config.iouThresholds.size());
-    result.pipelines.push_back(std::move(stats));
+    double filteredSum = 0.0;
+  };
+  FrontEndAccum front;
+  std::vector<PipelineAccum> chains(pipelines.size());
+  for (std::size_t i = 0; i < pipelines.size(); ++i) {
+    chains[i].stats.name = pipelines[i]->name();
+    chains[i].stats.counts.resize(config.iouThresholds.size());
   }
-  std::vector<double> filteredSums(pipelines.size(), 0.0);
-
-  std::set<std::uint32_t> gtIds;
-  double alphaSum = 0.0;
-  double betaSum = 0.0;
-  std::size_t activityFrames = 0;
 
   const std::size_t totalFrames =
       static_cast<std::size_t>(duration / config.framePeriod);
@@ -148,26 +164,26 @@ RunResult runRecording(EventSource& source, const SceneProvider& scene,
   // frame order regardless of which worker runs it.
   auto frontEnd = [&](FrameSlot& slot) {
     slot.stream = source.nextWindow(config.framePeriod);
-    result.streamEvents += slot.stream.size();
+    front.streamEvents += slot.stream.size();
 
     slot.gt = annotateScene(scene, slot.stream.tEnd(), config.gtOptions);
     for (const GtBox& b : slot.gt.boxes) {
-      gtIds.insert(b.trackId);
+      front.gtIds.insert(b.trackId);
     }
-    result.gtBoxes += slot.gt.boxes.size();
+    front.gtBoxes += slot.gt.boxes.size();
 
     // Latched readout for the frame-domain pipelines.
     if (anyLatched) {
       slot.latched = latchReadout(slot.stream, width, height);
-      result.latchedEvents += slot.latched.size();
+      front.latchedEvents += slot.latched.size();
       const FrameStats stats = computeFrameStats(slot.stream, width, height);
       if (stats.activePixels > 0) {
-        alphaSum += stats.alpha;
-        betaSum += stats.beta;
-        ++activityFrames;
+        front.alphaSum += stats.alpha;
+        front.betaSum += stats.beta;
+        ++front.activityFrames;
       }
     }
-    ++result.frames;
+    ++front.frames;
   };
 
   auto evaluate = [&](PipelineRunStats& stats, const Tracks& rawTracks,
@@ -197,14 +213,15 @@ RunResult runRecording(EventSource& source, const SceneProvider& scene,
   // RunResult is identical for every thread count and schedule.
   auto processPipeline = [&](std::size_t i, const FrameSlot& slot) {
     Pipeline& pipeline = *pipelines[i];
+    PipelineAccum& accum = chains[i];
     const EventPacket& input =
         pipeline.inputDomain() == InputDomain::kLatchedFrame ? slot.latched
                                                              : slot.stream;
     const Tracks tracks = pipeline.processWindow(input);
-    result.pipelines[i].totalOps += pipeline.lastOps();
-    filteredSums[i] +=
+    accum.stats.totalOps += pipeline.lastOps();
+    accum.filteredSum +=
         static_cast<double>(pipeline.lastFilteredEventCount());
-    evaluate(result.pipelines[i], tracks, slot.gt);
+    evaluate(accum.stats, tracks, slot.gt);
   };
 
   // More threads than stages is pointless: a window has one task per
@@ -295,17 +312,29 @@ RunResult runRecording(EventSource& source, const SceneProvider& scene,
     }
   }
 
-  result.gtTracks = gtIds.size();
-  if (activityFrames > 0) {
-    result.meanAlpha = alphaSum / static_cast<double>(activityFrames);
-    result.meanBeta = betaSum / static_cast<double>(activityFrames);
+  // Every chain has drained: fold the chain-owned accumulators into the
+  // shared result (the only cross-chain reads in the function).
+  result.streamEvents = front.streamEvents;
+  result.latchedEvents = front.latchedEvents;
+  result.gtBoxes = front.gtBoxes;
+  result.frames = front.frames;
+  result.gtTracks = front.gtIds.size();
+  if (front.activityFrames > 0) {
+    result.meanAlpha =
+        front.alphaSum / static_cast<double>(front.activityFrames);
+    result.meanBeta =
+        front.betaSum / static_cast<double>(front.activityFrames);
+  }
+  result.pipelines.reserve(chains.size());
+  for (PipelineAccum& chain : chains) {
+    result.pipelines.push_back(std::move(chain.stats));
   }
   if (result.frames > 0) {
     result.meanEventsPerFrame = static_cast<double>(result.streamEvents) /
                                 static_cast<double>(result.frames);
     for (std::size_t i = 0; i < result.pipelines.size(); ++i) {
       result.pipelines[i].filteredEventsPerFrame =
-          filteredSums[i] / static_cast<double>(result.frames);
+          chains[i].filteredSum / static_cast<double>(result.frames);
     }
   }
 

@@ -19,6 +19,7 @@ CcaLabeler::CcaLabeler(const CcaConfig& config) : config_(config) {
 }
 
 std::uint32_t CcaLabeler::UnionFind::make() {
+  // hot-path: cleared per frame by labelWords(); high-water capacity only.
   parent.push_back(static_cast<std::uint32_t>(parent.size()));
   return static_cast<std::uint32_t>(parent.size() - 1);
 }

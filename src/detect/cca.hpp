@@ -101,6 +101,9 @@ class CcaLabeler {
   /// Ops of the most recent call: the per-pixel two-pass accounting
   /// (neighbour probes + union merges + label writes + resolve adds),
   /// in closed form, bit-identical to CcaLabelerReference's metering.
+  /// ops-model: closed-form — Eq.-style per-pixel accounting charged from word-parallel
+  /// neighbour-plane popcounts; pinned against the metered reference by
+  /// tests/test_cca_word.cpp.
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
   [[nodiscard]] const CcaConfig& config() const { return config_; }

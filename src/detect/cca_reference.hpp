@@ -43,6 +43,8 @@ class CcaLabelerReference {
   [[nodiscard]] const RegionProposals& propose(const BinaryImage& image);
 
   /// Metered ops of the most recent call.
+  /// ops-model: metered — every scan step counts as it runs; the fast twin's closed
+  /// form is pinned to these values.
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
   [[nodiscard]] const CcaConfig& config() const { return config_; }

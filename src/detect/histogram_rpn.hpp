@@ -63,6 +63,7 @@ class HistogramRpn {
 
   /// Ops of the most recent propose() call (downsample + histogram + run
   /// finding + validation), comparable to C_RPN of Eq. (5).
+  /// ops-model: metered — histogram build + tighten passes count as they run.
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
   [[nodiscard]] const HistogramRpnConfig& config() const { return config_; }

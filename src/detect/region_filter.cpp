@@ -55,11 +55,13 @@ void RegionFilter::buildWeights() {
   //   unit 0: fill-density gate,  active iff density > 12.5 %;
   //   unit 1: size gate,          active iff area > 6.25 % of reference;
   //   unit 2: aspect gate,        active iff min/max side > 12.5 %.
-  w1at(0, densityIdx) = 2 * kQ7One;
+  // int arithmetic narrowed back to the Q7 int16 weight store explicitly
+  // (2 * kQ7One = 256 fits comfortably; the casts document that).
+  w1at(0, densityIdx) = static_cast<std::int16_t>(2 * kQ7One);
   b1_[0] = -kUnit / 4;
-  w1at(1, areaIdx) = 2 * kQ7One;
+  w1at(1, areaIdx) = static_cast<std::int16_t>(2 * kQ7One);
   b1_[1] = -kUnit / 8;
-  w1at(2, aspectIdx) = 2 * kQ7One;
+  w1at(2, aspectIdx) = static_cast<std::int16_t>(2 * kQ7One);
   b1_[2] = -kUnit / 4;
 
   // Unit 3 (when present): compactness — interior grid cells vote for,
@@ -90,12 +92,12 @@ void RegionFilter::buildWeights() {
   // nudge, mixing units whisper; bias sets the operating point.
   w2_[0] = kQ7One;
   w2_[1] = kQ7One;
-  w2_[2] = kQ7One / 4;
+  w2_[2] = static_cast<std::int16_t>(kQ7One / 4);
   if (h > 3) {
-    w2_[3] = kQ7One / 8;
+    w2_[3] = static_cast<std::int16_t>(kQ7One / 8);
   }
   for (int unit = 4; unit < h; ++unit) {
-    w2_[static_cast<std::size_t>(unit)] = kQ7One / 16;
+    w2_[static_cast<std::size_t>(unit)] = static_cast<std::int16_t>(kQ7One / 16);
   }
   b2_ = -3 * kUnit / 4;
 }

@@ -64,6 +64,7 @@ class RegionFilter {
                                    const RegionProposal& proposal);
 
   /// Ops of the most recent apply() call.
+  /// ops-model: metered — patch fetches and MAC ops counted per scored proposal.
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
   /// Proposals rejected by the most recent apply() call.

@@ -69,6 +69,8 @@ class Downsampler {
 
   /// Ops performed by the most recent call (one add per source pixel read
   /// that lands in a block, one write per output cell).
+  /// ops-model: closed-form — abstract one-add-per-pixel model, independent of the
+  /// masked-word implementation (see downsampleInto).
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
  private:

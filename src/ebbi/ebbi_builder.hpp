@@ -41,6 +41,7 @@ class EbbiBuilder {
                                               BinaryImage& offImage);
 
   /// Ops performed by the most recent build call.
+  /// ops-model: metered — one write per latched event as it lands.
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
   [[nodiscard]] int width() const { return width_; }

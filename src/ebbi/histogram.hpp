@@ -31,6 +31,7 @@ class HistogramBuilder {
   void buildInto(const CountImage& image, HistogramPair& out);
 
   /// Ops of the most recent build (two adds per cell + one write per bin).
+  /// ops-model: metered — projection adds counted as they run.
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
  private:

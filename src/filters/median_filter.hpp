@@ -48,6 +48,8 @@ class MedianFilter {
 
   /// Ops of the most recent apply under Eq. (1)'s accounting: one memRead
   /// per clamped patch pixel, one comparison and one write per pixel.
+  /// ops-model: closed-form — Eq. (1)'s fixed activity-independent floor via
+  /// median_detail::closedFormOps; pinned by tests/test_median_filter_word.cpp.
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
  private:

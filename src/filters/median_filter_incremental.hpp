@@ -50,6 +50,8 @@ class MedianFilterIncremental {
   /// Ops of the most recent apply under Eq. (1)'s accounting — identical
   /// to MedianFilter's (the incremental evaluation is invisible to the
   /// abstract cost model).
+  /// ops-model: closed-form — identical Eq. (1) floor as the full filter —
+  /// caching changes wall-clock, never the paper's accounting.
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
  private:

@@ -29,6 +29,8 @@ class MedianFilterReference {
   void applyInto(const BinaryImage& input, BinaryImage& output);
 
   /// Metered ops of the most recent apply (Eq. (1) accounting).
+  /// ops-model: metered — per-pixel meter the word-parallel closed form is
+  /// pinned against.
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
  private:

@@ -55,6 +55,8 @@ class NnFilter {
   void reset();
 
   /// Ops of the most recent filter() call (Eq. (2) accounting).
+  /// ops-model: closed-form — Eq. (2) support-scan cost from clamped neighbourhood
+  /// bounds; pinned against a metered full scan in tests/test_nn_filter.cpp.
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
   /// Memory footprint of the timestamp map in bits: Bt * A * B (Eq. (2)).

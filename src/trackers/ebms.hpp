@@ -98,6 +98,8 @@ class EbmsTracker {
   /// Ops across the most recent processPacket call, comparable to the
   /// per-frame C_EBMS of Eq. (8).  Charged in closed form; pinned equal
   /// to EbmsTrackerReference's metered counts by differential tests.
+  /// ops-model: closed-form — per-event capture/update costs charged analytically;
+  /// pinned against the metered reference by tests/test_ebms_soa.cpp.
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
   /// Number of cluster merges performed so far (drives the measured

@@ -52,6 +52,7 @@ class EbmsTrackerReference {
   [[nodiscard]] int activeCount() const;
 
   /// Metered ops across the most recent processPacket call.
+  /// ops-model: metered — deque-walk costs counted as they run.
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
   [[nodiscard]] std::uint64_t mergeCount() const { return mergeCount_; }

@@ -71,6 +71,7 @@ class HybridTracker {
   [[nodiscard]] int activeCount() const;
 
   /// Ops of the most recent update() call.
+  /// ops-model: metered — sum of the OT association and KF smoothing work that ran.
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
   [[nodiscard]] const HybridTrackerConfig& config() const { return config_; }

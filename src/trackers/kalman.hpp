@@ -92,6 +92,7 @@ class KalmanTracker {
   [[nodiscard]] int activeCount() const;
 
   /// Ops of the most recent update, comparable to C_KF of Eq. (7).
+  /// ops-model: metered — predict/update matrix ops counted per live track.
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
   [[nodiscard]] const KalmanTrackerConfig& config() const { return config_; }

@@ -105,6 +105,7 @@ class OverlapTracker {
   [[nodiscard]] int activeCount() const;
 
   /// Ops of the most recent update() call, comparable to C_OT of Eq. (6).
+  /// ops-model: metered — per-case association work counted as it runs.
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
   [[nodiscard]] const OverlapTrackerConfig& config() const { return config_; }

@@ -1,0 +1,58 @@
+// Negative-compile probe for the Clang Thread Safety Analysis leg.
+//
+// Compiled two ways by CI's static-analysis job (and never linked into
+// anything):
+//
+//   1. Without EBBIOT_EXPECT_THREAD_SAFETY_ERROR: the guarded access is
+//      compiled out, the TU is empty of violations, and it must build
+//      clean under -Wthread-safety -Werror.  This proves the probe
+//      itself isn't what trips the analysis.
+//   2. With -DEBBIOT_EXPECT_THREAD_SAFETY_ERROR: touchWithoutLock()
+//      reads and writes a GUARDED_BY field with no lock held, and the
+//      build MUST fail.  If it ever compiles, the analysis has gone
+//      dark — macros expanding to nothing under Clang, the warning
+//      dropped from the flags, or the wrapper types losing their
+//      capability attributes — and CI fails loudly instead of the
+//      annotations silently becoming decoration.
+//
+// Under GCC the attributes are no-ops and both variants compile; only
+// the Clang leg gives this file meaning.
+#include <cstdint>
+
+#include "src/common/thread_annotations.hpp"
+
+namespace ebbiot::negative {
+
+class Counter {
+ public:
+  void increment() {
+    const MutexLock lock(mutex_);
+    value_ += 1;
+  }
+
+#ifdef EBBIOT_EXPECT_THREAD_SAFETY_ERROR
+  // error: reading/writing variable 'value_' requires holding mutex
+  // 'mutex_' [-Werror,-Wthread-safety-analysis]
+  std::uint64_t touchWithoutLock() {
+    value_ += 1;
+    return value_;
+  }
+#endif
+
+ private:
+  Mutex mutex_;
+  std::uint64_t value_ EBBIOT_GUARDED_BY(mutex_) = 0;
+};
+
+// Anchor so the TU is never empty and the class is instantiated.
+std::uint64_t poke() {
+  Counter counter;
+  counter.increment();
+#ifdef EBBIOT_EXPECT_THREAD_SAFETY_ERROR
+  return counter.touchWithoutLock();
+#else
+  return 0;
+#endif
+}
+
+}  // namespace ebbiot::negative

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint_invariants.py on synthetic fixture repos.
+
+Each case builds a miniature repo in a temp directory and asserts the
+linter accepts the house-rule-abiding layout and rejects each negative
+fixture with the right rule tag.  Run directly:
+
+    python3 tests/test_lint_invariants.py
+
+CI runs this (and the linter itself against the real repo) from the
+static-analysis job; ctest registers both, so `ctest -R lint` covers it
+locally too.
+"""
+
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+import lint_invariants  # noqa: E402
+
+
+def write(root: Path, rel: str, text: str) -> None:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+
+
+def run_check(root: Path, check: str):
+    if check == "twins":
+        return lint_invariants.check_reference_twins(root)
+    if check == "hotpath":
+        return lint_invariants.check_hot_paths(
+            root, root / "tools" / "hot_path_manifest.json")
+    return lint_invariants.check_ops_model(root)
+
+
+class FixtureCase(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self._tmp.name)
+        (self.root / "tests").mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def manifest(self, entries):
+        write(self.root, "tools/hot_path_manifest.json",
+              json.dumps({"hot_paths": entries}))
+
+
+class TwinsCheck(FixtureCase):
+    GOOD_TEST = """
+        #include "src/detect/foo.hpp"
+        #include "src/detect/foo_reference.hpp"
+        TEST(FooDiff, Matches) {
+          Foo fast(cfg); FooReference ref(cfg);
+          EXPECT_EQ(fast.lastOps(), ref.lastOps());
+        }
+    """
+
+    def setUp(self):
+        super().setUp()
+        write(self.root, "src/detect/foo.hpp", "class Foo {};\n")
+        write(self.root, "src/detect/foo_reference.hpp",
+              "class FooReference {};\n")
+
+    def test_differential_test_with_ops_compare_passes(self):
+        write(self.root, "tests/test_foo_diff.cpp", self.GOOD_TEST)
+        self.assertEqual(run_check(self.root, "twins"), [])
+
+    def test_missing_differential_test_fails(self):
+        problems = run_check(self.root, "twins")
+        self.assertEqual(len(problems), 1)
+        self.assertIn("[twins]", problems[0])
+
+    def test_test_without_ops_comparison_fails(self):
+        write(self.root, "tests/test_foo_diff.cpp",
+              self.GOOD_TEST.replace("lastOps", "boxes"))
+        problems = run_check(self.root, "twins")
+        self.assertEqual(len(problems), 1)
+        self.assertIn("lastOps", problems[0])
+
+    def test_reference_without_fast_twin_fails(self):
+        write(self.root, "src/detect/orphan_reference.hpp",
+              "class OrphanReference {};\n")
+        write(self.root, "tests/test_foo_diff.cpp", self.GOOD_TEST)
+        problems = run_check(self.root, "twins")
+        self.assertEqual(len(problems), 1)
+        self.assertIn("orphan_reference", problems[0])
+
+
+class HotPathCheck(FixtureCase):
+    def lint_hot(self, body: str, init_functions=()):
+        write(self.root, "src/hot.cpp", body)
+        entry = {"file": "src/hot.cpp"}
+        if init_functions:
+            entry["init_functions"] = list(init_functions)
+        self.manifest([entry])
+        return run_check(self.root, "hotpath")
+
+    def test_clean_steady_state_passes(self):
+        self.assertEqual(self.lint_hot("""
+            Stage::Stage(int n) { buf_.resize(n); }  // ctor: allowed
+            void Stage::step() {
+              buf_[0] += 1;
+              scratch_.runs.push_back(Run{0, 1});  // member scratch: allowed
+            }
+        """), [])
+
+    def test_new_in_steady_state_fails(self):
+        problems = self.lint_hot("""
+            void Stage::step() { auto* p = new int[64]; use(p); }
+        """)
+        self.assertEqual(len(problems), 1)
+        self.assertIn("`new`", problems[0])
+
+    def test_new_inside_comment_is_ignored(self):
+        self.assertEqual(self.lint_hot("""
+            void Stage::step() {
+              // a new plan: never allocate here, not even make_unique
+              counter += 1;  /* push_back would be bad */
+            }
+        """), [])
+
+    def test_std_function_in_hot_file_fails(self):
+        problems = self.lint_hot("""
+            void Stage::step(const std::function<void(int)>& cb) { cb(1); }
+        """)
+        self.assertEqual(len(problems), 1)
+        self.assertIn("std::function", problems[0])
+
+    def test_local_vector_growth_fails(self):
+        problems = self.lint_hot("""
+            void Stage::step() {
+              std::vector<int> order;
+              order.push_back(1);
+            }
+        """)
+        self.assertEqual(len(problems), 1)
+        self.assertIn("order.push_back", problems[0])
+
+    def test_reserve_guarded_local_passes(self):
+        self.assertEqual(self.lint_hot("""
+            void Stage::step() {
+              std::vector<int> order;
+              order.reserve(kMax);
+              order.push_back(1);
+            }
+        """), [])
+
+    def test_reference_bound_scratch_passes(self):
+        self.assertEqual(self.lint_hot("""
+            void Stage::step() {
+              std::vector<int>& live = scratch_.live;
+              live.clear();
+              live.push_back(1);
+            }
+        """), [])
+
+    def test_init_function_listing_allows_growth(self):
+        body = """
+            void Stage::reset() {
+              std::vector<int> grid;
+              grid.resize(kCells);
+              grid_.swap(grid);
+            }
+        """
+        self.assertEqual(len(self.lint_hot(body)), 1)
+        self.assertEqual(self.lint_hot(body, init_functions=["reset"]), [])
+
+    def test_waiver_comment_allows_with_visible_reason(self):
+        self.assertEqual(self.lint_hot("""
+            void Stage::step() {
+              std::vector<int> once;
+              // hot-path: bounded by CLmax, measured zero-alloc after warmup
+              once.push_back(1);
+            }
+        """), [])
+
+    def test_manifest_listing_missing_file_fails(self):
+        self.manifest([{"file": "src/gone.cpp"}])
+        problems = run_check(self.root, "hotpath")
+        self.assertEqual(len(problems), 1)
+        self.assertIn("absent", problems[0])
+
+
+class OpsModelCheck(FixtureCase):
+    def test_untagged_lastops_header_fails(self):
+        write(self.root, "src/stage.hpp", """
+            class Stage {
+             public:
+              const OpCounts& lastOps() const { return ops_; }
+            };
+        """)
+        problems = run_check(self.root, "opsmodel")
+        self.assertEqual(len(problems), 1)
+        self.assertIn("[opsmodel]", problems[0])
+
+    def test_ops_model_tag_passes(self):
+        write(self.root, "src/stage.hpp", """
+            class Stage {
+             public:
+              /// ops-model: metered — counted as the scan runs.
+              const OpCounts& lastOps() const { return ops_; }
+            };
+        """)
+        self.assertEqual(run_check(self.root, "opsmodel"), [])
+
+    def test_closed_form_in_sibling_cpp_passes(self):
+        write(self.root, "src/stage.hpp", """
+            class Stage {
+             public:
+              const OpCounts& lastOps() const { return ops_; }
+            };
+        """)
+        write(self.root, "src/stage.cpp", """
+            void Stage::apply() { ops_ = closedFormOps(w, h); }
+        """)
+        self.assertEqual(run_check(self.root, "opsmodel"), [])
+
+    def test_header_without_lastops_is_ignored(self):
+        write(self.root, "src/util.hpp", "inline int add(int a) {return a;}\n")
+        self.assertEqual(run_check(self.root, "opsmodel"), [])
+
+
+if __name__ == "__main__":
+    unittest.main()

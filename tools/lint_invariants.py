@@ -1,0 +1,367 @@
+#!/usr/bin/env python3
+"""House-invariant linter: statically enforce the conventions ROADMAP
+calls load-bearing, so they survive contributors who never read it.
+
+Three checks, mirroring the repo's correctness story:
+
+1. differential-twin coverage (`--check twins`)
+   Every fast-path implementation with a `*_reference.*` twin (e.g.
+   src/detect/cca.cpp vs src/detect/cca_reference.cpp) must be named in
+   at least one test file together with its reference class AND that
+   test must compare operation counts (`lastOps` appears in the file).
+   The bit-identical + identical-OpCounts differential tests are what
+   let the fast paths evolve; this check keeps a new twin from landing
+   without one.
+
+2. hot-path allocation discipline (`--check hotpath`)
+   Files listed in tools/hot_path_manifest.json claim a zero-alloc
+   steady state (pinned dynamically by tests/test_allocation.cpp).  This
+   check statically bans the constructs that break the claim —
+   `new` / `make_unique` / `make_shared`, `std::function`, and container
+   growth (`push_back` / `emplace_back` / `resize` / `assign`) — outside
+   constructors and manifest-listed init functions.  Container growth is
+   additionally tolerated when it is capacity-bounded by idiom:
+     * the receiver is a member (trailing `_` on a path component, or
+       `this->`): members keep their high-water capacity across frames;
+     * the receiver has a `.reserve(...)` in the same function;
+     * the receiver is a reference binding / reference parameter in the
+       same function (the scratch-struct idiom: the owner reserves).
+   Anything else needs an inline waiver `// hot-path: <reason>` on the
+   same line, which makes the exception visible in review.
+
+3. op-accounting declarations (`--check opsmodel`)
+   Every header declaring a `lastOps()` stage accessor must declare how
+   the counts are produced: either a `closedFormOps` function is in
+   scope (header or sibling .cpp) or the header carries an explicit
+   `/// ops-model: closed-form|metered|composite — <rationale>` tag.
+   The bench ops-baseline gate (tools/bench_micro_json.py) only guards
+   stages it samples; this keeps the accounting story complete.
+
+Exit status 0 when clean, 1 with one `file:line: [rule] message` per
+violation otherwise.  Run locally from the repo root:
+
+    python3 tools/lint_invariants.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+GROWTH_CALLS = ("push_back", "emplace_back", "resize", "assign")
+WAIVER_RE = re.compile(r"//\s*hot-path:\s*(\S.*)")
+OPS_MODEL_RE = re.compile(r"ops-model:\s*(closed-form|metered|composite)\b")
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "static_assert", "alignof", "decltype", "noexcept", "assert",
+}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving line
+    structure so reported line numbers stay meaningful."""
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                mode = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line_comment":
+            if c == "\n":
+                mode = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif mode == "block_comment":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # string / char
+            quote = '"' if mode == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                mode = "code"
+            out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+class Scope:
+    __slots__ = ("kind", "name", "depth")
+
+    def __init__(self, kind: str, name: str, depth: int):
+        self.kind = kind  # namespace | class | function | block
+        self.name = name
+        self.depth = depth
+
+
+def _classify_scope(sig: str) -> tuple[str, str]:
+    """Classify the brace-opening construct described by `sig` (the text
+    accumulated since the previous ; { or })."""
+    m = re.search(r"\bnamespace\s+(\w+)?\s*$", sig)
+    if m:
+        return "namespace", m.group(1) or "<anon>"
+    m = re.search(r"\b(?:class|struct|union|enum)\s+[A-Z_a-z]\w*", sig)
+    if m and "(" not in sig.split("class")[-1].split("struct")[-1][:0]:
+        # `class X final : public Y` — but not `return make<class X>()`;
+        # good enough for this codebase's style.
+        name = re.findall(r"\b(?:class|struct|union|enum)\s+(?:class\s+)?"
+                          r"([A-Z_a-z]\w*)", sig)[-1]
+        if not re.search(r"\(", sig.split(name)[-1]):
+            return "class", name
+    paren = sig.find("(")
+    if paren != -1:
+        head = sig[:paren].strip()
+        m = re.search(r"([A-Za-z_~]\w*)\s*$", head)
+        if m and m.group(1) not in CONTROL_KEYWORDS:
+            name = m.group(1)
+            qual = re.search(r"(\w+)\s*::\s*~?" + re.escape(name) + r"\s*$",
+                             head)
+            kind = "function"
+            # Constructor / destructor: qualifier equals the name.
+            if qual and qual.group(1) == name:
+                kind = "ctor"
+            return kind, name
+        return "block", ""  # lambda or initializer braces
+    return "block", ""
+
+
+def parse_scopes(stripped: str):
+    """Yield, per line (0-based), the innermost (function, class, is_init)
+    context plus a map of function-id -> (start, end) line ranges."""
+    lines = stripped.split("\n")
+    stack: list[Scope] = []
+    depth = 0
+    sig = ""
+    line_ctx = []  # per line: (fn_index or None, class_name, fn_is_ctor)
+    functions = []  # (name, is_ctor, class_name, start_line, end_line)
+    open_fns = []  # indices into functions
+
+    def innermost_fn():
+        return open_fns[-1] if open_fns else None
+
+    for lineno, line in enumerate(lines):
+        for ch in line:
+            if ch == "{":
+                kind, name = _classify_scope(sig)
+                if kind in ("function", "ctor"):
+                    cls = next((s.name for s in reversed(stack)
+                                if s.kind == "class"), "")
+                    is_ctor = kind == "ctor" or (cls != "" and name == cls)
+                    functions.append([name, is_ctor, cls, lineno, lineno])
+                    open_fns.append(len(functions) - 1)
+                    stack.append(Scope("function", name, depth))
+                else:
+                    stack.append(Scope(kind, name, depth))
+                depth += 1
+                sig = ""
+            elif ch == "}":
+                depth -= 1
+                while stack and stack[-1].depth >= depth:
+                    popped = stack.pop()
+                    if popped.kind == "function" and open_fns:
+                        functions[open_fns[-1]][4] = lineno
+                        open_fns.pop()
+            elif ch == ";":
+                sig = ""
+            else:
+                sig += ch
+        sig += " "
+        fn = innermost_fn()
+        cls = next((s.name for s in reversed(stack) if s.kind == "class"), "")
+        line_ctx.append((fn, cls))
+    return lines, line_ctx, functions
+
+
+def check_hot_paths(root: Path, manifest_path: Path) -> list[str]:
+    problems = []
+    if not manifest_path.exists():
+        return [f"{manifest_path}: [hotpath] manifest missing"]
+    manifest = json.loads(manifest_path.read_text())
+    for entry in manifest.get("hot_paths", []):
+        rel = entry["file"]
+        path = root / rel
+        if not path.exists():
+            problems.append(f"{rel}: [hotpath] listed in manifest but absent")
+            continue
+        init_fns = set(entry.get("init_functions", []))
+        original = path.read_text()
+        stripped = strip_comments_and_strings(original)
+        lines, line_ctx, functions = parse_scopes(stripped)
+        orig_lines = original.split("\n")
+
+        def fn_text(fn_idx):
+            _, _, _, start, end = functions[fn_idx]
+            return "\n".join(lines[start:end + 1])
+
+        for lineno, line in enumerate(lines):
+            fn_idx, _cls = line_ctx[lineno]
+            if fn_idx is not None:
+                name, is_ctor, _, _, _ = functions[fn_idx]
+                if is_ctor or name in init_fns:
+                    continue  # init phase: allocation is the point
+            # A waiver comment counts on the flagged line or the line
+            # above it (clang-format rarely leaves room inline).
+            waiver = None
+            for probe in (lineno, lineno - 1):
+                if 0 <= probe < len(orig_lines):
+                    waiver = waiver or WAIVER_RE.search(orig_lines[probe])
+            where = f"{rel}:{lineno + 1}"
+
+            def report(msg):
+                if waiver is None:
+                    problems.append(f"{where}: [hotpath] {msg}")
+
+            if re.search(r"\bnew\b", line):
+                report("`new` in steady-state code (fixed memory rule)")
+            if re.search(r"\bmake_(unique|shared)\b", line):
+                report("make_unique/make_shared in steady-state code")
+            if re.search(r"\bstd\s*::\s*function\b", line):
+                report("std::function (type-erased allocation + indirect "
+                       "call) in a hot path")
+            for m in re.finditer(
+                    r"([A-Za-z_][\w\.\->\[\]]*?)\s*\.\s*"
+                    r"(push_back|emplace_back|resize|assign)\s*\(", line):
+                receiver, call = m.group(1), m.group(2)
+                base = re.sub(r"\[[^\]]*\]", "", receiver)
+                components = re.split(r"\.|->", base)
+                memberish = (receiver.startswith("this->")
+                             or any(c.endswith("_") for c in components if c))
+                if memberish:
+                    continue
+                if fn_idx is not None:
+                    body = fn_text(fn_idx)
+                    head = re.escape(components[0])
+                    if re.search(rf"\b{head}\s*\.\s*reserve\s*\(", body):
+                        continue  # reserve-guarded in this function
+                    if re.search(rf"&\s*{head}\s*[=,)]", body):
+                        continue  # reference to caller/scratch-owned storage
+                report(f"`{receiver}.{call}(...)` grows a non-member, "
+                       "non-reserved container in steady state")
+    return problems
+
+
+def check_reference_twins(root: Path) -> list[str]:
+    problems = []
+    tests = list((root / "tests").glob("*.cpp"))
+    test_texts = {t: t.read_text() for t in tests}
+    for ref_header in sorted((root / "src").rglob("*_reference.hpp")):
+        rel = ref_header.relative_to(root)
+        fast_header = ref_header.with_name(
+            ref_header.name.replace("_reference", ""))
+        if not fast_header.exists():
+            problems.append(f"{rel}: [twins] no fast twin "
+                            f"{fast_header.name} next to it")
+            continue
+        m = re.search(r"\b(?:class|struct)\s+(\w+Reference)\b",
+                      ref_header.read_text())
+        if not m:
+            problems.append(f"{rel}: [twins] cannot find a *Reference "
+                            "class in the reference header")
+            continue
+        ref_class = m.group(1)
+        fast_class = ref_class[:-len("Reference")]
+        if not re.search(rf"\b(?:class|struct)\s+{fast_class}\b",
+                         fast_header.read_text()):
+            problems.append(
+                f"{rel}: [twins] fast twin {fast_header.name} does not "
+                f"declare class {fast_class}")
+            continue
+        covered = any(
+            ref_class in text and re.search(rf"\b{fast_class}\b", text)
+            and "lastOps" in text
+            for text in test_texts.values())
+        if not covered:
+            problems.append(
+                f"{rel}: [twins] no test file names both {fast_class} and "
+                f"{ref_class} and compares lastOps() — the differential "
+                "(outputs + OpCounts) test is mandatory for twins")
+    return problems
+
+
+def check_ops_model(root: Path) -> list[str]:
+    problems = []
+    for header in sorted((root / "src").rglob("*.hpp")):
+        text = header.read_text()
+        if not re.search(r"\blastOps\s*\(\s*\)", text):
+            continue
+        rel = header.relative_to(root)
+        if "closedFormOps" in text or OPS_MODEL_RE.search(text):
+            continue
+        sibling = header.with_suffix(".cpp")
+        if sibling.exists() and "closedFormOps" in sibling.read_text():
+            continue
+        problems.append(
+            f"{rel}: [opsmodel] declares lastOps() but neither references "
+            "closedFormOps nor carries an `ops-model: "
+            "closed-form|metered|composite` declaration")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--manifest", type=Path, default=None,
+                        help="hot-path manifest (default: "
+                             "<repo>/tools/hot_path_manifest.json)")
+    parser.add_argument("--check", choices=["twins", "hotpath", "opsmodel"],
+                        action="append",
+                        help="run only the named check(s); default: all")
+    args = parser.parse_args(argv)
+    root = args.repo.resolve()
+    manifest = args.manifest or root / "tools" / "hot_path_manifest.json"
+
+    checks = args.check or ["twins", "hotpath", "opsmodel"]
+    problems = []
+    if "twins" in checks:
+        problems += check_reference_twins(root)
+    if "hotpath" in checks:
+        problems += check_hot_paths(root, manifest)
+    if "opsmodel" in checks:
+        problems += check_ops_model(root)
+
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"lint_invariants: {len(problems)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"lint_invariants: OK ({', '.join(checks)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
