@@ -1,8 +1,10 @@
-// IoVT node budget — the paper's motivating numbers, made concrete.
+// IoVT node budget and ingest resilience — the paper's motivating
+// numbers, made concrete, plus the fault tolerance of the node ingest
+// layer (src/node/) that feeds those pipelines.
 //
-// For each processing + transmission policy, reports duty cycle, energy
-// per frame, mean node power, uplink bandwidth and battery life on a
-// Cortex-M-class node (see src/core/node_model.hpp):
+// Section 1 (budget): for each processing + transmission policy, reports
+// duty cycle, energy per frame, mean node power, uplink bandwidth and
+// battery life on a Cortex-M-class node (see src/core/node_model.hpp):
 //
 //   * EBBIOT, transmit tracks            (the paper's design point)
 //   * EBBIOT, transmit EBBI frames       (edge detection, raw-ish frames)
@@ -11,16 +13,38 @@
 //   * frame camera + CNN, transmit boxes (the ">1000X" strawman)
 //
 // Workloads are measured from SyntheticENG traffic, not assumed.
+//
+// Section 2 (resilience sweep): {1, 8, 32} sensor streams per node ×
+// {clean, bitflip, truncate, flood, stall} seeded fault profiles driven
+// through NodeSupervisor/SensorSession on a virtual ingest clock.
+// Reports delivered/dropped windows, corruption and resync counts, and
+// p50/p99 drain latency per cell, plus the steady-state allocation count
+// of the session hot path (pinned to zero by tests/test_allocation.cpp).
+// `--json PATH` additionally emits the sweep as BENCH_node.json for
+// tools/bench_node_gate.py; all counters are seed-deterministic, only
+// the wall-clock column varies across hosts.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
+#include "src/common/alloc_counter.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/core/node_model.hpp"
 #include "src/core/runner.hpp"
+#include "src/node/fault_injection.hpp"
+#include "src/node/node_supervisor.hpp"
+#include "src/node/wire_format.hpp"
 #include "src/resource/cost_model.hpp"
 #include "src/sim/recording.hpp"
 
 namespace {
 
-void printRow(const char* name, const ebbiot::NodeBudget& b) {
+using namespace ebbiot;
+
+void printRow(const char* name, const NodeBudget& b) {
   std::printf("%-26s %9.2f%% %12.1f %10.2f %12.0f %12.0f%s\n", name,
               b.dutyCycle * 100.0,
               b.processorEnergyUjPerFrame + b.radioEnergyUjPerFrame +
@@ -29,10 +53,369 @@ void printRow(const char* name, const ebbiot::NodeBudget& b) {
               b.feasible ? "" : "  [INFEASIBLE]");
 }
 
+// ---- resilience sweep ----------------------------------------------
+
+constexpr TimeUs kSweepWindowUs = 10'000;
+constexpr std::uint32_t kSweepFramesPerStream = 256;
+constexpr std::uint32_t kSweepEventsPerFrame = 48;
+
+/// Counting sink: the sweep cares about delivery totals, not contents.
+struct CountingSink final : WindowSink {
+  std::uint64_t windows = 0;
+  std::uint64_t events = 0;
+  void onWindow(const EventPacket& window, std::uint32_t /*seq*/,
+                TimeUs /*ingestTime*/) override {
+    ++windows;
+    events += window.size();
+  }
+};
+
+/// Deterministic pristine stream for sensor `sensorId`: dense in-bounds
+/// windows at the sweep cadence (closed-form, no RNG, so every cell's
+/// input is identical across hosts).
+std::vector<std::vector<std::byte>> makePristineFrames(
+    std::uint16_t sensorId) {
+  std::vector<std::vector<std::byte>> frames;
+  frames.reserve(kSweepFramesPerStream);
+  for (std::uint32_t seq = 0; seq < kSweepFramesPerStream; ++seq) {
+    const TimeUs tStart = static_cast<TimeUs>(seq) * kSweepWindowUs;
+    EventPacket window(tStart, tStart + kSweepWindowUs);
+    for (std::uint32_t j = 0; j < kSweepEventsPerFrame; ++j) {
+      Event e;
+      e.x = static_cast<std::uint16_t>((sensorId * 13 + seq + 5 * j) % 240);
+      e.y = static_cast<std::uint16_t>((sensorId * 7 + 3 * seq + j) % 180);
+      e.p = (seq + j) % 2 == 0 ? Polarity::kOn : Polarity::kOff;
+      e.t = tStart + static_cast<TimeUs>(j) * 150;
+      window.push(e);
+    }
+    std::vector<std::byte> bytes;
+    encodeFrame(bytes, seq, sensorId, window);
+    frames.push_back(std::move(bytes));
+  }
+  return frames;
+}
+
+struct SweepProfile {
+  const char* name;
+  FaultProfile profile;
+};
+
+std::vector<SweepProfile> sweepProfiles() {
+  std::vector<SweepProfile> out;
+  out.push_back({"clean", {}});
+  {
+    FaultProfile p;
+    p.bitFlipProb = 0.05;
+    out.push_back({"bitflip", p});
+  }
+  {
+    FaultProfile p;
+    p.truncateProb = 0.05;
+    out.push_back({"truncate", p});
+  }
+  {
+    FaultProfile p;
+    p.floodProb = 0.02;
+    out.push_back({"flood", p});
+  }
+  {
+    FaultProfile p;
+    p.stallProb = 0.02;
+    out.push_back({"stall", p});
+  }
+  return out;
+}
+
+struct CellResult {
+  const char* profile = "";
+  int streams = 0;
+  SessionCounters totals;            ///< summed across sessions
+  std::uint64_t sinkWindows = 0;     ///< delivered as seen by the sinks
+  std::size_t quarantined = 0;       ///< sessions in the terminal state
+  TimeUs p50LatencyUs = 0;
+  TimeUs p99LatencyUs = 0;
+  double wallNsPerWindow = 0.0;      ///< host-dependent; not gated
+};
+
+SessionCounters& operator+=(SessionCounters& a, const SessionCounters& b) {
+  a.bytesOffered += b.bytesOffered;
+  a.bytesDroppedOverflow += b.bytesDroppedOverflow;
+  a.bytesSkipped += b.bytesSkipped;
+  a.resyncs += b.resyncs;
+  a.framesCorrupted += b.framesCorrupted;
+  a.framesDecoded += b.framesDecoded;
+  a.framesAccepted += b.framesAccepted;
+  a.seqGaps += b.seqGaps;
+  a.framesLostToGaps += b.framesLostToGaps;
+  a.outOfOrderDropped += b.outOfOrderDropped;
+  a.timestampRegressions += b.timestampRegressions;
+  a.wrapEpochs += b.wrapEpochs;
+  a.windowsRejected += b.windowsRejected;
+  a.bytesIgnoredQuarantined += b.bytesIgnoredQuarantined;
+  a.watchdogStalls += b.watchdogStalls;
+  a.degradeEntries += b.degradeEntries;
+  a.recoveries += b.recoveries;
+  a.windowsDelivered += b.windowsDelivered;
+  a.windowsShedStale += b.windowsShedStale;
+  a.windowsShedOverload += b.windowsShedOverload;
+  return a;
+}
+
+TimeUs percentile(const std::vector<TimeUs>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const auto last = sorted.size() - 1;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(last) + 0.5);
+  return sorted[std::min(idx, last)];
+}
+
+/// Drive one (profile × streams) cell on a virtual ingest clock: chunks
+/// are delivered in global time order, the supervisor pumps and ticks
+/// watchdogs once per window period (including across stall gaps, so
+/// the watchdog/recovery path runs exactly as it would live).
+CellResult runCell(const SweepProfile& sweep, int streams,
+                   std::size_t cellIndex, ThreadPool& pool) {
+  NodeConfig config;
+  config.watchdogTimeoutUs = 200'000;  // well under the 1 s stall gap
+  NodeSupervisor supervisor(config, pool);
+
+  std::vector<CountingSink> sinks(static_cast<std::size_t>(streams));
+  struct Feed {
+    std::vector<DeliveryChunk> chunks;
+    std::size_t next = 0;
+    TimeUs dueAt = 0;
+  };
+  std::vector<Feed> feeds(static_cast<std::size_t>(streams));
+  for (int s = 0; s < streams; ++s) {
+    const auto id = static_cast<std::uint16_t>(s);
+    supervisor.addSensor({id, /*priority=*/s % 4, &sinks[static_cast<
+        std::size_t>(s)]});
+    FaultInjector injector(0x5EED0000ull + cellIndex * 977ull +
+                           static_cast<std::uint64_t>(s));
+    injector.setProfile(sweep.profile);
+    const auto pristine = makePristineFrames(id);
+    Feed& feed = feeds[static_cast<std::size_t>(s)];
+    feed.chunks = injector.corrupt(pristine);
+    feed.dueAt = feed.chunks.empty() ? 0 : feed.chunks.front().delayUs;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  TimeUs now = 0;
+  TimeUs lastPump = 0;
+  for (;;) {
+    int nextStream = -1;
+    for (int s = 0; s < streams; ++s) {
+      const Feed& feed = feeds[static_cast<std::size_t>(s)];
+      if (feed.next >= feed.chunks.size()) {
+        continue;
+      }
+      if (nextStream < 0 ||
+          feed.dueAt < feeds[static_cast<std::size_t>(nextStream)].dueAt) {
+        nextStream = s;
+      }
+    }
+    if (nextStream < 0) {
+      break;
+    }
+    Feed& feed = feeds[static_cast<std::size_t>(nextStream)];
+    const TimeUs target = std::max(now, feed.dueAt);
+    while (lastPump + kSweepWindowUs <= target) {
+      lastPump += kSweepWindowUs;
+      supervisor.tickWatchdogs(lastPump);
+      (void)supervisor.pump(lastPump);
+    }
+    now = target;
+    supervisor.offerBytes(static_cast<std::uint16_t>(nextStream),
+                          feed.chunks[feed.next].bytes, now);
+    ++feed.next;
+    if (feed.next < feed.chunks.size()) {
+      feed.dueAt = now + feed.chunks[feed.next].delayUs;
+    }
+  }
+  now += kSweepWindowUs;
+  supervisor.tickWatchdogs(now);
+  (void)supervisor.pump(now);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  CellResult result;
+  result.profile = sweep.name;
+  result.streams = streams;
+  std::vector<TimeUs> latencies;
+  for (int s = 0; s < streams; ++s) {
+    SensorSession* session = supervisor.find(static_cast<std::uint16_t>(s));
+    result.totals += session->counters();
+    if (session->state() == SessionState::kQuarantined) {
+      ++result.quarantined;
+    }
+    const auto samples = session->latencySamples();
+    latencies.insert(latencies.end(), samples.begin(), samples.end());
+    result.sinkWindows += sinks[static_cast<std::size_t>(s)].windows;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  result.p50LatencyUs = percentile(latencies, 0.50);
+  result.p99LatencyUs = percentile(latencies, 0.99);
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      elapsed).count();
+  result.wallNsPerWindow =
+      result.totals.windowsDelivered == 0
+          ? 0.0
+          : static_cast<double>(ns) /
+                static_cast<double>(result.totals.windowsDelivered);
+  return result;
+}
+
+/// Steady-state allocations per window of the single-session hot path
+/// (offerBytes -> decode -> queue -> drainInto), after warm-up.  Returns
+/// -1 when the counter is disabled (sanitizer builds).
+double measureSteadyAllocsPerWindow() {
+#ifdef EBBIOT_ALLOC_COUNTER_DISABLED
+  return -1.0;
+#else
+  NodeConfig config;
+  SensorSession session(1, config);
+  CountingSink sink;
+  const auto frames = makePristineFrames(1);
+  constexpr std::uint32_t kWarm = 32;
+  std::uint32_t seq = 0;
+  for (; seq < kWarm; ++seq) {
+    session.offerBytes(frames[seq],
+                       static_cast<TimeUs>(seq + 1) * kSweepWindowUs);
+    (void)session.drainInto(sink,
+                            static_cast<TimeUs>(seq + 1) * kSweepWindowUs);
+  }
+  const std::uint64_t before = gAllocationCount.load();
+  for (; seq < kSweepFramesPerStream; ++seq) {
+    session.offerBytes(frames[seq],
+                       static_cast<TimeUs>(seq + 1) * kSweepWindowUs);
+    (void)session.drainInto(sink,
+                            static_cast<TimeUs>(seq + 1) * kSweepWindowUs);
+  }
+  const std::uint64_t after = gAllocationCount.load();
+  return static_cast<double>(after - before) /
+         static_cast<double>(kSweepFramesPerStream - kWarm);
+#endif
+}
+
+void writeJson(const char* path, const std::vector<CellResult>& cells,
+               double steadyAllocs) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_iovt_node\",\n");
+  std::fprintf(f, "  \"frames_per_stream\": %u,\n", kSweepFramesPerStream);
+  std::fprintf(f, "  \"frame_period_us\": %lld,\n",
+               static_cast<long long>(kSweepWindowUs));
+  if (steadyAllocs < 0.0) {
+    std::fprintf(f, "  \"steady_allocs_per_window\": null,\n");
+  } else {
+    std::fprintf(f, "  \"steady_allocs_per_window\": %.4f,\n", steadyAllocs);
+  }
+  std::fprintf(f, "  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    const SessionCounters& t = c.totals;
+    std::fprintf(
+        f,
+        "    {\"profile\": \"%s\", \"streams\": %d,"
+        " \"frames_decoded\": %llu, \"frames_corrupted\": %llu,"
+        " \"frames_accepted\": %llu, \"resyncs\": %llu,"
+        " \"seq_gaps\": %llu, \"frames_lost_to_gaps\": %llu,"
+        " \"out_of_order_dropped\": %llu, \"timestamp_regressions\": %llu,"
+        " \"windows_delivered\": %llu, \"windows_rejected\": %llu,"
+        " \"windows_shed_stale\": %llu, \"windows_shed_overload\": %llu,"
+        " \"watchdog_stalls\": %llu, \"degrade_entries\": %llu,"
+        " \"recoveries\": %llu, \"sessions_quarantined\": %zu,"
+        " \"p50_latency_us\": %lld, \"p99_latency_us\": %lld,"
+        " \"wall_ns_per_window\": %.1f}%s\n",
+        c.profile, c.streams,
+        static_cast<unsigned long long>(t.framesDecoded),
+        static_cast<unsigned long long>(t.framesCorrupted),
+        static_cast<unsigned long long>(t.framesAccepted),
+        static_cast<unsigned long long>(t.resyncs),
+        static_cast<unsigned long long>(t.seqGaps),
+        static_cast<unsigned long long>(t.framesLostToGaps),
+        static_cast<unsigned long long>(t.outOfOrderDropped),
+        static_cast<unsigned long long>(t.timestampRegressions),
+        static_cast<unsigned long long>(t.windowsDelivered),
+        static_cast<unsigned long long>(t.windowsRejected),
+        static_cast<unsigned long long>(t.windowsShedStale),
+        static_cast<unsigned long long>(t.windowsShedOverload),
+        static_cast<unsigned long long>(t.watchdogStalls),
+        static_cast<unsigned long long>(t.degradeEntries),
+        static_cast<unsigned long long>(t.recoveries), c.quarantined,
+        static_cast<long long>(c.p50LatencyUs),
+        static_cast<long long>(c.p99LatencyUs), c.wallNsPerWindow,
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+void runResilienceSweep(const char* jsonPath) {
+  std::printf("\nIngest resilience sweep — %u frames/stream, %lld us "
+              "windows, seeded fault profiles\n",
+              kSweepFramesPerStream,
+              static_cast<long long>(kSweepWindowUs));
+  std::printf("%-10s %8s %10s %9s %9s %8s %7s %10s %10s\n", "profile",
+              "streams", "delivered", "dropped", "corrupt", "resyncs",
+              "stalls", "p50 us", "p99 us");
+  std::printf("%.*s\n", 88,
+              "----------------------------------------------------------"
+              "------------------------------");
+  ThreadPool pool(4);
+  const auto profiles = sweepProfiles();
+  std::vector<CellResult> cells;
+  std::size_t cellIndex = 0;
+  for (const SweepProfile& profile : profiles) {
+    for (int streams : {1, 8, 32}) {
+      CellResult cell = runCell(profile, streams, cellIndex++, pool);
+      const SessionCounters& t = cell.totals;
+      const std::uint64_t dropped = t.windowsShedStale +
+                                    t.windowsShedOverload +
+                                    t.windowsRejected;
+      std::printf("%-10s %8d %10llu %9llu %9llu %8llu %7llu %10lld "
+                  "%10lld\n",
+                  cell.profile, cell.streams,
+                  static_cast<unsigned long long>(t.windowsDelivered),
+                  static_cast<unsigned long long>(dropped),
+                  static_cast<unsigned long long>(t.framesCorrupted),
+                  static_cast<unsigned long long>(t.resyncs),
+                  static_cast<unsigned long long>(t.watchdogStalls),
+                  static_cast<long long>(cell.p50LatencyUs),
+                  static_cast<long long>(cell.p99LatencyUs));
+      cells.push_back(cell);
+    }
+  }
+  const double steadyAllocs = measureSteadyAllocsPerWindow();
+  if (steadyAllocs < 0.0) {
+    std::printf("\nsteady-state allocs/window: n/a (counter disabled "
+                "under sanitizers)\n");
+  } else {
+    std::printf("\nsteady-state allocs/window (single-session hot path): "
+                "%.4f\n", steadyAllocs);
+  }
+  if (jsonPath != nullptr) {
+    writeJson(jsonPath, cells, steadyAllocs);
+    std::printf("wrote %s\n", jsonPath);
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ebbiot;
+
+  const char* jsonPath = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    }
+  }
 
   // Measure the workloads on 30 s of ENG traffic.
   RecordingSpec spec = makeSyntheticEng();
@@ -93,5 +476,7 @@ int main() {
               "window and the radio\npayload to a few hundred bits — the "
               "paper's IoVT argument in one table.\n(The sensor's own "
               "power dominates once processing is this cheap.)\n");
+
+  runResilienceSweep(jsonPath);
   return 0;
 }

@@ -27,6 +27,22 @@ RecordingResult RunResult::toRecordingResult(
   return out;
 }
 
+void RunnerConfig::validate() const {
+  if (framePeriod <= 0) {
+    throw ConfigError("RunnerConfig: framePeriod must be > 0, got " +
+                      std::to_string(framePeriod));
+  }
+  if (iouThresholds.empty()) {
+    throw ConfigError("RunnerConfig: iouThresholds must not be empty");
+  }
+  for (const float t : iouThresholds) {
+    if (!(t >= 0.0f && t <= 1.0f)) {
+      throw ConfigError("RunnerConfig: IoU threshold " + std::to_string(t) +
+                        " outside [0, 1]");
+    }
+  }
+}
+
 RunnerConfig makeDefaultRunnerConfig(int width, int height) {
   RunnerConfig config;
   config.ebbiot.width = width;
@@ -89,9 +105,8 @@ std::vector<std::unique_ptr<Pipeline>> buildPipelines(
 
 RunResult runRecording(EventSource& source, const SceneProvider& scene,
                        TimeUs duration, const RunnerConfig& config) {
+  config.validate();
   EBBIOT_ASSERT(duration > 0);
-  EBBIOT_ASSERT(config.framePeriod > 0);
-  EBBIOT_ASSERT(!config.iouThresholds.empty());
   EBBIOT_ASSERT(source.width() == scene.width() &&
                 source.height() == scene.height());
 

@@ -84,6 +84,12 @@ struct RunnerConfig {
   /// tests/test_runner_threads.cpp.  false falls back to the per-frame
   /// fan-out with a barrier between windows.
   bool pipelined = true;
+
+  /// Throws ConfigError on any nonsensical value (non-positive frame
+  /// period, empty or out-of-range IoU sweep).  runRecording() calls
+  /// this up front so misconfiguration fails fast, before any pipeline
+  /// or stage graph is built.
+  void validate() const;
 };
 
 /// Result of one pipeline over one recording.

@@ -87,8 +87,38 @@ BinaryStreamContents readBinaryStream(std::istream& is) {
   }
   out.header.eventCount = readPod<std::uint64_t>(is, "eventCount");
 
+  // Validate the declared count against the bytes actually present before
+  // trusting it with a reserve: a corrupt or hostile header must fail as
+  // an IoError, not as a multi-GB allocation attempt.
+  constexpr std::uint64_t kEventRecordBytes = 12;
+  std::uint64_t reserveCount = out.header.eventCount;
+  const std::istream::pos_type payloadStart = is.tellg();
+  if (payloadStart != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type payloadEnd = is.tellg();
+    is.seekg(payloadStart);
+    if (!is || payloadEnd == std::istream::pos_type(-1)) {
+      throw IoError("cannot determine stream length");
+    }
+    const auto remaining =
+        static_cast<std::uint64_t>(payloadEnd - payloadStart);
+    if (remaining / kEventRecordBytes < out.header.eventCount) {
+      throw IoError(
+          "header declares " + std::to_string(out.header.eventCount) +
+          " events but only " + std::to_string(remaining) +
+          " payload bytes remain (" +
+          std::to_string(remaining / kEventRecordBytes) +
+          " complete records)");
+    }
+  } else {
+    // Non-seekable stream: per-record truncation checks below still
+    // catch a lying header; just refuse to pre-size from it.
+    is.clear();
+    reserveCount = std::min<std::uint64_t>(reserveCount, 1u << 20);
+  }
+
   std::vector<Event> events;
-  events.reserve(out.header.eventCount);
+  events.reserve(reserveCount);
   for (std::uint64_t i = 0; i < out.header.eventCount; ++i) {
     Event e;
     e.x = readPod<std::uint16_t>(is, "event.x");
@@ -152,10 +182,10 @@ void writeCsvStream(std::ostream& os, const EventPacket& packet) {
 EventPacket readCsvStream(std::istream& is) {
   std::string line;
   if (!std::getline(is, line)) {
-    throw IoError("empty CSV stream");
+    throw IoError("missing CSV header at line 1: empty stream");
   }
   if (line != "t_us,x,y,polarity") {
-    throw IoError("unexpected CSV header: " + line);
+    throw IoError("unexpected CSV header at line 1: " + line);
   }
   std::vector<Event> events;
   TimeUs minT = std::numeric_limits<TimeUs>::max();
@@ -176,8 +206,16 @@ EventPacket readCsvStream(std::istream& is) {
     char c2 = 0;
     char c3 = 0;
     ls >> t >> c1 >> x >> c2 >> y >> c3 >> p;
-    if (!ls || c1 != ',' || c2 != ',' || c3 != ',' || (p != 1 && p != -1) ||
-        x < 0 || y < 0 || x > std::numeric_limits<std::uint16_t>::max() ||
+    const bool parsed = static_cast<bool>(ls);
+    bool trailingGarbage = false;
+    if (parsed && !ls.eof()) {
+      // Skipping whitespace on an already-EOF stream would set failbit.
+      ls >> std::ws;
+      trailingGarbage = !ls.eof();
+    }
+    if (!parsed || trailingGarbage || c1 != ',' || c2 != ',' || c3 != ',' ||
+        (p != 1 && p != -1) || x < 0 || y < 0 ||
+        x > std::numeric_limits<std::uint16_t>::max() ||
         y > std::numeric_limits<std::uint16_t>::max()) {
       throw IoError("malformed CSV at line " + std::to_string(lineNo));
     }

@@ -1,0 +1,197 @@
+#include "src/node/fault_injection.hpp"
+
+#include <utility>
+
+#include "src/common/error.hpp"
+#include "src/node/wire_format.hpp"
+
+namespace ebbiot {
+namespace {
+
+std::uint32_t readLe32(std::span<const std::byte> bytes, std::size_t offset) {
+  EBBIOT_ASSERT(bytes.size() >= offset + 4);
+  std::uint32_t v = 0;
+  for (std::size_t i = 4; i-- > 0;) {
+    v = (v << 8) | static_cast<std::uint32_t>(bytes[offset + i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* toString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kBitFlip:
+      return "bitflip";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kReorder:
+      return "reorder";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kTimestampRegress:
+      return "regress";
+    case FaultKind::kBurstFlood:
+      return "flood";
+    case FaultKind::kStall:
+      return "stall";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::script(FaultOp op) { script_.push_back(op); }
+
+void FaultInjector::setProfile(const FaultProfile& profile) {
+  profile_ = profile;
+}
+
+std::vector<DeliveryChunk> FaultInjector::corrupt(
+    std::span<const std::vector<std::byte>> frames) {
+  std::vector<DeliveryChunk> out;
+  std::vector<bool> consumed(frames.size(), false);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (!consumed[i]) {
+      emitOne(out, i, frames, consumed);
+    }
+  }
+  return out;
+}
+
+void FaultInjector::emitChunks(std::vector<DeliveryChunk>& out,
+                               std::vector<std::byte> bytes, TimeUs delayUs) {
+  if (chunkBytes_ == 0 || bytes.size() <= chunkBytes_) {
+    out.push_back(DeliveryChunk{std::move(bytes), delayUs});
+    return;
+  }
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t n = std::min(chunkBytes_, bytes.size() - pos);
+    DeliveryChunk chunk;
+    chunk.bytes.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                       bytes.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    chunk.delayUs = pos == 0 ? delayUs : 0;
+    out.push_back(std::move(chunk));
+    pos += n;
+  }
+}
+
+void FaultInjector::emitOne(std::vector<DeliveryChunk>& out, std::size_t index,
+                            std::span<const std::vector<std::byte>> frames,
+                            std::vector<bool>& consumed) {
+  consumed[index] = true;
+  std::vector<std::byte> bytes = frames[index];
+  const auto duration =
+      static_cast<TimeUs>(readLe32(bytes, kFrameDurationOffset));
+  // Nominal pacing: a live sensor finishes emitting a window's frame at
+  // the window's end, so each original frame is delivered one window
+  // duration after the previous one; faults add on top.
+  TimeUs delay = duration;
+  bool drop = false;
+  bool dup = false;
+  bool truncate = false;
+  bool reorder = false;
+  int flood = 0;
+
+  const auto apply = [&](FaultKind kind, bool scripted) {
+    switch (kind) {
+      case FaultKind::kTruncate:
+        truncate = true;
+        break;
+      case FaultKind::kBitFlip: {
+        // Scripted flips hit a fixed bit (window-start LSB) so the
+        // fault-matrix expectations stay closed-form; profiled flips
+        // roam the whole frame to explore every parser rejection path.
+        const std::size_t bit =
+            scripted ? kFrameWindowStartOffset * 8
+                     : static_cast<std::size_t>(rng_.uniformInt(
+                           0, static_cast<std::int64_t>(bytes.size() * 8) - 1));
+        bytes[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+        break;
+      }
+      case FaultKind::kDuplicate:
+        dup = true;
+        break;
+      case FaultKind::kReorder:
+        reorder = true;
+        break;
+      case FaultKind::kDrop:
+        drop = true;
+        break;
+      case FaultKind::kTimestampRegress:
+        setFrameWindowStart32(bytes, frameWindowStart32(bytes) - regressUs_);
+        refreshFrameCrc(bytes);
+        break;
+      case FaultKind::kBurstFlood:
+        flood = floodCopies_;
+        break;
+      case FaultKind::kStall:
+        delay += stallUs_;
+        break;
+    }
+  };
+
+  for (const FaultOp& op : script_) {
+    if (op.frameIndex == index) {
+      apply(op.kind, true);
+    }
+  }
+  if (rng_.chance(profile_.truncateProb)) apply(FaultKind::kTruncate, false);
+  if (rng_.chance(profile_.bitFlipProb)) apply(FaultKind::kBitFlip, false);
+  if (rng_.chance(profile_.duplicateProb)) apply(FaultKind::kDuplicate, false);
+  if (rng_.chance(profile_.reorderProb)) apply(FaultKind::kReorder, false);
+  if (rng_.chance(profile_.dropProb)) apply(FaultKind::kDrop, false);
+  if (rng_.chance(profile_.regressProb)) {
+    apply(FaultKind::kTimestampRegress, false);
+  }
+  if (rng_.chance(profile_.floodProb)) apply(FaultKind::kBurstFlood, false);
+  if (rng_.chance(profile_.stallProb)) apply(FaultKind::kStall, false);
+
+  if (reorder) {
+    // The straggler swaps with its next surviving successor: that frame
+    // is delivered first (with its own faults applied), then this one.
+    std::size_t j = index + 1;
+    while (j < frames.size() && consumed[j]) {
+      ++j;
+    }
+    if (j < frames.size()) {
+      emitOne(out, j, frames, consumed);
+    }
+  }
+  if (drop) {
+    // The frame vanishes but wall time still passes on the ingest clock.
+    emitChunks(out, {}, delay);
+    return;
+  }
+  if (truncate) {
+    bytes.resize(bytes.size() / 2);
+  }
+  if (!dup && flood == 0) {
+    emitChunks(out, std::move(bytes), delay);
+    return;
+  }
+  emitChunks(out, std::vector<std::byte>(bytes), delay);
+  if (dup) {
+    emitChunks(out, std::vector<std::byte>(bytes), 0);
+  }
+  if (flood > 0 && bytes.size() >= frameSizeBytes(0)) {
+    // A burst of structurally valid continuation frames: fresh sequence
+    // numbers, advancing windows, correct CRCs — pure queue pressure.
+    const std::uint32_t baseSeq = frameSeq(bytes);
+    const std::uint32_t baseStart = frameWindowStart32(bytes);
+    for (int k = 1; k <= flood; ++k) {
+      std::vector<std::byte> copy(bytes);
+      setFrameSeq(copy, baseSeq + static_cast<std::uint32_t>(k));
+      setFrameWindowStart32(
+          copy, baseStart + static_cast<std::uint32_t>(k) *
+                                static_cast<std::uint32_t>(duration));
+      refreshFrameCrc(copy);
+      emitChunks(out, std::move(copy), 0);
+    }
+  }
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,120 @@
+// Deterministic fault injection for the node ingest layer.
+//
+// The FaultInjector sits between a pristine sequence of encoded frames
+// and the SensorSession under test, mangling the byte stream the way a
+// real AER transport does: truncation, bit corruption, duplicated and
+// reordered frames, timestamp regressions, burst floods, stalls.  Two
+// modes share one engine:
+//
+//   * scripted — an explicit list of (frame index, fault) ops.  Every
+//     downstream effect is then exactly predictable, so the fault-matrix
+//     test (tests/test_node_faults.cpp) pins session counters with
+//     EXPECT_EQ, not ranges.
+//   * profiled — per-frame fault probabilities drawn from a seeded Rng
+//     (ebbiot::Rng, bit-reproducible across machines), for the fuzz
+//     smoke test and the bench resilience sweep.  The same seed always
+//     yields the same corrupted stream.
+//
+// The output is a list of DeliveryChunks: byte runs plus a delay to
+// apply *before* delivering each run, so stall/flap schedules and
+// watchdog behaviour replay deterministically on the session's virtual
+// ingest clock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/time.hpp"
+
+namespace ebbiot {
+
+enum class FaultKind : std::uint8_t {
+  kTruncate,          ///< drop the tail of the frame mid-payload
+  kBitFlip,           ///< flip one bit somewhere in the frame
+  kDuplicate,         ///< deliver the frame twice
+  kReorder,           ///< swap the frame with its successor
+  kDrop,              ///< do not deliver the frame at all
+  kTimestampRegress,  ///< rewind the window start (CRC refreshed: the
+                      ///< frame stays structurally valid)
+  kBurstFlood,        ///< follow the frame with a burst of extra
+                      ///< CRC-valid copies (fresh seq + timestamps)
+  kStall,             ///< insert a long silent gap before the frame
+};
+
+[[nodiscard]] const char* toString(FaultKind kind);
+
+/// One scripted fault: apply `kind` to the frame at `frameIndex`
+/// (0-based position in the pristine stream).
+struct FaultOp {
+  FaultKind kind;
+  std::size_t frameIndex;
+};
+
+/// Per-frame fault probabilities for profiled (fuzz/bench) mode.  All
+/// default to zero = pristine passthrough.
+struct FaultProfile {
+  double truncateProb = 0.0;
+  double bitFlipProb = 0.0;
+  double duplicateProb = 0.0;
+  double reorderProb = 0.0;
+  double dropProb = 0.0;
+  double regressProb = 0.0;
+  double floodProb = 0.0;
+  double stallProb = 0.0;
+};
+
+/// One transport delivery: wait `delayUs` on the ingest clock, then
+/// offer `bytes` to the session.
+struct DeliveryChunk {
+  std::vector<std::byte> bytes;
+  TimeUs delayUs = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed);
+
+  /// Scripted mode: queue one fault op (may be called repeatedly; ops on
+  /// the same frame compose in insertion order).
+  void script(FaultOp op);
+
+  /// Profiled mode: per-frame probabilities (combined with any script).
+  void setProfile(const FaultProfile& profile);
+
+  /// Timestamp rewind applied by kTimestampRegress (subtracted from the
+  /// 32-bit window start).
+  void setRegressUs(std::uint32_t us) { regressUs_ = us; }
+  /// Extra copies emitted by kBurstFlood.
+  void setFloodCopies(int copies) { floodCopies_ = copies; }
+  /// Silent gap inserted by kStall.
+  void setStallUs(TimeUs us) { stallUs_ = us; }
+  /// Split the corrupted stream into delivery chunks of at most this
+  /// many bytes (0 = one chunk per frame), exercising reassembly.
+  void setChunkBytes(std::size_t bytes) { chunkBytes_ = bytes; }
+
+  /// Apply all faults to a pristine frame sequence and return the
+  /// resulting transport deliveries.  Deterministic for a given
+  /// (seed, script, profile, input).
+  [[nodiscard]] std::vector<DeliveryChunk> corrupt(
+      std::span<const std::vector<std::byte>> frames);
+
+ private:
+  void emitChunks(std::vector<DeliveryChunk>& out,
+                  std::vector<std::byte> bytes, TimeUs delayUs);
+  void emitOne(std::vector<DeliveryChunk>& out, std::size_t index,
+               std::span<const std::vector<std::byte>> frames,
+               std::vector<bool>& consumed);
+
+  Rng rng_;
+  std::vector<FaultOp> script_;
+  FaultProfile profile_;
+  std::uint32_t regressUs_ = 10'000'000;  ///< 10 s rewind
+  int floodCopies_ = 8;
+  TimeUs stallUs_ = 1'000'000;  ///< 1 s silence
+  std::size_t chunkBytes_ = 0;
+};
+
+}  // namespace ebbiot

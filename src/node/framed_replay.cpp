@@ -1,0 +1,27 @@
+#include "src/node/framed_replay.hpp"
+
+#include "src/common/error.hpp"
+#include "src/node/wire_format.hpp"
+
+namespace ebbiot {
+
+FramedReplaySource::FramedReplaySource(EventSource& inner,
+                                       const NodeConfig& config,
+                                       std::uint16_t sensorId)
+    : inner_(inner), session_(sensorId, withGeometry(config, inner)) {
+  buf_.reserve(session_.config().maxFrameBytes());
+}
+
+EventPacket FramedReplaySource::nextWindow(TimeUs duration) {
+  const EventPacket window = inner_.nextWindow(duration);
+  buf_.clear();
+  encodeFrame(buf_, seq_++, session_.sensorId(), window);
+  session_.offerBytes(buf_, window.tEnd());
+  sink_.count = 0;
+  session_.drainInto(sink_, window.tEnd());
+  // A clean transport must pass every window through, exactly once.
+  EBBIOT_ASSERT(sink_.count == 1);
+  return sink_.packet;
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,61 @@
+// EventSource adapter that routes a stream through the full node ingest
+// layer: every window is encoded as a wire frame, offered to a real
+// SensorSession (parser, sequence/timestamp discipline, queue) and read
+// back from the consumer side.
+//
+// With a clean transport the adapter is an identity: the equivalence
+// test pins that runRecording over a FramedReplaySource produces a
+// bit-identical RunResult to the same run over the inner source — the
+// codec and session layers add exactly nothing to a healthy stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/node/sensor_session.hpp"
+#include "src/sim/davis.hpp"
+
+namespace ebbiot {
+
+class FramedReplaySource final : public EventSource {
+ public:
+  /// The inner source must outlive the adapter.  The config's geometry
+  /// is overridden by the inner source's (the parser would otherwise
+  /// reject in-bounds events as corrupt).
+  FramedReplaySource(EventSource& inner, const NodeConfig& config,
+                     std::uint16_t sensorId = 0);
+
+  [[nodiscard]] EventPacket nextWindow(TimeUs duration) override;
+  [[nodiscard]] TimeUs now() const override { return inner_.now(); }
+  [[nodiscard]] int width() const override { return inner_.width(); }
+  [[nodiscard]] int height() const override { return inner_.height(); }
+
+  /// The session the stream flows through (counters inspection).
+  [[nodiscard]] const SensorSession& session() const { return session_; }
+
+ private:
+  struct CaptureSink final : WindowSink {
+    EventPacket packet;
+    std::size_t count = 0;
+    void onWindow(const EventPacket& window, std::uint32_t /*seq*/,
+                  TimeUs /*ingestTime*/) override {
+      packet = window;
+      ++count;
+    }
+  };
+
+  static NodeConfig withGeometry(NodeConfig config, const EventSource& inner) {
+    config.width = inner.width();
+    config.height = inner.height();
+    return config;
+  }
+
+  EventSource& inner_;
+  SensorSession session_;
+  std::vector<std::byte> buf_;
+  CaptureSink sink_;
+  std::uint32_t seq_ = 0;
+};
+
+}  // namespace ebbiot

@@ -1,0 +1,71 @@
+#include "src/node/node_config.hpp"
+
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/node/wire_format.hpp"
+
+namespace ebbiot {
+
+std::size_t NodeConfig::maxFrameBytes() const {
+  return frameSizeBytes(maxEventsPerFrame);
+}
+
+std::size_t NodeConfig::effectiveBufferBytes() const {
+  return maxBufferedBytes != 0 ? maxBufferedBytes : 2 * maxFrameBytes();
+}
+
+void NodeConfig::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw ConfigError("NodeConfig: " + what);
+  };
+  if (width < 1 || width > 65535) {
+    fail("width must be in [1, 65535], got " + std::to_string(width));
+  }
+  if (height < 1 || height > 65535) {
+    fail("height must be in [1, 65535], got " + std::to_string(height));
+  }
+  if (queueCapacity < 1) {
+    fail("queueCapacity must be >= 1");
+  }
+  if (freshnessLagWindows < 1) {
+    fail("freshnessLagWindows must be >= 1");
+  }
+  if (watchdogTimeoutUs <= 0) {
+    fail("watchdogTimeoutUs must be > 0, got " +
+         std::to_string(watchdogTimeoutUs));
+  }
+  if (maxEventsPerFrame < 1) {
+    fail("maxEventsPerFrame must be >= 1");
+  }
+  if (maxBufferedBytes != 0 && maxBufferedBytes < maxFrameBytes()) {
+    fail("maxBufferedBytes (" + std::to_string(maxBufferedBytes) +
+         ") is smaller than one maximum frame (" +
+         std::to_string(maxFrameBytes()) +
+         " bytes); the parser could never assemble a full frame");
+  }
+  if (degradeFaultThreshold < 1) {
+    fail("degradeFaultThreshold must be >= 1");
+  }
+  if (degradeFrameWindow < 1 || degradeFrameWindow > 64) {
+    fail("degradeFrameWindow must be in [1, 64], got " +
+         std::to_string(degradeFrameWindow));
+  }
+  if (degradeFaultThreshold > degradeFrameWindow) {
+    fail("degradeFaultThreshold (" + std::to_string(degradeFaultThreshold) +
+         ") exceeds degradeFrameWindow (" +
+         std::to_string(degradeFrameWindow) + "); DEGRADED would be " +
+         "unreachable");
+  }
+  if (recoverCleanFrames < 1) {
+    fail("recoverCleanFrames must be >= 1");
+  }
+  if (quarantineResyncLimit < 1) {
+    fail("quarantineResyncLimit must be >= 1");
+  }
+  if (latencySampleCapacity < 1) {
+    fail("latencySampleCapacity must be >= 1");
+  }
+}
+
+}  // namespace ebbiot

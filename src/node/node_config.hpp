@@ -1,0 +1,104 @@
+// Configuration of the IoVT node ingest layer (src/node/).
+//
+// One NodeConfig describes a node's per-sensor ingestion contract: the
+// wire-format limits the frame parser enforces, the bounded SPSC queue
+// between the transport and the pipeline, the backpressure policy applied
+// when that queue fills, the watchdog that detects silent sensors, and
+// the fault-rate thresholds that drive the SensorSession state machine
+// (see src/node/sensor_session.hpp for the machine itself).
+//
+// Everything is validated up front: constructing a SensorSession or a
+// NodeSupervisor from a nonsensical config throws ConfigError instead of
+// deadlocking (zero-capacity queue), spinning (zero watchdog), or
+// attempting absurd allocations (unbounded frame size) at runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/time.hpp"
+
+namespace ebbiot {
+
+/// What to do when a session's bounded window queue cannot keep up.
+///
+/// Both policies bound memory: a full SPSC queue always rejects the
+/// incoming window at the tail (counted as windowsRejected — the producer
+/// cannot safely evict slots the consumer may be reading).  The policies
+/// differ in what the *consumer* does with backlog:
+///   * kDropOldestWindow favours freshness: when more than
+///     freshnessLagWindows windows are pending at drain time, the oldest
+///     are discarded unprocessed (counted as windowsShedStale) and only
+///     the newest are run through the pipeline.  Ordering is preserved —
+///     windows are shed, never reordered.
+///   * kRejectPacket favours completeness: the consumer processes every
+///     queued window in order; loss happens only at the tail when the
+///     queue is full.
+enum class BackpressurePolicy {
+  kDropOldestWindow,
+  kRejectPacket,
+};
+
+struct NodeConfig {
+  /// Sensor geometry; decoded events outside it invalidate the frame.
+  int width = 240;
+  int height = 180;
+
+  /// Slots in the per-sensor SPSC window queue (>= 1).
+  std::size_t queueCapacity = 8;
+
+  BackpressurePolicy backpressure = BackpressurePolicy::kDropOldestWindow;
+
+  /// kDropOldestWindow: maximum backlog the consumer processes per drain;
+  /// older pending windows beyond it are shed (>= 1).
+  std::size_t freshnessLagWindows = 2;
+
+  /// A sensor with no accepted frame for longer than this (on the ingest
+  /// clock) is declared STALLED (> 0).
+  TimeUs watchdogTimeoutUs = 500'000;
+
+  /// Upper bound a frame header may declare; larger counts are treated as
+  /// corruption and resynced past, never allocated (>= 1).
+  std::uint32_t maxEventsPerFrame = 1u << 17;
+
+  /// Parser reassembly buffer cap in bytes; transport bytes beyond it are
+  /// dropped (counted).  0 derives 2 * maxFrameBytes().
+  std::size_t maxBufferedBytes = 0;
+
+  /// The session enters DEGRADED when at least this many of the last
+  /// degradeFrameWindow frame outcomes were faults (>= 1).
+  int degradeFaultThreshold = 3;
+  /// Sliding outcome window for the degrade decision (1..64 — it lives in
+  /// one 64-bit shift register).
+  int degradeFrameWindow = 8;
+
+  /// Consecutive clean frames needed to leave DEGRADED / RECOVERING.
+  int recoverCleanFrames = 4;
+
+  /// Total resync episodes after which the session is quarantined
+  /// (terminal state; further bytes are ignored and counted) (>= 1).
+  std::uint64_t quarantineResyncLimit = 64;
+
+  /// NodeSupervisor overload valve: when the summed backlog across all
+  /// sessions exceeds this many windows, whole low-priority sensors are
+  /// shed (their backlog discarded in order) until the node fits again.
+  /// 0 disables shedding.
+  std::size_t shedBacklogWindows = 0;
+
+  /// Latency samples retained per sensor (ring; >= 1).
+  std::size_t latencySampleCapacity = 4096;
+
+  /// Serialized size of the largest frame this config admits.
+  [[nodiscard]] std::size_t maxFrameBytes() const;
+
+  /// Effective parser buffer cap (maxBufferedBytes, or the derived
+  /// default when it is 0).
+  [[nodiscard]] std::size_t effectiveBufferBytes() const;
+
+  /// Throws ConfigError on any nonsensical value; called by every
+  /// consumer of the config at construction so misconfiguration fails
+  /// fast, before any thread or queue exists.
+  void validate() const;
+};
+
+}  // namespace ebbiot

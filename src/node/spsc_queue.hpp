@@ -1,0 +1,99 @@
+// Bounded single-producer / single-consumer queue for session windows.
+//
+// The transport thread (producer) hands decoded windows to the pipeline
+// thread (consumer) through this queue; each SensorSession owns exactly
+// one.  Design constraints, in order:
+//
+//   * bounded — backpressure is a first-class policy (NodeConfig), so the
+//     queue must refuse work instead of growing;
+//   * lock-free — a stalled consumer must never block the transport
+//     thread (it would back up *other* sensors' ingest);
+//   * slot reuse — slots hold EventPacket-bearing values that keep their
+//     heap capacity across laps, so the steady state allocates nothing
+//     (tryEmplace hands the producer a reference to the slot in place;
+//     tryConsume does the same for the consumer).
+//
+// Classic ring with head/tail indices and acquire/release ordering: the
+// producer writes the slot, then publishes tail (release); the consumer
+// reads tail (acquire), consumes the slot, then publishes head (release).
+// Each side owns one index, so no CAS is needed.  Deliberately *not* a
+// seqlock "latest-wins" ring: overwriting a slot the consumer may be
+// reading is a data race on non-atomic payloads (TSan gates this repo),
+// so eviction is never done by the producer — freshness policies are
+// implemented at the consumer (see SensorSession::drainInto).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+/// Destructive-interference distance for the head/tail indices.  A fixed
+/// 64 rather than std::hardware_destructive_interference_size: the
+/// constant is only a false-sharing pad, and the std value is flagged as
+/// ABI-unstable (-Winterference-size) on GCC.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Queue holding up to `capacity` items (>= 1); slots are
+  /// default-constructed once and reused forever after.
+  explicit SpscQueue(std::size_t capacity) : slots_(capacity) {
+    EBBIOT_ASSERT(capacity >= 1);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side: if a slot is free, invoke fill(slot) and publish it;
+  /// returns false (without calling fill) when the queue is full.  The
+  /// slot retains whatever state the previous lap left — fill() must
+  /// reset it (EventPacket::reset keeps capacity, which is the point).
+  template <typename Fill>
+  bool tryEmplace(Fill&& fill) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == slots_.size()) {
+      return false;
+    }
+    fill(slots_[tail % slots_.size()]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: if an item is pending, invoke consume(slot) and
+  /// retire it; returns false (without calling consume) when empty.
+  template <typename Consume>
+  bool tryConsume(Consume&& consume) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (tail == head) {
+      return false;
+    }
+    consume(slots_[head % slots_.size()]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Items pending right now, as seen by the calling side (exact for the
+  /// producer and for the consumer between their own operations; a
+  /// snapshot for anyone else).
+  [[nodiscard]] std::size_t sizeApprox() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<T> slots_;
+  alignas(kCacheLineSize) std::atomic<std::size_t> head_{0};  ///< consumer
+  alignas(kCacheLineSize) std::atomic<std::size_t> tail_{0};  ///< producer
+};
+
+}  // namespace ebbiot

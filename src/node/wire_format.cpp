@@ -1,0 +1,284 @@
+#include "src/node/wire_format.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <limits>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> makeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = makeCrcTable();
+
+template <typename T>
+void putLe(std::vector<std::byte>& out, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<std::byte>(
+        (static_cast<std::uint64_t>(value) >> (8 * i)) & 0xFF));
+  }
+}
+
+template <typename T>
+T getLe(const std::byte* p) {
+  std::uint64_t v = 0;
+  for (std::size_t i = sizeof(T); i-- > 0;) {
+    v = (v << 8) | static_cast<std::uint64_t>(p[i]);
+  }
+  return static_cast<T>(v);
+}
+
+template <typename T>
+void storeLe(std::byte* p, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    p[i] = static_cast<std::byte>(
+        (static_cast<std::uint64_t>(value) >> (8 * i)) & 0xFF);
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> bytes) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::byte b : bytes) {
+    c = kCrcTable[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void encodeFrame(std::vector<std::byte>& out, std::uint32_t seq,
+                 std::uint16_t sensorId, const EventPacket& window) {
+  const TimeUs duration = window.duration();
+  EBBIOT_ASSERT(duration > 0 &&
+                duration <= std::numeric_limits<std::uint32_t>::max());
+  EBBIOT_ASSERT(window.size() <=
+                std::numeric_limits<std::uint32_t>::max() / kFrameEventSize);
+  const std::size_t start = out.size();
+  putLe(out, kFrameMagic);
+  putLe(out, seq);
+  putLe(out, sensorId);
+  putLe(out, static_cast<std::uint16_t>(0));  // flags
+  putLe(out, static_cast<std::uint32_t>(window.size()));
+  putLe(out, static_cast<std::uint32_t>(
+                 static_cast<std::uint64_t>(window.tStart()) & 0xFFFFFFFFu));
+  putLe(out, static_cast<std::uint32_t>(duration));
+  for (const Event& e : window) {
+    // EventPacket guarantees tStart <= t < tEnd, so dt fits [0, duration).
+    const TimeUs dt = e.t - window.tStart();
+    putLe(out, e.x);
+    putLe(out, e.y);
+    putLe(out, static_cast<std::int8_t>(e.p));
+    putLe(out, static_cast<std::uint32_t>(dt));
+  }
+  const std::uint32_t crc = crc32(std::span<const std::byte>(
+      out.data() + start + kFrameSeqOffset,
+      out.size() - start - kFrameSeqOffset));
+  putLe(out, crc);
+}
+
+void refreshFrameCrc(std::span<std::byte> frame) {
+  EBBIOT_ASSERT(frame.size() >= frameSizeBytes(0));
+  const std::size_t crcOffset = frame.size() - kFrameCrcSize;
+  const std::uint32_t crc = crc32(
+      frame.subspan(kFrameSeqOffset, crcOffset - kFrameSeqOffset));
+  storeLe(frame.data() + crcOffset, crc);
+}
+
+std::uint32_t frameWindowStart32(std::span<const std::byte> frame) {
+  EBBIOT_ASSERT(frame.size() >= kFrameHeaderSize);
+  return getLe<std::uint32_t>(frame.data() + kFrameWindowStartOffset);
+}
+
+void setFrameWindowStart32(std::span<std::byte> frame, std::uint32_t value) {
+  EBBIOT_ASSERT(frame.size() >= kFrameHeaderSize);
+  storeLe(frame.data() + kFrameWindowStartOffset, value);
+}
+
+std::uint32_t frameSeq(std::span<const std::byte> frame) {
+  EBBIOT_ASSERT(frame.size() >= kFrameHeaderSize);
+  return getLe<std::uint32_t>(frame.data() + kFrameSeqOffset);
+}
+
+void setFrameSeq(std::span<std::byte> frame, std::uint32_t value) {
+  EBBIOT_ASSERT(frame.size() >= kFrameHeaderSize);
+  storeLe(frame.data() + kFrameSeqOffset, value);
+}
+
+TimestampUnwrapper::Result TimestampUnwrapper::unwrap(std::uint32_t t32) {
+  Result r;
+  if (!primed_) {
+    primed_ = true;
+    last32_ = t32;
+    r.t = static_cast<TimeUs>(t32);
+    return r;
+  }
+  // Shortest signed distance on the 32-bit circle decides the direction.
+  const std::uint32_t delta = t32 - last32_;
+  if (delta < 0x80000000u) {
+    if (t32 < last32_) {
+      epochBase_ += static_cast<TimeUs>(1) << 32;
+      r.wrapped = true;
+    }
+    last32_ = t32;
+    r.t = epochBase_ + static_cast<TimeUs>(t32);
+  } else {
+    r.regressed = true;
+    // Where the sample would sit relative to the current stream position
+    // (informational only; the caller rejects the frame).
+    r.t = t32 <= last32_
+              ? epochBase_ + static_cast<TimeUs>(t32)
+              : epochBase_ - (static_cast<TimeUs>(1) << 32) +
+                    static_cast<TimeUs>(t32);
+  }
+  return r;
+}
+
+void TimestampUnwrapper::reset() {
+  primed_ = false;
+  last32_ = 0;
+  epochBase_ = 0;
+}
+
+FrameParser::FrameParser(const NodeConfig& config)
+    : width_(config.width),
+      height_(config.height),
+      maxEvents_(config.maxEventsPerFrame),
+      maxBuffer_(config.effectiveBufferBytes()) {
+  config.validate();
+  buf_.reserve(maxBuffer_);
+}
+
+void FrameParser::offer(std::span<const std::byte> bytes) {
+  counters_.bytesOffered += bytes.size();
+  compact();
+  const std::size_t room =
+      maxBuffer_ > buf_.size() ? maxBuffer_ - buf_.size() : 0;
+  const std::size_t take = std::min(room, bytes.size());
+  counters_.bytesDroppedOverflow += bytes.size() - take;
+  buf_.insert(buf_.end(), bytes.begin(), bytes.begin() + take);
+}
+
+void FrameParser::compact() {
+  // Reclaim the consumed prefix once it dominates the buffer, keeping
+  // amortised cost linear without reallocating (capacity was reserved in
+  // the constructor).
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ * 2 >= maxBuffer_)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+}
+
+void FrameParser::skipForward() {
+  // Advance at least one byte, then to the next magic candidate (or the
+  // point where a partial magic could still complete).
+  if (!skipping_) {
+    skipping_ = true;
+    ++counters_.resyncs;
+  }
+  const std::byte m0 = static_cast<std::byte>(kFrameMagic & 0xFF);
+  std::size_t p = pos_ + 1;
+  while (p < buf_.size() && buf_[p] != m0) {
+    ++p;
+  }
+  counters_.bytesSkipped += p - pos_;
+  pos_ = p;
+}
+
+FrameParser::Probe FrameParser::probe(DecodedFrame& out) {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderSize) {
+    // A partial magic prefix may still complete; a mismatching prefix is
+    // already corrupt.
+    const std::size_t check = std::min(avail, sizeof(std::uint32_t));
+    for (std::size_t i = 0; i < check; ++i) {
+      if (buf_[pos_ + i] !=
+          static_cast<std::byte>((kFrameMagic >> (8 * i)) & 0xFF)) {
+        return Probe::kNoMagic;
+      }
+    }
+    return Probe::kNeedMore;
+  }
+  const std::byte* p = buf_.data() + pos_;
+  if (getLe<std::uint32_t>(p + kFrameMagicOffset) != kFrameMagic) {
+    return Probe::kNoMagic;
+  }
+  const std::uint32_t eventCount = getLe<std::uint32_t>(
+      p + kFrameEventCountOffset);
+  const std::uint32_t duration = getLe<std::uint32_t>(p + kFrameDurationOffset);
+  if (eventCount > maxEvents_ || duration == 0) {
+    return Probe::kCorrupt;
+  }
+  const std::size_t total = frameSizeBytes(eventCount);
+  if (avail < total) {
+    return Probe::kNeedMore;
+  }
+  const std::uint32_t storedCrc =
+      getLe<std::uint32_t>(p + total - kFrameCrcSize);
+  const std::uint32_t actualCrc = crc32(std::span<const std::byte>(
+      p + kFrameSeqOffset, total - kFrameSeqOffset - kFrameCrcSize));
+  if (storedCrc != actualCrc) {
+    return Probe::kCorrupt;
+  }
+  out.seq = getLe<std::uint32_t>(p + kFrameSeqOffset);
+  out.sensorId = getLe<std::uint16_t>(p + kFrameSensorIdOffset);
+  out.windowStart32 = getLe<std::uint32_t>(p + kFrameWindowStartOffset);
+  out.durationUs = duration;
+  out.events.clear();
+  const std::byte* rec = p + kFrameHeaderSize;
+  for (std::uint32_t i = 0; i < eventCount; ++i, rec += kFrameEventSize) {
+    Event e;
+    e.x = getLe<std::uint16_t>(rec);
+    e.y = getLe<std::uint16_t>(rec + 2);
+    const auto rawP = getLe<std::int8_t>(rec + 4);
+    const std::uint32_t dt = getLe<std::uint32_t>(rec + 5);
+    if ((rawP != 1 && rawP != -1) || static_cast<int>(e.x) >= width_ ||
+        static_cast<int>(e.y) >= height_ || dt >= duration) {
+      // CRC-valid but semantically impossible: a buggy or hostile sender.
+      return Probe::kCorrupt;
+    }
+    e.p = static_cast<Polarity>(rawP);
+    e.t = static_cast<TimeUs>(dt);
+    out.events.push_back(e);
+  }
+  pos_ += total;
+  return Probe::kFrame;
+}
+
+FrameParser::Status FrameParser::next(DecodedFrame& out) {
+  for (;;) {
+    compact();
+    if (pos_ >= buf_.size()) {
+      return Status::kNeedMore;
+    }
+    switch (probe(out)) {
+      case Probe::kFrame:
+        skipping_ = false;
+        ++counters_.framesDecoded;
+        return Status::kFrame;
+      case Probe::kNeedMore:
+        return Status::kNeedMore;
+      case Probe::kCorrupt:
+        ++counters_.framesCorrupted;
+        skipForward();
+        break;
+      case Probe::kNoMagic:
+        skipForward();
+        break;
+    }
+  }
+}
+
+}  // namespace ebbiot

@@ -18,6 +18,8 @@
 #include "src/detect/cca_reference.hpp"
 #include "src/filters/median_filter_incremental.hpp"
 #include "src/filters/nn_filter.hpp"
+#include "src/node/sensor_session.hpp"
+#include "src/node/wire_format.hpp"
 #include "src/trackers/ebms.hpp"
 
 namespace ebbiot {
@@ -192,6 +194,68 @@ TEST(AllocationAuditTest, CcaLabelerSteadyStateAllocatesNothing) {
   }
   EXPECT_EQ(gAllocations.load() - before, 0U)
       << "CCA labelling allocated in steady state";
+}
+
+TEST(AllocationAuditTest, SensorSessionHotPathAllocatesNothing) {
+#ifdef EBBIOT_ALLOC_COUNTER_DISABLED
+  GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#endif
+  // The ingest hot path — offerBytes (parser reassembly + decode into the
+  // reused DecodedFrame) through the SPSC ring (per-slot EventPacket reset
+  // + push) to drainInto — must be allocation-free once every ring slot's
+  // window has grown to the stream's event count.  Frames are pre-encoded
+  // so only session machinery is measured.
+  NodeConfig config;
+  config.width = 64;
+  config.height = 48;
+  config.maxEventsPerFrame = 64;
+  SensorSession session(7, config);
+
+  struct CountingSink final : WindowSink {
+    std::size_t windows = 0;
+    std::size_t events = 0;
+    void onWindow(const EventPacket& window, std::uint32_t /*seq*/,
+                  TimeUs /*ingestTime*/) override {
+      ++windows;
+      events += window.size();
+    }
+  } sink;
+
+  constexpr TimeUs kPeriod = 10'000;
+  const auto encodeSeq = [](std::uint32_t seq) {
+    const TimeUs tStart = static_cast<TimeUs>(seq) * kPeriod;
+    EventPacket window(tStart, tStart + kPeriod);
+    for (std::uint32_t j = 0; j < 40; ++j) {
+      window.push(Event{static_cast<std::uint16_t>((seq + 3 * j) % 64),
+                        static_cast<std::uint16_t>((seq + j) % 48),
+                        j % 2 == 0 ? Polarity::kOn : Polarity::kOff,
+                        tStart + static_cast<TimeUs>(j) * 100});
+    }
+    std::vector<std::byte> bytes;
+    encodeFrame(bytes, seq, 7, window);
+    return bytes;
+  };
+  std::vector<std::vector<std::byte>> frames;
+  for (std::uint32_t seq = 0; seq < 64; ++seq) {
+    frames.push_back(encodeSeq(seq));
+  }
+
+  // Warm-up: cycle every ring slot so each slot's window reaches capacity.
+  std::uint32_t seq = 0;
+  for (; seq < 32; ++seq) {
+    session.offerBytes(frames[seq], static_cast<TimeUs>(seq + 1) * kPeriod);
+    (void)session.drainInto(sink, static_cast<TimeUs>(seq + 1) * kPeriod);
+  }
+  const std::uint64_t before = gAllocations.load();
+  for (; seq < 64; ++seq) {
+    session.offerBytes(frames[seq], static_cast<TimeUs>(seq + 1) * kPeriod);
+    (void)session.drainInto(sink, static_cast<TimeUs>(seq + 1) * kPeriod);
+  }
+  EXPECT_EQ(gAllocations.load() - before, 0U)
+      << "sensor session ingest/drain allocated in steady state";
+  EXPECT_EQ(session.counters().framesAccepted, 64U);
+  EXPECT_EQ(sink.windows, 64U);
+  EXPECT_EQ(sink.events, 64U * 40U);
 }
 
 TEST(AllocationAuditTest, NnFilterFilterIntoAllocatesNothing) {

@@ -1,0 +1,288 @@
+// Wire-format codec, frame parser (reassembly + resync) and timestamp
+// unwrapper of the node ingest layer.
+#include "src/node/wire_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/node/node_config.hpp"
+
+namespace ebbiot {
+namespace {
+
+NodeConfig testConfig() {
+  NodeConfig config;
+  config.width = 64;
+  config.height = 48;
+  config.maxEventsPerFrame = 64;
+  return config;
+}
+
+/// Deterministic window: 5 events, seq-dependent content.
+EventPacket makeWindow(std::uint32_t i, TimeUs duration = 10'000) {
+  const TimeUs tStart = static_cast<TimeUs>(i) * duration;
+  EventPacket p(tStart, tStart + duration);
+  for (std::uint32_t j = 0; j < 5; ++j) {
+    Event e;
+    e.x = static_cast<std::uint16_t>((i + 7 * j) % 64);
+    e.y = static_cast<std::uint16_t>((3 * i + j) % 48);
+    e.p = (i + j) % 2 == 0 ? Polarity::kOn : Polarity::kOff;
+    e.t = tStart + static_cast<TimeUs>(j) * 100;
+    p.push(e);
+  }
+  return p;
+}
+
+std::vector<std::byte> encodeOne(std::uint32_t seq, std::uint16_t sensor,
+                                 const EventPacket& window) {
+  std::vector<std::byte> out;
+  encodeFrame(out, seq, sensor, window);
+  return out;
+}
+
+TEST(WireFormatTest, FrameSizeIsClosedForm) {
+  EXPECT_EQ(frameSizeBytes(0), 28U);
+  EXPECT_EQ(frameSizeBytes(5), 28U + 45U);
+  const EventPacket w = makeWindow(3);
+  EXPECT_EQ(encodeOne(3, 7, w).size(), frameSizeBytes(w.size()));
+}
+
+TEST(WireFormatTest, RoundTripPreservesEverything) {
+  const EventPacket w = makeWindow(4);
+  const std::vector<std::byte> bytes = encodeOne(4, 7, w);
+
+  FrameParser parser(testConfig());
+  parser.offer(bytes);
+  DecodedFrame frame;
+  ASSERT_EQ(parser.next(frame), FrameParser::Status::kFrame);
+  EXPECT_EQ(frame.seq, 4U);
+  EXPECT_EQ(frame.sensorId, 7U);
+  EXPECT_EQ(frame.windowStart32, static_cast<std::uint32_t>(w.tStart()));
+  EXPECT_EQ(frame.durationUs, static_cast<std::uint32_t>(w.duration()));
+  ASSERT_EQ(frame.events.size(), w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(frame.events[i].x, w[i].x);
+    EXPECT_EQ(frame.events[i].y, w[i].y);
+    EXPECT_EQ(frame.events[i].p, w[i].p);
+    // Decoded t carries the delta from the window start.
+    EXPECT_EQ(frame.events[i].t, w[i].t - w.tStart());
+  }
+  EXPECT_EQ(parser.next(frame), FrameParser::Status::kNeedMore);
+  EXPECT_EQ(parser.counters().framesDecoded, 1U);
+  EXPECT_EQ(parser.counters().framesCorrupted, 0U);
+  EXPECT_EQ(parser.counters().resyncs, 0U);
+}
+
+TEST(WireFormatTest, EmptyWindowRoundTrips) {
+  const EventPacket w(5'000, 15'000);
+  const std::vector<std::byte> bytes = encodeOne(9, 1, w);
+  EXPECT_EQ(bytes.size(), frameSizeBytes(0));
+
+  FrameParser parser(testConfig());
+  parser.offer(bytes);
+  DecodedFrame frame;
+  ASSERT_EQ(parser.next(frame), FrameParser::Status::kFrame);
+  EXPECT_EQ(frame.seq, 9U);
+  EXPECT_TRUE(frame.events.empty());
+  EXPECT_EQ(frame.windowStart32, 5'000U);
+  EXPECT_EQ(frame.durationUs, 10'000U);
+}
+
+TEST(WireFormatTest, ByteAtATimeReassembly) {
+  const std::vector<std::byte> bytes = encodeOne(2, 7, makeWindow(2));
+  FrameParser parser(testConfig());
+  DecodedFrame frame;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    parser.offer({&bytes[i], 1});
+    ASSERT_EQ(parser.next(frame), FrameParser::Status::kNeedMore);
+  }
+  parser.offer({&bytes.back(), 1});
+  ASSERT_EQ(parser.next(frame), FrameParser::Status::kFrame);
+  EXPECT_EQ(frame.seq, 2U);
+  EXPECT_EQ(parser.counters().framesDecoded, 1U);
+  EXPECT_EQ(parser.counters().resyncs, 0U);
+}
+
+TEST(WireFormatTest, CrcCorruptionResyncsToNextFrame) {
+  std::vector<std::byte> f0 = encodeOne(0, 7, makeWindow(0));
+  const std::vector<std::byte> f1 = encodeOne(1, 7, makeWindow(1));
+  f0[kFrameWindowStartOffset] ^= std::byte{1};  // CRC now mismatches
+
+  FrameParser parser(testConfig());
+  parser.offer(f0);
+  parser.offer(f1);
+  DecodedFrame frame;
+  ASSERT_EQ(parser.next(frame), FrameParser::Status::kFrame);
+  EXPECT_EQ(frame.seq, 1U);
+  EXPECT_EQ(parser.next(frame), FrameParser::Status::kNeedMore);
+  EXPECT_EQ(parser.counters().framesDecoded, 1U);
+  EXPECT_EQ(parser.counters().framesCorrupted, 1U);
+  EXPECT_EQ(parser.counters().resyncs, 1U);
+  // The whole corrupted frame was scanned past, byte by byte.
+  EXPECT_EQ(parser.counters().bytesSkipped, f0.size());
+}
+
+TEST(WireFormatTest, GarbagePrefixResyncs) {
+  const std::vector<std::byte> garbage(37, std::byte{0xAB});
+  const std::vector<std::byte> f0 = encodeOne(0, 7, makeWindow(0));
+  FrameParser parser(testConfig());
+  parser.offer(garbage);
+  parser.offer(f0);
+  DecodedFrame frame;
+  ASSERT_EQ(parser.next(frame), FrameParser::Status::kFrame);
+  EXPECT_EQ(frame.seq, 0U);
+  EXPECT_EQ(parser.counters().resyncs, 1U);
+  EXPECT_EQ(parser.counters().bytesSkipped, garbage.size());
+  // Garbage never presented a plausible header, so nothing was counted
+  // as a corrupted *frame*.
+  EXPECT_EQ(parser.counters().framesCorrupted, 0U);
+}
+
+TEST(WireFormatTest, ImplausibleEventCountRejectedWithoutAllocation) {
+  // A CRC-valid frame declaring more events than the config admits must
+  // be treated as corruption (and never allocated for), not trusted.
+  std::vector<std::byte> f0 = encodeOne(0, 7, makeWindow(0));
+  f0[kFrameEventCountOffset + 3] = std::byte{0x7F};
+  refreshFrameCrc(f0);
+  const std::vector<std::byte> f1 = encodeOne(1, 7, makeWindow(1));
+
+  FrameParser parser(testConfig());
+  parser.offer(f0);
+  parser.offer(f1);
+  DecodedFrame frame;
+  ASSERT_EQ(parser.next(frame), FrameParser::Status::kFrame);
+  EXPECT_EQ(frame.seq, 1U);
+  EXPECT_EQ(parser.counters().framesCorrupted, 1U);
+  EXPECT_EQ(parser.counters().resyncs, 1U);
+}
+
+TEST(WireFormatTest, CrcValidButSemanticallyImpossibleEventsRejected) {
+  // Out-of-bounds coordinate with a refreshed CRC: a buggy or hostile
+  // sender the checksum alone cannot catch.
+  std::vector<std::byte> f0 = encodeOne(0, 7, makeWindow(0));
+  f0[kFrameHeaderSize] = std::byte{0xFF};  // event 0 x -> 255 >= width 64
+  refreshFrameCrc(f0);
+  const std::vector<std::byte> f1 = encodeOne(1, 7, makeWindow(1));
+
+  FrameParser parser(testConfig());
+  parser.offer(f0);
+  parser.offer(f1);
+  DecodedFrame frame;
+  ASSERT_EQ(parser.next(frame), FrameParser::Status::kFrame);
+  EXPECT_EQ(frame.seq, 1U);
+  EXPECT_EQ(parser.counters().framesCorrupted, 1U);
+
+  // Same for a polarity byte outside {1, -1}.
+  std::vector<std::byte> f2 = encodeOne(2, 7, makeWindow(2));
+  f2[kFrameHeaderSize + 4] = std::byte{3};
+  refreshFrameCrc(f2);
+  const std::vector<std::byte> f3 = encodeOne(3, 7, makeWindow(3));
+  parser.offer(f2);
+  parser.offer(f3);
+  ASSERT_EQ(parser.next(frame), FrameParser::Status::kFrame);
+  EXPECT_EQ(frame.seq, 3U);
+  EXPECT_EQ(parser.counters().framesCorrupted, 2U);
+}
+
+TEST(WireFormatTest, ReassemblyBufferIsBounded) {
+  NodeConfig config = testConfig();
+  config.maxBufferedBytes = config.maxFrameBytes();  // tightest legal cap
+  FrameParser parser(config);
+  // Offer three frames' worth of junk at once: everything beyond the cap
+  // must be dropped and counted, not buffered.
+  const std::vector<std::byte> junk(3 * config.maxFrameBytes(),
+                                    std::byte{0x00});
+  parser.offer(junk);
+  EXPECT_EQ(parser.counters().bytesOffered, junk.size());
+  EXPECT_EQ(parser.counters().bytesDroppedOverflow,
+            junk.size() - config.maxFrameBytes());
+  EXPECT_EQ(parser.buffered(), config.maxFrameBytes());
+}
+
+TEST(WireFormatTest, SeqAndWindowStartFieldAccessors) {
+  std::vector<std::byte> f0 = encodeOne(41, 7, makeWindow(41));
+  EXPECT_EQ(frameSeq(f0), 41U);
+  EXPECT_EQ(frameWindowStart32(f0), 410'000U);
+  setFrameSeq(f0, 99);
+  setFrameWindowStart32(f0, 123'456);
+  refreshFrameCrc(f0);
+  EXPECT_EQ(frameSeq(f0), 99U);
+  EXPECT_EQ(frameWindowStart32(f0), 123'456U);
+
+  FrameParser parser(testConfig());
+  parser.offer(f0);
+  DecodedFrame frame;
+  ASSERT_EQ(parser.next(frame), FrameParser::Status::kFrame);
+  EXPECT_EQ(frame.seq, 99U);
+  EXPECT_EQ(frame.windowStart32, 123'456U);
+}
+
+TEST(WireFormatTest, Crc32MatchesKnownVector) {
+  // IEEE CRC32 of "123456789" is the classic check value 0xCBF43926.
+  const char* digits = "123456789";
+  std::vector<std::byte> bytes;
+  for (const char* p = digits; *p != '\0'; ++p) {
+    bytes.push_back(static_cast<std::byte>(*p));
+  }
+  EXPECT_EQ(crc32(bytes), 0xCBF43926U);
+}
+
+TEST(WireFormatTest, ParserRejectsInvalidConfig) {
+  NodeConfig config = testConfig();
+  config.maxEventsPerFrame = 0;
+  EXPECT_THROW(FrameParser{config}, ConfigError);
+}
+
+TEST(TimestampUnwrapperTest, ForwardStepsAccumulate) {
+  TimestampUnwrapper u;
+  EXPECT_EQ(u.unwrap(100).t, 100);
+  const auto r = u.unwrap(2'000'000'000U);
+  EXPECT_EQ(r.t, 2'000'000'000);
+  EXPECT_FALSE(r.wrapped);
+  EXPECT_FALSE(r.regressed);
+}
+
+TEST(TimestampUnwrapperTest, WrapAdvancesEpoch) {
+  TimestampUnwrapper u;
+  (void)u.unwrap(2'000'000'000U);
+  (void)u.unwrap(4'000'000'000U);
+  const auto r = u.unwrap(294'967'295U);  // numerically smaller: wrapped
+  EXPECT_TRUE(r.wrapped);
+  EXPECT_FALSE(r.regressed);
+  EXPECT_EQ(r.t, (TimeUs{1} << 32) + 294'967'295);
+  // A second lap keeps accumulating.
+  (void)u.unwrap(2'400'000'000U);
+  const auto r2 = u.unwrap(100U);
+  EXPECT_TRUE(r2.wrapped);
+  EXPECT_EQ(r2.t, (TimeUs{2} << 32) + 100);
+}
+
+TEST(TimestampUnwrapperTest, BackwardStepIsRegression) {
+  TimestampUnwrapper u;
+  (void)u.unwrap(2'000'000'000U);
+  const auto r = u.unwrap(1'999'000'000U);
+  EXPECT_TRUE(r.regressed);
+  EXPECT_FALSE(r.wrapped);
+  EXPECT_EQ(r.t, 1'999'000'000);  // informational position
+  // The stream position did not move: the next forward sample unwraps
+  // against the *accepted* history.
+  EXPECT_EQ(u.unwrap(2'000'000'100U).t, 2'000'000'100);
+}
+
+TEST(TimestampUnwrapperTest, ResetForgetsEpoch) {
+  TimestampUnwrapper u;
+  (void)u.unwrap(2'000'000'000U);
+  (void)u.unwrap(4'000'000'000U);
+  (void)u.unwrap(294'967'295U);  // epoch 1
+  u.reset();
+  const auto r = u.unwrap(50U);
+  EXPECT_FALSE(r.wrapped);
+  EXPECT_FALSE(r.regressed);
+  EXPECT_EQ(r.t, 50);
+}
+
+}  // namespace
+}  // namespace ebbiot

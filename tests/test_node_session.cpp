@@ -1,0 +1,423 @@
+// SensorSession state machine, backpressure policies, NodeConfig
+// validation, and NodeSupervisor sharding/shedding.
+#include "src/node/sensor_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/node/node_config.hpp"
+#include "src/node/node_supervisor.hpp"
+#include "src/node/wire_format.hpp"
+
+namespace ebbiot {
+namespace {
+
+constexpr TimeUs kWindow = 10'000;
+
+NodeConfig testConfig() {
+  NodeConfig config;
+  config.width = 64;
+  config.height = 48;
+  config.queueCapacity = 4;
+  config.freshnessLagWindows = 2;
+  config.watchdogTimeoutUs = 50'000;
+  config.maxEventsPerFrame = 64;
+  config.degradeFaultThreshold = 3;
+  config.degradeFrameWindow = 8;
+  config.recoverCleanFrames = 2;
+  return config;
+}
+
+/// Deterministic window for sequence `i`: 5 in-bounds events.
+EventPacket makeWindow(std::uint32_t i) {
+  const TimeUs tStart = static_cast<TimeUs>(i) * kWindow;
+  EventPacket p(tStart, tStart + kWindow);
+  for (std::uint32_t j = 0; j < 5; ++j) {
+    Event e;
+    e.x = static_cast<std::uint16_t>((i + 7 * j) % 64);
+    e.y = static_cast<std::uint16_t>((3 * i + j) % 48);
+    e.p = (i + j) % 2 == 0 ? Polarity::kOn : Polarity::kOff;
+    e.t = tStart + static_cast<TimeUs>(j) * 100;
+    p.push(e);
+  }
+  return p;
+}
+
+std::vector<std::byte> encodeSeq(std::uint32_t seq, std::uint16_t sensor = 7) {
+  std::vector<std::byte> out;
+  encodeFrame(out, seq, sensor, makeWindow(seq));
+  return out;
+}
+
+/// Records every delivered window's identity for order/content checks.
+struct CaptureSink final : WindowSink {
+  struct Delivery {
+    std::uint32_t seq;
+    TimeUs tStart;
+    std::size_t events;
+    TimeUs ingestTime;
+  };
+  std::vector<Delivery> deliveries;
+
+  void onWindow(const EventPacket& window, std::uint32_t seq,
+                TimeUs ingestTime) override {
+    deliveries.push_back({seq, window.tStart(), window.size(), ingestTime});
+  }
+};
+
+// ---- NodeConfig validation -----------------------------------------
+
+TEST(NodeConfigTest, DefaultConfigIsValid) {
+  EXPECT_NO_THROW(NodeConfig{}.validate());
+  EXPECT_NO_THROW(testConfig().validate());
+}
+
+TEST(NodeConfigTest, EachBadFieldThrows) {
+  const auto expectBad = [](auto&& mutate) {
+    NodeConfig config = testConfig();
+    mutate(config);
+    EXPECT_THROW(config.validate(), ConfigError);
+  };
+  expectBad([](NodeConfig& c) { c.width = 0; });
+  expectBad([](NodeConfig& c) { c.width = 70'000; });
+  expectBad([](NodeConfig& c) { c.height = 0; });
+  expectBad([](NodeConfig& c) { c.queueCapacity = 0; });
+  expectBad([](NodeConfig& c) { c.freshnessLagWindows = 0; });
+  expectBad([](NodeConfig& c) { c.watchdogTimeoutUs = 0; });
+  expectBad([](NodeConfig& c) { c.maxEventsPerFrame = 0; });
+  // A nonzero buffer cap smaller than one max-size frame could never
+  // reassemble anything.
+  expectBad([](NodeConfig& c) { c.maxBufferedBytes = c.maxFrameBytes() - 1; });
+  expectBad([](NodeConfig& c) { c.degradeFaultThreshold = 0; });
+  expectBad([](NodeConfig& c) { c.degradeFrameWindow = 0; });
+  expectBad([](NodeConfig& c) { c.degradeFrameWindow = 65; });
+  expectBad([](NodeConfig& c) {
+    c.degradeFaultThreshold = 5;
+    c.degradeFrameWindow = 4;
+  });
+  expectBad([](NodeConfig& c) { c.recoverCleanFrames = 0; });
+  expectBad([](NodeConfig& c) { c.quarantineResyncLimit = 0; });
+  expectBad([](NodeConfig& c) { c.latencySampleCapacity = 0; });
+}
+
+TEST(NodeConfigTest, SessionAndSupervisorValidateOnConstruction) {
+  NodeConfig bad = testConfig();
+  bad.queueCapacity = 0;
+  EXPECT_THROW((SensorSession{7, bad}), ConfigError);
+  ThreadPool pool(1);
+  EXPECT_THROW((NodeSupervisor{bad, pool}), ConfigError);
+}
+
+// ---- SensorSession -------------------------------------------------
+
+TEST(SensorSessionTest, CleanStreamDeliversInOrder) {
+  // Enough freshness headroom that the drop-oldest policy stays inert;
+  // this test pins the clean-path accounting only.
+  NodeConfig config = testConfig();
+  config.freshnessLagWindows = 4;
+  SensorSession session(7, config);
+  EXPECT_EQ(session.state(), SessionState::kSyncing);
+  for (std::uint32_t seq = 0; seq < 3; ++seq) {
+    session.offerBytes(encodeSeq(seq), static_cast<TimeUs>(seq + 1) * kWindow);
+  }
+  EXPECT_EQ(session.state(), SessionState::kStreaming);
+  EXPECT_EQ(session.backlog(), 3U);
+
+  CaptureSink sink;
+  EXPECT_EQ(session.drainInto(sink, 40'000), 3U);
+  ASSERT_EQ(sink.deliveries.size(), 3U);
+  for (std::uint32_t seq = 0; seq < 3; ++seq) {
+    EXPECT_EQ(sink.deliveries[seq].seq, seq);
+    EXPECT_EQ(sink.deliveries[seq].tStart, static_cast<TimeUs>(seq) * kWindow);
+    EXPECT_EQ(sink.deliveries[seq].events, 5U);
+  }
+  const SessionCounters c = session.counters();
+  EXPECT_EQ(c.framesDecoded, 3U);
+  EXPECT_EQ(c.framesAccepted, 3U);
+  EXPECT_EQ(c.windowsDelivered, 3U);
+  EXPECT_EQ(c.framesCorrupted, 0U);
+  EXPECT_EQ(c.seqGaps, 0U);
+  EXPECT_EQ(c.outOfOrderDropped, 0U);
+  EXPECT_EQ(c.windowsRejected, 0U);
+  EXPECT_EQ(c.windowsShedStale, 0U);
+}
+
+TEST(SensorSessionTest, SeqGapCountedButStreamContinues) {
+  SensorSession session(7, testConfig());
+  session.offerBytes(encodeSeq(0), 10'000);
+  session.offerBytes(encodeSeq(1), 20'000);
+  session.offerBytes(encodeSeq(4), 30'000);  // 2 and 3 lost in transit
+  const SessionCounters c = session.counters();
+  EXPECT_EQ(c.framesAccepted, 3U);
+  EXPECT_EQ(c.seqGaps, 1U);
+  EXPECT_EQ(c.framesLostToGaps, 2U);
+  EXPECT_EQ(session.state(), SessionState::kStreaming);
+}
+
+TEST(SensorSessionTest, DuplicateAndStaleSeqNeverDelivered) {
+  NodeConfig config = testConfig();
+  config.freshnessLagWindows = 4;  // keep all three accepted windows
+  SensorSession session(7, config);
+  session.offerBytes(encodeSeq(0), 10'000);
+  session.offerBytes(encodeSeq(1), 20'000);
+  session.offerBytes(encodeSeq(1), 21'000);  // duplicate
+  session.offerBytes(encodeSeq(0), 22'000);  // stale straggler
+  session.offerBytes(encodeSeq(2), 30'000);
+  const SessionCounters c = session.counters();
+  EXPECT_EQ(c.framesDecoded, 5U);
+  EXPECT_EQ(c.framesAccepted, 3U);
+  EXPECT_EQ(c.outOfOrderDropped, 2U);
+
+  CaptureSink sink;
+  session.drainInto(sink, 40'000);
+  ASSERT_EQ(sink.deliveries.size(), 3U);
+  EXPECT_EQ(sink.deliveries[0].seq, 0U);
+  EXPECT_EQ(sink.deliveries[1].seq, 1U);
+  EXPECT_EQ(sink.deliveries[2].seq, 2U);
+}
+
+TEST(SensorSessionTest, WatchdogStallThenRecovery) {
+  SensorSession session(7, testConfig());
+  session.offerBytes(encodeSeq(0), 10'000);
+  EXPECT_EQ(session.state(), SessionState::kStreaming);
+
+  // Silence past the 50 ms watchdog.
+  session.onIdleTick(70'000);
+  EXPECT_EQ(session.state(), SessionState::kStalled);
+  EXPECT_EQ(session.counters().watchdogStalls, 1U);
+
+  // The sensor returns having rebooted: fresh sequence space and clock.
+  // The stall re-armed synchronisation, so the stream is re-adopted
+  // without spurious gap or regression counts.
+  session.offerBytes(encodeSeq(100), 80'000);
+  EXPECT_EQ(session.state(), SessionState::kRecovering);
+  session.offerBytes(encodeSeq(101), 90'000);
+  EXPECT_EQ(session.state(), SessionState::kStreaming);
+
+  const SessionCounters c = session.counters();
+  EXPECT_EQ(c.framesAccepted, 3U);
+  EXPECT_EQ(c.recoveries, 1U);
+  EXPECT_EQ(c.seqGaps, 0U);
+  EXPECT_EQ(c.timestampRegressions, 0U);
+}
+
+TEST(SensorSessionTest, DegradeOnFaultRateThenRecover) {
+  SensorSession session(7, testConfig());
+  std::vector<std::byte> stream;
+  const auto append = [&stream](std::vector<std::byte> frame,
+                                bool corrupt = false) {
+    if (corrupt) {
+      frame[kFrameWindowStartOffset] ^= std::byte{1};  // breaks the CRC
+    }
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  };
+  append(encodeSeq(0));
+  append(encodeSeq(1));
+  append(encodeSeq(2), /*corrupt=*/true);
+  append(encodeSeq(3), /*corrupt=*/true);
+  append(encodeSeq(4), /*corrupt=*/true);
+  append(encodeSeq(5));
+  append(encodeSeq(6));
+  session.offerBytes(stream, 70'000);
+
+  const SessionCounters c = session.counters();
+  EXPECT_EQ(c.framesDecoded, 4U);
+  EXPECT_EQ(c.framesCorrupted, 3U);
+  EXPECT_EQ(c.framesAccepted, 4U);
+  EXPECT_EQ(c.seqGaps, 1U);
+  EXPECT_EQ(c.framesLostToGaps, 3U);
+  // Three contiguous corrupted frames form one resync episode.
+  EXPECT_EQ(c.resyncs, 1U);
+  EXPECT_EQ(c.bytesSkipped, 3U * frameSizeBytes(5));
+  // Fault rate crossed the threshold (3 of the last 8), then two clean
+  // frames re-earned STREAMING.
+  EXPECT_EQ(c.degradeEntries, 1U);
+  EXPECT_EQ(c.recoveries, 1U);
+  EXPECT_EQ(session.state(), SessionState::kStreaming);
+}
+
+TEST(SensorSessionTest, QuarantineIsTerminal) {
+  NodeConfig config = testConfig();
+  config.quarantineResyncLimit = 2;
+  SensorSession session(7, config);
+
+  std::vector<std::byte> f0 = encodeSeq(0);
+  f0[kFrameWindowStartOffset] ^= std::byte{1};
+  session.offerBytes(f0, 10'000);
+  session.offerBytes(encodeSeq(1), 20'000);  // clears the first episode
+  EXPECT_EQ(session.state(), SessionState::kStreaming);
+
+  std::vector<std::byte> f2 = encodeSeq(2);
+  f2[kFrameWindowStartOffset] ^= std::byte{1};
+  // The second resync episode exhausts the budget as soon as it starts.
+  session.offerBytes(f2, 30'000);
+  EXPECT_EQ(session.state(), SessionState::kQuarantined);
+
+  // Further bytes are ignored and counted, and ticks change nothing.
+  const std::vector<std::byte> late = encodeSeq(4);
+  session.offerBytes(late, 50'000);
+  session.onIdleTick(10'000'000);
+  EXPECT_EQ(session.state(), SessionState::kQuarantined);
+  EXPECT_EQ(session.counters().bytesIgnoredQuarantined, late.size());
+  EXPECT_EQ(session.counters().framesAccepted, 1U);
+}
+
+TEST(SensorSessionTest, RejectPolicyKeepsOldestOnOverflow) {
+  NodeConfig config = testConfig();
+  config.backpressure = BackpressurePolicy::kRejectPacket;
+  config.queueCapacity = 2;
+  SensorSession session(7, config);
+  for (std::uint32_t seq = 0; seq < 4; ++seq) {
+    session.offerBytes(encodeSeq(seq), static_cast<TimeUs>(seq + 1) * kWindow);
+  }
+  const SessionCounters before = session.counters();
+  EXPECT_EQ(before.framesAccepted, 4U);
+  EXPECT_EQ(before.windowsRejected, 2U);
+
+  CaptureSink sink;
+  EXPECT_EQ(session.drainInto(sink, 50'000), 2U);
+  ASSERT_EQ(sink.deliveries.size(), 2U);
+  // Completeness policy: the queue holds the *earliest* windows; loss
+  // happened at the tail.
+  EXPECT_EQ(sink.deliveries[0].seq, 0U);
+  EXPECT_EQ(sink.deliveries[1].seq, 1U);
+  EXPECT_EQ(session.counters().windowsShedStale, 0U);
+}
+
+TEST(SensorSessionTest, DropOldestPolicyKeepsFreshestOnDrain) {
+  SensorSession session(7, testConfig());  // drop-oldest, lag 2, capacity 4
+  for (std::uint32_t seq = 0; seq < 4; ++seq) {
+    session.offerBytes(encodeSeq(seq), static_cast<TimeUs>(seq + 1) * kWindow);
+  }
+  CaptureSink sink;
+  EXPECT_EQ(session.drainInto(sink, 50'000), 2U);
+  ASSERT_EQ(sink.deliveries.size(), 2U);
+  // Freshness policy: the two oldest were shed, the two newest ran.
+  EXPECT_EQ(sink.deliveries[0].seq, 2U);
+  EXPECT_EQ(sink.deliveries[1].seq, 3U);
+  const SessionCounters c = session.counters();
+  EXPECT_EQ(c.windowsShedStale, 2U);
+  EXPECT_EQ(c.windowsDelivered, 2U);
+  EXPECT_EQ(c.windowsRejected, 0U);
+}
+
+TEST(SensorSessionTest, LatencySamplesMeasureIngestToDrain) {
+  SensorSession session(7, testConfig());
+  session.offerBytes(encodeSeq(0), 10'000);
+  session.offerBytes(encodeSeq(1), 20'000);
+  CaptureSink sink;
+  session.drainInto(sink, 32'000);
+  const std::span<const TimeUs> samples = session.latencySamples();
+  ASSERT_EQ(samples.size(), 2U);
+  EXPECT_EQ(samples[0], 22'000);
+  EXPECT_EQ(samples[1], 12'000);
+}
+
+// ---- NodeSupervisor ------------------------------------------------
+
+TEST(NodeSupervisorTest, RegistrationIsValidated) {
+  ThreadPool pool(1);
+  NodeSupervisor supervisor(testConfig(), pool);
+  CaptureSink sink;
+  EXPECT_THROW(supervisor.addSensor({1, 0, nullptr}), ConfigError);
+  supervisor.addSensor({1, 0, &sink});
+  EXPECT_THROW(supervisor.addSensor({1, 5, &sink}), ConfigError);
+  EXPECT_EQ(supervisor.sensorCount(), 1U);
+  EXPECT_NE(supervisor.find(1), nullptr);
+  EXPECT_EQ(supervisor.find(2), nullptr);
+}
+
+TEST(NodeSupervisorTest, RoutesStreamsAndDrainsAll) {
+  ThreadPool pool(1);
+  NodeSupervisor supervisor(testConfig(), pool);
+  CaptureSink sinkA;
+  CaptureSink sinkB;
+  supervisor.addSensor({1, 0, &sinkA});
+  supervisor.addSensor({2, 0, &sinkB});
+
+  for (std::uint32_t seq = 0; seq < 2; ++seq) {
+    const TimeUs now = static_cast<TimeUs>(seq + 1) * kWindow;
+    supervisor.offerBytes(1, encodeSeq(seq, 1), now);
+    supervisor.offerBytes(2, encodeSeq(seq, 2), now);
+  }
+  EXPECT_EQ(supervisor.totalBacklog(), 4U);
+  const NodeSupervisor::PumpStats stats = supervisor.pump(30'000);
+  EXPECT_EQ(stats.windowsDelivered, 4U);
+  EXPECT_EQ(stats.windowsShedOverload, 0U);
+  EXPECT_EQ(stats.sensorsShed, 0U);
+  EXPECT_EQ(sinkA.deliveries.size(), 2U);
+  EXPECT_EQ(sinkB.deliveries.size(), 2U);
+  EXPECT_EQ(supervisor.totalBacklog(), 0U);
+
+  // Watchdogs run node-wide through the supervisor.
+  supervisor.tickWatchdogs(10'000'000);
+  EXPECT_EQ(supervisor.find(1)->state(), SessionState::kStalled);
+  EXPECT_EQ(supervisor.find(2)->state(), SessionState::kStalled);
+}
+
+TEST(NodeSupervisorTest, OverloadShedsWholeSensorsLowestPriorityFirst) {
+  NodeConfig config = testConfig();
+  config.shedBacklogWindows = 2;
+  ThreadPool pool(1);
+  NodeSupervisor supervisor(config, pool);
+  CaptureSink sinkLow;
+  CaptureSink sinkHigh;
+  supervisor.addSensor({1, /*priority=*/5, &sinkHigh});
+  supervisor.addSensor({2, /*priority=*/0, &sinkLow});
+
+  for (std::uint32_t seq = 0; seq < 2; ++seq) {
+    const TimeUs now = static_cast<TimeUs>(seq + 1) * kWindow;
+    supervisor.offerBytes(1, encodeSeq(seq, 1), now);
+    supervisor.offerBytes(2, encodeSeq(seq, 2), now);
+  }
+  const NodeSupervisor::PumpStats stats = supervisor.pump(30'000);
+  // Backlog 4 > 2: the priority-0 sensor lost its whole backlog; the
+  // priority-5 sensor was drained untouched.
+  EXPECT_EQ(stats.sensorsShed, 1U);
+  EXPECT_EQ(stats.windowsShedOverload, 2U);
+  EXPECT_EQ(stats.windowsDelivered, 2U);
+  EXPECT_TRUE(sinkLow.deliveries.empty());
+  EXPECT_EQ(sinkHigh.deliveries.size(), 2U);
+  EXPECT_EQ(supervisor.find(2)->counters().windowsShedOverload, 2U);
+  EXPECT_EQ(supervisor.find(1)->counters().windowsShedOverload, 0U);
+}
+
+TEST(NodeSupervisorTest, ParallelPumpMatchesSerialPump) {
+  const auto run = [](ThreadPool& pool) {
+    NodeSupervisor supervisor(testConfig(), pool);
+    std::vector<CaptureSink> sinks(4);
+    for (std::uint16_t id = 0; id < 4; ++id) {
+      supervisor.addSensor({id, 0, &sinks[id]});
+    }
+    for (std::uint32_t seq = 0; seq < 2; ++seq) {
+      for (std::uint16_t id = 0; id < 4; ++id) {
+        supervisor.offerBytes(id, encodeSeq(seq, id),
+                              static_cast<TimeUs>(seq + 1) * kWindow);
+      }
+    }
+    (void)supervisor.pump(30'000);
+    std::vector<SessionCounters> counters;
+    std::vector<std::vector<std::uint32_t>> seqs;
+    for (std::uint16_t id = 0; id < 4; ++id) {
+      counters.push_back(supervisor.find(id)->counters());
+      seqs.emplace_back();
+      for (const CaptureSink::Delivery& d : sinks[id].deliveries) {
+        seqs.back().push_back(d.seq);
+      }
+    }
+    return std::pair(counters, seqs);
+  };
+  ThreadPool serial(1);
+  ThreadPool parallel(4);
+  const auto a = run(serial);
+  const auto b = run(parallel);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace ebbiot

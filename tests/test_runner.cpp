@@ -175,5 +175,47 @@ TEST(RunnerTest, ZeroDurationRejected) {
                LogicError);
 }
 
+TEST(RunnerConfigTest, DefaultIsValid) {
+  EXPECT_NO_THROW(RunnerConfig{}.validate());
+  EXPECT_NO_THROW(makeDefaultRunnerConfig(240, 180).validate());
+}
+
+TEST(RunnerConfigTest, BadValuesThrowConfigError) {
+  {
+    RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+    config.framePeriod = 0;
+    EXPECT_THROW(config.validate(), ConfigError);
+  }
+  {
+    RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+    config.framePeriod = -66'000;
+    EXPECT_THROW(config.validate(), ConfigError);
+  }
+  {
+    RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+    config.iouThresholds.clear();
+    EXPECT_THROW(config.validate(), ConfigError);
+  }
+  {
+    RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+    config.iouThresholds = {0.5f, 1.5f};
+    EXPECT_THROW(config.validate(), ConfigError);
+  }
+  {
+    RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+    config.iouThresholds = {-0.1f};
+    EXPECT_THROW(config.validate(), ConfigError);
+  }
+}
+
+TEST(RunnerConfigTest, RunRecordingValidatesUpFront) {
+  Fixture fix;
+  RunnerConfig config = makeDefaultRunnerConfig(240, 180);
+  config.iouThresholds.clear();
+  EXPECT_THROW(
+      (void)runRecording(*fix.synth, fix.scene, secondsToUs(1.0), config),
+      ConfigError);
+}
+
 }  // namespace
 }  // namespace ebbiot

@@ -139,5 +139,103 @@ TEST(CsvStreamTest, EmptyBodyGivesEmptyPacket) {
   EXPECT_TRUE(p.empty());
 }
 
+// ---- malformed-input hardening -------------------------------------
+
+/// Run `f`, requiring it to throw IoError; returns the message.
+template <typename F>
+std::string ioErrorMessage(F&& f) {
+  try {
+    f();
+  } catch (const IoError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected IoError";
+  return {};
+}
+
+TEST(BinaryStreamTest, LyingEventCountRejectedBeforeAllocation) {
+  // A header declaring billions of events over a near-empty payload must
+  // be rejected by comparing against the bytes actually present — not by
+  // attempting the reserve.
+  EventPacket one(0, 100);
+  one.push(Event{1, 1, Polarity::kOn, 10});
+  std::stringstream buffer;
+  writeBinaryStream(buffer, one, 16, 16);
+  std::string data = buffer.str();
+  // eventCount is the u64 at offset 28 (magic 4 + version 4 + dims 2+2 +
+  // window 8+8); overwrite with 2^40.
+  for (int i = 0; i < 8; ++i) {
+    data[28 + i] = static_cast<char>(i == 5 ? 1 : 0);
+  }
+  std::stringstream corrupt(data);
+  const std::string what =
+      ioErrorMessage([&] { (void)readBinaryStream(corrupt); });
+  EXPECT_NE(what.find("declares"), std::string::npos) << what;
+  EXPECT_NE(what.find("1099511627776"), std::string::npos) << what;
+}
+
+TEST(BinaryStreamTest, SlightlyOverdeclaredCountRejected) {
+  // Off-by-one over-declaration: payload holds 1 record, header says 2.
+  EventPacket one(0, 100);
+  one.push(Event{1, 1, Polarity::kOn, 10});
+  std::stringstream buffer;
+  writeBinaryStream(buffer, one, 16, 16);
+  std::string data = buffer.str();
+  data[28] = 2;
+  std::stringstream corrupt(data);
+  EXPECT_THROW((void)readBinaryStream(corrupt), IoError);
+}
+
+TEST(CsvStreamTest, TruncatedRowReportsLineNumber) {
+  std::stringstream buffer;
+  buffer << "t_us,x,y,polarity\n10,5,5,1\n20,7\n";
+  const std::string what =
+      ioErrorMessage([&] { (void)readCsvStream(buffer); });
+  EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+}
+
+TEST(CsvStreamTest, BadPolarityReportsLineNumber) {
+  std::stringstream buffer;
+  buffer << "t_us,x,y,polarity\n10,5,5,0\n";
+  const std::string what =
+      ioErrorMessage([&] { (void)readCsvStream(buffer); });
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+}
+
+TEST(CsvStreamTest, OutOfBoundsCoordinateReportsLineNumber) {
+  std::stringstream buffer;
+  buffer << "t_us,x,y,polarity\n10,5,5,1\n20,70000,5,1\n";
+  const std::string what =
+      ioErrorMessage([&] { (void)readCsvStream(buffer); });
+  EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+
+  std::stringstream negative;
+  negative << "t_us,x,y,polarity\n10,-3,5,1\n";
+  const std::string what2 =
+      ioErrorMessage([&] { (void)readCsvStream(negative); });
+  EXPECT_NE(what2.find("line 2"), std::string::npos) << what2;
+}
+
+TEST(CsvStreamTest, MissingHeaderReportsLineNumber) {
+  std::stringstream empty;
+  const std::string what =
+      ioErrorMessage([&] { (void)readCsvStream(empty); });
+  EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+
+  std::stringstream wrong;
+  wrong << "10,5,5,1\n";
+  const std::string what2 =
+      ioErrorMessage([&] { (void)readCsvStream(wrong); });
+  EXPECT_NE(what2.find("line 1"), std::string::npos) << what2;
+}
+
+TEST(CsvStreamTest, TrailingGarbageRejected) {
+  std::stringstream buffer;
+  buffer << "t_us,x,y,polarity\n10,5,5,1,junk\n";
+  const std::string what =
+      ioErrorMessage([&] { (void)readCsvStream(buffer); });
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+}
+
 }  // namespace
 }  // namespace ebbiot

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Gate on BENCH_node.json, the ingest-resilience sweep emitted by
+bench_iovt_node --json.
+
+Usage:
+    bench_iovt_node --json BENCH_node.json
+    tools/bench_node_gate.py BENCH_node.json
+
+All sweep counters are seed-deterministic (the only host-dependent field
+is wall_ns_per_window, which is never gated), so the checks are exact:
+
+  * steady_allocs_per_window must be 0 — the session hot path (offer ->
+    decode -> queue -> drain) is allocation-free once warm, pinned also
+    by tests/test_allocation.cpp.  A null value (sanitizer build, where
+    the counter is disabled) skips this check.
+  * every (profile x streams) cell of the sweep grid must be present;
+    a missing cell means the bench silently lost coverage.
+  * clean cells: nothing corrupted, nothing dropped, nothing resynced,
+    every offered frame delivered.
+  * fault cells: the session layer must keep delivering — a fault
+    profile that starves delivery entirely means containment failed.
+  * every cell: drain-side p99 latency stays within two window periods
+    (the sweep pumps once per period, so anything above that means
+    backlog is accumulating).
+
+Stdlib only, no dependencies.
+"""
+import json
+import sys
+
+EXPECTED_PROFILES = ("clean", "bitflip", "truncate", "flood", "stall")
+EXPECTED_STREAMS = (1, 8, 32)
+
+
+def fail(msg):
+    print(f"bench_node_gate: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        sys.exit(2)
+    with open(sys.argv[1]) as f:
+        data = json.load(f)
+
+    allocs = data.get("steady_allocs_per_window", "missing")
+    if allocs == "missing":
+        fail("steady_allocs_per_window missing from the record")
+    if allocs is not None and allocs != 0:
+        fail(f"session hot path allocated in steady state: "
+             f"{allocs} allocs/window (expected 0)")
+
+    frames = data["frames_per_stream"]
+    period = data["frame_period_us"]
+    cells = {(c["profile"], c["streams"]): c for c in data["cells"]}
+    for profile in EXPECTED_PROFILES:
+        for streams in EXPECTED_STREAMS:
+            cell = cells.get((profile, streams))
+            if cell is None:
+                fail(f"sweep cell missing: {profile} x {streams} streams")
+            name = f"{profile}/{streams}"
+            if cell["p99_latency_us"] > 2 * period:
+                fail(f"{name}: p99 drain latency "
+                     f"{cell['p99_latency_us']} us exceeds two window "
+                     f"periods ({2 * period} us)")
+            if profile == "clean":
+                for key in ("frames_corrupted", "resyncs", "seq_gaps",
+                            "windows_rejected", "windows_shed_stale",
+                            "windows_shed_overload", "watchdog_stalls",
+                            "sessions_quarantined"):
+                    if cell[key] != 0:
+                        fail(f"{name}: {key} = {cell[key]} on a clean "
+                             f"stream (expected 0)")
+                if cell["windows_delivered"] != frames * streams:
+                    fail(f"{name}: delivered {cell['windows_delivered']} "
+                         f"of {frames * streams} clean windows")
+            else:
+                if cell["windows_delivered"] == 0:
+                    fail(f"{name}: fault profile starved delivery "
+                         f"entirely — containment failed")
+
+    print(f"bench_node_gate: OK ({len(cells)} cells, "
+          f"steady allocs/window = {allocs})")
+
+
+if __name__ == "__main__":
+    main()
