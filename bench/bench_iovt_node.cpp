@@ -20,6 +20,20 @@
 // Reports delivered/dropped windows, corruption and resync counts, and
 // p50/p99 drain latency per cell, plus the steady-state allocation count
 // of the session hot path (pinned to zero by tests/test_allocation.cpp).
+// Section 3 (live cells): the same ingest layer under REAL producer
+// threads — LiveTransport drives {64, 256, 1024} concurrent lossless
+// streams against a scaled wall clock while the supervisor pumps on the
+// bench thread.  Delivery counters stay exactly deterministic (lossless
+// + reject policy: every window delivered exactly once); only wall time
+// and wait counts vary across hosts.
+//
+// Section 4 (accuracy under fault): per-sensor tracking pipelines
+// (PipelineSink, gap-coast + snapshot resync) fed through each fault
+// profile on the virtual clock, scored as matched-track recall against
+// the fault-free run of the same windows (greedy IoU matching).  Clean
+// recall is 1.0 by construction — bit-identical delivery — and each
+// fault profile's degradation is measured, committed, and gated.
+//
 // `--json PATH` additionally emits the sweep as BENCH_node.json for
 // tools/bench_node_gate.py; all counters are seed-deterministic, only
 // the wall-clock column varies across hosts.
@@ -28,17 +42,26 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/common/alloc_counter.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/core/node_model.hpp"
+#include "src/core/pipeline.hpp"
 #include "src/core/runner.hpp"
+#include "src/eval/matching.hpp"
 #include "src/node/fault_injection.hpp"
+#include "src/node/live_transport.hpp"
 #include "src/node/node_supervisor.hpp"
+#include "src/node/pipeline_sink.hpp"
 #include "src/node/wire_format.hpp"
 #include "src/resource/cost_model.hpp"
+#include "src/sim/davis.hpp"
+#include "src/sim/event_synth.hpp"
 #include "src/sim/recording.hpp"
+#include "src/sim/scene.hpp"
 
 namespace {
 
@@ -74,10 +97,11 @@ struct CountingSink final : WindowSink {
 /// windows at the sweep cadence (closed-form, no RNG, so every cell's
 /// input is identical across hosts).
 std::vector<std::vector<std::byte>> makePristineFrames(
-    std::uint16_t sensorId) {
+    std::uint16_t sensorId,
+    std::uint32_t frameCount = kSweepFramesPerStream) {
   std::vector<std::vector<std::byte>> frames;
-  frames.reserve(kSweepFramesPerStream);
-  for (std::uint32_t seq = 0; seq < kSweepFramesPerStream; ++seq) {
+  frames.reserve(frameCount);
+  for (std::uint32_t seq = 0; seq < frameCount; ++seq) {
     const TimeUs tStart = static_cast<TimeUs>(seq) * kSweepWindowUs;
     EventPacket window(tStart, tStart + kSweepWindowUs);
     for (std::uint32_t j = 0; j < kSweepEventsPerFrame; ++j) {
@@ -154,6 +178,8 @@ SessionCounters& operator+=(SessionCounters& a, const SessionCounters& b) {
   a.bytesIgnoredQuarantined += b.bytesIgnoredQuarantined;
   a.watchdogStalls += b.watchdogStalls;
   a.degradeEntries += b.degradeEntries;
+  a.recoveryAttempts += b.recoveryAttempts;
+  a.recoveryFailures += b.recoveryFailures;
   a.recoveries += b.recoveries;
   a.windowsDelivered += b.windowsDelivered;
   a.windowsShedStale += b.windowsShedStale;
@@ -175,6 +201,17 @@ TimeUs percentile(const std::vector<TimeUs>& sorted, double p) {
 /// are delivered in global time order, the supervisor pumps and ticks
 /// watchdogs once per window period (including across stall gaps, so
 /// the watchdog/recovery path runs exactly as it would live).
+///
+/// Two deterministic realism knobs keep the latency distribution honest
+/// (without them every sample is exactly one period — ingest and drain
+/// both land on pump boundaries and the percentiles degenerate to
+/// p50 == p99):
+///   * each stream starts at a fixed phase offset inside the window
+///     period, as unsynchronised sensors do, so queue waits spread over
+///     (0, period];
+///   * every 16th pump boundary the consumer skips its drain (a
+///     deterministic stand-in for scheduler/GC hiccups), so a slice of
+///     windows waits into the second period and the tail is real.
 CellResult runCell(const SweepProfile& sweep, int streams,
                    std::size_t cellIndex, ThreadPool& pool) {
   NodeConfig config;
@@ -198,12 +235,18 @@ CellResult runCell(const SweepProfile& sweep, int streams,
     const auto pristine = makePristineFrames(id);
     Feed& feed = feeds[static_cast<std::size_t>(s)];
     feed.chunks = injector.corrupt(pristine);
-    feed.dueAt = feed.chunks.empty() ? 0 : feed.chunks.front().delayUs;
+    // Fixed per-stream phase inside the window period (2611 is coprime
+    // to the 10 ms period, so 32 streams land on 32 distinct phases).
+    const TimeUs phase =
+        (static_cast<TimeUs>(s) * 2611) % kSweepWindowUs;
+    feed.dueAt =
+        phase + (feed.chunks.empty() ? 0 : feed.chunks.front().delayUs);
   }
 
   const auto t0 = std::chrono::steady_clock::now();
   TimeUs now = 0;
   TimeUs lastPump = 0;
+  std::uint64_t pumpTick = 0;
   for (;;) {
     int nextStream = -1;
     for (int s = 0; s < streams; ++s) {
@@ -224,7 +267,12 @@ CellResult runCell(const SweepProfile& sweep, int streams,
     while (lastPump + kSweepWindowUs <= target) {
       lastPump += kSweepWindowUs;
       supervisor.tickWatchdogs(lastPump);
-      (void)supervisor.pump(lastPump);
+      // Deterministic consumer hiccup: skip one drain in every 16.  The
+      // backlog (bounded by queueCapacity) is drained next boundary, so
+      // nothing is lost, but those windows wait into a second period.
+      if (++pumpTick % 16 != 7) {
+        (void)supervisor.pump(lastPump);
+      }
     }
     now = target;
     supervisor.offerBytes(static_cast<std::uint16_t>(nextStream),
@@ -298,7 +346,272 @@ double measureSteadyAllocsPerWindow() {
 #endif
 }
 
+// ---- live real-thread cells ----------------------------------------
+
+constexpr std::uint32_t kLiveFramesPerStream = 64;
+
+struct LiveCellResult {
+  int streams = 0;
+  int producerThreads = 0;
+  std::uint64_t chunksDelivered = 0;
+  std::uint64_t windowsDelivered = 0;  ///< summed session counters
+  std::uint64_t framesAccepted = 0;
+  std::uint64_t windowsRejected = 0;
+  std::uint64_t losslessWaits = 0;  ///< host-dependent; not gated
+  std::size_t quarantined = 0;
+  double wallSeconds = 0.0;  ///< host-dependent; not gated
+};
+
+/// One clean lossless cell over real producer threads: every window is
+/// delivered exactly once (kRejectPacket + lossless backpressure), so
+/// the delivery counters are exact across hosts even though thread
+/// scheduling is not.
+LiveCellResult runLiveCell(int streams, ThreadPool& pool) {
+  NodeConfig config;
+  config.queueCapacity = 4;
+  config.backpressure = BackpressurePolicy::kRejectPacket;
+  // Producer scheduling is up to the OS under a scaled clock; the
+  // watchdog must not mistake a preempted producer for a dead sensor.
+  config.watchdogTimeoutUs = 100'000'000;
+  NodeSupervisor supervisor(config, pool);
+
+  std::vector<CountingSink> sinks(static_cast<std::size_t>(streams));
+  std::vector<LiveStreamSpec> specs;
+  specs.reserve(static_cast<std::size_t>(streams));
+  for (int s = 0; s < streams; ++s) {
+    const auto id = static_cast<std::uint16_t>(s);
+    supervisor.addSensor({id, /*priority=*/s % 4,
+                          &sinks[static_cast<std::size_t>(s)]});
+    LiveStreamSpec spec;
+    spec.sensorId = id;
+    const auto frames = makePristineFrames(id, kLiveFramesPerStream);
+    spec.chunks.reserve(frames.size());
+    for (const std::vector<std::byte>& frame : frames) {
+      spec.chunks.push_back(DeliveryChunk{frame, kSweepWindowUs});
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  LiveTransportConfig transport;
+  transport.producerThreads = 4;
+  transport.timeScale = 200.0;
+  transport.pumpPeriodUs = kSweepWindowUs;
+  transport.lossless = true;
+  LiveTransport live(supervisor, specs, transport);
+  const LiveTransport::RunStats stats = live.run();
+
+  LiveCellResult result;
+  result.streams = streams;
+  result.producerThreads = transport.producerThreads;
+  result.chunksDelivered = stats.chunksDelivered;
+  result.losslessWaits = stats.losslessWaits;
+  result.wallSeconds = stats.wallSeconds;
+  for (int s = 0; s < streams; ++s) {
+    const SensorSession* session =
+        supervisor.find(static_cast<std::uint16_t>(s));
+    const SessionCounters c = session->counters();
+    result.windowsDelivered += c.windowsDelivered;
+    result.framesAccepted += c.framesAccepted;
+    result.windowsRejected += c.windowsRejected;
+    if (session->state() == SessionState::kQuarantined) {
+      ++result.quarantined;
+    }
+  }
+  return result;
+}
+
+// ---- accuracy under fault ------------------------------------------
+
+constexpr int kAccWidth = 64;
+constexpr int kAccHeight = 48;
+constexpr int kAccSensors = 4;
+constexpr std::uint32_t kAccFrames = 128;
+constexpr float kAccIouThreshold = 0.3F;
+
+struct AccuracyRow {
+  const char* profile = "";
+  std::uint64_t baselineTracks = 0;  ///< fault-free tracks over all windows
+  std::uint64_t matchedTracks = 0;   ///< IoU-matched under the fault
+  std::uint64_t windowsTracked = 0;  ///< windows that reached the pipeline
+  std::uint64_t windowsCoasted = 0;  ///< gap windows bridged by coasting
+  std::uint64_t resyncs = 0;         ///< snapshot restores + resets
+  double recall = 0.0;
+};
+
+/// Tracked windows for one accuracy sensor: a car crossing the small
+/// frame, synthesised deterministically per sensor seed.
+std::vector<EventPacket> makeTrackedWindows(std::uint64_t seed) {
+  ScriptedScene scene(kAccWidth, kAccHeight);
+  scene.addLinear(ObjectClass::kCar, BBox{2, 18, 20, 10}, Vec2f{120, 0}, 0,
+                  secondsToUs(10.0));
+  EventSynthConfig config;
+  config.backgroundActivityHz = 0.2;
+  config.seed = seed;
+  FastEventSynth synth(scene, config);
+  std::vector<EventPacket> windows;
+  windows.reserve(kAccFrames);
+  for (std::uint32_t i = 0; i < kAccFrames; ++i) {
+    windows.push_back(synth.nextWindow(kSweepWindowUs));
+  }
+  return windows;
+}
+
+EbbiotPipelineConfig accuracyPipelineConfig() {
+  EbbiotPipelineConfig config;
+  config.width = kAccWidth;
+  config.height = kAccHeight;
+  return config;
+}
+
+/// Per-window tracks of the fault-free single-threaded reference.
+std::vector<Tracks> accuracyBaseline(
+    const std::vector<EventPacket>& windows) {
+  EbbiotPipeline pipeline(accuracyPipelineConfig());
+  std::vector<Tracks> perWindow;
+  perWindow.reserve(windows.size());
+  for (const EventPacket& window : windows) {
+    perWindow.push_back(pipeline.processWindow(
+        latchReadout(window, kAccWidth, kAccHeight)));
+  }
+  return perWindow;
+}
+
+/// Run one fault profile over per-sensor tracking pipelines on the
+/// virtual clock and score matched-track recall against the fault-free
+/// baseline: every baseline track in every window either has an
+/// IoU-matched counterpart in the faulted run's output for that window,
+/// or counts as a miss (including windows that never arrived).
+AccuracyRow runAccuracyCell(const SweepProfile& sweep,
+                            const std::vector<std::vector<EventPacket>>&
+                                sensorWindows,
+                            const std::vector<std::vector<Tracks>>& baselines,
+                            ThreadPool& pool) {
+  NodeConfig config;
+  config.width = kAccWidth;
+  config.height = kAccHeight;
+  config.watchdogTimeoutUs = 200'000;
+  NodeSupervisor supervisor(config, pool);
+
+  struct Capture {
+    std::vector<std::optional<Tracks>> bySeq;
+  };
+  std::vector<Capture> captures(kAccSensors);
+  std::vector<std::unique_ptr<PipelineSink>> sinks;
+  struct Feed {
+    std::vector<DeliveryChunk> chunks;
+    std::size_t next = 0;
+    TimeUs dueAt = 0;
+  };
+  std::vector<Feed> feeds(kAccSensors);
+  for (int s = 0; s < kAccSensors; ++s) {
+    const auto id = static_cast<std::uint16_t>(s);
+    auto sink = std::make_unique<PipelineSink>(
+        std::make_unique<EbbiotPipeline>(accuracyPipelineConfig()),
+        kAccWidth, kAccHeight, PipelineSinkConfig{});
+    Capture& capture = captures[static_cast<std::size_t>(s)];
+    capture.bySeq.resize(kAccFrames);
+    sink->setTrackObserver(
+        [&capture](std::uint32_t seq, const Tracks& tracks) {
+          if (seq < kAccFrames) {  // flood can mint fresh out-of-range seqs
+            capture.bySeq[seq] = tracks;
+          }
+        });
+    supervisor.addSensor({id, /*priority=*/0, sink.get()});
+    sinks.push_back(std::move(sink));
+
+    std::vector<std::vector<std::byte>> frames;
+    frames.reserve(kAccFrames);
+    const auto& windows = sensorWindows[static_cast<std::size_t>(s)];
+    for (std::uint32_t seq = 0; seq < kAccFrames; ++seq) {
+      std::vector<std::byte> bytes;
+      encodeFrame(bytes, seq, id, windows[seq]);
+      frames.push_back(std::move(bytes));
+    }
+    FaultInjector injector(0xACC0ull + static_cast<std::uint64_t>(s) * 613);
+    injector.setProfile(sweep.profile);
+    Feed& feed = feeds[static_cast<std::size_t>(s)];
+    feed.chunks = injector.corrupt(frames);
+    feed.dueAt = feed.chunks.empty() ? 0 : feed.chunks.front().delayUs;
+  }
+
+  // Same global time-ordered delivery loop as the resilience sweep (no
+  // hiccups/phases: accuracy scoring wants clean delivery == baseline).
+  TimeUs now = 0;
+  TimeUs lastPump = 0;
+  for (;;) {
+    int nextStream = -1;
+    for (int s = 0; s < kAccSensors; ++s) {
+      const Feed& feed = feeds[static_cast<std::size_t>(s)];
+      if (feed.next >= feed.chunks.size()) {
+        continue;
+      }
+      if (nextStream < 0 ||
+          feed.dueAt < feeds[static_cast<std::size_t>(nextStream)].dueAt) {
+        nextStream = s;
+      }
+    }
+    if (nextStream < 0) {
+      break;
+    }
+    Feed& feed = feeds[static_cast<std::size_t>(nextStream)];
+    const TimeUs target = std::max(now, feed.dueAt);
+    while (lastPump + kSweepWindowUs <= target) {
+      lastPump += kSweepWindowUs;
+      supervisor.tickWatchdogs(lastPump);
+      (void)supervisor.pump(lastPump);
+    }
+    now = target;
+    supervisor.offerBytes(static_cast<std::uint16_t>(nextStream),
+                          feed.chunks[feed.next].bytes, now);
+    ++feed.next;
+    if (feed.next < feed.chunks.size()) {
+      feed.dueAt = now + feed.chunks[feed.next].delayUs;
+    }
+  }
+  now += kSweepWindowUs;
+  supervisor.tickWatchdogs(now);
+  (void)supervisor.pump(now);
+
+  AccuracyRow row;
+  row.profile = sweep.name;
+  for (int s = 0; s < kAccSensors; ++s) {
+    const auto& baseline = baselines[static_cast<std::size_t>(s)];
+    const auto& capture = captures[static_cast<std::size_t>(s)];
+    for (std::uint32_t seq = 0; seq < kAccFrames; ++seq) {
+      const Tracks& expected = baseline[seq];
+      if (expected.empty()) {
+        continue;
+      }
+      row.baselineTracks += expected.size();
+      const std::optional<Tracks>& got = capture.bySeq[seq];
+      if (!got.has_value() || got->empty()) {
+        continue;
+      }
+      // Baseline tracks as ground truth, faulted tracks as predictions.
+      std::vector<GtBox> gt;
+      gt.reserve(expected.size());
+      for (const Track& track : expected) {
+        gt.push_back(GtBox{track.id, ObjectClass::kCar, track.box});
+      }
+      row.matchedTracks +=
+          matchFrame(*got, gt, kAccIouThreshold).truePositives();
+    }
+    const PipelineSink::Counters sinkCounters =
+        sinks[static_cast<std::size_t>(s)]->counters();
+    row.windowsTracked += sinkCounters.windowsTracked;
+    row.windowsCoasted += sinkCounters.windowsCoasted;
+    row.resyncs += sinkCounters.resyncRestores + sinkCounters.resyncResets;
+  }
+  row.recall = row.baselineTracks == 0
+                   ? 0.0
+                   : static_cast<double>(row.matchedTracks) /
+                         static_cast<double>(row.baselineTracks);
+  return row;
+}
+
 void writeJson(const char* path, const std::vector<CellResult>& cells,
+               const std::vector<LiveCellResult>& liveCells,
+               const std::vector<AccuracyRow>& accuracy,
                double steadyAllocs) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -329,6 +642,7 @@ void writeJson(const char* path, const std::vector<CellResult>& cells,
         " \"windows_delivered\": %llu, \"windows_rejected\": %llu,"
         " \"windows_shed_stale\": %llu, \"windows_shed_overload\": %llu,"
         " \"watchdog_stalls\": %llu, \"degrade_entries\": %llu,"
+        " \"recovery_attempts\": %llu, \"recovery_failures\": %llu,"
         " \"recoveries\": %llu, \"sessions_quarantined\": %zu,"
         " \"p50_latency_us\": %lld, \"p99_latency_us\": %lld,"
         " \"wall_ns_per_window\": %.1f}%s\n",
@@ -347,12 +661,59 @@ void writeJson(const char* path, const std::vector<CellResult>& cells,
         static_cast<unsigned long long>(t.windowsShedOverload),
         static_cast<unsigned long long>(t.watchdogStalls),
         static_cast<unsigned long long>(t.degradeEntries),
+        static_cast<unsigned long long>(t.recoveryAttempts),
+        static_cast<unsigned long long>(t.recoveryFailures),
         static_cast<unsigned long long>(t.recoveries), c.quarantined,
         static_cast<long long>(c.p50LatencyUs),
         static_cast<long long>(c.p99LatencyUs), c.wallNsPerWindow,
         i + 1 < cells.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+
+  std::fprintf(f, "  \"live_frames_per_stream\": %u,\n",
+               kLiveFramesPerStream);
+  std::fprintf(f, "  \"live_cells\": [\n");
+  for (std::size_t i = 0; i < liveCells.size(); ++i) {
+    const LiveCellResult& c = liveCells[i];
+    std::fprintf(
+        f,
+        "    {\"streams\": %d, \"producer_threads\": %d,"
+        " \"chunks_delivered\": %llu, \"frames_accepted\": %llu,"
+        " \"windows_delivered\": %llu, \"windows_rejected\": %llu,"
+        " \"lossless_waits\": %llu, \"sessions_quarantined\": %zu,"
+        " \"wall_seconds\": %.4f}%s\n",
+        c.streams, c.producerThreads,
+        static_cast<unsigned long long>(c.chunksDelivered),
+        static_cast<unsigned long long>(c.framesAccepted),
+        static_cast<unsigned long long>(c.windowsDelivered),
+        static_cast<unsigned long long>(c.windowsRejected),
+        static_cast<unsigned long long>(c.losslessWaits), c.quarantined,
+        c.wallSeconds, i + 1 < liveCells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+
+  std::fprintf(f, "  \"accuracy_under_fault\": {\n");
+  std::fprintf(f, "    \"sensors\": %d,\n", kAccSensors);
+  std::fprintf(f, "    \"frames\": %u,\n", kAccFrames);
+  std::fprintf(f, "    \"iou_threshold\": %.2f,\n",
+               static_cast<double>(kAccIouThreshold));
+  std::fprintf(f, "    \"profiles\": [\n");
+  for (std::size_t i = 0; i < accuracy.size(); ++i) {
+    const AccuracyRow& row = accuracy[i];
+    std::fprintf(
+        f,
+        "      {\"profile\": \"%s\", \"baseline_tracks\": %llu,"
+        " \"matched_tracks\": %llu, \"windows_tracked\": %llu,"
+        " \"windows_coasted\": %llu, \"resyncs\": %llu,"
+        " \"recall\": %.4f}%s\n",
+        row.profile, static_cast<unsigned long long>(row.baselineTracks),
+        static_cast<unsigned long long>(row.matchedTracks),
+        static_cast<unsigned long long>(row.windowsTracked),
+        static_cast<unsigned long long>(row.windowsCoasted),
+        static_cast<unsigned long long>(row.resyncs), row.recall,
+        i + 1 < accuracy.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);
 }
 
@@ -399,8 +760,59 @@ void runResilienceSweep(const char* jsonPath) {
     std::printf("\nsteady-state allocs/window (single-session hot path): "
                 "%.4f\n", steadyAllocs);
   }
+
+  std::printf("\nLive real-thread cells — %u frames/stream, lossless, "
+              "4 producer threads + pump thread\n",
+              kLiveFramesPerStream);
+  std::printf("%-8s %10s %10s %9s %12s %10s\n", "streams", "chunks",
+              "delivered", "rejected", "waits", "wall s");
+  std::printf("%.*s\n", 64,
+              "----------------------------------------------------------"
+              "------------------------------");
+  std::vector<LiveCellResult> liveCells;
+  for (int streams : {64, 256, 1024}) {
+    LiveCellResult cell = runLiveCell(streams, pool);
+    std::printf("%-8d %10llu %10llu %9llu %12llu %10.3f\n", cell.streams,
+                static_cast<unsigned long long>(cell.chunksDelivered),
+                static_cast<unsigned long long>(cell.windowsDelivered),
+                static_cast<unsigned long long>(cell.windowsRejected),
+                static_cast<unsigned long long>(cell.losslessWaits),
+                cell.wallSeconds);
+    liveCells.push_back(cell);
+  }
+
+  std::printf("\nTracking accuracy under fault — %d sensors x %u windows, "
+              "matched-track recall vs the fault-free run (IoU %.2f)\n",
+              kAccSensors, kAccFrames,
+              static_cast<double>(kAccIouThreshold));
+  std::printf("%-10s %10s %10s %10s %10s %8s %8s\n", "profile", "baseline",
+              "matched", "tracked", "coasted", "resyncs", "recall");
+  std::printf("%.*s\n", 72,
+              "----------------------------------------------------------"
+              "------------------------------");
+  std::vector<std::vector<EventPacket>> sensorWindows;
+  std::vector<std::vector<Tracks>> baselines;
+  for (int s = 0; s < kAccSensors; ++s) {
+    sensorWindows.push_back(
+        makeTrackedWindows(7000 + static_cast<std::uint64_t>(s)));
+    baselines.push_back(accuracyBaseline(sensorWindows.back()));
+  }
+  std::vector<AccuracyRow> accuracy;
+  for (const SweepProfile& profile : profiles) {
+    AccuracyRow row =
+        runAccuracyCell(profile, sensorWindows, baselines, pool);
+    std::printf("%-10s %10llu %10llu %10llu %10llu %8llu %8.4f\n",
+                row.profile,
+                static_cast<unsigned long long>(row.baselineTracks),
+                static_cast<unsigned long long>(row.matchedTracks),
+                static_cast<unsigned long long>(row.windowsTracked),
+                static_cast<unsigned long long>(row.windowsCoasted),
+                static_cast<unsigned long long>(row.resyncs), row.recall);
+    accuracy.push_back(row);
+  }
+
   if (jsonPath != nullptr) {
-    writeJson(jsonPath, cells, steadyAllocs);
+    writeJson(jsonPath, cells, liveCells, accuracy, steadyAllocs);
     std::printf("wrote %s\n", jsonPath);
   }
 }

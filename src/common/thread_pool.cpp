@@ -26,11 +26,21 @@ thread_local std::size_t tlsVictimCursor = 0;
 namespace detail {
 
 TaskNode::~TaskNode() {
-  // Only non-empty when the pool shut down with this task still queued:
-  // the successors were never dispatched, so drop their references here
-  // (cascades through abandoned chains).
+  // Only non-empty when the pool shut down with this task still queued.
+  // Resolve each successor's dependency by abandonment, mirroring
+  // execute(): when the last unmet dependency resolves, the successor
+  // would have been enqueued — the pool is gone, so drop its scheduler
+  // reference instead (cascades through abandoned chains).  Successors
+  // with other still-pending abandoned dependencies are handled by
+  // whichever dependency node dies last.
   for (TaskNode* successor : successors) {
-    release(successor);
+    std::uint32_t drop = 1;  // the successor-list reference
+    if (successor->unmet.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      ++drop;  // the scheduler reference, never dropped by execute()
+    }
+    if (successor->refs.fetch_sub(drop, std::memory_order_acq_rel) == drop) {
+      delete successor;
+    }
   }
 }
 

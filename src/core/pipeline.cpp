@@ -22,4 +22,36 @@ Tracks EbmsPipeline::processWindow(const EventPacket& packet) {
   return tracks_;
 }
 
+std::unique_ptr<PipelineSnapshot> EbmsPipeline::makeSnapshot() const {
+  return std::make_unique<EbmsPipelineSnapshot>(nnFilter_, tracker_);
+}
+
+bool EbmsPipeline::saveState(PipelineSnapshot& out) const {
+  auto* snap = dynamic_cast<EbmsPipelineSnapshot*>(&out);
+  if (snap == nullptr) {
+    return false;
+  }
+  snap->nnFilter = nnFilter_;
+  snap->tracker = tracker_;
+  return true;
+}
+
+bool EbmsPipeline::restoreState(const PipelineSnapshot& snapshot) {
+  const auto* snap = dynamic_cast<const EbmsPipelineSnapshot*>(&snapshot);
+  if (snap == nullptr) {
+    return false;
+  }
+  nnFilter_ = snap->nnFilter;
+  tracker_ = snap->tracker;
+  return true;
+}
+
+void EbmsPipeline::resetState() {
+  nnFilter_.reset();
+  tracker_ = EbmsTracker(config_.ebms);
+  stageOps_ = EbmsStageOps{};
+  tracks_.clear();
+  lastFilteredCount_ = 0;
+}
+
 }  // namespace ebbiot

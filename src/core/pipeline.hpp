@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -44,6 +45,22 @@ namespace ebbiot {
 enum class InputDomain {
   kLatchedFrame,  ///< latchReadout() packets (one event per pixel per window)
   kEventStream,   ///< the raw event stream of the window
+};
+
+/// Opaque snapshot of one pipeline's cross-window state (tracker slots,
+/// event-surface history — everything that carries information from one
+/// window into the next).  Obtained from Pipeline::makeSnapshot() and
+/// only meaningful with pipelines of the same concrete type and config;
+/// the node recovery layer (src/node/pipeline_sink.*) keeps one rolling
+/// snapshot per sensor and restores it when a stream resyncs.
+class PipelineSnapshot {
+ public:
+  virtual ~PipelineSnapshot() = default;
+
+ protected:
+  PipelineSnapshot() = default;
+  PipelineSnapshot(const PipelineSnapshot&) = default;
+  PipelineSnapshot& operator=(const PipelineSnapshot&) = default;
 };
 
 /// Uniform interface of every end-to-end pipeline.  The runner drives a
@@ -73,6 +90,37 @@ class Pipeline {
   [[nodiscard]] virtual std::size_t lastFilteredEventCount() const {
     return 0;
   }
+
+  /// Allocate a snapshot sized for this pipeline's cross-window state.
+  /// Allocate once, then reuse it via saveState() — the save itself is
+  /// an element-wise copy into existing capacity (zero steady-state
+  /// allocations).  nullptr means the pipeline has no snapshot support.
+  [[nodiscard]] virtual std::unique_ptr<PipelineSnapshot> makeSnapshot()
+      const {
+    return nullptr;
+  }
+
+  /// Copy the current cross-window state into `out` (obtained from this
+  /// pipeline's makeSnapshot()).  Returns false on a snapshot-type
+  /// mismatch; `out` is untouched then.
+  virtual bool saveState(PipelineSnapshot& out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Overwrite the cross-window state with one captured by saveState();
+  /// subsequent windows proceed bit-identically to a pipeline that never
+  /// left that state.  Returns false on a snapshot-type mismatch; state
+  /// is untouched then.
+  virtual bool restoreState(const PipelineSnapshot& snapshot) {
+    (void)snapshot;
+    return false;
+  }
+
+  /// Drop all cross-window state, as if freshly constructed with the
+  /// same config.  Always supported (the recovery fallback when no
+  /// usable snapshot exists).
+  virtual void resetState() = 0;
 
  protected:
   Pipeline() = default;
@@ -124,6 +172,17 @@ struct FramePipelineTraits<HybridTracker> {
   static constexpr const char* kName = "Hybrid";
 };
 
+/// Snapshot of a frame-domain pipeline: a copy of the tracker back end.
+/// The tracker is the only stage carrying information across windows —
+/// the front end's incremental median cache is rebuilt per window and
+/// is bit-identical regardless of history — so restoring the tracker
+/// restores the pipeline exactly.
+template <typename Tracker>
+struct FramePipelineSnapshot final : PipelineSnapshot {
+  explicit FramePipelineSnapshot(const Tracker& t) : tracker(t) {}
+  Tracker tracker;
+};
+
 /// Frame-domain pipeline: shared FrameFrontEnd plus a tracker back end.
 /// Tracker must provide `Tracks update(const RegionProposals&)` and
 /// `OpCounts lastOps()`, and its config `frameWidth`/`frameHeight` fields
@@ -134,18 +193,14 @@ class FramePipeline final : public Pipeline {
   using Traits = FramePipelineTraits<Tracker>;
   using TrackerConfig = typename Tracker::Config;
   using Config = FramePipelineConfig<TrackerConfig>;
+  using Snapshot = FramePipelineSnapshot<Tracker>;
 
   explicit FramePipeline(const Config& config,
                          std::string name = Traits::kName)
       : config_(config),
         name_(std::move(name)),
         frontEnd_(config),
-        tracker_([&config] {
-          TrackerConfig c = config.tracker;
-          c.frameWidth = config.width;
-          c.frameHeight = config.height;
-          return c;
-        }()) {
+        tracker_(resolvedTrackerConfig(config)) {
     if (config.regionFilter.has_value()) {
       regionFilter_.emplace(*config.regionFilter);
     }
@@ -198,6 +253,44 @@ class FramePipeline final : public Pipeline {
   [[nodiscard]] Tracker& tracker() { return tracker_; }
   [[nodiscard]] const Config& config() const { return config_; }
 
+  [[nodiscard]] std::unique_ptr<PipelineSnapshot> makeSnapshot()
+      const override {
+    return std::make_unique<Snapshot>(tracker_);
+  }
+
+  bool saveState(PipelineSnapshot& out) const override {
+    auto* snap = dynamic_cast<Snapshot*>(&out);
+    if (snap == nullptr) {
+      return false;
+    }
+    snap->tracker = tracker_;
+    return true;
+  }
+
+  bool restoreState(const PipelineSnapshot& snapshot) override {
+    const auto* snap = dynamic_cast<const Snapshot*>(&snapshot);
+    if (snap == nullptr) {
+      return false;
+    }
+    tracker_ = snap->tracker;
+    return true;
+  }
+
+  void resetState() override {
+    tracker_ = Tracker(resolvedTrackerConfig(config_));
+    stageOps_ = StageOps{};
+  }
+
+  /// The tracker config as the pipeline constructs it: the user's tracker
+  /// fields with the geometry filled in from the front end.
+  [[nodiscard]] static TrackerConfig resolvedTrackerConfig(
+      const Config& config) {
+    TrackerConfig c = config.tracker;
+    c.frameWidth = config.width;
+    c.frameHeight = config.height;
+    return c;
+  }
+
  private:
   Config config_;
   std::string name_;
@@ -229,6 +322,16 @@ struct EbmsStageOps {
   [[nodiscard]] OpCounts total() const { return nnFilter + ebms; }
 };
 
+/// Snapshot of the event-domain pipeline: the NN filter's timestamp
+/// surface (its pass/reject decisions depend on past windows' events)
+/// plus the EBMS cluster state.
+struct EbmsPipelineSnapshot final : PipelineSnapshot {
+  EbmsPipelineSnapshot(const NnFilter& filter, const EbmsTracker& t)
+      : nnFilter(filter), tracker(t) {}
+  NnFilter nnFilter;
+  EbmsTracker tracker;
+};
+
 /// Event-domain baseline: NN-filter -> EBMS mean-shift clusters.
 class EbmsPipeline final : public Pipeline {
  public:
@@ -247,6 +350,12 @@ class EbmsPipeline final : public Pipeline {
   [[nodiscard]] std::size_t lastFilteredEventCount() const override {
     return lastFilteredCount_;
   }
+
+  [[nodiscard]] std::unique_ptr<PipelineSnapshot> makeSnapshot()
+      const override;
+  bool saveState(PipelineSnapshot& out) const override;
+  bool restoreState(const PipelineSnapshot& snapshot) override;
+  void resetState() override;
 
   [[nodiscard]] const EbmsStageOps& stageOps() const { return stageOps_; }
   [[nodiscard]] EbmsTracker& tracker() { return tracker_; }

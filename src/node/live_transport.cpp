@@ -1,0 +1,170 @@
+#include "src/node/live_transport.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Virtual microseconds elapsed since `t0` under `timeScale`.
+TimeUs virtualNow(Clock::time_point t0, double timeScale) {
+  const auto wallUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                          Clock::now() - t0)
+                          .count();
+  return static_cast<TimeUs>(static_cast<double>(wallUs) * timeScale);
+}
+
+}  // namespace
+
+LiveTransport::LiveTransport(NodeSupervisor& supervisor,
+                             std::vector<LiveStreamSpec> streams,
+                             const LiveTransportConfig& config)
+    : supervisor_(supervisor), config_(config) {
+  if (config.producerThreads < 1) {
+    throw ConfigError("LiveTransport: producerThreads must be >= 1");
+  }
+  if (!(config.timeScale > 0.0)) {
+    throw ConfigError("LiveTransport: timeScale must be > 0");
+  }
+  if (config.pumpPeriodUs <= 0) {
+    throw ConfigError("LiveTransport: pumpPeriodUs must be > 0");
+  }
+  streams_.reserve(streams.size());
+  for (LiveStreamSpec& spec : streams) {
+    StreamState state;
+    state.session = supervisor_.find(spec.sensorId);
+    if (state.session == nullptr) {
+      throw ConfigError("LiveTransport: sensor " +
+                        std::to_string(spec.sensorId) +
+                        " is not registered with the supervisor");
+    }
+    state.chunks = std::move(spec.chunks);
+    state.dueAt = state.chunks.empty() ? 0 : state.chunks.front().delayUs;
+    state.tickable = !state.chunks.empty();
+    streams_.push_back(std::move(state));
+  }
+}
+
+LiveTransport::RunStats LiveTransport::run() {
+  const int threads = config_.producerThreads;
+  const Clock::time_point t0 = Clock::now();
+  std::atomic<int> producersLive{threads};
+  std::vector<std::uint64_t> chunksPerThread(
+      static_cast<std::size_t>(threads), 0);
+  std::vector<std::uint64_t> waitsPerThread(
+      static_cast<std::size_t>(threads), 0);
+
+  const auto producer = [this, t0, &producersLive, &chunksPerThread,
+                         &waitsPerThread](int thread) {
+    std::uint64_t delivered = 0;
+    std::uint64_t waits = 0;
+    for (;;) {
+      bool anyLeft = false;
+      bool anyDelivered = false;
+      TimeUs vnow = virtualNow(t0, config_.timeScale);
+      for (std::size_t i = static_cast<std::size_t>(thread);
+           i < streams_.size();
+           i += static_cast<std::size_t>(config_.producerThreads)) {
+        StreamState& s = streams_[i];
+        if (s.next >= s.chunks.size()) {
+          continue;
+        }
+        anyLeft = true;
+        while (s.next < s.chunks.size() && s.dueAt <= vnow) {
+          const DeliveryChunk& chunk = s.chunks[s.next];
+          if (config_.lossless && !chunk.bytes.empty()) {
+            // Wait for queue room rather than let the tail reject; the
+            // consumer keeps pumping, so this terminates.
+            bool waited = false;
+            while (s.session->backlog() >=
+                   s.session->config().queueCapacity) {
+              waited = true;
+              std::this_thread::yield();
+            }
+            if (waited) {
+              ++waits;
+            }
+            vnow = virtualNow(t0, config_.timeScale);
+          }
+          s.session->offerBytes(chunk.bytes, vnow);
+          ++delivered;
+          anyDelivered = true;
+          ++s.next;
+          if (s.next < s.chunks.size()) {
+            s.dueAt = vnow + s.chunks[s.next].delayUs;
+          } else {
+            // Script exhausted: a finished stream is not a stalled
+            // sensor, so its watchdog clock stops advancing here.
+            s.tickable = false;
+          }
+        }
+        if (s.tickable) {
+          s.session->onIdleTick(vnow);
+        }
+      }
+      if (!anyLeft) {
+        break;
+      }
+      if (!anyDelivered) {
+        // Nothing due yet: sleep one wall slice (~a fraction of the pump
+        // period) instead of spinning a shared core.
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+    chunksPerThread[static_cast<std::size_t>(thread)] = delivered;
+    waitsPerThread[static_cast<std::size_t>(thread)] = waits;
+    producersLive.fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back(producer, t);
+  }
+
+  RunStats stats;
+  TimeUs lastPump = 0;
+  for (;;) {
+    const bool live = producersLive.load(std::memory_order_acquire) > 0;
+    const TimeUs vnow = virtualNow(t0, config_.timeScale);
+    if (vnow - lastPump >= config_.pumpPeriodUs || !live) {
+      lastPump = vnow;
+      const NodeSupervisor::PumpStats pumped = supervisor_.pump(vnow);
+      ++stats.pumps;
+      stats.windowsDelivered += pumped.windowsDelivered;
+    }
+    if (!live && supervisor_.totalBacklog() == 0) {
+      break;
+    }
+    std::this_thread::yield();
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  // One closing pump: a producer may have enqueued between the break
+  // check and its exit (it had already decremented producersLive).
+  const TimeUs vend = virtualNow(t0, config_.timeScale);
+  const NodeSupervisor::PumpStats pumped = supervisor_.pump(vend);
+  ++stats.pumps;
+  stats.windowsDelivered += pumped.windowsDelivered;
+
+  for (int t = 0; t < threads; ++t) {
+    stats.chunksDelivered += chunksPerThread[static_cast<std::size_t>(t)];
+    stats.losslessWaits += waitsPerThread[static_cast<std::size_t>(t)];
+  }
+  stats.virtualEndUs = vend;
+  stats.wallSeconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() -
+                                                                t0)
+          .count();
+  return stats;
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,102 @@
+// Real-thread transport front for the node service: producer threads
+// deliver scripted byte chunks into SensorSessions against the wall
+// clock while the caller pumps the NodeSupervisor — the live
+// counterpart of the bench's single-threaded virtual-clock sweep.
+//
+//   producer threads (N)                       caller thread
+//   ┌─────────────────────────────┐            ┌──────────────────────┐
+//   │ per owned stream:           │            │ loop:                │
+//   │   deliver due chunks        │  SPSC      │   supervisor.pump()  │
+//   │   (session->offerBytes)     │──queues──▶ │   until producers    │
+//   │   tick own watchdogs        │            │   done and backlogs  │
+//   │   (session->onIdleTick)     │            │   are empty          │
+//   └─────────────────────────────┘            └──────────────────────┘
+//
+// Time: one shared virtual clock derived from std::chrono::steady_clock,
+// scaled by `timeScale` virtual microseconds per wall microsecond — so a
+// multi-second scripted outage replays in milliseconds of wall time
+// while every thread still observes one monotonic clock.  Chunk delays
+// chain off actual delivery times, mirroring the virtual-clock sweep.
+//
+// Threading contract (the reason this type exists): each session's
+// producer side (offerBytes / onIdleTick) is owned by exactly one
+// producer thread — stream i belongs to thread i % producerThreads — and
+// NodeSupervisor::tickWatchdogs is never used here, because it touches
+// every session and would race the other producers.  A producer stops
+// ticking a stream once its script is exhausted (a finished stream is
+// not a stalled sensor).  The consumer half runs wherever the caller
+// runs run().  counters()/session state are only exact after run()
+// returns (both sides quiescent).
+//
+// Lossless mode: the producer waits for queue room instead of letting
+// the tail reject a window (the consumer keeps pumping, so the wait is
+// bounded); with BackpressurePolicy::kRejectPacket and an ample
+// watchdog this delivers every window exactly once — the mode the
+// clean-stream bit-identity test and bench cells build on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time.hpp"
+#include "src/node/fault_injection.hpp"
+#include "src/node/node_supervisor.hpp"
+
+namespace ebbiot {
+
+/// One sensor's scripted transport feed.
+struct LiveStreamSpec {
+  std::uint16_t sensorId = 0;
+  std::vector<DeliveryChunk> chunks;
+};
+
+struct LiveTransportConfig {
+  /// Producer threads sharing the streams (>= 1); stream i is owned by
+  /// thread i % producerThreads for its whole life.
+  int producerThreads = 1;
+  /// Virtual microseconds per wall microsecond (> 0).
+  double timeScale = 1.0;
+  /// Consumer pump cadence on the virtual clock (> 0).
+  TimeUs pumpPeriodUs = 10'000;
+  /// Wait for queue room instead of dropping at the tail.
+  bool lossless = false;
+};
+
+class LiveTransport {
+ public:
+  /// Everything the run decided; exact once run() has returned.
+  struct RunStats {
+    std::uint64_t chunksDelivered = 0;
+    std::uint64_t losslessWaits = 0;  ///< backpressure wait episodes
+    std::uint64_t pumps = 0;
+    std::uint64_t windowsDelivered = 0;  ///< summed pump results
+    TimeUs virtualEndUs = 0;             ///< virtual clock at completion
+    double wallSeconds = 0.0;
+  };
+
+  /// Every spec's sensorId must already be registered with the
+  /// supervisor (throws ConfigError otherwise; registration mutates the
+  /// supervisor's session table and must finish before threads exist).
+  LiveTransport(NodeSupervisor& supervisor,
+                std::vector<LiveStreamSpec> streams,
+                const LiveTransportConfig& config);
+
+  /// Spawn the producers, pump on the calling thread until every script
+  /// is exhausted and every backlog drained, join, and report.
+  RunStats run();
+
+ private:
+  struct StreamState {
+    SensorSession* session = nullptr;
+    std::vector<DeliveryChunk> chunks;
+    std::size_t next = 0;
+    TimeUs dueAt = 0;
+    bool tickable = true;  ///< false once the script is exhausted
+  };
+
+  NodeSupervisor& supervisor_;
+  LiveTransportConfig config_;
+  std::vector<StreamState> streams_;
+};
+
+}  // namespace ebbiot

@@ -60,6 +60,24 @@ void NodeConfig::validate() const {
   if (recoverCleanFrames < 1) {
     fail("recoverCleanFrames must be >= 1");
   }
+  if (recoveryBackoffInitialUs <= 0) {
+    fail("recoveryBackoffInitialUs must be > 0, got " +
+         std::to_string(recoveryBackoffInitialUs));
+  }
+  if (recoveryBackoffMaxUs < recoveryBackoffInitialUs) {
+    fail("recoveryBackoffMaxUs (" + std::to_string(recoveryBackoffMaxUs) +
+         ") is smaller than recoveryBackoffInitialUs (" +
+         std::to_string(recoveryBackoffInitialUs) +
+         "); the hold-down could never be scheduled");
+  }
+  if (recoveryBackoffFactor < 1) {
+    fail("recoveryBackoffFactor must be >= 1, got " +
+         std::to_string(recoveryBackoffFactor));
+  }
+  if (recoveryMaxAttempts < 1) {
+    fail("recoveryMaxAttempts must be >= 1, got " +
+         std::to_string(recoveryMaxAttempts));
+  }
   if (quarantineResyncLimit < 1) {
     fail("quarantineResyncLimit must be >= 1");
   }

@@ -75,6 +75,24 @@ struct NodeConfig {
   /// Consecutive clean frames needed to leave DEGRADED / RECOVERING.
   int recoverCleanFrames = 4;
 
+  // -- Recovery ladder (DEGRADED -> RECOVERING -> STREAMING) ----------
+  // A degraded session must hold a clean streak *and* sit out a backoff
+  // hold-down before each recovery attempt; a fault while RECOVERING
+  // sends it back to DEGRADED with the hold-down multiplied by
+  // recoveryBackoffFactor (clamped at recoveryBackoffMaxUs), and
+  // exhausting recoveryMaxAttempts quarantines the sensor.  A watchdog
+  // stall re-arms the ladder along with the rest of the session (a
+  // returning sensor is re-adopted fresh).
+
+  /// Hold-down before the first recovery attempt (> 0).
+  TimeUs recoveryBackoffInitialUs = 50'000;
+  /// Hold-down cap across attempts (>= recoveryBackoffInitialUs).
+  TimeUs recoveryBackoffMaxUs = 1'600'000;
+  /// Hold-down multiplier per failed attempt (>= 1).
+  int recoveryBackoffFactor = 2;
+  /// Failed recovery attempts tolerated before QUARANTINED (>= 1).
+  int recoveryMaxAttempts = 8;
+
   /// Total resync episodes after which the session is quarantined
   /// (terminal state; further bytes are ignored and counted) (>= 1).
   std::uint64_t quarantineResyncLimit = 64;

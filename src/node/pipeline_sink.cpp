@@ -1,0 +1,129 @@
+#include "src/node/pipeline_sink.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+PipelineSink::PipelineSink(std::unique_ptr<Pipeline> pipeline, int width,
+                           int height, const PipelineSinkConfig& config)
+    : pipeline_(std::move(pipeline)),
+      width_(width),
+      height_(height),
+      config_(config) {
+  EBBIOT_ASSERT(pipeline_ != nullptr);
+  EBBIOT_ASSERT(width_ > 0 && height_ > 0);
+  snapshot_ = pipeline_->makeSnapshot();
+  latchEpochs_.resize(
+      static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_), 0);
+}
+
+void PipelineSink::onWindow(const EventPacket& window, std::uint32_t seq,
+                            TimeUs ingestTime) {
+  (void)ingestTime;  // latency accounting lives in the session
+  if (!primed_) {
+    trackWindow(window, seq);
+    primed_ = true;
+    saveRollingSnapshot();
+    return;
+  }
+  bool resynced = false;
+  if (idleCoasted_ > 0) {
+    // The stream is back after blind idle coasting: roll the tracker
+    // back to the last observed state (or start clean) so unconfirmed
+    // predictions never contaminate the resumed stream.
+    applyResync();
+    resynced = true;
+    idleCoasted_ = 0;
+  }
+  const std::uint32_t ahead = seq - expectedSeq_;
+  if (ahead >= 0x80000000u || ahead > config_.maxCoastWindows) {
+    // Backward jump (sequence space rebased after a watchdog re-adopt)
+    // or more windows lost than coasting may bridge.
+    if (!resynced) {
+      applyResync();
+    }
+  } else if (ahead > 0) {
+    ++counters_.gapsCoasted;
+    for (std::uint32_t i = 0; i < ahead; ++i) {
+      coastOneWindow();
+    }
+  }
+  trackWindow(window, seq);
+  saveRollingSnapshot();
+}
+
+bool PipelineSink::coastIdle() {
+  if (!primed_ || idleCoasted_ >= config_.maxCoastWindows) {
+    return false;
+  }
+  ++idleCoasted_;
+  ++counters_.idleCoastWindows;
+  coastOneWindow();
+  return true;
+}
+
+void PipelineSink::trackWindow(const EventPacket& window, std::uint32_t seq) {
+  const EventPacket& input =
+      pipeline_->inputDomain() == InputDomain::kLatchedFrame
+          ? latchInto(window)
+          : window;
+  lastTracks_ = pipeline_->processWindow(input);
+  ++counters_.windowsTracked;
+  expectedSeq_ = seq + 1;
+  lastTEnd_ = window.tEnd();
+  const TimeUs duration = window.tEnd() - window.tStart();
+  if (duration > 0) {
+    lastDuration_ = duration;
+  }
+  if (observer_) {
+    observer_(seq, lastTracks_);
+  }
+}
+
+void PipelineSink::coastOneWindow() {
+  // An empty window is the same packet in both input domains, so coasting
+  // needs no latch step: the tracker sees zero measurements and applies
+  // its own miss/coast discipline.
+  coastWindow_.reset(lastTEnd_, lastTEnd_ + lastDuration_);
+  lastTracks_ = pipeline_->processWindow(coastWindow_);
+  lastTEnd_ += lastDuration_;
+  ++counters_.windowsCoasted;
+}
+
+void PipelineSink::applyResync() {
+  if (config_.resync == ResyncPolicy::kRestoreSnapshot && snapshotValid_ &&
+      pipeline_->restoreState(*snapshot_)) {
+    ++counters_.resyncRestores;
+    return;
+  }
+  pipeline_->resetState();
+  ++counters_.resyncResets;
+}
+
+void PipelineSink::saveRollingSnapshot() {
+  snapshotValid_ =
+      snapshot_ != nullptr && pipeline_->saveState(*snapshot_);
+}
+
+const EventPacket& PipelineSink::latchInto(const EventPacket& window) {
+  if (++latchEpoch_ == 0) {
+    // Epoch counter wrapped: invalidate every stale marking once.
+    std::fill(latchEpochs_.begin(), latchEpochs_.end(), 0u);
+    latchEpoch_ = 1;
+  }
+  latched_.reset(window.tStart(), window.tEnd());
+  for (const Event& e : window) {
+    EBBIOT_ASSERT(e.x < width_ && e.y < height_);
+    std::uint32_t& cell =
+        latchEpochs_[static_cast<std::size_t>(e.y) * width_ + e.x];
+    if (cell != latchEpoch_) {
+      cell = latchEpoch_;
+      latched_.push(e);
+    }
+  }
+  return latched_;
+}
+
+}  // namespace ebbiot

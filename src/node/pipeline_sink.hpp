@@ -1,0 +1,138 @@
+// Per-sensor tracking with gap-aware fault recovery: the WindowSink that
+// closes the wire → session → pipeline → tracks chain.
+//
+// One PipelineSink owns one Pipeline instance and feeds it the windows a
+// SensorSession delivers, bridging the transport's failure modes so the
+// *tracker* (the paper's actual deliverable) survives them:
+//
+//   * Coast-through-gap: a bridgeable sequence gap (<= maxCoastWindows
+//     windows lost) is filled with synthetic empty windows, so live
+//     tracks coast on their velocity models and die by their own miss
+//     budget instead of being silently teleported across the gap.
+//   * Blind idle coasting: while a sensor is silent (watchdog stall),
+//     coastIdle() keeps issuing empty windows — bounded by
+//     maxCoastWindows — so the node keeps reporting predicted tracks
+//     through a short outage.
+//   * Snapshot/restore resync: after every real window the pipeline's
+//     cross-window state is saved into a rolling PipelineSnapshot
+//     (allocation-free once warm; see Pipeline::saveState).  When the
+//     stream resyncs — an unbridgeable gap, a rebased sequence space
+//     after a watchdog re-adopt, or the first real window after blind
+//     idle coasting — the ResyncPolicy decides between restoring that
+//     last observed state (kRestoreSnapshot: tracks survive the outage
+//     frozen at their last confirmed positions, blind predictions are
+//     rolled back) and resetting the pipeline (kReset: the outage is
+//     treated as a scene change).
+//
+// Threading: a PipelineSink is consumer-side state of exactly one
+// session; it runs wherever that session's drainInto runs (one shard of
+// the supervisor's pump) and needs no locking of its own.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/time.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/events/event_packet.hpp"
+#include "src/node/sensor_session.hpp"
+
+namespace ebbiot {
+
+/// What to do with tracker state when the stream loses continuity beyond
+/// what coasting can bridge.
+enum class ResyncPolicy {
+  /// Roll back to the last observed state; tracks re-adopt where they
+  /// were last confirmed.  Falls back to reset when the pipeline has no
+  /// snapshot support.
+  kRestoreSnapshot,
+  /// Drop all tracker state; the resynced stream is a fresh scene.
+  kReset,
+};
+
+struct PipelineSinkConfig {
+  /// Longest run of lost or silent windows bridged by coasting; beyond
+  /// it the sink resyncs per `resync` (>= 1 for coasting to exist; 0 is
+  /// legal and turns every gap into a resync).
+  std::uint32_t maxCoastWindows = 8;
+  ResyncPolicy resync = ResyncPolicy::kRestoreSnapshot;
+};
+
+class PipelineSink final : public WindowSink {
+ public:
+  /// Everything the sink decided, exact and deterministic per stream.
+  struct Counters {
+    std::uint64_t windowsTracked = 0;    ///< real windows run end-to-end
+    std::uint64_t gapsCoasted = 0;       ///< bridgeable gap episodes
+    std::uint64_t windowsCoasted = 0;    ///< synthetic windows fed (gaps)
+    std::uint64_t idleCoastWindows = 0;  ///< synthetic windows fed (idle)
+    std::uint64_t resyncRestores = 0;    ///< snapshot restores applied
+    std::uint64_t resyncResets = 0;      ///< pipeline resets applied
+
+    friend bool operator==(const Counters&, const Counters&) = default;
+  };
+
+  /// Called after every real window with the pipeline's tracks (bench
+  /// accuracy harness, tests).  Coast windows do not fire it.
+  using TrackObserver = std::function<void(std::uint32_t seq,
+                                           const Tracks& tracks)>;
+
+  /// Takes ownership of the pipeline.  `width`/`height` is the sensor
+  /// geometry used for the in-place latch readout of frame-domain
+  /// pipelines.
+  PipelineSink(std::unique_ptr<Pipeline> pipeline, int width, int height,
+               const PipelineSinkConfig& config);
+
+  void onWindow(const EventPacket& window, std::uint32_t seq,
+                TimeUs ingestTime) override;
+
+  /// One blind coast step for a silent sensor; returns false once the
+  /// per-outage budget (maxCoastWindows) is spent.  The next real window
+  /// resyncs per policy, rolling the blind predictions back.
+  bool coastIdle();
+
+  [[nodiscard]] const Tracks& lastTracks() const { return lastTracks_; }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] Pipeline& pipeline() { return *pipeline_; }
+  [[nodiscard]] const Pipeline& pipeline() const { return *pipeline_; }
+
+  void setTrackObserver(TrackObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  void trackWindow(const EventPacket& window, std::uint32_t seq);
+  void coastOneWindow();
+  void applyResync();
+  void saveRollingSnapshot();
+  /// latchReadout() semantics (first event per pixel survives) into the
+  /// reused member packet — no per-window allocation once warm.
+  const EventPacket& latchInto(const EventPacket& window);
+
+  std::unique_ptr<Pipeline> pipeline_;
+  int width_;
+  int height_;
+  PipelineSinkConfig config_;
+
+  bool primed_ = false;
+  std::uint32_t expectedSeq_ = 0;
+  TimeUs lastTEnd_ = 0;
+  TimeUs lastDuration_ = kDefaultFramePeriodUs;
+  std::uint32_t idleCoasted_ = 0;  ///< blind windows this outage
+
+  std::unique_ptr<PipelineSnapshot> snapshot_;
+  bool snapshotValid_ = false;
+
+  EventPacket latched_;      ///< reused latch-readout scratch
+  EventPacket coastWindow_;  ///< reused empty window for coasting
+  std::vector<std::uint32_t> latchEpochs_;  ///< per pixel, epoch marking
+  std::uint32_t latchEpoch_ = 0;
+
+  Tracks lastTracks_;
+  Counters counters_;
+  TrackObserver observer_;
+};
+
+}  // namespace ebbiot

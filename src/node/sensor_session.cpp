@@ -51,16 +51,23 @@ void SensorSession::offerBytes(std::span<const std::byte> bytes, TimeUs now) {
     // outcome for the health register.
     for (std::uint64_t i = parser_.counters().framesCorrupted - corruptedBefore;
          i > 0; --i) {
-      recordOutcome(true);
+      recordOutcome(true, now);
     }
     if (parser_.counters().resyncs >= config_.quarantineResyncLimit) {
       setState(SessionState::kQuarantined);
+      return;
+    }
+    if (state() == SessionState::kQuarantined) {
+      // Retry budget exhausted mid-buffer; later bytes are ignored.
       return;
     }
     if (status != FrameParser::Status::kFrame) {
       return;
     }
     processFrame(frame_, now);
+    if (state() == SessionState::kQuarantined) {
+      return;
+    }
   }
 }
 
@@ -82,7 +89,7 @@ void SensorSession::processFrame(const DecodedFrame& frame, TimeUs now) {
       // Behind the stream: a duplicate or a reordered straggler.  Never
       // delivered — ordering is preserved by dropping, not reinsertion.
       ++produced_.outOfOrderDropped;
-      recordOutcome(true);
+      recordOutcome(true, now);
       return;
     }
     if (ahead > 0) {
@@ -98,7 +105,7 @@ void SensorSession::processFrame(const DecodedFrame& frame, TimeUs now) {
   const TimestampUnwrapper::Result when = unwrapper_.unwrap(frame.windowStart32);
   if (when.regressed) {
     ++produced_.timestampRegressions;
-    recordOutcome(true);
+    recordOutcome(true, now);
     return;
   }
   if (when.wrapped) {
@@ -124,10 +131,10 @@ void SensorSession::processFrame(const DecodedFrame& frame, TimeUs now) {
     // full (the producer can never evict a slot the consumer may read).
     ++produced_.windowsRejected;
   }
-  recordOutcome(false);
+  recordOutcome(false, now);
 }
 
-void SensorSession::recordOutcome(bool fault) {
+void SensorSession::recordOutcome(bool fault, TimeUs now) {
   faultHistory_ = (faultHistory_ << 1) | (fault ? 1u : 0u);
   cleanStreak_ = fault ? 0 : cleanStreak_ + 1;
   const std::uint64_t mask =
@@ -138,21 +145,61 @@ void SensorSession::recordOutcome(bool fault) {
   switch (state()) {
     case SessionState::kStreaming:
       if (recentFaults >= config_.degradeFaultThreshold) {
-        setState(SessionState::kDegraded);
-        ++produced_.degradeEntries;
+        enterDegraded(now);
       }
       break;
     case SessionState::kDegraded:
+      // Recovery ladder: a clean streak alone is not enough — the
+      // hold-down for this attempt must also have elapsed, so a flapping
+      // sensor retries ever more slowly instead of thrashing.
+      if (cleanStreak_ >= config_.recoverCleanFrames &&
+          now - degradedSince_ >= recoveryBackoffUs(recoveryAttempt_)) {
+        setState(SessionState::kRecovering);
+        ++produced_.recoveryAttempts;
+        cleanStreak_ = 0;  // STREAMING must be earned by a fresh streak
+      }
+      break;
     case SessionState::kRecovering:
+      if (fault) {
+        // Failed attempt: back to DEGRADED with the next-longer
+        // hold-down, or QUARANTINED once the budget is exhausted.
+        ++produced_.recoveryFailures;
+        ++recoveryAttempt_;
+        if (recoveryAttempt_ >= config_.recoveryMaxAttempts) {
+          setState(SessionState::kQuarantined);
+          break;
+        }
+        enterDegraded(now);
+        break;
+      }
       if (cleanStreak_ >= config_.recoverCleanFrames) {
         setState(SessionState::kStreaming);
         ++produced_.recoveries;
-        faultHistory_ = 0;  // trust is re-earned; old faults age out
+        faultHistory_ = 0;     // trust is re-earned; old faults age out
+        recoveryAttempt_ = 0;  // ladder rewinds on a full recovery
       }
       break;
     default:
       break;
   }
+}
+
+void SensorSession::enterDegraded(TimeUs now) {
+  setState(SessionState::kDegraded);
+  ++produced_.degradeEntries;
+  degradedSince_ = now;
+}
+
+TimeUs SensorSession::recoveryBackoffUs(int attempt) const {
+  TimeUs backoff = config_.recoveryBackoffInitialUs;
+  for (int i = 0; i < attempt; ++i) {
+    if (backoff >= config_.recoveryBackoffMaxUs / config_.recoveryBackoffFactor) {
+      return config_.recoveryBackoffMaxUs;
+    }
+    backoff *= config_.recoveryBackoffFactor;
+  }
+  return backoff < config_.recoveryBackoffMaxUs ? backoff
+                                                : config_.recoveryBackoffMaxUs;
 }
 
 void SensorSession::noteAccepted(TimeUs now) {
@@ -162,7 +209,10 @@ void SensorSession::noteAccepted(TimeUs now) {
       setState(SessionState::kStreaming);
       break;
     case SessionState::kStalled:
+      // Watchdog re-adopt: frames are flowing again, so attempt a
+      // recovery immediately (the stall already re-armed the ladder).
       setState(SessionState::kRecovering);
+      ++produced_.recoveryAttempts;
       break;
     default:
       break;
@@ -188,11 +238,14 @@ void SensorSession::enterStalled() {
   setState(SessionState::kStalled);
   ++produced_.watchdogStalls;
   // Re-arm synchronisation: a sensor that returns may have rebooted into
-  // a fresh sequence space and clock, so adopt whatever comes next.
+  // a fresh sequence space and clock, so adopt whatever comes next.  The
+  // recovery ladder rewinds too — quarantineResyncLimit still bounds the
+  // total corruption a flapping sensor can spend.
   seqPrimed_ = false;
   unwrapper_.reset();
   faultHistory_ = 0;
   cleanStreak_ = 0;
+  recoveryAttempt_ = 0;
 }
 
 std::size_t SensorSession::drainInto(WindowSink& sink, TimeUs now) {

@@ -13,22 +13,36 @@
 //
 //   SYNCING ──accepted frame──▶ STREAMING
 //   STREAMING ──fault rate over threshold──▶ DEGRADED
-//   DEGRADED ──recoverCleanFrames clean──▶ STREAMING
-//   {SYNCING,STREAMING,DEGRADED} ──watchdog timeout──▶ STALLED
-//   STALLED ──accepted frame──▶ RECOVERING
+//   DEGRADED ──clean streak + backoff hold-down elapsed──▶ RECOVERING
 //   RECOVERING ──recoverCleanFrames clean──▶ STREAMING
+//   RECOVERING ──fault──▶ DEGRADED (attempt+1, hold-down multiplied)
+//   {SYNCING,STREAMING,DEGRADED,RECOVERING} ──watchdog timeout──▶ STALLED
+//   STALLED ──accepted frame──▶ RECOVERING
 //   any ──resyncs exceed quarantineResyncLimit──▶ QUARANTINED (terminal)
+//   RECOVERING ──attempts exhaust recoveryMaxAttempts──▶ QUARANTINED
 //
 // Fault-rate tracking is a 64-bit shift register of per-frame outcomes
 // (1 = fault: corrupt frame, out-of-order drop, timestamp regression;
 // 0 = accepted): the session degrades when at least
 // degradeFaultThreshold of the last degradeFrameWindow outcomes were
-// faults.  Entering STALLED re-arms synchronisation: the sequence
-// expectation and the timestamp unwrapper are reset, so a sensor that
-// rebooted (new seq space, new clock) is re-adopted instead of having
-// its entire fresh stream rejected as out-of-order.  Consequently
-// unwrapped time is monotonic within a streaming run but re-bases
-// across a stall.
+// faults.
+//
+// Leaving DEGRADED is governed by a bounded exponential-backoff
+// recovery ladder rather than an immediate retry: the session must hold
+// recoverCleanFrames consecutive clean outcomes AND sit out a hold-down
+// of recoveryBackoffInitialUs * recoveryBackoffFactor^attempt
+// microseconds (clamped at recoveryBackoffMaxUs) counted from the
+// DEGRADED entry.  Only then does it enter RECOVERING, where a fresh
+// clean streak earns STREAMING back; any fault while RECOVERING fails
+// the attempt and returns to DEGRADED with the next-longer hold-down.
+// recoveryMaxAttempts failed attempts quarantine the sensor.
+//
+// Entering STALLED re-arms synchronisation: the sequence expectation,
+// the timestamp unwrapper, the fault history and the recovery ladder
+// are reset, so a sensor that rebooted (new seq space, new clock) is
+// re-adopted instead of having its entire fresh stream rejected as
+// out-of-order.  Consequently unwrapped time is monotonic within a
+// streaming run but re-bases across a stall.
 //
 // Ordering guarantee: windows are delivered to the sink in strictly
 // increasing sequence order.  Backpressure and overload shed windows,
@@ -88,7 +102,9 @@ struct SessionCounters {
   std::uint64_t bytesIgnoredQuarantined = 0;
   // -- state machine (producer side)
   std::uint64_t watchdogStalls = 0;
-  std::uint64_t degradeEntries = 0;
+  std::uint64_t degradeEntries = 0;      ///< every entry into DEGRADED
+  std::uint64_t recoveryAttempts = 0;    ///< every entry into RECOVERING
+  std::uint64_t recoveryFailures = 0;    ///< fault while RECOVERING
   std::uint64_t recoveries = 0;  ///< transitions back into STREAMING
   // -- delivery (consumer side)
   std::uint64_t windowsDelivered = 0;
@@ -164,10 +180,14 @@ class SensorSession {
   };
 
   void processFrame(const DecodedFrame& frame, TimeUs now);
-  void recordOutcome(bool fault);
+  void recordOutcome(bool fault, TimeUs now);
   void noteAccepted(TimeUs now);
   void checkWatchdog(TimeUs now);
   void enterStalled();
+  void enterDegraded(TimeUs now);
+  /// Hold-down before recovery attempt `attempt` (0-based): initial *
+  /// factor^attempt, clamped at the configured cap (overflow-safe).
+  [[nodiscard]] TimeUs recoveryBackoffUs(int attempt) const;
   void setState(SessionState next) {
     state_.store(next, std::memory_order_relaxed);
   }
@@ -188,6 +208,8 @@ class SensorSession {
   TimeUs lastProgress_ = 0;  ///< last accepted frame (or session start)
   std::uint64_t faultHistory_ = 0;  ///< shift register, LSB = newest
   int cleanStreak_ = 0;
+  int recoveryAttempt_ = 0;   ///< failed attempts since last full recovery
+  TimeUs degradedSince_ = 0;  ///< producer clock at the DEGRADED entry
 
   // -- counters: producer-owned block + consumer-owned block
   SessionCounters produced_;  ///< producer-side fields only

@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Self-test for tools/bench_node_gate.py on synthetic fixture records.
+
+Each case builds a BENCH_node.json-shaped record in a temp directory,
+mutates one aspect, and asserts the gate accepts the healthy record and
+rejects each regression with a message naming the actual problem.  Run
+directly:
+
+    python3 tests/test_bench_node_gate.py
+
+CI runs this before the real gate in the bench job; ctest registers it
+(plus the gate against the committed BENCH_node.json), so `ctest -R
+bench_node_gate` covers both locally too.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+GATE = Path(__file__).resolve().parent.parent / "tools" / "bench_node_gate.py"
+
+PROFILES = ("clean", "bitflip", "truncate", "flood", "stall")
+STREAMS = (1, 8, 32)
+LIVE_STREAMS = (64, 256, 1024)
+
+
+def healthy_record():
+    """A minimal record every gate check accepts."""
+    cells = []
+    for profile in PROFILES:
+        for streams in STREAMS:
+            frames = 256 * streams
+            accepted = frames if profile == "clean" else frames - 10
+            cells.append({
+                "profile": profile, "streams": streams,
+                "frames_decoded": accepted, "frames_corrupted":
+                    0 if profile == "clean" else 10,
+                "frames_accepted": accepted,
+                "resyncs": 0 if profile == "clean" else 9,
+                "seq_gaps": 0 if profile == "clean" else 9,
+                "frames_lost_to_gaps": 0 if profile == "clean" else 10,
+                "out_of_order_dropped": 0, "timestamp_regressions": 0,
+                "windows_delivered": frames if profile == "clean"
+                    else accepted,
+                "windows_rejected": 0, "windows_shed_stale": 0,
+                "windows_shed_overload": 0,
+                "watchdog_stalls": 0 if profile != "stall" else 8,
+                "degrade_entries": 0 if profile == "clean" else 2,
+                "recovery_attempts": 0 if profile == "clean" else 2,
+                "recovery_failures": 0,
+                "recoveries": 0 if profile == "clean" else 2,
+                "sessions_quarantined": 0,
+                "p50_latency_us": 8000, "p99_latency_us": 19000,
+                "wall_ns_per_window": 2000.0,
+            })
+    live = [{
+        "streams": streams, "producer_threads": 4,
+        "chunks_delivered": 64 * streams, "frames_accepted": 64 * streams,
+        "windows_delivered": 64 * streams, "windows_rejected": 0,
+        "lossless_waits": 5, "sessions_quarantined": 0,
+        "wall_seconds": 0.05,
+    } for streams in LIVE_STREAMS]
+    accuracy = [{
+        "profile": profile,
+        "baseline_tracks": 204,
+        "matched_tracks": 204 if profile in ("clean", "stall") else 190,
+        "windows_tracked": 512, "windows_coasted": 0, "resyncs": 0,
+        "recall": 1.0 if profile in ("clean", "stall") else 190 / 204,
+    } for profile in PROFILES]
+    return {
+        "bench": "bench_iovt_node",
+        "frames_per_stream": 256,
+        "frame_period_us": 10000,
+        "steady_allocs_per_window": 0.0,
+        "cells": cells,
+        "live_frames_per_stream": 64,
+        "live_cells": live,
+        "accuracy_under_fault": {
+            "sensors": 4, "frames": 128, "iou_threshold": 0.3,
+            "profiles": accuracy,
+        },
+    }
+
+
+class GateCase(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self._tmp.name)
+        self.record = healthy_record()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def run_gate(self, payload=None):
+        path = self.root / "BENCH_node.json"
+        if payload is None:
+            path.write_text(json.dumps(self.record))
+        else:
+            path.write_text(payload)
+        return subprocess.run([sys.executable, str(GATE), str(path)],
+                              capture_output=True, text=True)
+
+    def cell(self, profile, streams):
+        for cell in self.record["cells"]:
+            if cell["profile"] == profile and cell["streams"] == streams:
+                return cell
+        raise AssertionError(f"no fixture cell {profile}/{streams}")
+
+    def assert_fails(self, needle):
+        result = self.run_gate()
+        self.assertNotEqual(result.returncode, 0, result.stdout)
+        self.assertIn(needle, result.stderr)
+
+    def test_healthy_record_passes(self):
+        result = self.run_gate()
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("bench_node_gate: OK", result.stdout)
+
+    def test_alloc_regression_fails(self):
+        self.record["steady_allocs_per_window"] = 1.25
+        self.assert_fails("allocated in steady state")
+
+    def test_null_allocs_sanitizer_build_passes(self):
+        self.record["steady_allocs_per_window"] = None
+        result = self.run_gate()
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_missing_sweep_cell_fails(self):
+        self.record["cells"] = [
+            c for c in self.record["cells"]
+            if not (c["profile"] == "flood" and c["streams"] == 8)]
+        self.assert_fails("sweep cell missing: flood x 8")
+
+    def test_clean_cell_with_corruption_fails(self):
+        self.cell("clean", 8)["frames_corrupted"] = 3
+        self.assert_fails("frames_corrupted")
+
+    def test_clean_cell_recovery_ladder_activity_fails(self):
+        self.cell("clean", 32)["recovery_attempts"] = 1
+        self.assert_fails("recovery_attempts")
+
+    def test_clean_cell_short_delivery_fails(self):
+        self.cell("clean", 1)["windows_delivered"] = 255
+        self.assert_fails("delivered 255 of 256")
+
+    def test_fault_cell_starved_delivery_fails(self):
+        self.cell("stall", 8)["windows_delivered"] = 0
+        self.assert_fails("starved delivery")
+
+    def test_latency_over_two_periods_fails(self):
+        self.cell("bitflip", 8)["p99_latency_us"] = 20001
+        self.assert_fails("exceeds two window periods")
+
+    def test_flat_latency_distribution_fails(self):
+        cell = self.cell("flood", 32)
+        cell["p50_latency_us"] = cell["p99_latency_us"] = 10000
+        self.assert_fails("flat drain-latency distribution")
+
+    def test_missing_live_cell_fails(self):
+        self.record["live_cells"] = [
+            c for c in self.record["live_cells"] if c["streams"] != 1024]
+        self.assert_fails("live cell missing: 1024")
+
+    def test_live_cell_lossy_delivery_fails(self):
+        self.record["live_cells"][1]["windows_delivered"] -= 1
+        self.assert_fails("lossless real-thread delivery must be exact")
+
+    def test_live_cell_quarantine_fails(self):
+        self.record["live_cells"][0]["sessions_quarantined"] = 2
+        self.assert_fails("quarantined on a clean run")
+
+    def test_missing_accuracy_section_fails(self):
+        del self.record["accuracy_under_fault"]
+        self.assert_fails("accuracy_under_fault section missing")
+
+    def test_clean_recall_below_one_fails(self):
+        acc = self.record["accuracy_under_fault"]["profiles"]
+        acc[0]["recall"] = 0.999
+        self.assert_fails("no longer bit-identical")
+
+    def test_fault_recall_below_floor_fails(self):
+        acc = self.record["accuracy_under_fault"]["profiles"]
+        for row in acc:
+            if row["profile"] == "flood":
+                row["recall"] = 0.5
+        self.assert_fails("below floor")
+
+    def test_malformed_json_fails(self):
+        result = self.run_gate(payload="{ not json")
+        self.assertNotEqual(result.returncode, 0)
+
+    def test_committed_record_matches_fixture_shape(self):
+        # The real committed record must carry every field the fixture
+        # models (catches the gate and the bench drifting apart).
+        committed = Path(__file__).resolve().parent.parent / \
+            "BENCH_node.json"
+        if not committed.exists():
+            self.skipTest("no committed BENCH_node.json")
+        real = json.loads(committed.read_text())
+        fixture = healthy_record()
+        self.assertEqual(set(fixture.keys()), set(real.keys()))
+        self.assertEqual(set(fixture["cells"][0].keys()),
+                         set(real["cells"][0].keys()))
+        self.assertEqual(set(fixture["live_cells"][0].keys()),
+                         set(real["live_cells"][0].keys()))
+        self.assertEqual(
+            set(fixture["accuracy_under_fault"]["profiles"][0].keys()),
+            set(real["accuracy_under_fault"]["profiles"][0].keys()))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,261 @@
+// LiveTransport end-to-end: real producer threads push framed bytes
+// through SensorSessions while the supervisor pumps on the test thread,
+// and every delivered window lands in a PipelineSink.
+//
+//   * Clean-stream bit-identity: with lossless backpressure, the
+//     per-window track sequence each sensor produces over real threads
+//     is byte-for-byte the sequence a single-threaded bare pipeline
+//     produces from the same windows — the pin that threading changes
+//     scheduling, never results.
+//   * Env-gated soak (EBBIOT_SOAK=1): mixed fault profiles over more
+//     sensors and longer scripts; gates on conservation invariants
+//     (every accepted frame delivered, shed, or rejected — none lost)
+//     and zero quarantine leaks.  The CI chaos-soak job runs this under
+//     ASan and TSan.
+#include "src/node/live_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "src/common/thread_pool.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/node/fault_injection.hpp"
+#include "src/node/node_supervisor.hpp"
+#include "src/node/pipeline_sink.hpp"
+#include "src/node/wire_format.hpp"
+#include "src/sim/davis.hpp"
+#include "src/sim/event_synth.hpp"
+#include "src/sim/scene.hpp"
+
+namespace ebbiot {
+namespace {
+
+constexpr int kWidth = 64;
+constexpr int kHeight = 48;
+constexpr TimeUs kWindow = 10'000;
+
+std::vector<EventPacket> makeWindows(int count, std::uint64_t seed) {
+  ScriptedScene scene(kWidth, kHeight);
+  scene.addLinear(ObjectClass::kCar, BBox{2, 18, 20, 10}, Vec2f{120, 0}, 0,
+                  secondsToUs(10.0));
+  EventSynthConfig config;
+  config.backgroundActivityHz = 0.2;
+  config.seed = seed;
+  FastEventSynth synth(scene, config);
+  std::vector<EventPacket> windows;
+  windows.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    windows.push_back(synth.nextWindow(kWindow));
+  }
+  return windows;
+}
+
+std::vector<std::vector<std::byte>> encodeAll(
+    const std::vector<EventPacket>& windows, std::uint16_t sensorId) {
+  std::vector<std::vector<std::byte>> frames;
+  frames.reserve(windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    std::vector<std::byte> bytes;
+    encodeFrame(bytes, static_cast<std::uint32_t>(i), sensorId, windows[i]);
+    frames.push_back(std::move(bytes));
+  }
+  return frames;
+}
+
+/// Nominal pacing: one chunk per frame, one frame period apart.
+std::vector<DeliveryChunk> paceClean(
+    const std::vector<std::vector<std::byte>>& frames) {
+  std::vector<DeliveryChunk> chunks;
+  chunks.reserve(frames.size());
+  for (const std::vector<std::byte>& frame : frames) {
+    chunks.push_back(DeliveryChunk{frame, kWindow});
+  }
+  return chunks;
+}
+
+EbbiotPipelineConfig smallConfig() {
+  EbbiotPipelineConfig config;
+  config.width = kWidth;
+  config.height = kHeight;
+  return config;
+}
+
+NodeConfig liveNodeConfig() {
+  NodeConfig config;
+  config.width = kWidth;
+  config.height = kHeight;
+  config.queueCapacity = 4;
+  config.backpressure = BackpressurePolicy::kRejectPacket;
+  // The virtual clock runs at timeScale x wall speed and producer
+  // scheduling is up to the OS, so keep the watchdog out of the picture
+  // for the determinism test.
+  config.watchdogTimeoutUs = 100'000'000;
+  config.shedBacklogWindows = 1'000'000;
+  return config;
+}
+
+/// Per-sensor track capture: observer fires on the consumer side only.
+struct TrackCapture {
+  std::vector<std::uint32_t> seqs;
+  std::vector<Tracks> tracks;
+};
+
+TEST(LiveTransportTest, CleanStreamsTrackBitIdenticalToBarePipeline) {
+  constexpr int kSensors = 4;
+  constexpr int kFrames = 32;
+
+  ThreadPool pool(2);
+  NodeSupervisor supervisor(liveNodeConfig(), pool);
+
+  std::vector<std::vector<EventPacket>> windows;
+  std::vector<std::unique_ptr<PipelineSink>> sinks;
+  std::vector<TrackCapture> captured(kSensors);
+  std::vector<LiveStreamSpec> streams;
+  for (int s = 0; s < kSensors; ++s) {
+    windows.push_back(makeWindows(kFrames, 1000 + static_cast<std::uint64_t>(s)));
+    auto sink = std::make_unique<PipelineSink>(
+        std::make_unique<EbbiotPipeline>(smallConfig()), kWidth, kHeight,
+        PipelineSinkConfig{});
+    TrackCapture& capture = captured[static_cast<std::size_t>(s)];
+    sink->setTrackObserver([&capture](std::uint32_t seq, const Tracks& tracks) {
+      capture.seqs.push_back(seq);
+      capture.tracks.push_back(tracks);
+    });
+    const auto id = static_cast<std::uint16_t>(s);
+    supervisor.addSensor({id, /*priority=*/s % 2, sink.get()});
+    streams.push_back({id, paceClean(encodeAll(windows.back(), id))});
+    sinks.push_back(std::move(sink));
+  }
+
+  LiveTransportConfig transportConfig;
+  transportConfig.producerThreads = 2;
+  transportConfig.timeScale = 25.0;
+  transportConfig.pumpPeriodUs = kWindow;
+  transportConfig.lossless = true;
+  LiveTransport transport(supervisor, streams, transportConfig);
+  const LiveTransport::RunStats stats = transport.run();
+
+  EXPECT_EQ(stats.chunksDelivered,
+            static_cast<std::uint64_t>(kSensors) * kFrames);
+  EXPECT_EQ(stats.windowsDelivered,
+            static_cast<std::uint64_t>(kSensors) * kFrames);
+  EXPECT_EQ(supervisor.totalBacklog(), 0U);
+
+  for (int s = 0; s < kSensors; ++s) {
+    const auto& capture = captured[static_cast<std::size_t>(s)];
+    const auto& sink = *sinks[static_cast<std::size_t>(s)];
+    ASSERT_EQ(capture.seqs.size(), static_cast<std::size_t>(kFrames))
+        << "sensor " << s;
+    // Lossless + kRejectPacket: in order, exactly once, nothing coasted.
+    EXPECT_EQ(sink.counters().windowsTracked,
+              static_cast<std::uint64_t>(kFrames));
+    EXPECT_EQ(sink.counters().gapsCoasted, 0U);
+    EXPECT_EQ(sink.counters().resyncRestores, 0U);
+    EXPECT_EQ(sink.counters().resyncResets, 0U);
+
+    const SensorSession* session =
+        supervisor.find(static_cast<std::uint16_t>(s));
+    ASSERT_NE(session, nullptr);
+    EXPECT_EQ(session->counters().framesAccepted,
+              static_cast<std::uint64_t>(kFrames));
+    EXPECT_EQ(session->counters().framesCorrupted, 0U);
+    EXPECT_EQ(session->state(), SessionState::kStreaming);
+
+    // The single-threaded reference: same windows, bare pipeline.
+    EbbiotPipeline reference(smallConfig());
+    for (int i = 0; i < kFrames; ++i) {
+      const Tracks expected = reference.processWindow(latchReadout(
+          windows[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)],
+          kWidth, kHeight));
+      EXPECT_EQ(capture.seqs[static_cast<std::size_t>(i)],
+                static_cast<std::uint32_t>(i));
+      EXPECT_TRUE(capture.tracks[static_cast<std::size_t>(i)] == expected)
+          << "sensor " << s << " window " << i;
+    }
+  }
+}
+
+TEST(LiveTransportTest, SoakMixedFaultsConservesEveryAcceptedFrame) {
+  // Long-running chaos soak; opt-in via EBBIOT_SOAK=1 (the nightly CI
+  // job sets it and runs this under ASan and TSan).
+  if (std::getenv("EBBIOT_SOAK") == nullptr) {
+    GTEST_SKIP() << "set EBBIOT_SOAK=1 to run the chaos soak";
+  }
+  constexpr int kSensors = 8;
+  constexpr int kFrames = 200;
+
+  const FaultProfile kProfiles[] = {
+      {},                                        // clean
+      {.bitFlipProb = 0.05},                     // corruption
+      {.truncateProb = 0.05, .dropProb = 0.02},   // loss
+      {.duplicateProb = 0.02, .floodProb = 0.02},
+      {.reorderProb = 0.02, .stallProb = 0.02},
+  };
+
+  NodeConfig config = liveNodeConfig();
+  config.backpressure = BackpressurePolicy::kDropOldestWindow;
+  config.watchdogTimeoutUs = 200'000;
+
+  ThreadPool pool(2);
+  NodeSupervisor supervisor(config, pool);
+
+  std::vector<std::unique_ptr<PipelineSink>> sinks;
+  std::vector<LiveStreamSpec> streams;
+  for (int s = 0; s < kSensors; ++s) {
+    const auto id = static_cast<std::uint16_t>(s);
+    auto sink = std::make_unique<PipelineSink>(
+        std::make_unique<EbbiotPipeline>(smallConfig()), kWidth, kHeight,
+        PipelineSinkConfig{});
+    supervisor.addSensor({id, s % 4, sink.get()});
+    sinks.push_back(std::move(sink));
+
+    const auto frames = encodeAll(
+        makeWindows(kFrames, 9000 + static_cast<std::uint64_t>(s)), id);
+    FaultInjector injector(0xC0A57ull + static_cast<std::uint64_t>(s) * 131);
+    injector.setProfile(kProfiles[static_cast<std::size_t>(s) %
+                                  std::size(kProfiles)]);
+    injector.setStallUs(500'000);
+    streams.push_back({id, injector.corrupt(frames)});
+  }
+
+  LiveTransportConfig transportConfig;
+  transportConfig.producerThreads = 3;
+  transportConfig.timeScale = 200.0;
+  transportConfig.pumpPeriodUs = kWindow;
+  transportConfig.lossless = false;
+  LiveTransport transport(supervisor, streams, transportConfig);
+  const LiveTransport::RunStats stats = transport.run();
+  EXPECT_GT(stats.chunksDelivered, 0U);
+  EXPECT_EQ(supervisor.totalBacklog(), 0U);
+
+  std::uint64_t totalDelivered = 0;
+  std::uint64_t totalTracked = 0;
+  for (int s = 0; s < kSensors; ++s) {
+    const SensorSession* session =
+        supervisor.find(static_cast<std::uint16_t>(s));
+    ASSERT_NE(session, nullptr);
+    const SessionCounters c = session->counters();
+    // Conservation: every accepted frame was delivered, shed, or
+    // rejected — the queue never loses a window silently.
+    EXPECT_EQ(c.framesAccepted,
+              c.windowsDelivered + c.windowsRejected + c.windowsShedStale +
+                  c.windowsShedOverload)
+        << "sensor " << s;
+    // Quarantine leak: bytes are only ignored-as-quarantined while the
+    // session is actually in the terminal QUARANTINED state.
+    if (c.bytesIgnoredQuarantined > 0) {
+      EXPECT_EQ(session->state(), SessionState::kQuarantined)
+          << "sensor " << s;
+    }
+    totalDelivered += c.windowsDelivered;
+    totalTracked += sinks[static_cast<std::size_t>(s)]->counters().windowsTracked;
+  }
+  // Every delivered window reached its pipeline exactly once.
+  EXPECT_EQ(totalTracked, totalDelivered);
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -100,6 +100,12 @@ TEST(NodeConfigTest, EachBadFieldThrows) {
     c.degradeFrameWindow = 4;
   });
   expectBad([](NodeConfig& c) { c.recoverCleanFrames = 0; });
+  expectBad([](NodeConfig& c) { c.recoveryBackoffInitialUs = 0; });
+  expectBad([](NodeConfig& c) {
+    c.recoveryBackoffMaxUs = c.recoveryBackoffInitialUs - 1;
+  });
+  expectBad([](NodeConfig& c) { c.recoveryBackoffFactor = 0; });
+  expectBad([](NodeConfig& c) { c.recoveryMaxAttempts = 0; });
   expectBad([](NodeConfig& c) { c.quarantineResyncLimit = 0; });
   expectBad([](NodeConfig& c) { c.latencySampleCapacity = 0; });
 }
@@ -205,8 +211,10 @@ TEST(SensorSessionTest, WatchdogStallThenRecovery) {
   EXPECT_EQ(c.timestampRegressions, 0U);
 }
 
-TEST(SensorSessionTest, DegradeOnFaultRateThenRecover) {
-  SensorSession session(7, testConfig());
+TEST(SensorSessionTest, DegradeOnFaultRateThenRecoverThroughLadder) {
+  NodeConfig config = testConfig();
+  config.recoveryBackoffInitialUs = 30'000;
+  SensorSession session(7, config);
   std::vector<std::byte> stream;
   const auto append = [&stream](std::vector<std::byte> frame,
                                 bool corrupt = false) {
@@ -224,20 +232,106 @@ TEST(SensorSessionTest, DegradeOnFaultRateThenRecover) {
   append(encodeSeq(6));
   session.offerBytes(stream, 70'000);
 
-  const SessionCounters c = session.counters();
-  EXPECT_EQ(c.framesDecoded, 4U);
-  EXPECT_EQ(c.framesCorrupted, 3U);
-  EXPECT_EQ(c.framesAccepted, 4U);
-  EXPECT_EQ(c.seqGaps, 1U);
-  EXPECT_EQ(c.framesLostToGaps, 3U);
-  // Three contiguous corrupted frames form one resync episode.
-  EXPECT_EQ(c.resyncs, 1U);
-  EXPECT_EQ(c.bytesSkipped, 3U * frameSizeBytes(5));
-  // Fault rate crossed the threshold (3 of the last 8), then two clean
-  // frames re-earned STREAMING.
-  EXPECT_EQ(c.degradeEntries, 1U);
-  EXPECT_EQ(c.recoveries, 1U);
+  {
+    const SessionCounters c = session.counters();
+    EXPECT_EQ(c.framesDecoded, 4U);
+    EXPECT_EQ(c.framesCorrupted, 3U);
+    EXPECT_EQ(c.framesAccepted, 4U);
+    EXPECT_EQ(c.seqGaps, 1U);
+    EXPECT_EQ(c.framesLostToGaps, 3U);
+    // Three contiguous corrupted frames form one resync episode.
+    EXPECT_EQ(c.resyncs, 1U);
+    EXPECT_EQ(c.bytesSkipped, 3U * frameSizeBytes(5));
+    // Fault rate crossed the threshold (3 of the last 8).  Two clean
+    // frames satisfy the streak, but the 30 ms hold-down has not elapsed
+    // (the whole stream arrived at one instant), so the ladder keeps the
+    // session DEGRADED instead of the old immediate retry.
+    EXPECT_EQ(c.degradeEntries, 1U);
+    EXPECT_EQ(c.recoveryAttempts, 0U);
+    EXPECT_EQ(c.recoveries, 0U);
+    EXPECT_EQ(session.state(), SessionState::kDegraded);
+  }
+
+  // Still inside the hold-down: clean frames keep the streak alive but
+  // cannot start the attempt.
+  session.offerBytes(encodeSeq(7), 90'000);
+  EXPECT_EQ(session.state(), SessionState::kDegraded);
+
+  // Hold-down elapsed: the next clean frame starts the recovery attempt,
+  // and a fresh clean streak then re-earns STREAMING.
+  session.offerBytes(encodeSeq(8), 101'000);
+  EXPECT_EQ(session.state(), SessionState::kRecovering);
+  session.offerBytes(encodeSeq(9), 111'000);
+  EXPECT_EQ(session.state(), SessionState::kRecovering);
+  session.offerBytes(encodeSeq(10), 121'000);
   EXPECT_EQ(session.state(), SessionState::kStreaming);
+
+  const SessionCounters c = session.counters();
+  EXPECT_EQ(c.framesAccepted, 8U);
+  EXPECT_EQ(c.degradeEntries, 1U);
+  EXPECT_EQ(c.recoveryAttempts, 1U);
+  EXPECT_EQ(c.recoveryFailures, 0U);
+  EXPECT_EQ(c.recoveries, 1U);
+}
+
+TEST(SensorSessionTest, RecoveryLadderBacksOffThenQuarantines) {
+  NodeConfig config = testConfig();
+  config.degradeFaultThreshold = 1;
+  config.recoverCleanFrames = 1;
+  config.recoveryBackoffInitialUs = 10'000;
+  config.recoveryBackoffMaxUs = 40'000;
+  config.recoveryBackoffFactor = 2;
+  config.recoveryMaxAttempts = 3;
+  config.watchdogTimeoutUs = 1'000'000;  // keep the watchdog out of this
+  SensorSession session(7, config);
+
+  const auto corruptAt = [&session](std::uint32_t seq, TimeUs now) {
+    std::vector<std::byte> frame = encodeSeq(seq);
+    frame[kFrameWindowStartOffset] ^= std::byte{1};
+    session.offerBytes(frame, now);
+  };
+
+  session.offerBytes(encodeSeq(0), 0);
+  EXPECT_EQ(session.state(), SessionState::kStreaming);
+
+  // Attempt 0: hold-down 10 ms.
+  corruptAt(1, 10'000);
+  EXPECT_EQ(session.state(), SessionState::kDegraded);
+  session.offerBytes(encodeSeq(2), 20'000);
+  EXPECT_EQ(session.state(), SessionState::kRecovering);
+  corruptAt(3, 30'000);  // attempt fails
+  EXPECT_EQ(session.state(), SessionState::kDegraded);
+
+  // Attempt 1: hold-down doubled to 20 ms — a clean frame at +10 ms is
+  // too early, one at +20 ms starts the attempt.
+  session.offerBytes(encodeSeq(4), 40'000);
+  EXPECT_EQ(session.state(), SessionState::kDegraded);
+  session.offerBytes(encodeSeq(5), 50'000);
+  EXPECT_EQ(session.state(), SessionState::kRecovering);
+  corruptAt(6, 60'000);  // attempt fails again
+  EXPECT_EQ(session.state(), SessionState::kDegraded);
+
+  // Attempt 2: hold-down clamped at the 40 ms cap.
+  session.offerBytes(encodeSeq(7), 80'000);
+  EXPECT_EQ(session.state(), SessionState::kDegraded);
+  session.offerBytes(encodeSeq(8), 100'000);
+  EXPECT_EQ(session.state(), SessionState::kRecovering);
+
+  // Third failure exhausts recoveryMaxAttempts: terminal quarantine.
+  corruptAt(9, 110'000);
+  EXPECT_EQ(session.state(), SessionState::kQuarantined);
+
+  const SessionCounters c = session.counters();
+  EXPECT_EQ(c.degradeEntries, 3U);
+  EXPECT_EQ(c.recoveryAttempts, 3U);
+  EXPECT_EQ(c.recoveryFailures, 3U);
+  EXPECT_EQ(c.recoveries, 0U);
+
+  // Quarantine is terminal: further bytes are ignored and counted.
+  const std::vector<std::byte> late = encodeSeq(10);
+  session.offerBytes(late, 120'000);
+  EXPECT_EQ(session.state(), SessionState::kQuarantined);
+  EXPECT_EQ(session.counters().bytesIgnoredQuarantined, late.size());
 }
 
 TEST(SensorSessionTest, QuarantineIsTerminal) {

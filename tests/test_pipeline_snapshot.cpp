@@ -1,0 +1,197 @@
+// Differential tests of the pipeline snapshot/restore hooks
+// (PipelineSnapshot, Pipeline::makeSnapshot/saveState/restoreState/
+// resetState) over every registered variant: a restored pipeline must
+// replay the exact window sequence bit-identically (track vectors
+// compared with Track::operator==), a snapshot must transfer to a fresh
+// twin, resetState must equal fresh construction, and cross-type
+// save/restore must be rejected without touching state.  These hooks
+// are what the node recovery layer (src/node/pipeline_sink.*) leans on
+// to resync a sensor's tracking after transport gaps.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.hpp"
+#include "src/core/variant_registry.hpp"
+#include "src/sim/davis.hpp"
+#include "src/sim/event_synth.hpp"
+#include "src/sim/scene.hpp"
+
+namespace ebbiot {
+namespace {
+
+constexpr int kWidth = 240;
+constexpr int kHeight = 180;
+constexpr int kWarmup = 12;  ///< windows processed before the snapshot
+constexpr int kReplay = 10;  ///< windows compared after the snapshot
+
+/// A car and a pedestrian crossing in opposite directions, with noise —
+/// enough structure that every variant carries live tracker state at the
+/// snapshot point.
+std::vector<EventPacket> makeStreamWindows(int count) {
+  ScriptedScene scene(kWidth, kHeight);
+  scene.addLinear(ObjectClass::kCar, BBox{10, 60, 48, 22}, Vec2f{60, 0}, 0,
+                  secondsToUs(10.0));
+  scene.addLinear(ObjectClass::kHuman, BBox{200, 110, 12, 30}, Vec2f{-25, 0},
+                  0, secondsToUs(10.0));
+  EventSynthConfig config;
+  config.backgroundActivityHz = 0.5;
+  config.seed = 97;
+  FastEventSynth synth(scene, config);
+  std::vector<EventPacket> windows;
+  windows.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    windows.push_back(synth.nextWindow(kDefaultFramePeriodUs));
+  }
+  return windows;
+}
+
+/// Per-domain inputs for the same underlying scene.
+struct WindowSet {
+  std::vector<EventPacket> stream;
+  std::vector<EventPacket> latched;
+
+  explicit WindowSet(int count) : stream(makeStreamWindows(count)) {
+    latched.reserve(stream.size());
+    for (const EventPacket& w : stream) {
+      latched.push_back(latchReadout(w, kWidth, kHeight));
+    }
+  }
+
+  [[nodiscard]] const EventPacket& inputFor(const Pipeline& pipeline,
+                                            std::size_t i) const {
+    return pipeline.inputDomain() == InputDomain::kLatchedFrame ? latched[i]
+                                                                : stream[i];
+  }
+};
+
+std::unique_ptr<Pipeline> buildVariant(const VariantInfo& info) {
+  return info.build(VariantContext{kWidth, kHeight});
+}
+
+class PipelineSnapshotTest : public ::testing::Test {
+ protected:
+  WindowSet windows_{kWarmup + kReplay};
+};
+
+TEST_F(PipelineSnapshotTest, RestoreReplaysBitIdentical) {
+  for (const VariantInfo& info : variantRegistry().variants()) {
+    SCOPED_TRACE(info.key);
+    std::unique_ptr<Pipeline> pipeline = buildVariant(info);
+    for (int i = 0; i < kWarmup; ++i) {
+      (void)pipeline->processWindow(
+          windows_.inputFor(*pipeline, static_cast<std::size_t>(i)));
+    }
+    std::unique_ptr<PipelineSnapshot> snap = pipeline->makeSnapshot();
+    ASSERT_NE(snap, nullptr);
+    ASSERT_TRUE(pipeline->saveState(*snap));
+
+    std::vector<Tracks> firstPass;
+    for (int i = kWarmup; i < kWarmup + kReplay; ++i) {
+      firstPass.push_back(pipeline->processWindow(
+          windows_.inputFor(*pipeline, static_cast<std::size_t>(i))));
+    }
+    ASSERT_TRUE(pipeline->restoreState(*snap));
+    for (int i = kWarmup; i < kWarmup + kReplay; ++i) {
+      const Tracks replay = pipeline->processWindow(
+          windows_.inputFor(*pipeline, static_cast<std::size_t>(i)));
+      EXPECT_TRUE(replay == firstPass[static_cast<std::size_t>(i - kWarmup)])
+          << "window " << i << " diverged after restore";
+    }
+  }
+}
+
+TEST_F(PipelineSnapshotTest, SnapshotTransfersToFreshTwin) {
+  for (const VariantInfo& info : variantRegistry().variants()) {
+    SCOPED_TRACE(info.key);
+    std::unique_ptr<Pipeline> warm = buildVariant(info);
+    for (int i = 0; i < kWarmup; ++i) {
+      (void)warm->processWindow(
+          windows_.inputFor(*warm, static_cast<std::size_t>(i)));
+    }
+    std::unique_ptr<PipelineSnapshot> snap = warm->makeSnapshot();
+    ASSERT_NE(snap, nullptr);
+    ASSERT_TRUE(warm->saveState(*snap));
+
+    std::unique_ptr<Pipeline> twin = buildVariant(info);
+    ASSERT_TRUE(twin->restoreState(*snap));
+    for (int i = kWarmup; i < kWarmup + kReplay; ++i) {
+      const Tracks a = warm->processWindow(
+          windows_.inputFor(*warm, static_cast<std::size_t>(i)));
+      const Tracks b = twin->processWindow(
+          windows_.inputFor(*twin, static_cast<std::size_t>(i)));
+      EXPECT_TRUE(a == b) << "window " << i
+                          << " diverged between warm pipeline and twin";
+    }
+  }
+}
+
+TEST_F(PipelineSnapshotTest, ResetMatchesFreshConstruction) {
+  for (const VariantInfo& info : variantRegistry().variants()) {
+    SCOPED_TRACE(info.key);
+    std::unique_ptr<Pipeline> reset = buildVariant(info);
+    for (int i = 0; i < kWarmup; ++i) {
+      (void)reset->processWindow(
+          windows_.inputFor(*reset, static_cast<std::size_t>(i)));
+    }
+    reset->resetState();
+
+    std::unique_ptr<Pipeline> fresh = buildVariant(info);
+    for (int i = kWarmup; i < kWarmup + kReplay; ++i) {
+      const Tracks a = reset->processWindow(
+          windows_.inputFor(*reset, static_cast<std::size_t>(i)));
+      const Tracks b = fresh->processWindow(
+          windows_.inputFor(*fresh, static_cast<std::size_t>(i)));
+      EXPECT_TRUE(a == b) << "window " << i
+                          << " diverged between reset pipeline and fresh one";
+    }
+  }
+}
+
+TEST_F(PipelineSnapshotTest, CrossTypeSnapshotsAreRejectedAndHarmless) {
+  // A KF snapshot offered to an OT pipeline (and vice versa, and a frame
+  // snapshot offered to the event-domain pipeline) must be refused with
+  // `false` and leave the receiver's state bit-identical to a twin that
+  // never saw the foreign snapshot.
+  std::unique_ptr<Pipeline> ebbiot = buildVariant(*variantRegistry().find(
+      "EBBIOT"));
+  std::unique_ptr<Pipeline> kalman = buildVariant(*variantRegistry().find(
+      "EBBI+KF"));
+  std::unique_ptr<Pipeline> ebms = buildVariant(*variantRegistry().find(
+      "EBMS"));
+  std::unique_ptr<Pipeline> twin = buildVariant(*variantRegistry().find(
+      "EBBIOT"));
+  for (int i = 0; i < kWarmup; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    (void)ebbiot->processWindow(windows_.latched[s]);
+    (void)twin->processWindow(windows_.latched[s]);
+    (void)kalman->processWindow(windows_.latched[s]);
+    (void)ebms->processWindow(windows_.stream[s]);
+  }
+  std::unique_ptr<PipelineSnapshot> kfSnap = kalman->makeSnapshot();
+  ASSERT_NE(kfSnap, nullptr);
+  ASSERT_TRUE(kalman->saveState(*kfSnap));
+
+  EXPECT_FALSE(ebbiot->saveState(*kfSnap));
+  EXPECT_FALSE(ebbiot->restoreState(*kfSnap));
+  EXPECT_FALSE(ebms->saveState(*kfSnap));
+  EXPECT_FALSE(ebms->restoreState(*kfSnap));
+
+  std::unique_ptr<PipelineSnapshot> otSnap = ebbiot->makeSnapshot();
+  ASSERT_TRUE(ebbiot->saveState(*otSnap));
+  EXPECT_FALSE(kalman->restoreState(*otSnap));
+
+  // The refused restores left the OT pipeline untouched.
+  for (int i = kWarmup; i < kWarmup + kReplay; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    const Tracks a = ebbiot->processWindow(windows_.latched[s]);
+    const Tracks b = twin->processWindow(windows_.latched[s]);
+    EXPECT_TRUE(a == b) << "window " << i
+                        << " diverged after a refused restore";
+  }
+}
+
+}  // namespace
+}  // namespace ebbiot

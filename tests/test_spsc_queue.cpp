@@ -1,0 +1,110 @@
+// SpscQueue edge coverage: capacity-1 behaviour, index wrap-around over
+// many laps, slot reuse, and a true producer/consumer thread stress run
+// (the case TSan actually exercises — the single-threaded suite cannot).
+#include "src/node/spsc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace ebbiot {
+namespace {
+
+TEST(SpscQueueTest, CapacityOneAlternatesFullAndEmpty) {
+  SpscQueue<int> queue(1);
+  EXPECT_EQ(queue.capacity(), 1U);
+  for (int lap = 0; lap < 100; ++lap) {
+    EXPECT_TRUE(queue.tryEmplace([&](int& slot) { slot = lap; }));
+    // Full at capacity 1: the second emplace must refuse WITHOUT
+    // invoking fill (a fill call here would clobber the pending item).
+    EXPECT_FALSE(queue.tryEmplace([](int&) { FAIL() << "fill on full"; }));
+    EXPECT_EQ(queue.sizeApprox(), 1U);
+    int got = -1;
+    EXPECT_TRUE(queue.tryConsume([&](int& slot) { got = slot; }));
+    EXPECT_EQ(got, lap);
+    EXPECT_FALSE(queue.tryConsume([](int&) { FAIL() << "consume empty"; }));
+    EXPECT_EQ(queue.sizeApprox(), 0U);
+  }
+}
+
+TEST(SpscQueueTest, ManyLapsWrapIndicesWithoutCorruption) {
+  // Capacity 3 and 10'000 items: the head/tail indices lap the ring
+  // thousands of times; FIFO order and values must survive every wrap.
+  SpscQueue<std::uint64_t> queue(3);
+  std::uint64_t produced = 0;
+  std::uint64_t consumed = 0;
+  const std::uint64_t kTotal = 10'000;
+  while (consumed < kTotal) {
+    while (produced < kTotal &&
+           queue.tryEmplace([&](std::uint64_t& slot) { slot = produced; })) {
+      ++produced;
+    }
+    std::uint64_t got = 0;
+    ASSERT_TRUE(queue.tryConsume([&](std::uint64_t& slot) { got = slot; }));
+    EXPECT_EQ(got, consumed);
+    ++consumed;
+  }
+  EXPECT_EQ(queue.sizeApprox(), 0U);
+}
+
+TEST(SpscQueueTest, SlotsAreReusedNotReconstructed) {
+  // The contract says fill() sees the previous lap's state — that is how
+  // EventPacket slots keep their heap capacity.  Pin it with a vector
+  // payload whose capacity must survive laps.
+  SpscQueue<std::vector<int>> queue(2);
+  for (int lap = 0; lap < 8; ++lap) {
+    ASSERT_TRUE(queue.tryEmplace([&](std::vector<int>& slot) {
+      if (lap >= 2) {
+        // Same ring slot as two laps ago: still holds 64 elements.
+        EXPECT_EQ(slot.size(), 64U);
+      }
+      slot.assign(64, lap);
+    }));
+    ASSERT_TRUE(queue.tryConsume([&](std::vector<int>& slot) {
+      ASSERT_EQ(slot.size(), 64U);
+      EXPECT_EQ(slot.front(), lap);
+    }));
+  }
+}
+
+TEST(SpscQueueTest, ProducerConsumerThreadStress) {
+  // One real producer thread vs one real consumer thread over a small
+  // ring, so full/empty edges are hit constantly.  Under TSan this is
+  // the witness that the acquire/release pairing is right; everywhere
+  // else it still checks ordering and loss-freedom under contention.
+  SpscQueue<std::uint32_t> queue(4);
+  const std::uint32_t kTotal = 200'000;
+
+  std::thread producer([&] {
+    std::uint32_t next = 0;
+    while (next < kTotal) {
+      if (queue.tryEmplace([&](std::uint32_t& slot) { slot = next; })) {
+        ++next;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  std::uint32_t expected = 0;
+  std::uint64_t checksum = 0;
+  while (expected < kTotal) {
+    std::uint32_t got = 0;
+    if (queue.tryConsume([&](std::uint32_t& slot) { got = slot; })) {
+      ASSERT_EQ(got, expected);  // strict FIFO, nothing lost or duplicated
+      checksum += got;
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_EQ(checksum,
+            static_cast<std::uint64_t>(kTotal - 1) * kTotal / 2);
+  EXPECT_EQ(queue.sizeApprox(), 0U);
+}
+
+}  // namespace
+}  // namespace ebbiot

@@ -16,12 +16,21 @@ is wall_ns_per_window, which is never gated), so the checks are exact:
   * every (profile x streams) cell of the sweep grid must be present;
     a missing cell means the bench silently lost coverage.
   * clean cells: nothing corrupted, nothing dropped, nothing resynced,
-    every offered frame delivered.
+    no recovery-ladder activity, every offered frame delivered.
   * fault cells: the session layer must keep delivering — a fault
     profile that starves delivery entirely means containment failed.
   * every cell: drain-side p99 latency stays within two window periods
     (the sweep pumps once per period, so anything above that means
-    backlog is accumulating).
+    backlog is accumulating) AND strictly above p50 — the sweep injects
+    per-stream phase offsets and deterministic consumer hiccups, so a
+    flat distribution means the latency sampling degenerated again.
+  * live cells (real producer threads, lossless): every expected stream
+    count present; every scripted window accepted and delivered exactly
+    once; nothing rejected, nobody quarantined.  Wall time and wait
+    counts are host-dependent and never gated.
+  * accuracy under fault: clean recall is exactly 1.0 (bit-identical
+    delivery), and each fault profile's matched-track recall stays
+    above its committed floor.
 
 Stdlib only, no dependencies.
 """
@@ -30,6 +39,17 @@ import sys
 
 EXPECTED_PROFILES = ("clean", "bitflip", "truncate", "flood", "stall")
 EXPECTED_STREAMS = (1, 8, 32)
+EXPECTED_LIVE_STREAMS = (64, 256, 1024)
+
+# Matched-track recall floors per fault profile (measured values sit
+# comfortably above: bitflip/truncate ~0.95, flood ~0.77, stall 1.0).
+RECALL_FLOORS = {
+    "clean": 1.0,
+    "bitflip": 0.85,
+    "truncate": 0.85,
+    "flood": 0.60,
+    "stall": 0.90,
+}
 
 
 def fail(msg):
@@ -64,10 +84,16 @@ def main():
                 fail(f"{name}: p99 drain latency "
                      f"{cell['p99_latency_us']} us exceeds two window "
                      f"periods ({2 * period} us)")
+            if cell["p99_latency_us"] <= cell["p50_latency_us"]:
+                fail(f"{name}: flat drain-latency distribution "
+                     f"(p50 = p99 = {cell['p50_latency_us']} us) — the "
+                     f"latency sampling degenerated")
             if profile == "clean":
                 for key in ("frames_corrupted", "resyncs", "seq_gaps",
                             "windows_rejected", "windows_shed_stale",
                             "windows_shed_overload", "watchdog_stalls",
+                            "degrade_entries", "recovery_attempts",
+                            "recovery_failures",
                             "sessions_quarantined"):
                     if cell[key] != 0:
                         fail(f"{name}: {key} = {cell[key]} on a clean "
@@ -80,7 +106,50 @@ def main():
                     fail(f"{name}: fault profile starved delivery "
                          f"entirely — containment failed")
 
+    live_frames = data.get("live_frames_per_stream")
+    if live_frames is None:
+        fail("live_frames_per_stream missing from the record")
+    live = {c["streams"]: c for c in data.get("live_cells", [])}
+    for streams in EXPECTED_LIVE_STREAMS:
+        cell = live.get(streams)
+        if cell is None:
+            fail(f"live cell missing: {streams} streams")
+        name = f"live/{streams}"
+        expected = live_frames * streams
+        for key in ("chunks_delivered", "frames_accepted",
+                    "windows_delivered"):
+            if cell[key] != expected:
+                fail(f"{name}: {key} = {cell[key]}, expected {expected} "
+                     f"(lossless real-thread delivery must be exact)")
+        if cell["windows_rejected"] != 0:
+            fail(f"{name}: {cell['windows_rejected']} windows rejected "
+                 f"on a lossless clean run")
+        if cell["sessions_quarantined"] != 0:
+            fail(f"{name}: {cell['sessions_quarantined']} sessions "
+                 f"quarantined on a clean run")
+
+    acc = data.get("accuracy_under_fault")
+    if acc is None:
+        fail("accuracy_under_fault section missing from the record")
+    rows = {r["profile"]: r for r in acc["profiles"]}
+    for profile in EXPECTED_PROFILES:
+        row = rows.get(profile)
+        if row is None:
+            fail(f"accuracy row missing: {profile}")
+        if row["baseline_tracks"] == 0:
+            fail(f"accuracy/{profile}: baseline produced no tracks — "
+                 f"the scenario no longer exercises the tracker")
+        floor = RECALL_FLOORS[profile]
+        if profile == "clean":
+            if row["recall"] != 1.0:
+                fail(f"accuracy/clean: recall {row['recall']} != 1.0 — "
+                     f"clean delivery is no longer bit-identical")
+        elif row["recall"] < floor:
+            fail(f"accuracy/{profile}: recall {row['recall']} below "
+                 f"floor {floor}")
+
     print(f"bench_node_gate: OK ({len(cells)} cells, "
+          f"{len(live)} live cells, {len(rows)} accuracy profiles, "
           f"steady allocs/window = {allocs})")
 
 
