@@ -34,6 +34,7 @@
 #include "src/core/front_end.hpp"
 #include "src/detect/region_filter.hpp"
 #include "src/filters/nn_filter.hpp"
+#include "src/filters/refractory_filter.hpp"
 #include "src/trackers/ebms.hpp"
 #include "src/trackers/hybrid_tracker.hpp"
 #include "src/trackers/kalman.hpp"
@@ -312,6 +313,10 @@ using HybridPipeline = FramePipeline<HybridTracker>;
 struct EbmsPipelineConfig {
   NnFilterConfig nnFilter;
   EbmsConfig ebms;
+  /// Optional per-pixel refractory stage ahead of the NN filter (bounds
+  /// beta when the sensor model did not already apply one).  0 disables
+  /// the stage entirely — the default pipeline shape is unchanged.
+  TimeUs refractoryPeriod = 0;
 };
 
 /// Per-window ops of the event-domain pipeline.
@@ -322,14 +327,17 @@ struct EbmsStageOps {
   [[nodiscard]] OpCounts total() const { return nnFilter + ebms; }
 };
 
-/// Snapshot of the event-domain pipeline: the NN filter's timestamp
-/// surface (its pass/reject decisions depend on past windows' events)
-/// plus the EBMS cluster state.
+/// Snapshot of the event-domain pipeline: the NN filter's event surface
+/// (its pass/reject decisions depend on past windows' events), the EBMS
+/// cluster state, and the refractory stage's surface when that stage is
+/// enabled.
 struct EbmsPipelineSnapshot final : PipelineSnapshot {
-  EbmsPipelineSnapshot(const NnFilter& filter, const EbmsTracker& t)
-      : nnFilter(filter), tracker(t) {}
+  EbmsPipelineSnapshot(const NnFilter& filter, const EbmsTracker& t,
+                       std::optional<RefractoryFilter> r = std::nullopt)
+      : nnFilter(filter), tracker(t), refractory(std::move(r)) {}
   NnFilter nnFilter;
   EbmsTracker tracker;
+  std::optional<RefractoryFilter> refractory;
 };
 
 /// Event-domain baseline: NN-filter -> EBMS mean-shift clusters.
@@ -368,11 +376,13 @@ class EbmsPipeline final : public Pipeline {
  private:
   EbmsPipelineConfig config_;
   std::string name_;
+  std::optional<RefractoryFilter> refractory_;  ///< set iff period > 0
   NnFilter nnFilter_;
   EbmsTracker tracker_;
   EbmsStageOps stageOps_;
-  EventPacket filtered_;  ///< reused per window (zero-alloc steady state)
-  Tracks tracks_;         ///< reused per window (visibleTracksInto)
+  EventPacket refracted_;  ///< reused per window, refractory stage only
+  EventPacket filtered_;   ///< reused per window (zero-alloc steady state)
+  Tracks tracks_;          ///< reused per window (visibleTracksInto)
   std::size_t lastFilteredCount_ = 0;
 };
 

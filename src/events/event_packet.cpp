@@ -37,6 +37,20 @@ void EventPacket::push(const Event& e) {
   events_.push_back(e);
 }
 
+std::span<Event> EventPacket::appendBuffer(std::size_t count) {
+  appendBase_ = events_.size();
+  events_.resize(appendBase_ + count);
+  return {events_.data() + appendBase_, count};
+}
+
+void EventPacket::commitAppended(std::size_t kept) {
+  EBBIOT_ASSERT(kept <= events_.size() - appendBase_);
+  for (std::size_t i = appendBase_; i < appendBase_ + kept; ++i) {
+    EBBIOT_ASSERT(events_[i].t >= tStart_ && events_[i].t < tEnd_);
+  }
+  events_.resize(appendBase_ + kept);
+}
+
 void EventPacket::append(const EventPacket& other) {
   EBBIOT_ASSERT(other.tStart_ >= tStart_ && other.tEnd_ <= tEnd_);
   events_.insert(events_.end(), other.events_.begin(), other.events_.end());

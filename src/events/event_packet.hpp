@@ -43,6 +43,18 @@ class EventPacket {
   /// Append one event; throws LogicError if outside the packet window.
   void push(const Event& e);
 
+  /// Bulk-append window for selector stages: extends the packet by
+  /// `count` value-initialised events and returns the span over them.
+  /// The caller overwrites a prefix (e.g. writing each surviving event
+  /// unconditionally and bumping its cursor branch-free) and then calls
+  /// commitAppended() to drop the unused tail.  No other mutation may
+  /// run between the two calls.
+  std::span<Event> appendBuffer(std::size_t count);
+
+  /// Keep only the first `kept` events of the last appendBuffer() span;
+  /// the per-event window check push() does runs here instead.
+  void commitAppended(std::size_t kept);
+
   /// Drop all events and retarget the window to [tStart, tEnd), keeping
   /// the storage capacity — lets streaming stages reuse one packet per
   /// window without per-call allocation (see NnFilter::filterInto).
@@ -74,6 +86,7 @@ class EventPacket {
   TimeUs tStart_ = 0;
   TimeUs tEnd_ = 0;
   std::vector<Event> events_;
+  std::size_t appendBase_ = 0;  ///< start of the open appendBuffer() span
 };
 
 /// Merge time-sorted packets into one time-sorted packet spanning the

@@ -1,0 +1,334 @@
+#include "src/events/event_surface.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+namespace {
+
+// Packed entries carry 48 signed timestamp bits; keep |t| (and the
+// bucket arithmetic on t - window) safely inside that.
+constexpr TimeUs kMaxAbsTime = TimeUs{1} << 47;
+constexpr TimeUs kMaxWindow = TimeUs{1} << 46;
+
+}  // namespace
+
+void EventSurfaceConfig::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw ConfigError("EventSurfaceConfig: " + what);
+  };
+  if (width <= 0 || height <= 0) {
+    fail("frame dimensions must be positive (got " + std::to_string(width) +
+         "x" + std::to_string(height) + ")");
+  }
+  if (recencyWindow < 0) {
+    fail("recencyWindow must be >= 0 (got " + std::to_string(recencyWindow) +
+         ")");
+  }
+  if (recencyWindow >= kMaxWindow) {
+    fail("recencyWindow " + std::to_string(recencyWindow) +
+         " exceeds the 48-bit packed-timestamp headroom");
+  }
+}
+
+EventSurface::EventSurface(const EventSurfaceConfig& config)
+    : config_(config), width_(config.width), height_(config.height) {
+  config.validate();
+  map_.assign(static_cast<std::size_t>(width_) *
+                  static_cast<std::size_t>(height_),
+              0);  // tag 0 != epoch 1: everything starts invalid
+  planesEnabled_ = config.recencyWindow > 0;
+  if (planesEnabled_) {
+    // Smallest power-of-two bucket with 3 * bucket >= window, so the
+    // query span (t - W, t] covers at most four consecutive buckets:
+    // up to three wholly-inside (definite) ones plus the boundary
+    // bucket straddling t - W.  Four consecutive buckets map to four
+    // *distinct* ring slots (they are distinct mod kSlots), so live
+    // buckets never evict each other.
+    bucketShift_ = static_cast<int>(std::bit_width(
+        (static_cast<std::uint64_t>(config.recencyWindow) + 2) / 3 - 1));
+    wordsPerRow_ = (static_cast<std::size_t>(width_) + 63) / 64;
+    planeWords_ = static_cast<std::size_t>(height_) * wordsPerRow_;
+    occWords_ = (planeWords_ + 63) / 64;
+    planes_.assign(kSlots * planeWords_, 0);
+    dirty_.assign(kSlots * occWords_, 0);
+  }
+}
+
+void EventSurface::clear() {
+  ++epoch_;
+  if (epoch_ > kMaxEpoch) {
+    std::fill(map_.begin(), map_.end(), 0);
+    epoch_ = 1;
+  }
+  newestT_ = INT64_MIN;
+  // The planes recycle lazily: a slot whose tag matches no live bucket
+  // is skipped by queries and scrubbed on its next claim.
+  for (std::int64_t& tag : bucketTag_) {
+    tag = kNoBucket;
+  }
+  cachedQT_ = kNoBucket;
+}
+
+void EventSurface::recyclePlane(std::size_t slot) {
+  // Clear exactly the plane words that have bits (the per-word dirty
+  // masks track them), not whole rows: recycling runs once per bucket
+  // turnover, and at buckets of a third of the window the word-granular
+  // sweep is what keeps its amortised cost a fraction of an event.
+  std::uint64_t* dirty = dirty_.data() + slot * occWords_;
+  std::uint64_t* plane = planes_.data() + slot;  // word-interleaved slots
+  for (std::size_t w = 0; w < occWords_; ++w) {
+    std::uint64_t words = dirty[w];
+    dirty[w] = 0;
+    while (words != 0) {
+      const auto cell = static_cast<std::size_t>(std::countr_zero(words)) +
+                        (w << 6);
+      words &= words - 1;
+      plane[kSlots * cell] = 0;
+    }
+  }
+}
+
+void EventSurface::record(int x, int y, TimeUs t) {
+  EBBIOT_ASSERT(x >= 0 && x < width_ && y >= 0 && y < height_);
+  EBBIOT_ASSERT(t > -kMaxAbsTime && t < kMaxAbsTime);
+  if (planesEnabled_) {
+    if (t < newestT_) {
+      clear();  // noteTime() normally caught this; stay safe regardless
+    }
+    newestT_ = t;
+    const std::int64_t q = bucketOf(t);
+    const auto slot = static_cast<std::size_t>(q) & (kSlots - 1);
+    if (bucketTag_[slot] != q) {
+      recyclePlane(slot);
+      bucketTag_[slot] = q;
+      cachedQT_ = kNoBucket;  // a new live bucket changes classification
+    }
+    const std::size_t cell = static_cast<std::size_t>(y) * wordsPerRow_ +
+                             (static_cast<std::size_t>(x) >> 6);
+    planes_[kSlots * cell + slot] |= std::uint64_t{1}
+                                     << (static_cast<std::size_t>(x) & 63);
+    dirty_[slot * occWords_ + (cell >> 6)] |= std::uint64_t{1} << (cell & 63);
+  }
+  map_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+       static_cast<std::size_t>(x)] = packEntry(t);
+}
+
+bool EventSurface::anyNeighbourFiredWithin(int x, int y, TimeUs t,
+                                           int radius) const {
+  EBBIOT_ASSERT(planesEnabled_);
+  EBBIOT_ASSERT(radius >= 1);
+  EBBIOT_ASSERT(t >= newestT_);  // callers noteTime() first
+  const std::int64_t qT = bucketOf(t);
+  const std::int64_t qLo = bucketOf(t - config_.recencyWindow);
+  EBBIOT_ASSERT(qT - qLo <= 3);  // 3 * bucket >= window, by construction
+  // Classify the live plane slots against the query span (t - W, t]:
+  // buckets after the one containing t - W are wholly inside the span
+  // (definite support — at most three of them, since 3 * bucket >= W);
+  // the bucket containing t - W straddles the horizon and needs the
+  // exact fallback.  Anything else is stale and skipped.  The result is
+  // memoised (see cachedQT_): it only moves at bucket granularity.
+  // Slot base pointers carry the interleave offset; every word index
+  // below is scaled by kSlots (see the planes_ layout comment).
+  if (qT != cachedQT_ || qLo != cachedQLo_) [[unlikely]] {
+    cachedNDefs_ = 0;
+    cachedBoundSlot_ = -1;
+    for (std::int64_t q = qT; q > qLo; --q) {
+      const auto slot = static_cast<std::size_t>(q) & (kSlots - 1);
+      if (bucketTag_[slot] == q) {
+        cachedDefSlot_[cachedNDefs_++] = slot;
+      }
+    }
+    const auto slot = static_cast<std::size_t>(qLo) & (kSlots - 1);
+    if (bucketTag_[slot] == qLo) {
+      cachedBoundSlot_ = static_cast<int>(slot);
+    }
+    cachedQT_ = qT;
+    cachedQLo_ = qLo;
+  }
+  const int nDefs = cachedNDefs_;
+  const std::uint64_t* const base = planes_.data();
+  const std::uint64_t* boundary =
+      cachedBoundSlot_ < 0 ? nullptr
+                           : base + static_cast<std::size_t>(cachedBoundSlot_);
+  if (nDefs == 0 && boundary == nullptr) {
+    return false;  // nothing fired within the span's buckets
+  }
+  const int x0 = std::max(0, x - radius);
+  const int x1 = std::min(width_ - 1, x + radius);
+  const int y0 = std::max(0, y - radius);
+  const int y1 = std::min(height_ - 1, y + radius);
+  const int w0 = x0 >> 6;
+  const int w1 = x1 >> 6;
+  const int centreWord = x >> 6;
+  const std::uint64_t centreBit = std::uint64_t{1}
+                                  << (static_cast<std::size_t>(x) & 63);
+  // OR the patch rows into two accumulators first (masks are loop
+  // constants — the x span is the same on every row).  A definite bit
+  // anywhere answers the query; boundary bits go through the exact map
+  // only when the accumulator shows there are any, which is the rare
+  // case under noise.
+  std::uint64_t defAcc = 0;
+  std::uint64_t boundAcc = 0;
+  // Masked boundary words stashed per patch row on the single-word path,
+  // so the exact fallback below can scan them without re-deriving masks
+  // or re-touching the planes.
+  std::uint64_t rowBound[kMaxStashRows];
+  bool stashed = false;
+  if (w1 == w0 && y1 - y0 < static_cast<int>(kMaxStashRows)) [[likely]] {
+    // The whole span lives in one plane word per row (always, for
+    // p <= 64-aligned geometries; ~94% of columns otherwise).
+    const int lo = x0 - (w0 << 6);
+    const int hi = x1 - (w0 << 6);
+    const std::uint64_t m = (~std::uint64_t{0} >> (63 - hi)) &
+                            (~std::uint64_t{0} << lo);
+    const std::uint64_t mCentre = m & ~centreBit;
+    std::size_t word = kSlots * (static_cast<std::size_t>(y0) * wordsPerRow_ +
+                                 static_cast<std::size_t>(w0));
+    const std::size_t rowStride = kSlots * wordsPerRow_;
+    // Specialise on the live-slot shape: within one stream phase it is
+    // constant for thousands of queries, so the dispatch predicts
+    // perfectly and each loop body touches only live slot words (all on
+    // the row's one cache line either way).
+    if (boundary != nullptr && nDefs == 3) {
+      const std::uint64_t* d0 = base + cachedDefSlot_[0];
+      const std::uint64_t* d1 = base + cachedDefSlot_[1];
+      const std::uint64_t* d2 = base + cachedDefSlot_[2];
+      for (int yy = y0; yy <= y1; ++yy, word += rowStride) {
+        const std::uint64_t mm = yy == y ? mCentre : m;
+        defAcc |= (d0[word] | d1[word] | d2[word]) & mm;
+        const std::uint64_t b = boundary[word] & mm;
+        rowBound[yy - y0] = b;
+        boundAcc |= b;
+      }
+    } else if (boundary != nullptr && nDefs == 2) {
+      const std::uint64_t* d0 = base + cachedDefSlot_[0];
+      const std::uint64_t* d1 = base + cachedDefSlot_[1];
+      for (int yy = y0; yy <= y1; ++yy, word += rowStride) {
+        const std::uint64_t mm = yy == y ? mCentre : m;
+        defAcc |= (d0[word] | d1[word]) & mm;
+        const std::uint64_t b = boundary[word] & mm;
+        rowBound[yy - y0] = b;
+        boundAcc |= b;
+      }
+    } else {
+      // Sparse shapes (lone plane, short spans, definite-only): fold
+      // with loop-invariant checks.
+      for (int yy = y0; yy <= y1; ++yy, word += rowStride) {
+        const std::uint64_t mm = yy == y ? mCentre : m;
+        for (int d = 0; d < nDefs; ++d) {
+          defAcc |= base[cachedDefSlot_[d] + word] & mm;
+        }
+        if (boundary != nullptr) {
+          const std::uint64_t b = boundary[word] & mm;
+          rowBound[yy - y0] = b;
+          boundAcc |= b;
+        }
+      }
+    }
+    stashed = true;
+  } else {
+    for (int yy = y0; yy <= y1; ++yy) {
+      const std::size_t rowBase = static_cast<std::size_t>(yy) * wordsPerRow_;
+      for (int w = w0; w <= w1; ++w) {
+        const int lo = std::max(x0 - (w << 6), 0);
+        const int hi = std::min(x1 - (w << 6), 63);
+        std::uint64_t mask = (~std::uint64_t{0} >> (63 - hi)) &
+                             (~std::uint64_t{0} << lo);
+        if (yy == y && w == centreWord) {
+          mask &= ~centreBit;  // support must come from a *neighbour*
+        }
+        const std::size_t word =
+            kSlots * (rowBase + static_cast<std::size_t>(w));
+        for (int d = 0; d < nDefs; ++d) {
+          defAcc |= base[cachedDefSlot_[d] + word] & mask;
+        }
+        if (boundary != nullptr) {
+          boundAcc |= boundary[word] & mask;
+        }
+      }
+    }
+  }
+  if (defAcc != 0) {
+    return true;  // fired in a bucket entirely inside (t - W, t]
+  }
+  if (boundAcc == 0) {
+    return false;
+  }
+  // Resolve the boundary-bucket bits per set bit via the exact map: the
+  // map holds each pixel's *newest* time, so the window test is exact
+  // even if the plane bit is from an older firing.
+  if (stashed) {
+    // The candidate bits are already masked per row.  The map lookups
+    // are the one scatter-read this surface still does, so issue the
+    // prefetch for every candidate line first — with two or more
+    // candidates their miss latencies overlap instead of serialising.
+#if defined(__GNUC__) || defined(__clang__)
+    for (int i = 0; i <= y1 - y0; ++i) {
+      std::uint64_t bits = rowBound[i];
+      while (bits != 0) {
+        const int xx = (w0 << 6) + std::countr_zero(bits);
+        bits &= bits - 1;
+        __builtin_prefetch(map_.data() +
+                               static_cast<std::size_t>(y0 + i) *
+                                   static_cast<std::size_t>(width_) +
+                               static_cast<std::size_t>(xx),
+                           0);
+      }
+    }
+#endif
+    for (int i = 0; i <= y1 - y0; ++i) {
+      std::uint64_t bits = rowBound[i];
+      while (bits != 0) {
+        const int xx = (w0 << 6) + std::countr_zero(bits);
+        bits &= bits - 1;
+        const std::uint64_t entry =
+            map_[static_cast<std::size_t>(y0 + i) *
+                     static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(xx)];
+        if ((entry >> kEpochShift) == epoch_ &&
+            t - unpackTime(entry) <= config_.recencyWindow) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+  for (int yy = y0; yy <= y1; ++yy) {
+    const std::size_t rowBase = static_cast<std::size_t>(yy) * wordsPerRow_;
+    for (int w = w0; w <= w1; ++w) {
+      const int lo = std::max(x0 - (w << 6), 0);
+      const int hi = std::min(x1 - (w << 6), 63);
+      std::uint64_t bits = (~std::uint64_t{0} >> (63 - hi)) &
+                           (~std::uint64_t{0} << lo);
+      if (yy == y && w == centreWord) {
+        bits &= ~centreBit;
+      }
+      bits &= boundary[kSlots * (rowBase + static_cast<std::size_t>(w))];
+      while (bits != 0) {
+        const int xx = (w << 6) + std::countr_zero(bits);
+        bits &= bits - 1;
+        const std::uint64_t entry =
+            map_[static_cast<std::size_t>(yy) *
+                     static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(xx)];
+        if ((entry >> kEpochShift) == epoch_ &&
+            t - unpackTime(entry) <= config_.recencyWindow) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t EventSurface::memoryBytes() const {
+  return (map_.size() + planes_.size() + dirty_.size()) *
+         sizeof(std::uint64_t);
+}
+
+}  // namespace ebbiot

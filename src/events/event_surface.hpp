@@ -1,0 +1,237 @@
+// EventSurface — the shared per-pixel "time of most recent event" state
+// (an SAE, surface of active events) that the event-domain filters used
+// to reimplement privately, restructured for word-parallel recency
+// queries.
+//
+// Two coupled stores:
+//
+//  1. An *exact timestamp map*: one 64-bit word per pixel packing a
+//     16-bit epoch tag with the 48-bit signed event time.  An entry is
+//     valid iff its tag equals the surface's current epoch, so clear()
+//     is an O(1) epoch bump (the map is scrubbed only when the 16-bit
+//     tag wraps) and "never fired" is distinguishable from *any*
+//     legitimate timestamp — including t = -1, which the old
+//     `kNever = -1` sentinel maps conflated with unfired pixels (events
+//     at negative times are possible after node-side unwrap rebasing).
+//
+//  2. Optional *recency bitplanes* (enabled by recencyWindow > 0): time
+//     is bucketed into spans of B = 2^shift microseconds with
+//     3 * B >= recencyWindow, and a four-slot ring of row-major
+//     bitplanes records, per bucket, which pixels fired during it.
+//     Because 3 * B >= W (the query window), the span (t - W, t]
+//     touches at most four consecutive buckets (distinct ring slots,
+//     since they are distinct mod 4), so "did any pixel of this
+//     neighbourhood fire within W of t?" collapses to OR-ing a handful
+//     of clamped row words:
+//       * bits in a bucket that lies entirely inside (t - W, t] are
+//         *definite* support — no timestamp needs reading;
+//       * bits in the one bucket straddling t - W are resolved by the
+//         exact map (the *exact-fallback rule*), per set bit only.
+//     Buckets at a third of the window (rather than one bucket covering
+//     it) cost up to two extra row words per query — near-free, the
+//     slots are word-interleaved onto the same cache line — and shrink
+//     the boundary bucket to a third of the span, so the expensive
+//     per-bit exact fallback fires a fraction as often on stale-side
+//     bits.  Stale planes are detected by per-slot bucket tags and
+//     recycled lazily; a per-word dirty bitmask makes recycling
+//     proportional to the words that actually hold bits, not the frame.
+//
+// The bitplanes assume time moves forward: recorded timestamps must be
+// non-decreasing up to the granularity noteTime() is told about.  A
+// caller observing a time regression (e.g. a benchmark replaying a
+// packet bank) calls noteTime(t), which clears the surface and starts a
+// new epoch — both EventSurface and its scalar twin implement the same
+// rule, so surface-backed stages stay bit-identical to their
+// references under replay.
+//
+// The scalar formulation survives as EventSurfaceReference
+// (event_surface_reference.hpp); tests/test_event_surface.cpp pins the
+// two bit-identical on random streams, clamped edges and epoch
+// regressions, per the house reference-twin convention.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time.hpp"
+
+namespace ebbiot {
+
+struct EventSurfaceConfig {
+  int width = 240;
+  int height = 180;
+  /// Horizon of anyNeighbourFiredWithin queries, us.  0 disables the
+  /// recency bitplanes: the surface is then just the validity-tagged
+  /// timestamp map (what a refractory stage needs).
+  TimeUs recencyWindow = 0;
+
+  /// Throws ConfigError on non-positive dimensions or a recencyWindow
+  /// outside [0, 2^46) (the bucket arithmetic needs headroom below the
+  /// 48-bit packed-timestamp range).
+  void validate() const;
+};
+
+class EventSurface {
+ public:
+  explicit EventSurface(const EventSurfaceConfig& config);
+
+  /// Forget every recorded event.  O(1) epoch bump; the planes recycle
+  /// lazily via their bucket tags.
+  void clear();
+
+  /// Tell the surface the stream time reached `t` *before* querying or
+  /// recording at `t`.  If `t` regresses behind the newest recorded
+  /// timestamp the surface clears (new epoch) — see the header comment.
+  /// No-op while the planes are disabled (a pure timestamp map is
+  /// order-independent).
+  void noteTime(TimeUs t) {
+    if (planesEnabled_ && t < newestT_) {
+      clear();
+    }
+  }
+
+  /// Record an event at (x, y), time t.  With planes enabled, t must
+  /// not precede the newest recorded timestamp (call noteTime first).
+  void record(int x, int y, TimeUs t);
+
+  /// Hint the cache hierarchy that (x, y) is about to be recorded.  The
+  /// timestamp map is the one store here that can outgrow the cache on
+  /// large frames (8 bytes per pixel), and event streams address it
+  /// near-randomly; a caller that can see a few events ahead hides the
+  /// write-allocate miss behind the current event's work.
+  void prefetch(int x, int y) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(
+        map_.data() +
+            static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+            static_cast<std::size_t>(x),
+        1 /* for write */);
+#else
+    (void)x;
+    (void)y;
+#endif
+  }
+
+  /// Hint the cache hierarchy that the neighbourhood of (x, y) is about
+  /// to be queried.  The interleaved plane layout puts all slots of a
+  /// row's word span on one cache line, so one prefetch per patch row
+  /// covers the whole anyNeighbourFiredWithin read set — the planes of a
+  /// large frame live in L2, and a caller that can see a few events
+  /// ahead overlaps those row fetches with the current event's work.
+  void prefetchQuery(int x, int y, int radius) const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (!planesEnabled_) {
+      return;
+    }
+    const int y0 = y - radius < 0 ? 0 : y - radius;
+    const int y1 = y + radius >= height_ ? height_ - 1 : y + radius;
+    const auto w0 =
+        static_cast<std::size_t>((x - radius < 0 ? 0 : x - radius) >> 6);
+    const std::uint64_t* row =
+        planes_.data() +
+        kSlots * (static_cast<std::size_t>(y0) * wordsPerRow_ + w0);
+    const std::size_t stride = kSlots * wordsPerRow_;
+    for (int yy = y0; yy <= y1; ++yy, row += stride) {
+      __builtin_prefetch(row, 0);
+    }
+#else
+    (void)x;
+    (void)y;
+    (void)radius;
+#endif
+  }
+
+  struct PixelRecency {
+    bool fired = false;  ///< false: no event recorded this epoch
+    TimeUs t = 0;        ///< time of the newest event; valid iff fired
+  };
+
+  /// Newest event recorded at (x, y) in the current epoch, if any.
+  [[nodiscard]] PixelRecency recall(int x, int y) const {
+    const std::uint64_t entry =
+        map_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+             static_cast<std::size_t>(x)];
+    return {(entry >> kEpochShift) == epoch_, unpackTime(entry)};
+  }
+
+  /// True iff some pixel *other than* (x, y) inside the clamped
+  /// (2*radius+1)^2 neighbourhood fired within recencyWindow of t
+  /// (inclusive: t - ts <= window).  Requires planes (recencyWindow >
+  /// 0) and t >= the newest recorded timestamp — call noteTime(t)
+  /// first.
+  [[nodiscard]] bool anyNeighbourFiredWithin(int x, int y, TimeUs t,
+                                             int radius) const;
+
+  [[nodiscard]] const EventSurfaceConfig& config() const { return config_; }
+
+  /// Actual footprint of the surface (map + planes + occupancy), bytes.
+  /// The paper-model accounting (Bt bits per pixel, Eq. (2)) stays with
+  /// the filters that quote it.
+  [[nodiscard]] std::size_t memoryBytes() const;
+
+ private:
+  static constexpr std::size_t kSlots = 4;  ///< plane-ring length
+  /// Patch-row cap for the query's on-stack boundary-word stash; taller
+  /// patches fall back to re-deriving masks (no real neighbourhood is
+  /// anywhere near 64 rows).
+  static constexpr std::size_t kMaxStashRows = 64;
+  static constexpr int kEpochShift = 48;
+  static constexpr std::uint64_t kTimeMask = (std::uint64_t{1} << 48) - 1;
+  static constexpr std::uint64_t kMaxEpoch = 0xFFFF;
+  static constexpr std::int64_t kNoBucket = INT64_MIN;
+
+  [[nodiscard]] std::uint64_t packEntry(TimeUs t) const {
+    return (static_cast<std::uint64_t>(epoch_) << kEpochShift) |
+           (static_cast<std::uint64_t>(t) & kTimeMask);
+  }
+  [[nodiscard]] static TimeUs unpackTime(std::uint64_t entry) {
+    // Sign-extend the low 48 bits (times can be negative after rebase).
+    return static_cast<TimeUs>(static_cast<std::int64_t>(entry << 16) >> 16);
+  }
+  [[nodiscard]] std::int64_t bucketOf(TimeUs t) const {
+    return t >> bucketShift_;  // arithmetic shift: floor for negative t
+  }
+  void recyclePlane(std::size_t slot);
+
+  EventSurfaceConfig config_;
+  int width_;
+  int height_;
+  std::vector<std::uint64_t> map_;  ///< epoch-tagged packed timestamps
+  std::uint64_t epoch_ = 1;         ///< map entries valid iff tag matches
+
+  // Recency bitplanes (sized only when recencyWindow > 0).
+  bool planesEnabled_ = false;
+  int bucketShift_ = 0;  ///< bucket width 2^shift us, >= recencyWindow / 3
+  std::size_t wordsPerRow_ = 0;
+  std::size_t planeWords_ = 0;  ///< words per plane (height * wordsPerRow)
+  std::size_t occWords_ = 0;    ///< dirty-mask words per plane
+  /// kSlots plane slots, *word-interleaved*: word w of slot s lives at
+  /// index kSlots * w + s, so a multi-slot query (definite buckets +
+  /// boundary bucket) reads every slot word of a row from one cache
+  /// line instead of hitting planes a plane-stride apart.
+  std::vector<std::uint64_t> planes_;
+  /// Per-slot dirty masks: bit c of slot s's mask region is set iff
+  /// plane word c of slot s holds any event bit — recyclePlane() clears
+  /// exactly those words.
+  std::vector<std::uint64_t> dirty_;
+  std::int64_t bucketTag_[kSlots] = {kNoBucket, kNoBucket, kNoBucket,
+                                     kNoBucket};  ///< bucket per slot
+  TimeUs newestT_ = INT64_MIN;  ///< newest recorded timestamp this epoch
+
+  // Memoised query-span classification: which ring slots are definite /
+  // boundary for the current (qT, qLo) pair.  It changes only at bucket
+  // turnover or when record() claims a new bucket — hundreds of queries
+  // apart on a live stream — so queries reuse it instead of re-checking
+  // every tag.  cachedQT_ = kNoBucket marks it stale (a real qT can
+  // never be kNoBucket: timestamps are bounded well inside 48 bits).
+  // Slots are cached as ring *indices*, not plane pointers, so the
+  // memo stays valid across surface copies (snapshot restore).
+  mutable std::int64_t cachedQT_ = kNoBucket;
+  mutable std::int64_t cachedQLo_ = 0;
+  mutable std::size_t cachedDefSlot_[3] = {0, 0, 0};
+  mutable int cachedNDefs_ = 0;
+  mutable int cachedBoundSlot_ = -1;  ///< -1: no live boundary bucket
+};
+
+}  // namespace ebbiot

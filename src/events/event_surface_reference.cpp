@@ -1,0 +1,63 @@
+#include "src/events/event_surface_reference.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+EventSurfaceReference::EventSurfaceReference(const EventSurfaceConfig& config)
+    : config_(config) {
+  config.validate();
+  const auto n = static_cast<std::size_t>(config.width) *
+                 static_cast<std::size_t>(config.height);
+  lastT_.assign(n, 0);
+  fired_.assign(n, 0);
+}
+
+void EventSurfaceReference::clear() {
+  std::fill(fired_.begin(), fired_.end(), std::uint8_t{0});
+  newestT_ = INT64_MIN;
+}
+
+void EventSurfaceReference::record(int x, int y, TimeUs t) {
+  EBBIOT_ASSERT(x >= 0 && x < config_.width && y >= 0 && y < config_.height);
+  if (config_.recencyWindow > 0) {
+    if (t < newestT_) {
+      clear();
+    }
+    newestT_ = t;
+  }
+  const std::size_t idx =
+      static_cast<std::size_t>(y) * static_cast<std::size_t>(config_.width) +
+      static_cast<std::size_t>(x);
+  lastT_[idx] = t;
+  fired_[idx] = 1;
+}
+
+bool EventSurfaceReference::anyNeighbourFiredWithin(int x, int y, TimeUs t,
+                                                    int radius) const {
+  EBBIOT_ASSERT(config_.recencyWindow > 0);
+  EBBIOT_ASSERT(radius >= 1);
+  const int x0 = std::max(0, x - radius);
+  const int x1 = std::min(config_.width - 1, x + radius);
+  const int y0 = std::max(0, y - radius);
+  const int y1 = std::min(config_.height - 1, y + radius);
+  for (int yy = y0; yy <= y1; ++yy) {
+    const std::size_t row =
+        static_cast<std::size_t>(yy) * static_cast<std::size_t>(config_.width);
+    for (int xx = x0; xx <= x1; ++xx) {
+      if (xx == x && yy == y) {
+        continue;
+      }
+      if (fired_[row + static_cast<std::size_t>(xx)] != 0 &&
+          t - lastT_[row + static_cast<std::size_t>(xx)] <=
+              config_.recencyWindow) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace ebbiot

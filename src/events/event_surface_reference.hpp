@@ -1,0 +1,61 @@
+// EventSurfaceReference — the scalar formulation of EventSurface: a
+// plain per-pixel timestamp array with an explicit fired/not-fired
+// validity byte (no packed epochs, no bitplanes), and a
+// one-timestamp-at-a-time neighbourhood scan for the recency query.
+//
+// Semantics are identical to EventSurface by construction — including
+// the monotonic-epoch rule (noteTime on a time regression clears the
+// surface) and the inclusive window test — and are *pinned* identical
+// by the differential tests in tests/test_event_surface.cpp, per the
+// house reference-twin convention.  NnFilterReference builds its full
+// Eq. (2) support scan on this class, which is how the surface twins
+// also inherit the filters' op-count pinning (the surface itself
+// charges nothing; Eq. (2) costs live with the filters that quote it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time.hpp"
+#include "src/events/event_surface.hpp"
+
+namespace ebbiot {
+
+class EventSurfaceReference {
+ public:
+  explicit EventSurfaceReference(const EventSurfaceConfig& config);
+
+  void clear();
+
+  /// Same monotonic-epoch rule as the fast twin: with the recency
+  /// window configured, a time regression forgets the surface.
+  void noteTime(TimeUs t) {
+    if (config_.recencyWindow > 0 && t < newestT_) {
+      clear();
+    }
+  }
+
+  void record(int x, int y, TimeUs t);
+
+  [[nodiscard]] EventSurface::PixelRecency recall(int x, int y) const {
+    const std::size_t idx =
+        static_cast<std::size_t>(y) * static_cast<std::size_t>(config_.width) +
+        static_cast<std::size_t>(x);
+    return {fired_[idx] != 0, lastT_[idx]};
+  }
+
+  /// Scalar existence scan over the clamped neighbourhood (centre
+  /// excluded): fired and t - ts <= recencyWindow.
+  [[nodiscard]] bool anyNeighbourFiredWithin(int x, int y, TimeUs t,
+                                             int radius) const;
+
+  [[nodiscard]] const EventSurfaceConfig& config() const { return config_; }
+
+ private:
+  EventSurfaceConfig config_;
+  std::vector<TimeUs> lastT_;
+  std::vector<std::uint8_t> fired_;  ///< explicit validity plane
+  TimeUs newestT_ = INT64_MIN;
+};
+
+}  // namespace ebbiot

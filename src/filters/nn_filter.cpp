@@ -1,24 +1,48 @@
 #include "src/filters/nn_filter.hpp"
 
 #include <algorithm>
+#include <span>
+#include <string>
 
 #include "src/common/error.hpp"
 
 namespace ebbiot {
 
-NnFilter::NnFilter(const NnFilterConfig& config) : config_(config) {
-  EBBIOT_ASSERT(config.width > 0 && config.height > 0);
-  EBBIOT_ASSERT(config.neighbourhood >= 1 && config.neighbourhood % 2 == 1);
-  EBBIOT_ASSERT(config.supportWindow > 0);
-  EBBIOT_ASSERT(config.timestampBits > 0);
-  reset();
+void NnFilterConfig::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw ConfigError("NnFilterConfig: " + what);
+  };
+  if (width <= 0 || height <= 0) {
+    fail("frame dimensions must be positive (got " + std::to_string(width) +
+         "x" + std::to_string(height) + ")");
+  }
+  if (neighbourhood < 3 || neighbourhood % 2 == 0) {
+    fail("neighbourhood p must be odd and >= 3 (got " +
+         std::to_string(neighbourhood) + ")");
+  }
+  if (supportWindow <= 0) {
+    fail("supportWindow must be positive (got " +
+         std::to_string(supportWindow) + ")");
+  }
+  if (timestampBits <= 0) {
+    fail("timestampBits must be positive (got " +
+         std::to_string(timestampBits) + ")");
+  }
 }
 
-void NnFilter::reset() {
-  lastTimestamp_.assign(static_cast<std::size_t>(config_.width) *
-                            static_cast<std::size_t>(config_.height),
-                        kNever);
+namespace {
+
+const NnFilterConfig& validated(const NnFilterConfig& config) {
+  config.validate();
+  return config;
 }
+
+}  // namespace
+
+NnFilter::NnFilter(const NnFilterConfig& config)
+    : config_(validated(config)), surface_(config.surfaceConfig()) {}
+
+void NnFilter::reset() { surface_.clear(); }
 
 EventPacket NnFilter::filter(const EventPacket& packet) {
   EventPacket out;
@@ -27,12 +51,35 @@ EventPacket NnFilter::filter(const EventPacket& packet) {
 }
 
 void NnFilter::filterInto(const EventPacket& packet, EventPacket& out) {
-  EBBIOT_ASSERT(&packet != &out);  // reset() below would clear the input
+  EBBIOT_ASSERT(&packet != &out);  // out.reset() below would clear the input
   EBBIOT_ASSERT(packet.isTimeSorted());
   ops_.reset();
   out.reset(packet.tStart(), packet.tEnd());
   const int r = config_.neighbourhood / 2;
-  for (const Event& e : packet) {
+  const auto bt = static_cast<std::uint64_t>(config_.timestampBits);
+  const std::span<const Event> events = packet.events();
+  // Survivors stream into a bulk-append span branch-free: every event is
+  // stored unconditionally and the cursor advances only when supported,
+  // instead of a data-dependent push() per survivor (whether a noise
+  // event has support is close to a coin flip the predictor loses).
+  Event* dst = out.appendBuffer(events.size()).data();
+  std::size_t kept = 0;
+  // Far enough ahead to cover the write-allocate latency of the map
+  // store in record(), near enough that the line is still resident.
+  constexpr std::size_t kPrefetchAhead = 8;
+  constexpr std::size_t kQueryPrefetchAhead = 6;
+  for (std::size_t idx = 0; idx < events.size(); ++idx) {
+    const Event& e = events[idx];
+    if (idx + kPrefetchAhead < events.size()) {
+      const Event& ahead = events[idx + kPrefetchAhead];
+      surface_.prefetch(ahead.x, ahead.y);
+    }
+    if (idx + kQueryPrefetchAhead < events.size()) {
+      // The query's plane rows are L2-resident on large frames; a few
+      // events of lead time covers their latency without outrunning it.
+      const Event& next = events[idx + kQueryPrefetchAhead];
+      surface_.prefetchQuery(next.x, next.y, r);
+    }
     EBBIOT_ASSERT(e.x < config_.width && e.y < config_.height);
     const int x0 = std::max(0, e.x - r);
     const int x1 = std::min(config_.width - 1, e.x + r);
@@ -40,35 +87,21 @@ void NnFilter::filterInto(const EventPacket& packet, EventPacket& out) {
     const int y1 = std::min(config_.height - 1, e.y + r);
     // Eq. (2) in closed form from the clamped patch bounds: one comparison
     // + one counter increment per neighbourhood cell (centre excluded),
-    // whether or not the scan below short-circuits.
+    // however few words the bitplane test below actually touches.
     const auto cells = static_cast<std::uint64_t>(x1 - x0 + 1) *
                            static_cast<std::uint64_t>(y1 - y0 + 1) -
                        1;
     ops_.compares += cells;
     ops_.adds += cells;
-    // Existence scan with early exit on the first supporting neighbour.
-    bool supported = false;
-    for (int yy = y0; yy <= y1 && !supported; ++yy) {
-      const TimeUs* row =
-          lastTimestamp_.data() + static_cast<std::size_t>(yy) * config_.width;
-      for (int xx = x0; xx <= x1; ++xx) {
-        if (xx == e.x && yy == e.y) {
-          continue;  // support must come from a *neighbouring* pixel
-        }
-        const TimeUs ts = row[xx];
-        if (ts != kNever && e.t - ts <= config_.supportWindow) {
-          supported = true;
-          break;
-        }
-      }
-    }
-    lastTimestamp_[static_cast<std::size_t>(e.y) * config_.width + e.x] = e.t;
+    surface_.noteTime(e.t);
+    const bool supported = surface_.anyNeighbourFiredWithin(e.x, e.y, e.t, r);
+    surface_.record(e.x, e.y, e.t);
     // One Bt-bit timestamp write, charged as Bt bit-ops per Eq. (2).
-    ops_.memWrites += static_cast<std::uint64_t>(config_.timestampBits);
-    if (supported) {
-      out.push(e);
-    }
+    ops_.memWrites += bt;
+    dst[kept] = e;
+    kept += static_cast<std::size_t>(supported);
   }
+  out.commitAppended(kept);
 }
 
 std::size_t NnFilter::memoryBits() const {

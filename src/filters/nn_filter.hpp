@@ -11,22 +11,30 @@
 // p^2 - 1 increments, plus one Bt-bit memory write for the timestamp
 // update (the paper charges that write as Bt single-bit ops).
 //
-// The implementation early-exits the neighbourhood scan on the first
-// supporting timestamp — support is a pure existence test, so the result
-// is unchanged while the steady-state wall-clock drops (most kept events
-// find support in the first cell or two).  The *reported* OpCounts stay
+// The implementation runs on the shared EventSurface
+// (src/events/event_surface.hpp): the support test ORs a handful of
+// clamped recency-bitplane row words and masks off the centre bit,
+// touching the exact timestamp map only for neighbours whose support
+// straddles the boundary time bucket — instead of loading p^2 - 1
+// scattered 64-bit timestamps per event.  The *reported* OpCounts stay
 // Eq. (2)'s full-neighbourhood cost, charged in closed form from the
-// clamped patch bounds; tests/test_nn_filter.cpp pins them against a
-// metered full-scan reference run, following the same reference-pinning
+// clamped patch bounds; tests/test_nn_filter.cpp pins outputs and ops
+// against the retained scalar NnFilterReference
+// (nn_filter_reference.hpp), following the same reference-pinning
 // convention as the median filter and the CCA labeller.
+//
+// The surface's monotonic-epoch rule applies: a packet whose time
+// regresses behind previously recorded events restarts support from an
+// empty surface (both twins, identically) — matching a real streaming
+// deployment, where time only moves forward.
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "src/common/op_counter.hpp"
 #include "src/common/time.hpp"
 #include "src/events/event_packet.hpp"
+#include "src/events/event_surface.hpp"
 
 namespace ebbiot {
 
@@ -36,6 +44,15 @@ struct NnFilterConfig {
   int neighbourhood = 3;          ///< p
   TimeUs supportWindow = 5'000;   ///< temporal support window, us
   int timestampBits = 16;         ///< Bt, for the memory/ops accounting
+
+  /// Throws ConfigError unless p >= 3 and odd, dimensions and the
+  /// support window are positive, and Bt >= 1.
+  void validate() const;
+
+  /// The surface geometry this filter needs.
+  [[nodiscard]] EventSurfaceConfig surfaceConfig() const {
+    return EventSurfaceConfig{width, height, supportWindow};
+  }
 };
 
 class NnFilter {
@@ -43,7 +60,7 @@ class NnFilter {
   explicit NnFilter(const NnFilterConfig& config);
 
   /// Filter a packet; events must be time-sorted.  Stateful across calls:
-  /// the timestamp map persists, as in a streaming deployment.
+  /// the timestamp surface persists, as in a streaming deployment.
   [[nodiscard]] EventPacket filter(const EventPacket& packet);
 
   /// Filter into a reusable output packet (reset to the input's window,
@@ -51,25 +68,24 @@ class NnFilter {
   /// once warm.  `out` must not alias `packet`.
   void filterInto(const EventPacket& packet, EventPacket& out);
 
-  /// Reset the timestamp map to "never fired".
+  /// Reset the timestamp surface to "never fired".
   void reset();
 
   /// Ops of the most recent filter() call (Eq. (2) accounting).
   /// ops-model: closed-form — Eq. (2) support-scan cost from clamped neighbourhood
-  /// bounds; pinned against a metered full scan in tests/test_nn_filter.cpp.
+  /// bounds; pinned against the metered NnFilterReference in tests/test_nn_filter.cpp.
   [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
 
-  /// Memory footprint of the timestamp map in bits: Bt * A * B (Eq. (2)).
+  /// Memory footprint of the paper's timestamp map in bits: Bt * A * B
+  /// (Eq. (2) — the abstract model the resource comparisons quote).
   [[nodiscard]] std::size_t memoryBits() const;
 
   [[nodiscard]] const NnFilterConfig& config() const { return config_; }
 
  private:
   NnFilterConfig config_;
-  std::vector<TimeUs> lastTimestamp_;  ///< per pixel; kNever when unfired
+  EventSurface surface_;
   OpCounts ops_;
-
-  static constexpr TimeUs kNever = -1;
 };
 
 }  // namespace ebbiot

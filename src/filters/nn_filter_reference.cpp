@@ -1,0 +1,74 @@
+#include "src/filters/nn_filter_reference.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace ebbiot {
+
+namespace {
+
+const NnFilterConfig& validated(const NnFilterConfig& config) {
+  config.validate();
+  return config;
+}
+
+}  // namespace
+
+NnFilterReference::NnFilterReference(const NnFilterConfig& config)
+    : config_(validated(config)), surface_(config.surfaceConfig()) {}
+
+void NnFilterReference::reset() { surface_.clear(); }
+
+EventPacket NnFilterReference::filter(const EventPacket& packet) {
+  EventPacket out;
+  filterInto(packet, out);
+  return out;
+}
+
+void NnFilterReference::filterInto(const EventPacket& packet,
+                                   EventPacket& out) {
+  EBBIOT_ASSERT(&packet != &out);
+  EBBIOT_ASSERT(packet.isTimeSorted());
+  ops_.reset();
+  out.reset(packet.tStart(), packet.tEnd());
+  const int r = config_.neighbourhood / 2;
+  const auto bt = static_cast<std::uint64_t>(config_.timestampBits);
+  for (const Event& e : packet) {
+    EBBIOT_ASSERT(e.x < config_.width && e.y < config_.height);
+    surface_.noteTime(e.t);
+    const int x0 = std::max(0, e.x - r);
+    const int x1 = std::min(config_.width - 1, e.x + r);
+    const int y0 = std::max(0, e.y - r);
+    const int y1 = std::min(config_.height - 1, e.y + r);
+    // Full Eq. (2) scan, metered cell by cell — no early exit, so the
+    // counts equal the closed form the fast twin charges.
+    bool supported = false;
+    for (int yy = y0; yy <= y1; ++yy) {
+      for (int xx = x0; xx <= x1; ++xx) {
+        if (xx == e.x && yy == e.y) {
+          continue;  // support must come from a *neighbouring* pixel
+        }
+        ++ops_.compares;
+        ++ops_.adds;
+        const EventSurface::PixelRecency cell = surface_.recall(xx, yy);
+        if (cell.fired && e.t - cell.t <= config_.supportWindow) {
+          supported = true;
+        }
+      }
+    }
+    surface_.record(e.x, e.y, e.t);
+    ops_.memWrites += bt;
+    if (supported) {
+      out.push(e);
+    }
+  }
+}
+
+std::size_t NnFilterReference::memoryBits() const {
+  return static_cast<std::size_t>(config_.timestampBits) *
+         static_cast<std::size_t>(config_.width) *
+         static_cast<std::size_t>(config_.height);
+}
+
+}  // namespace ebbiot

@@ -1,0 +1,49 @@
+// NnFilterReference — the scalar full-scan formulation of the NN-filt
+// stage, retained as the differential pin for the bitplane fast path
+// (src/filters/nn_filter.hpp), per the house reference-twin convention.
+//
+// Per event it walks the full clamped p x p neighbourhood of the scalar
+// EventSurfaceReference one timestamp at a time (no early exit) and
+// *meters* the Eq. (2) cost as it goes: one comparison + one increment
+// per visited cell, plus the Bt-bit timestamp write.  The fast twin
+// charges the same counts in closed form; tests/test_nn_filter.cpp
+// holds outputs and lastOps() bit-identical on random streams, clamped
+// edge geometry and epoch regressions.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/op_counter.hpp"
+#include "src/events/event_packet.hpp"
+#include "src/events/event_surface_reference.hpp"
+#include "src/filters/nn_filter.hpp"
+
+namespace ebbiot {
+
+class NnFilterReference {
+ public:
+  explicit NnFilterReference(const NnFilterConfig& config);
+
+  [[nodiscard]] EventPacket filter(const EventPacket& packet);
+
+  void filterInto(const EventPacket& packet, EventPacket& out);
+
+  void reset();
+
+  /// Ops of the most recent filter() call.
+  /// ops-model: metered — counts incremented cell by cell as the full
+  /// neighbourhood scan runs; the closed-form fast twin is pinned to it.
+  [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
+
+  /// Same Eq. (2) abstract map footprint the fast twin quotes.
+  [[nodiscard]] std::size_t memoryBits() const;
+
+  [[nodiscard]] const NnFilterConfig& config() const { return config_; }
+
+ private:
+  NnFilterConfig config_;
+  EventSurfaceReference surface_;
+  OpCounts ops_;
+};
+
+}  // namespace ebbiot

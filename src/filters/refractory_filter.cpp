@@ -1,37 +1,58 @@
 #include "src/filters/refractory_filter.hpp"
 
+#include <string>
+
 #include "src/common/error.hpp"
 
 namespace ebbiot {
 
-RefractoryFilter::RefractoryFilter(int width, int height,
-                                   TimeUs refractoryPeriod)
-    : width_(width), height_(height), period_(refractoryPeriod) {
-  EBBIOT_ASSERT(width > 0 && height > 0);
-  EBBIOT_ASSERT(refractoryPeriod >= 0);
-  reset();
+void RefractoryFilterConfig::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw ConfigError("RefractoryFilterConfig: " + what);
+  };
+  if (width <= 0 || height <= 0) {
+    fail("frame dimensions must be positive (got " + std::to_string(width) +
+         "x" + std::to_string(height) + ")");
+  }
+  if (refractoryPeriod < 0) {
+    fail("refractoryPeriod must be >= 0 (got " +
+         std::to_string(refractoryPeriod) + ")");
+  }
 }
 
-void RefractoryFilter::reset() {
-  lastPass_.assign(static_cast<std::size_t>(width_) *
-                       static_cast<std::size_t>(height_),
-                   kNever);
+namespace {
+
+const RefractoryFilterConfig& validated(const RefractoryFilterConfig& config) {
+  config.validate();
+  return config;
 }
+
+}  // namespace
+
+RefractoryFilter::RefractoryFilter(const RefractoryFilterConfig& config)
+    : config_(validated(config)), surface_(config.surfaceConfig()) {}
+
+void RefractoryFilter::reset() { surface_.clear(); }
 
 EventPacket RefractoryFilter::filter(const EventPacket& packet) {
+  EventPacket out;
+  filterInto(packet, out);
+  return out;
+}
+
+void RefractoryFilter::filterInto(const EventPacket& packet,
+                                  EventPacket& out) {
+  EBBIOT_ASSERT(&packet != &out);
   EBBIOT_ASSERT(packet.isTimeSorted());
-  EventPacket out(packet.tStart(), packet.tEnd());
+  out.reset(packet.tStart(), packet.tEnd());
   for (const Event& e : packet) {
-    EBBIOT_ASSERT(e.x < width_ && e.y < height_);
-    const std::size_t idx =
-        static_cast<std::size_t>(e.y) * static_cast<std::size_t>(width_) + e.x;
-    const TimeUs last = lastPass_[idx];
-    if (last == kNever || e.t - last >= period_) {
-      lastPass_[idx] = e.t;
+    EBBIOT_ASSERT(e.x < config_.width && e.y < config_.height);
+    const EventSurface::PixelRecency last = surface_.recall(e.x, e.y);
+    if (!last.fired || e.t - last.t >= config_.refractoryPeriod) {
+      surface_.record(e.x, e.y, e.t);
       out.push(e);
     }
   }
-  return out;
 }
 
 }  // namespace ebbiot

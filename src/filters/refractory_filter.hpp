@@ -5,34 +5,62 @@
 // within the refractory period are suppressed.  Used by the simulator's
 // stream-mode output and available as a standalone stage; it bounds beta
 // (mean fires per active pixel per frame) from above.
+//
+// State lives on the shared EventSurface (planes disabled — a refractory
+// test needs only the exact per-pixel timestamp), whose epoch-tagged
+// validity makes "never fired" distinguishable from any legitimate
+// timestamp, including t = -1 after node-side unwrap rebasing.
 #pragma once
-
-#include <vector>
 
 #include "src/common/time.hpp"
 #include "src/events/event_packet.hpp"
+#include "src/events/event_surface.hpp"
 
 namespace ebbiot {
 
+struct RefractoryFilterConfig {
+  int width = 240;
+  int height = 180;
+  TimeUs refractoryPeriod = 10'000;  ///< us; 0 passes everything
+
+  /// Throws ConfigError on non-positive dimensions or a negative period.
+  void validate() const;
+
+  [[nodiscard]] EventSurfaceConfig surfaceConfig() const {
+    return EventSurfaceConfig{width, height, 0};
+  }
+};
+
 class RefractoryFilter {
  public:
-  RefractoryFilter(int width, int height, TimeUs refractoryPeriod);
+  explicit RefractoryFilter(const RefractoryFilterConfig& config);
+
+  /// Convenience geometry ctor, matching the historical signature.
+  RefractoryFilter(int width, int height, TimeUs refractoryPeriod)
+      : RefractoryFilter(
+            RefractoryFilterConfig{width, height, refractoryPeriod}) {}
 
   /// Keep the first event per pixel per refractory window.  Events must be
   /// time-sorted.  Stateful across packets.
   [[nodiscard]] EventPacket filter(const EventPacket& packet);
 
+  /// filter() into a reusable packet (capacity kept), for zero-alloc
+  /// steady-state loops.  `out` must not alias `packet`.
+  void filterInto(const EventPacket& packet, EventPacket& out);
+
   void reset();
 
-  [[nodiscard]] TimeUs refractoryPeriod() const { return period_; }
+  [[nodiscard]] TimeUs refractoryPeriod() const {
+    return config_.refractoryPeriod;
+  }
+
+  [[nodiscard]] const RefractoryFilterConfig& config() const {
+    return config_;
+  }
 
  private:
-  int width_;
-  int height_;
-  TimeUs period_;
-  std::vector<TimeUs> lastPass_;
-
-  static constexpr TimeUs kNever = -1;
+  RefractoryFilterConfig config_;
+  EventSurface surface_;  ///< timestamps of *kept* events only
 };
 
 }  // namespace ebbiot

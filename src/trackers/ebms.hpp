@@ -35,6 +35,20 @@
 // O(window) per maintain — and the whole tracker allocates nothing
 // after construction.
 //
+// processPacket additionally *overlaps independent cluster update
+// chains*: the captured-update recurrences (MAD EMA + mean-shift) of
+// distinct clusters share no state, but the sequential loop serialises
+// them because each event's capture test reads the positions the
+// previous update just stored.  The grouped path resolves a run of
+// events to clusters up front against group-start position snapshots,
+// admitting an event only when the snapshot plus a worst-case drift
+// bound proves the sequential scan would pick the same single cluster
+// (everything else — seeds, marginal-radius events, drift-budget
+// exhaustion — flushes the group and replays through the exact scalar
+// step).  The per-cluster chains then run back to back with no
+// decision logic between them, so the out-of-order core overlaps the
+// CLmax = 8 chains instead of draining one EMA latency per event.
+//
 // The scalar deque-based formulation is kept as EbmsTrackerReference
 // (ebms_reference.hpp); differential tests pin this class bit-identical
 // to it in clusters, visible tracks *and* OpCounts — the reference
@@ -141,6 +155,20 @@ class EbmsTracker {
   [[gnu::always_inline]] inline void eventStep(const Event& event,
                                                const HotConfig& hot,
                                                Tally& tally);
+  // The captured-event update sequence, shared verbatim by eventStep and
+  // the grouped phase-B path so both produce the identical float stream.
+  [[gnu::always_inline]] inline void applyCapture(int best, float px,
+                                                  float py, TimeUs t,
+                                                  const HotConfig& hot);
+  // Overlapped cluster chains (grid-enabled configs): resolve a run of
+  // events to clusters against group-start snapshots (phase A), then
+  // apply each cluster's mean-shift/MAD updates as its own dependency
+  // chain (phase B).  Falls back to eventStep for any event whose
+  // assignment is not provably identical to the sequential scan (seeds,
+  // marginal-radius events, drift-budget exhaustion).  Bit-identical to
+  // the reference by construction; see processPacketGrouped's comment.
+  void processPacketGrouped(const EventPacket& packet, const HotConfig& hot,
+                            Tally& tally);
   void chargeEventOps(const Tally& tally);
   void capturedSlowPath(int b, TimeUs t, float nx, float ny, bool sample,
                         bool rebuild);

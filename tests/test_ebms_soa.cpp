@@ -7,6 +7,7 @@
 // the MedianFilter/CcaLabeler reference-pinning convention of PRs 3-4.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -198,6 +199,115 @@ TEST(EbmsSoaDifferentialTest, ProcessEventMatchesReference) {
   }
   EXPECT_EQ(fast.activeCount(), reference.activeCount());
   EXPECT_EQ(fast.allClusters(), reference.allClusters());
+}
+
+TEST(EbmsSoaDifferentialTest, InterleavedBlobsOverlappedChains) {
+  // Eight well-separated blobs at CLmax = 8, events interleaved in time
+  // across all of them: the grouped path resolves nearly every event to
+  // a distinct chain up front, so this run lives almost entirely in the
+  // overlapped phase-B replay — which must stay bit-identical, clusters
+  // and ops alike.
+  EbmsConfig config;
+  config.maxClusters = 8;
+  EbmsTracker fast(config);
+  EbmsTrackerReference reference(config);
+  const float cxs[] = {30, 120, 210, 30, 120, 210, 75, 165};
+  const float cys[] = {30, 30, 30, 150, 150, 150, 90, 90};
+  Rng rngA(41);
+  Rng rngB(41);
+  auto window = [&](Rng& rng, int f) {
+    EventPacket p(f * 66'000, (f + 1) * 66'000);
+    for (int i = 0; i < 150; ++i) {
+      for (int b = 0; b < 8; ++b) {  // round-robin: maximal interleave
+        const float x = cxs[b] + static_cast<float>(rng.uniform(-6.0, 6.0));
+        const float y = cys[b] + static_cast<float>(rng.uniform(-6.0, 6.0));
+        p.push(Event{
+            static_cast<std::uint16_t>(std::clamp(static_cast<int>(x), 0, 239)),
+            static_cast<std::uint16_t>(std::clamp(static_cast<int>(y), 0, 179)),
+            Polarity::kOn,
+            f * 66'000 + static_cast<TimeUs>(i) * 50 + b});
+      }
+    }
+    return p;
+  };
+  for (int f = 0; f < 12; ++f) {
+    fast.processPacket(window(rngA, f));
+    reference.processPacket(window(rngB, f));
+    expectIdenticalState(fast, reference, f);
+  }
+}
+
+TEST(EbmsSoaDifferentialTest, MarginalRadiusEventsFlushGroups) {
+  // Events placed right at the capture-radius boundary of two nearby
+  // clusters: neither definitely-in nor definitely-out under the group
+  // snapshot, so the grouped path must flush and replay them through
+  // the exact scalar step — any admission slip shows up as a cluster or
+  // ops divergence.
+  EbmsConfig config;
+  config.maxClusters = 8;
+  config.captureRadius = 20.0F;
+  config.mixingFactor = 0.1F;  // fast drift: stresses the budget bound
+  EbmsTracker fast(config);
+  EbmsTrackerReference reference(config);
+  Rng rngA(52);
+  Rng rngB(52);
+  auto window = [&](Rng& rng, int f) {
+    EventPacket p(f * 66'000, (f + 1) * 66'000);
+    for (int i = 0; i < 400; ++i) {
+      // Two anchors 45 px apart; events sprayed in the band between and
+      // around them, many near |d| ~ radius of both.
+      const float base = rng.chance(0.5) ? 90.0F : 135.0F;
+      const float x = base + static_cast<float>(rng.uniform(-22.0, 22.0));
+      const float y = 90.0F + static_cast<float>(rng.uniform(-22.0, 22.0));
+      p.push(Event{
+          static_cast<std::uint16_t>(std::clamp(static_cast<int>(x), 0, 239)),
+          static_cast<std::uint16_t>(std::clamp(static_cast<int>(y), 0, 179)),
+          Polarity::kOn, f * 66'000 + static_cast<TimeUs>(i) * 160});
+    }
+    return p;
+  };
+  for (int f = 0; f < 15; ++f) {
+    fast.processPacket(window(rngA, f));
+    reference.processPacket(window(rngB, f));
+    expectIdenticalState(fast, reference, f);
+  }
+}
+
+TEST(EbmsSoaDifferentialTest, MidBurstSeedsFlushGroups) {
+  // A new blob igniting mid-window while existing chains are being
+  // grouped: the first unassigned event must flush the group, seed via
+  // the scalar path, and the freshly seeded cluster must start
+  // capturing within the same packet — all bit-identical.
+  EbmsConfig config;
+  config.maxClusters = 8;
+  EbmsTracker fast(config);
+  EbmsTrackerReference reference(config);
+  Rng rngA(63);
+  Rng rngB(63);
+  auto window = [&](Rng& rng, int f) {
+    EventPacket p(f * 66'000, (f + 1) * 66'000);
+    const float nx = 20.0F + 25.0F * static_cast<float>(f % 8);
+    for (int i = 0; i < 300; ++i) {
+      float x = 60.0F;
+      float y = 60.0F;
+      if (i >= 120 && rng.chance(0.5)) {
+        x = nx;  // the igniting blob, absent for the first 120 events
+        y = 140.0F;
+      }
+      x += static_cast<float>(rng.uniform(-7.0, 7.0));
+      y += static_cast<float>(rng.uniform(-7.0, 7.0));
+      p.push(Event{
+          static_cast<std::uint16_t>(std::clamp(static_cast<int>(x), 0, 239)),
+          static_cast<std::uint16_t>(std::clamp(static_cast<int>(y), 0, 179)),
+          Polarity::kOn, f * 66'000 + static_cast<TimeUs>(i) * 200});
+    }
+    return p;
+  };
+  for (int f = 0; f < 16; ++f) {
+    fast.processPacket(window(rngA, f));
+    reference.processPacket(window(rngB, f));
+    expectIdenticalState(fast, reference, f);
+  }
 }
 
 TEST(EbmsSoaDifferentialTest, IntoAccessorsMatchByValueAccessors) {

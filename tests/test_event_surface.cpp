@@ -1,0 +1,175 @@
+// Differential tests pinning EventSurface (epoch-tagged map + recency
+// bitplanes) bit-identical to EventSurfaceReference (scalar timestamp
+// array + validity bytes) — recall, neighbourhood recency queries,
+// clamped edges, negative times, epoch regressions and clear().  The
+// filter-level lastOps() pinning of the surface-backed stages lives in
+// tests/test_nn_filter.cpp (NnFilter vs NnFilterReference).
+#include "src/events/event_surface.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/events/event_surface_reference.hpp"
+
+namespace ebbiot {
+namespace {
+
+EventSurfaceConfig surfaceConfig(int width, int height, TimeUs window) {
+  EventSurfaceConfig c;
+  c.width = width;
+  c.height = height;
+  c.recencyWindow = window;
+  return c;
+}
+
+/// Compare recall() across the whole frame and the recency query at a
+/// probe grid, for the given query time.
+void expectSurfacesAgree(const EventSurface& fast,
+                         const EventSurfaceReference& reference, TimeUs t,
+                         const char* label) {
+  const EventSurfaceConfig& c = fast.config();
+  for (int y = 0; y < c.height; ++y) {
+    for (int x = 0; x < c.width; ++x) {
+      const auto a = fast.recall(x, y);
+      const auto b = reference.recall(x, y);
+      ASSERT_EQ(a.fired, b.fired) << label << " recall at " << x << "," << y;
+      if (a.fired) {
+        ASSERT_EQ(a.t, b.t) << label << " time at " << x << "," << y;
+      }
+      if (c.recencyWindow > 0) {
+        for (int radius : {1, 2}) {
+          ASSERT_EQ(fast.anyNeighbourFiredWithin(x, y, t, radius),
+                    reference.anyNeighbourFiredWithin(x, y, t, radius))
+              << label << " query at " << x << "," << y << " r=" << radius;
+        }
+      }
+    }
+  }
+}
+
+TEST(EventSurfaceTest, ConfigValidationThrows) {
+  EXPECT_NO_THROW(surfaceConfig(240, 180, 0).validate());
+  EXPECT_NO_THROW(surfaceConfig(240, 180, 1'000).validate());
+  EXPECT_THROW(surfaceConfig(0, 180, 0).validate(), ConfigError);
+  EXPECT_THROW(surfaceConfig(240, -1, 0).validate(), ConfigError);
+  EXPECT_THROW(surfaceConfig(240, 180, -5).validate(), ConfigError);
+  EXPECT_THROW(surfaceConfig(240, 180, TimeUs{1} << 46).validate(),
+               ConfigError);
+  // Constructors of both twins validate.
+  EXPECT_THROW(EventSurface{surfaceConfig(0, 1, 0)}, ConfigError);
+  EXPECT_THROW(EventSurfaceReference{surfaceConfig(0, 1, 0)}, ConfigError);
+}
+
+TEST(EventSurfaceTest, NeverFiredDistinctFromNegativeTimestamp) {
+  // The old kNever = -1 sentinel conflated "never fired" with a real
+  // event at t = -1; the epoch-tagged map must not.
+  EventSurface s(surfaceConfig(8, 8, 100));
+  EXPECT_FALSE(s.recall(3, 3).fired);
+  s.record(3, 3, -1);
+  const auto r = s.recall(3, 3);
+  EXPECT_TRUE(r.fired);
+  EXPECT_EQ(r.t, -1);
+  EXPECT_FALSE(s.recall(3, 4).fired);
+  // And the neighbour query sees the t = -1 event as support.
+  EXPECT_TRUE(s.anyNeighbourFiredWithin(4, 3, 0, 1));
+}
+
+TEST(EventSurfaceTest, ClearForgetsEverything) {
+  EventSurface s(surfaceConfig(8, 8, 100));
+  s.record(2, 2, 50);
+  s.clear();
+  EXPECT_FALSE(s.recall(2, 2).fired);
+  EXPECT_FALSE(s.anyNeighbourFiredWithin(3, 2, 60, 1));
+  s.record(2, 2, 10);  // surface is reusable after clear, even backwards
+  EXPECT_TRUE(s.recall(2, 2).fired);
+}
+
+TEST(EventSurfaceTest, EpochTagWrapScrubsStaleEntries) {
+  // After 65535 clears the 16-bit epoch tag wraps; entries written under
+  // the original epoch must not resurrect.
+  EventSurface s(surfaceConfig(4, 4, 0));
+  s.record(1, 1, 123);
+  for (int i = 0; i < 70'000; ++i) {
+    s.clear();
+  }
+  EXPECT_FALSE(s.recall(1, 1).fired);
+}
+
+TEST(EventSurfaceTest, WindowBoundaryInclusive) {
+  EventSurface s(surfaceConfig(8, 8, 100));
+  s.record(2, 2, 1'000);
+  EXPECT_TRUE(s.anyNeighbourFiredWithin(3, 2, 1'100, 1));   // t - ts == W
+  EXPECT_FALSE(s.anyNeighbourFiredWithin(3, 2, 1'101, 1));  // just outside
+  EXPECT_FALSE(s.anyNeighbourFiredWithin(2, 2, 1'050, 1));  // centre excluded
+}
+
+TEST(EventSurfaceTest, TimeRegressionStartsNewEpoch) {
+  EventSurface fast(surfaceConfig(8, 8, 100));
+  EventSurfaceReference reference(surfaceConfig(8, 8, 100));
+  fast.record(2, 2, 5'000);
+  reference.record(2, 2, 5'000);
+  fast.noteTime(100);  // regression: both twins forget
+  reference.noteTime(100);
+  EXPECT_FALSE(fast.anyNeighbourFiredWithin(3, 2, 100, 1));
+  EXPECT_FALSE(reference.anyNeighbourFiredWithin(3, 2, 100, 1));
+  expectSurfacesAgree(fast, reference, 100, "post-regression");
+}
+
+TEST(EventSurfaceTest, RandomStreamMatchesReference) {
+  // Random records at non-decreasing times (bursty gaps crossing many
+  // bucket boundaries) interleaved with full-frame query sweeps.
+  for (const TimeUs window : {TimeUs{64}, TimeUs{100}, TimeUs{700}}) {
+    const EventSurfaceConfig c = surfaceConfig(70, 9, window);
+    EventSurface fast(c);
+    EventSurfaceReference reference(c);
+    Rng rng(static_cast<std::uint64_t>(window) * 7 + 1);
+    TimeUs t = -50;  // start below zero: negative-time bucket arithmetic
+    for (int step = 0; step < 600; ++step) {
+      t += rng.uniformInt(0, 3) == 0 ? rng.uniformInt(0, 3 * window)
+                                     : rng.uniformInt(0, 8);
+      const int x = static_cast<int>(rng.uniformInt(0, c.width - 1));
+      const int y = static_cast<int>(rng.uniformInt(0, c.height - 1));
+      fast.noteTime(t);
+      reference.noteTime(t);
+      fast.record(x, y, t);
+      reference.record(x, y, t);
+      if (step % 60 == 59) {
+        expectSurfacesAgree(fast, reference, t, "sweep");
+      }
+    }
+    expectSurfacesAgree(fast, reference, t, "final");
+  }
+}
+
+TEST(EventSurfaceTest, RepeatedPixelKeepsNewestTimestamp) {
+  // The exact-fallback reads the pixel's *newest* time; re-firing a
+  // pixel in a later bucket must not leave the query using stale state.
+  EventSurface fast(surfaceConfig(8, 8, 100));
+  EventSurfaceReference reference(surfaceConfig(8, 8, 100));
+  for (TimeUs t : {TimeUs{0}, TimeUs{500}, TimeUs{1'000}}) {
+    fast.noteTime(t);
+    reference.noteTime(t);
+    fast.record(4, 4, t);
+    reference.record(4, 4, t);
+  }
+  for (TimeUs probe : {TimeUs{1'000}, TimeUs{1'100}, TimeUs{1'101}}) {
+    EXPECT_EQ(fast.anyNeighbourFiredWithin(5, 4, probe, 1),
+              reference.anyNeighbourFiredWithin(5, 4, probe, 1))
+        << "probe " << probe;
+  }
+  EXPECT_TRUE(fast.anyNeighbourFiredWithin(5, 4, 1'100, 1));
+  EXPECT_FALSE(fast.anyNeighbourFiredWithin(5, 4, 1'101, 1));
+}
+
+TEST(EventSurfaceTest, MemoryBytesAccountsPlanes) {
+  const EventSurface bare(surfaceConfig(64, 64, 0));
+  const EventSurface planed(surfaceConfig(64, 64, 1'000));
+  EXPECT_EQ(bare.memoryBytes(), 64U * 64U * 8U);  // map only
+  EXPECT_GT(planed.memoryBytes(), bare.memoryBytes());
+}
+
+}  // namespace
+}  // namespace ebbiot

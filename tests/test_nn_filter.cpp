@@ -7,66 +7,10 @@
 
 #include "src/common/error.hpp"
 #include "src/common/rng.hpp"
+#include "src/filters/nn_filter_reference.hpp"
 
 namespace ebbiot {
 namespace {
-
-/// Scalar reference NN filter: the original full-neighbourhood scan with
-/// per-cell metering (one compare + one increment per visited cell, one
-/// Bt-bit write per event).  NnFilter early-exits its scan but must keep
-/// both the kept-event stream and the reported Eq. (2) ops identical to
-/// this exhaustive run.
-class NnFilterFullScanReference {
- public:
-  explicit NnFilterFullScanReference(const NnFilterConfig& config)
-      : config_(config),
-        lastTimestamp_(static_cast<std::size_t>(config.width) *
-                           static_cast<std::size_t>(config.height),
-                       kNever) {}
-
-  EventPacket filter(const EventPacket& packet) {
-    ops_.reset();
-    EventPacket out(packet.tStart(), packet.tEnd());
-    const int r = config_.neighbourhood / 2;
-    for (const Event& e : packet) {
-      bool supported = false;
-      const int x0 = std::max(0, e.x - r);
-      const int x1 = std::min(config_.width - 1, e.x + r);
-      const int y0 = std::max(0, e.y - r);
-      const int y1 = std::min(config_.height - 1, e.y + r);
-      for (int yy = y0; yy <= y1; ++yy) {
-        for (int xx = x0; xx <= x1; ++xx) {
-          if (xx == e.x && yy == e.y) {
-            continue;
-          }
-          const TimeUs ts =
-              lastTimestamp_[static_cast<std::size_t>(yy) * config_.width +
-                             xx];
-          ++ops_.compares;
-          ++ops_.adds;
-          if (ts != kNever && e.t - ts <= config_.supportWindow) {
-            supported = true;
-          }
-        }
-      }
-      lastTimestamp_[static_cast<std::size_t>(e.y) * config_.width + e.x] =
-          e.t;
-      ops_.memWrites += static_cast<std::uint64_t>(config_.timestampBits);
-      if (supported) {
-        out.push(e);
-      }
-    }
-    return out;
-  }
-
-  [[nodiscard]] const OpCounts& lastOps() const { return ops_; }
-
- private:
-  static constexpr TimeUs kNever = -1;
-  NnFilterConfig config_;
-  std::vector<TimeUs> lastTimestamp_;
-  OpCounts ops_;
-};
 
 EventPacket randomStream(const NnFilterConfig& c, std::size_t n,
                          double clusterChance, std::uint64_t seed) {
@@ -102,6 +46,20 @@ NnFilterConfig smallConfig() {
   c.supportWindow = 1'000;
   c.timestampBits = 16;
   return c;
+}
+
+/// Run both twins over the packet and require identical kept events and
+/// identical Eq. (2) OpCounts (closed form vs. metered full scan).
+void expectTwinsAgree(NnFilter& fast, NnFilterReference& reference,
+                      const EventPacket& p, const char* label) {
+  const EventPacket got = fast.filter(p);
+  const EventPacket want = reference.filter(p);
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << label << " event " << i;
+  }
+  EXPECT_EQ(fast.lastOps(), reference.lastOps())
+      << label << ": closed-form ops diverge from metered reference";
 }
 
 TEST(NnFilterTest, IsolatedEventDropped) {
@@ -140,6 +98,16 @@ TEST(NnFilterTest, SupportExpiresOutsideWindow) {
   EXPECT_TRUE(out.empty());
 }
 
+TEST(NnFilterTest, SupportWindowBoundaryIsInclusive) {
+  // t - ts == supportWindow still supports — the boundary-bucket
+  // exact-fallback must keep the inclusive test of the scalar scan.
+  NnFilter filter(smallConfig());  // window = 1000 us
+  EventPacket p(0, 10'000);
+  p.push(Event{10, 10, Polarity::kOn, 100});
+  p.push(Event{11, 10, Polarity::kOn, 1'100});  // exactly window later
+  EXPECT_EQ(filter.filter(p).size(), 1U);
+}
+
 TEST(NnFilterTest, DiagonalNeighbourCounts) {
   NnFilter filter(smallConfig());
   EventPacket p(0, 10'000);
@@ -167,6 +135,43 @@ TEST(NnFilterTest, ResetClearsSupport) {
   EventPacket b(500, 1'500);
   b.push(Event{11, 10, Polarity::kOn, 600});
   EXPECT_TRUE(filter.filter(b).empty());
+}
+
+TEST(NnFilterTest, TimeRegressionStartsNewEpoch) {
+  // Time only moves forward in a real stream; when a caller replays the
+  // past (packet starting before events already recorded), the surface
+  // forgets rather than serving stale "future" support.  Both twins
+  // implement the identical rule.
+  NnFilterConfig c = smallConfig();
+  NnFilter fast(c);
+  NnFilterReference reference(c);
+  EventPacket warm(0, 100'000);
+  warm.push(Event{10, 10, Polarity::kOn, 50'000});
+  (void)fast.filter(warm);
+  (void)reference.filter(warm);
+  EventPacket replay(0, 100'000);
+  replay.push(Event{11, 10, Polarity::kOn, 100});  // before 50'000: regress
+  EXPECT_TRUE(fast.filter(replay).empty());
+  EXPECT_TRUE(reference.filter(replay).empty());
+  // Forward support inside the replayed epoch works normally again.
+  EventPacket next(0, 100'000);
+  next.push(Event{12, 10, Polarity::kOn, 300});  // neighbour of (11,10)
+  EXPECT_EQ(fast.filter(next).size(), 1U);
+  EXPECT_EQ(reference.filter(next).size(), 1U);
+}
+
+TEST(NnFilterTest, NegativeTimestampsAreNotNeverFired) {
+  // Regression test for the old kNever = -1 sentinel: an event at
+  // t = -1 (legal after node-side unwrap rebasing) must provide support
+  // like any other event instead of reading as an unfired pixel.
+  NnFilterConfig c = smallConfig();
+  NnFilter fast(c);
+  NnFilterReference reference(c);
+  EventPacket p(-10, 10'000);
+  p.push(Event{10, 10, Polarity::kOn, -1});
+  p.push(Event{11, 10, Polarity::kOn, 0});  // 1 us later: supported
+  EXPECT_EQ(fast.filter(p).size(), 1U);
+  EXPECT_EQ(reference.filter(p).size(), 1U);
 }
 
 TEST(NnFilterTest, DenseBurstMostlySurvives) {
@@ -198,6 +203,32 @@ TEST(NnFilterTest, UnsortedPacketRejected) {
   EXPECT_THROW((void)filter.filter(p), LogicError);
 }
 
+TEST(NnFilterTest, ConfigValidationThrows) {
+  const NnFilterConfig good = smallConfig();
+  EXPECT_NO_THROW(good.validate());
+  NnFilterConfig c = good;
+  c.neighbourhood = 4;  // even
+  EXPECT_THROW(NnFilter{c}, ConfigError);
+  c = good;
+  c.neighbourhood = 1;  // a 1x1 neighbourhood has no neighbours
+  EXPECT_THROW(NnFilter{c}, ConfigError);
+  c = good;
+  c.width = 0;
+  EXPECT_THROW(NnFilter{c}, ConfigError);
+  c = good;
+  c.height = -3;
+  EXPECT_THROW(NnFilter{c}, ConfigError);
+  c = good;
+  c.supportWindow = 0;
+  EXPECT_THROW(NnFilter{c}, ConfigError);
+  c = good;
+  c.timestampBits = 0;
+  EXPECT_THROW(NnFilter{c}, ConfigError);
+  c = good;
+  c.supportWindow = TimeUs{1} << 50;  // beyond packed-timestamp headroom
+  EXPECT_THROW(NnFilter{c}, ConfigError);
+}
+
 TEST(NnFilterTest, OpsMatchEq2Accounting) {
   // Eq. (2): per event, (p^2 - 1) comparisons + (p^2 - 1) increments +
   // one Bt-bit write.  Interior events see the full 8-cell neighbourhood.
@@ -219,10 +250,11 @@ TEST(NnFilterTest, MemoryBitsMatchesEq2) {
   EXPECT_EQ(davisFilter.memoryBits(), 16U * 240U * 180U);  // 86.4 kB
 }
 
-TEST(NnFilterTest, EarlyExitMatchesFullScanReferenceRun) {
-  // The early-exit scan must keep the same events AND report the same
-  // Eq. (2) full-neighbourhood ops as a metered exhaustive reference run
-  // — including border events (clamped patches) and multi-packet state.
+TEST(NnFilterTest, WordParallelMatchesReferenceRun) {
+  // The bitplane support test must keep the same events AND report the
+  // same Eq. (2) full-neighbourhood ops as the metered scalar reference
+  // — including border events (clamped patches), multi-packet state and
+  // the epoch restart when a new seed's stream regresses time.
   for (int neighbourhood : {3, 5}) {
     NnFilterConfig c = smallConfig();
     c.width = 64;
@@ -230,19 +262,104 @@ TEST(NnFilterTest, EarlyExitMatchesFullScanReferenceRun) {
     c.neighbourhood = neighbourhood;
     c.supportWindow = 700;
     NnFilter fast(c);
-    NnFilterFullScanReference reference(c);
+    NnFilterReference reference(c);
     for (std::uint64_t seed = 1; seed <= 4; ++seed) {
       const EventPacket p = randomStream(c, 400, 0.7, seed);
-      const EventPacket got = fast.filter(p);
-      const EventPacket want = reference.filter(p);
-      ASSERT_EQ(got.size(), want.size()) << "seed " << seed;
-      for (std::size_t i = 0; i < got.size(); ++i) {
-        EXPECT_EQ(got[i], want[i]) << "event " << i;
-      }
-      EXPECT_EQ(fast.lastOps(), reference.lastOps())
-          << "closed-form ops diverge from metered reference, seed " << seed;
+      expectTwinsAgree(fast, reference, p,
+                       ("p=" + std::to_string(neighbourhood) + " seed " +
+                        std::to_string(seed))
+                           .c_str());
     }
   }
+}
+
+TEST(NnFilterTest, CornerAndBorderGeometryMatchesReference) {
+  // Clamped neighbourhoods: fire a supporting burst around every corner
+  // and border midpoint, for p = 3, 5 and 9 (at p = 9 the patch spans
+  // most of the frame, so every probe site clamps on both axes), and
+  // require kept events and metered-vs-closed-form ops to agree cell
+  // for cell.
+  for (int neighbourhood : {3, 5, 9}) {
+    NnFilterConfig c = smallConfig();
+    c.width = 16;
+    c.height = 12;
+    c.neighbourhood = neighbourhood;
+    NnFilter fast(c);
+    NnFilterReference reference(c);
+    const int xs[] = {0, c.width - 1, c.width / 2};
+    const int ys[] = {0, c.height - 1, c.height / 2};
+    TimeUs t = 0;
+    EventPacket p(0, 1'000'000);
+    for (const int y : ys) {
+      for (const int x : xs) {
+        // A tight 2x2 block stepping *inward* from the probe site, so
+        // every corner/border pixel fires alongside in-bounds support.
+        const int dx = (x == c.width - 1) ? -1 : 1;
+        const int dy = (y == c.height - 1) ? -1 : 1;
+        for (int k = 0; k < 4; ++k) {
+          const int ex = std::clamp(x + (k % 2) * dx, 0, c.width - 1);
+          const int ey = std::clamp(y + (k / 2) * dy, 0, c.height - 1);
+          p.push(Event{static_cast<std::uint16_t>(ex),
+                       static_cast<std::uint16_t>(ey), Polarity::kOn, t});
+          t += 50;
+        }
+        t += 5'000;  // let support expire between probe sites
+      }
+    }
+    expectTwinsAgree(fast, reference, p,
+                     ("corners p=" + std::to_string(neighbourhood)).c_str());
+  }
+}
+
+TEST(NnFilterTest, OnePixelTallFrameMatchesReference) {
+  // Degenerate geometry: a 1-pixel-tall frame clamps every patch to a
+  // single row (and a 64-wide frame keeps whole rows in one plane word).
+  for (int neighbourhood : {3, 5, 9}) {
+    NnFilterConfig c;
+    c.width = 64;
+    c.height = 1;
+    c.neighbourhood = neighbourhood;
+    c.supportWindow = 400;
+    NnFilter fast(c);
+    NnFilterReference reference(c);
+    Rng rng(99);
+    EventPacket p(0, 100'000);
+    for (int i = 0; i < 300; ++i) {
+      p.push(Event{static_cast<std::uint16_t>(rng.uniformInt(0, c.width - 1)),
+                   0, Polarity::kOn, static_cast<TimeUs>(i * 37)});
+    }
+    expectTwinsAgree(fast, reference, p,
+                     ("1-row p=" + std::to_string(neighbourhood)).c_str());
+    // Ops sanity: a p-tall patch clamped to one row has min(p, width)
+    // cells across, minus the centre.
+    EventPacket one(0, 1'000'000);
+    one.push(Event{32, 0, Polarity::kOn, 900'000});
+    (void)fast.filter(one);
+    const auto across = static_cast<std::uint64_t>(neighbourhood);
+    EXPECT_EQ(fast.lastOps().compares, across - 1);
+  }
+}
+
+TEST(NnFilterTest, WideNeighbourhoodCrossesWordBoundary) {
+  // p = 5 patches centred near x = 64 straddle two plane words; pin the
+  // gather against the reference over a word-boundary burst.
+  NnFilterConfig c;
+  c.width = 128;
+  c.height = 8;
+  c.neighbourhood = 5;
+  c.supportWindow = 2'000;
+  NnFilter fast(c);
+  NnFilterReference reference(c);
+  EventPacket p(0, 100'000);
+  TimeUs t = 0;
+  for (int x = 60; x <= 68; ++x) {
+    for (int y = 2; y <= 5; ++y) {
+      p.push(Event{static_cast<std::uint16_t>(x),
+                   static_cast<std::uint16_t>(y), Polarity::kOn, t});
+      t += 25;
+    }
+  }
+  expectTwinsAgree(fast, reference, p, "word boundary");
 }
 
 TEST(NnFilterTest, FilterIntoReusesPacketAndMatchesFilter) {

@@ -142,6 +142,31 @@ TEST(EbmsPipelineTest, OpsDominatedByPerEventWork) {
   EXPECT_GT(ops.ebms.total(), 0U);
 }
 
+TEST(EbmsPipelineTest, OptionalRefractoryStageThinsTheStream) {
+  // With the refractory stage enabled, the NN filter sees at most one
+  // event per pixel per period — fewer (never more) events than the
+  // bare pipeline — while the default config keeps the old shape.
+  CarFixture bareFix;
+  CarFixture refrFix;
+  EbmsPipeline bare{EbmsPipelineConfig{}};
+  EbmsPipelineConfig withRefractory;
+  withRefractory.refractoryPeriod = 20'000;
+  EbmsPipeline refr{withRefractory};
+  for (int f = 0; f < 5; ++f) {
+    (void)bare.processWindow(bareFix.nextStream());
+    (void)refr.processWindow(refrFix.nextStream());
+    EXPECT_LE(refr.stageOps().nnFilter.total(),
+              bare.stageOps().nnFilter.total())
+        << "frame " << f;
+  }
+  // Snapshot round-trip carries the refractory surface along.
+  auto snap = refr.makeSnapshot();
+  ASSERT_TRUE(refr.saveState(*snap));
+  EXPECT_TRUE(refr.restoreState(*snap));
+  // A refractory-less pipeline refuses a refractory-ful snapshot.
+  EXPECT_FALSE(bare.restoreState(*snap));
+}
+
 TEST(PipelineInterfaceTest, AllThreePipelinesDriveUniformly) {
   // The three paper pipelines behind one vtable: names, input domains,
   // and processWindow all reachable through Pipeline*.

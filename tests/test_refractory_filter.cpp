@@ -80,5 +80,68 @@ TEST(RefractoryFilterTest, BoundsCheckedAgainstGeometry) {
   EXPECT_THROW((void)filter.filter(p), LogicError);
 }
 
+TEST(RefractoryFilterTest, ConfigValidationThrows) {
+  RefractoryFilterConfig good;
+  EXPECT_NO_THROW(good.validate());
+  RefractoryFilterConfig c = good;
+  c.width = 0;
+  EXPECT_THROW(RefractoryFilter{c}, ConfigError);
+  c = good;
+  c.height = -2;
+  EXPECT_THROW(RefractoryFilter{c}, ConfigError);
+  c = good;
+  c.refractoryPeriod = -1;
+  EXPECT_THROW(RefractoryFilter{c}, ConfigError);
+  c = good;
+  c.refractoryPeriod = 0;  // explicitly allowed: pass-through filter
+  EXPECT_NO_THROW(RefractoryFilter{c});
+}
+
+TEST(RefractoryFilterTest, NegativeTimestampsAreNotNeverFired) {
+  // An event at t = -1 (legal after node-side unwrap rebasing) must arm
+  // the refractory window like any other; the old kNever = -1 sentinel
+  // read it back as an unfired pixel and passed the follow-up event.
+  RefractoryFilter filter(32, 32, 1'000);
+  EventPacket p(-10, 10'000);
+  p.push(Event{5, 5, Polarity::kOn, -1});
+  p.push(Event{5, 5, Polarity::kOn, 500});    // 501 us later: dropped
+  p.push(Event{5, 5, Polarity::kOn, 1'000});  // 1001 us later: passes
+  const EventPacket out = filter.filter(p);
+  ASSERT_EQ(out.size(), 2U);
+  EXPECT_EQ(out[0].t, -1);
+  EXPECT_EQ(out[1].t, 1'000);
+}
+
+TEST(RefractoryFilterTest, OnlyKeptEventsArmTheWindow) {
+  // A dropped event must not extend the dead time (the surface records
+  // kept events only) — matching the DAVIS pixel's own behaviour.
+  RefractoryFilter filter(32, 32, 1'000);
+  EventPacket p(0, 10'000);
+  p.push(Event{5, 5, Polarity::kOn, 100});
+  p.push(Event{5, 5, Polarity::kOn, 900});    // dropped; must not re-arm
+  p.push(Event{5, 5, Polarity::kOn, 1'200});  // 1100 us after the *kept* one
+  EXPECT_EQ(filter.filter(p).size(), 2U);
+}
+
+TEST(RefractoryFilterTest, FilterIntoReusesPacketAndMatchesFilter) {
+  RefractoryFilter a(32, 32, 1'000);
+  RefractoryFilter b(32, 32, 1'000);
+  EventPacket out;
+  for (int round = 0; round < 3; ++round) {
+    EventPacket p(round * 10'000, (round + 1) * 10'000);
+    for (int i = 0; i < 40; ++i) {
+      p.push(Event{static_cast<std::uint16_t>(i % 4 + 3),
+                   static_cast<std::uint16_t>(i % 3 + 3), Polarity::kOn,
+                   static_cast<TimeUs>(round * 10'000 + i * 211)});
+    }
+    a.filterInto(p, out);
+    const EventPacket byValue = b.filter(p);
+    ASSERT_EQ(out.size(), byValue.size()) << "round " << round;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], byValue[i]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ebbiot

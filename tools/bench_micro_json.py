@@ -56,8 +56,12 @@ STEADY_STATE_BENCHES = frozenset(
         "BM_CcaRpn",
         "BM_CcaRpnReference",
         "BM_NnFilter",
+        "BM_NnFilterReference",
+        "BM_NnFilterDenseNoise",
+        "BM_NnFilterDenseNoiseReference",
         "BM_EbmsTracker",
         "BM_EbmsTrackerCrowded",
+        "BM_EbmsTrackerEng",
     }
 )
 
@@ -76,10 +80,15 @@ OPS_PINNED_BENCHES = (
     "BM_CcaRpn",
     "BM_CcaRpnReference",
     "BM_NnFilter",
+    "BM_NnFilterReference",
+    "BM_NnFilterDenseNoise",
+    "BM_NnFilterDenseNoiseReference",
     "BM_EbmsTracker",
     "BM_EbmsTrackerReference",
     "BM_EbmsTrackerCrowded",
     "BM_EbmsTrackerCrowdedReference",
+    "BM_EbmsTrackerEng",
+    "BM_EbmsTrackerEngReference",
 )
 
 # Averages over benchmark iterations include partial passes over the
